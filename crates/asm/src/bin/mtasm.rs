@@ -1,0 +1,144 @@
+//! `mtasm` — assemble, disassemble, and run MultiTitan programs.
+//!
+//! ```text
+//! mtasm asm  <file.s> [--base <hex>]       assemble; print words as hex
+//! mtasm dis  <file.hex> [--base <hex>]     disassemble hex words
+//! mtasm run  <file.s> [--base <hex>] [--trace] [--timeline] [--cold]
+//!                                          assemble and simulate to halt
+//! ```
+//!
+//! `run` starts with warm instruction fetch unless `--cold` is given, and
+//! prints the run statistics (cycles, MFLOPS, stall breakdown) on exit.
+//! Initialize memory with `.data <addr>` / `.double` / `.word` directives
+//! in the source (see `examples/asm/*.s`); everything else starts zeroed.
+
+use std::process::ExitCode;
+
+use mt_asm::parse;
+use mt_isa::Instr;
+use mt_sim::{Machine, Program, SimConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mtasm asm <file.s> [--base <hex>]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--trace] [--timeline] [--cold]"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    path: String,
+    base: u32,
+    trace: bool,
+    timeline: bool,
+    cold: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut base = 0x1_0000;
+    let mut trace = false;
+    let mut timeline = false;
+    let mut cold = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--base" => {
+                let v = it.next().ok_or("--base needs a value")?;
+                let v = v.trim_start_matches("0x");
+                base = u32::from_str_radix(v, 16).map_err(|e| format!("bad base: {e}"))?;
+            }
+            "--trace" => trace = true,
+            "--timeline" => timeline = true,
+            "--cold" => cold = true,
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("missing input file")?,
+        base,
+        trace,
+        timeline,
+        cold,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mtasm: {e}");
+            return usage();
+        }
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+
+    let result = match cmd.as_str() {
+        "asm" => read(&opts.path).and_then(|src| {
+            let program = parse(&src, opts.base).map_err(|e| e.to_string())?;
+            for w in &program.words {
+                println!("{w:08x}");
+            }
+            Ok(())
+        }),
+        "dis" => read(&opts.path).and_then(|text| {
+            let mut addr = opts.base;
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let w = u32::from_str_radix(line.trim_start_matches("0x"), 16)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                match Instr::decode(w) {
+                    Ok(i) => println!("{addr:#07x}: {i}"),
+                    Err(e) => println!("{addr:#07x}: .word {w:#010x}  ; {e}"),
+                }
+                addr += 4;
+            }
+            Ok(())
+        }),
+        "run" => read(&opts.path).and_then(|src| {
+            let program = parse(&src, opts.base).map_err(|e| e.to_string())?;
+            let mut m = Machine::new(SimConfig {
+                trace: opts.trace || opts.timeline,
+                ..SimConfig::default()
+            });
+            m.load_program(&program);
+            if !opts.cold {
+                m.warm_instructions(&program);
+            }
+            let stats = m.run().map_err(|e| e.to_string())?;
+            if opts.trace {
+                for line in m.trace_log() {
+                    println!("{line}");
+                }
+            }
+            if opts.timeline {
+                print!("{}", m.timeline().render(120));
+            }
+            println!("{stats}");
+            Ok(())
+        }),
+        _ => return usage(),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mtasm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// Silence the unused warning for Program, used only through parse's return
+// type in this binary.
+#[allow(unused)]
+fn _uses(_: Program) {}

@@ -1,0 +1,60 @@
+//! Assembler diagnostics.
+
+use std::fmt;
+
+/// An assembly error, with a source line when it came from the text parser
+/// (line 0 means the error arose from the builder API).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line, or 0 for builder-originated errors.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Creates a builder-level error (no source line).
+    pub fn new(message: impl Into<String>) -> AsmError {
+        AsmError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parser error at a source line.
+    pub fn at(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            AsmError::new("bad thing").to_string(),
+            "assembly error: bad thing"
+        );
+        assert_eq!(
+            AsmError::at(3, "unknown mnemonic").to_string(),
+            "line 3: unknown mnemonic"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Fuzz-style property tests: the text assembler must never panic, must
+//! produce decodable words when it succeeds, and parsing a program's own
+//! disassembly-like source must be stable.
+
+use mt_asm::parse;
+use mt_isa::Instr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn parse_never_panics(src in "\\PC{0,200}") {
+        let _ = parse(&src, 0x1_0000);
+    }
+
+    /// Line-noise built from assembler-ish tokens never panics either, and
+    /// when it assembles, every word decodes.
+    #[test]
+    fn tokeny_soup_is_handled(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("fadd R1, R2, R3".to_string()),
+                Just("fadd R0..R7, R8..R15, R16..R23".to_string()),
+                Just("addi r1, r1, 1".to_string()),
+                Just("lw r2, 4(r1)".to_string()),
+                Just("fld R0, 0(r1)".to_string()),
+                Just("x: nop".to_string()),
+                Just("j x".to_string()),
+                Just("beq r1, r2, x".to_string()),
+                Just("halt".to_string()),
+                Just("; comment only".to_string()),
+                Just("fdiv R2, R0, R1, R48, R49".to_string()),
+                Just("frobnicate r1".to_string()),
+                Just("fadd R60, R1, R2".to_string()),
+                Just("addi r1, r1, 99999999".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let src = lines.join("\n");
+        if let Ok(program) = parse(&src, 0x1_0000) {
+            for &w in &program.words {
+                prop_assert!(Instr::decode(w).is_ok(), "assembled word {w:#010x} must decode");
+            }
+        }
+    }
+
+    /// Valid immediate forms roundtrip through addi.
+    #[test]
+    fn addi_immediates_roundtrip(v in -131072i32..=131071) {
+        let src = format!("addi r5, r0, {v}\nhalt\n");
+        let program = parse(&src, 0x1_0000).unwrap();
+        match Instr::decode(program.words[0]).unwrap() {
+            Instr::Addi { imm, .. } => prop_assert_eq!(imm, v),
+            other => prop_assert!(false, "expected addi, got {}", other),
+        }
+    }
+
+    /// Every register name in range parses; everything above is rejected.
+    #[test]
+    fn register_name_bounds(n in 0u8..=80) {
+        let fsrc = format!("frecip R{n}, R0\nhalt\n");
+        prop_assert_eq!(parse(&fsrc, 0).is_ok(), n < 52, "R{}", n);
+        let isrc = format!("addi r{n}, r0, 1\nhalt\n");
+        prop_assert_eq!(parse(&isrc, 0).is_ok(), n < 32, "r{}", n);
+    }
+}

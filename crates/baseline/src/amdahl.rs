@@ -1,0 +1,148 @@
+//! The analytic model of Fig. 11: "Potential vector performance obtained".
+//!
+//! If a fraction `f` of a workload vectorizes and vector code runs `r`
+//! times faster than scalar code, the overall speedup over the scalar
+//! machine is `1 / ((1 − f) + f/r)` — Amdahl's law. The paper plots this
+//! for `f` from 20% to 100% and `r` from 1 to 10, marking the MultiTitan at
+//! `r = 2` and the Cray-1S at `r ≈ 10`, to argue that the cheap 2× vector
+//! capability already captures most of the available benefit at typical
+//! vectorization levels (0.3–0.7 per Worlton).
+
+/// Overall speedup relative to the scalar machine.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]` or `peak_ratio < 1`.
+///
+/// ```
+/// use mt_baseline::overall_speedup;
+/// // 100% vectorized code gets the full peak ratio…
+/// assert_eq!(overall_speedup(1.0, 4.0), 4.0);
+/// // …but 40%-vectorized code gets only 1.25× even from an infinite-ish ratio.
+/// assert!(overall_speedup(0.4, 1000.0) < 1.67);
+/// ```
+pub fn overall_speedup(fraction: f64, peak_ratio: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    assert!(peak_ratio >= 1.0, "peak ratio at least 1");
+    1.0 / ((1.0 - fraction) + fraction / peak_ratio)
+}
+
+/// Inverts the model: given measured scalar and vector times for the same
+/// work and the machine's peak ratio, returns the effective vectorized
+/// fraction. Returns `None` when the observed speedup exceeds what the
+/// peak ratio allows (i.e. the model cannot explain the measurement).
+pub fn effective_vectorization(speedup: f64, peak_ratio: f64) -> Option<f64> {
+    assert!(peak_ratio > 1.0);
+    if speedup < 1.0 || speedup > peak_ratio {
+        return None;
+    }
+    // speedup = 1 / (1 − f + f/r)  ⇒  f = (1 − 1/s) / (1 − 1/r)
+    Some((1.0 - 1.0 / speedup) / (1.0 - 1.0 / peak_ratio))
+}
+
+/// The MultiTitan's ratio of peak vector to scalar performance (§2.4: the
+/// basic vector capability gives a 2× speedup on vectorizable code).
+pub const MULTITITAN_PEAK_RATIO: f64 = 2.0;
+
+/// The Cray-1S / X-MP class ratio quoted in §2.4 ("about 10").
+pub const CRAY_PEAK_RATIO: f64 = 10.0;
+
+/// One sampled curve of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct AmdahlCurve {
+    /// Percent of the workload that vectorizes.
+    pub vectorized_percent: u32,
+    /// `(peak_ratio, overall_speedup)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Regenerates the five curves of Fig. 11 (20%–100% vectorized) over peak
+/// ratios 1–10.
+pub fn figure_11_curves() -> Vec<AmdahlCurve> {
+    [20u32, 40, 60, 80, 100]
+        .into_iter()
+        .map(|pct| AmdahlCurve {
+            vectorized_percent: pct,
+            points: (0..=36)
+                .map(|i| {
+                    let r = 1.0 + i as f64 * 0.25;
+                    (r, overall_speedup(pct as f64 / 100.0, r))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits() {
+        assert_eq!(overall_speedup(0.0, 10.0), 1.0);
+        assert_eq!(overall_speedup(1.0, 10.0), 10.0);
+        assert_eq!(overall_speedup(0.5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn the_papers_introduction_numbers() {
+        // §1: with vectorization 0.3–0.7, infinitely fast vector hardware
+        // improves the whole benchmark only 1.4–3.3×.
+        let inf = 1e12;
+        assert!((overall_speedup(0.3, inf) - 1.0 / 0.7).abs() < 1e-6);
+        assert!((1.42..1.43).contains(&overall_speedup(0.3, inf)));
+        assert!((3.33..3.34).contains(&overall_speedup(0.7, inf)));
+    }
+
+    #[test]
+    fn multititan_captures_most_of_the_benefit_at_low_vectorization() {
+        // The Fig. 11 argument: at 40% vectorized, the 2× MultiTitan gets
+        // 1.25× of the at-most-1.67× available — over two thirds of the
+        // achievable improvement from a 5× costlier ratio.
+        let mt = overall_speedup(0.4, MULTITITAN_PEAK_RATIO);
+        let cray = overall_speedup(0.4, CRAY_PEAK_RATIO);
+        assert!((mt - 1.25).abs() < 1e-12);
+        assert!(cray < 1.57);
+        assert!((mt - 1.0) / (cray - 1.0) > 0.44);
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let s = overall_speedup(i as f64 / 10.0, 4.0);
+            assert!(s >= prev);
+            prev = s;
+        }
+        let mut prev = 0.0;
+        for r in 1..=10 {
+            let s = overall_speedup(0.6, r as f64);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn effective_vectorization_inverts_the_model() {
+        for f in [0.1, 0.3, 0.5, 0.9] {
+            let s = overall_speedup(f, 2.0);
+            let back = effective_vectorization(s, 2.0).unwrap();
+            assert!((back - f).abs() < 1e-12, "f={f}, back={back}");
+        }
+        assert_eq!(effective_vectorization(3.0, 2.0), None, "impossible speedup");
+        assert_eq!(effective_vectorization(0.5, 2.0), None, "slowdown");
+    }
+
+    #[test]
+    fn figure_11_curves_shape() {
+        let curves = figure_11_curves();
+        assert_eq!(curves.len(), 5);
+        // The 100% curve reaches the ratio; the 20% curve saturates early.
+        let c100 = &curves[4];
+        assert_eq!(c100.vectorized_percent, 100);
+        let last = c100.points.last().unwrap();
+        assert!((last.1 - last.0).abs() < 1e-12);
+        let c20 = curves[0].points.last().unwrap();
+        assert!(c20.1 < 1.25);
+    }
+}

@@ -1,0 +1,26 @@
+//! Comparators and reference data for the MultiTitan evaluation.
+//!
+//! Three things the paper's evaluation section compares against:
+//!
+//! * [`amdahl`] — the analytic model behind Fig. 11: overall performance as
+//!   a function of the fraction of vectorizable code and the ratio of peak
+//!   vector to scalar performance. This is where the paper's central
+//!   argument lives — a cheap 2× vector capability captures most of the
+//!   benefit for typical vectorization levels;
+//! * [`cray`] — a first-order timing model of a classical vector-register
+//!   machine (64-element vector registers, startup latencies, optional
+//!   chaining, one result per cycle per unit), used for shape comparisons:
+//!   long-vector throughput, `n½`, and short-vector crossovers against the
+//!   simulated MultiTitan;
+//! * [`published`] — the paper's own reported numbers (Fig. 14 Livermore
+//!   MFLOPS for the MultiTitan cold/warm and the Cray-1S / Cray X-MP, and
+//!   the §3.3 Linpack results), kept verbatim so benches can print
+//!   paper-vs-measured side by side.
+
+pub mod amdahl;
+pub mod cray;
+pub mod published;
+
+pub use amdahl::{effective_vectorization, overall_speedup};
+pub use cray::{ClassicalVectorMachine, CrayConfig, VectorOp};
+pub use published::{harmonic_mean, LivermoreRow, PUBLISHED_LIVERMORE};

@@ -1,0 +1,160 @@
+//! The paper's published evaluation numbers, kept verbatim for
+//! paper-vs-measured reporting.
+
+/// One row of Fig. 14: Livermore Loop MFLOPS on four machine/cache
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivermoreRow {
+    /// Loop number, 1–24.
+    pub loop_no: u8,
+    /// MultiTitan, cold caches.
+    pub mt_cold: f64,
+    /// MultiTitan, warm caches.
+    pub mt_warm: f64,
+    /// Cray-1S (from McMahon / Tang & Davidson, as cited by the paper).
+    pub cray_1s: f64,
+    /// Cray X-MP (same sources).
+    pub cray_xmp: f64,
+    /// `*` in the figure: the loop vectorized on the Cray.
+    pub cray_vectorized: bool,
+}
+
+/// Fig. 14, "Uniprocessor Livermore Loops (MFLOPS)", all 24 rows.
+pub const PUBLISHED_LIVERMORE: [LivermoreRow; 24] = [
+    LivermoreRow { loop_no: 1, mt_cold: 4.3, mt_warm: 19.0, cray_1s: 68.4, cray_xmp: 164.6, cray_vectorized: true },
+    LivermoreRow { loop_no: 2, mt_cold: 2.8, mt_warm: 17.3, cray_1s: 16.4, cray_xmp: 45.1, cray_vectorized: true },
+    LivermoreRow { loop_no: 3, mt_cold: 2.8, mt_warm: 17.3, cray_1s: 63.1, cray_xmp: 151.7, cray_vectorized: true },
+    LivermoreRow { loop_no: 4, mt_cold: 2.3, mt_warm: 14.5, cray_1s: 20.6, cray_xmp: 65.9, cray_vectorized: true },
+    LivermoreRow { loop_no: 5, mt_cold: 2.0, mt_warm: 8.0, cray_1s: 5.3, cray_xmp: 14.4, cray_vectorized: false },
+    LivermoreRow { loop_no: 6, mt_cold: 3.4, mt_warm: 5.2, cray_1s: 6.6, cray_xmp: 11.3, cray_vectorized: true },
+    LivermoreRow { loop_no: 7, mt_cold: 6.9, mt_warm: 23.4, cray_1s: 82.1, cray_xmp: 187.8, cray_vectorized: true },
+    LivermoreRow { loop_no: 8, mt_cold: 6.0, mt_warm: 19.9, cray_1s: 65.6, cray_xmp: 145.8, cray_vectorized: true },
+    LivermoreRow { loop_no: 9, mt_cold: 3.6, mt_warm: 20.3, cray_1s: 80.4, cray_xmp: 157.5, cray_vectorized: true },
+    LivermoreRow { loop_no: 10, mt_cold: 1.5, mt_warm: 7.1, cray_1s: 28.1, cray_xmp: 61.2, cray_vectorized: true },
+    LivermoreRow { loop_no: 11, mt_cold: 1.7, mt_warm: 6.6, cray_1s: 4.4, cray_xmp: 12.7, cray_vectorized: false },
+    LivermoreRow { loop_no: 12, mt_cold: 1.4, mt_warm: 7.9, cray_1s: 21.8, cray_xmp: 74.3, cray_vectorized: true },
+    LivermoreRow { loop_no: 13, mt_cold: 1.4, mt_warm: 1.8, cray_1s: 4.1, cray_xmp: 5.8, cray_vectorized: false },
+    LivermoreRow { loop_no: 14, mt_cold: 2.6, mt_warm: 3.1, cray_1s: 7.3, cray_xmp: 22.2, cray_vectorized: false },
+    LivermoreRow { loop_no: 15, mt_cold: 1.5, mt_warm: 1.6, cray_1s: 3.8, cray_xmp: 5.2, cray_vectorized: false },
+    LivermoreRow { loop_no: 16, mt_cold: 2.3, mt_warm: 2.5, cray_1s: 3.2, cray_xmp: 6.2, cray_vectorized: false },
+    LivermoreRow { loop_no: 17, mt_cold: 4.0, mt_warm: 4.9, cray_1s: 7.6, cray_xmp: 10.1, cray_vectorized: false },
+    LivermoreRow { loop_no: 18, mt_cold: 7.4, mt_warm: 14.8, cray_1s: 54.9, cray_xmp: 110.6, cray_vectorized: true },
+    LivermoreRow { loop_no: 19, mt_cold: 2.6, mt_warm: 4.2, cray_1s: 6.5, cray_xmp: 13.4, cray_vectorized: false },
+    LivermoreRow { loop_no: 20, mt_cold: 4.5, mt_warm: 4.7, cray_1s: 9.6, cray_xmp: 13.2, cray_vectorized: false },
+    LivermoreRow { loop_no: 21, mt_cold: 15.9, mt_warm: 21.4, cray_1s: 32.8, cray_xmp: 108.9, cray_vectorized: true },
+    LivermoreRow { loop_no: 22, mt_cold: 2.4, mt_warm: 2.7, cray_1s: 39.9, cray_xmp: 65.8, cray_vectorized: true },
+    LivermoreRow { loop_no: 23, mt_cold: 3.0, mt_warm: 7.4, cray_1s: 10.4, cray_xmp: 13.9, cray_vectorized: false },
+    LivermoreRow { loop_no: 24, mt_cold: 1.1, mt_warm: 1.6, cray_1s: 1.6, cray_xmp: 3.6, cray_vectorized: false },
+];
+
+/// Harmonic means the paper prints for loops 1–12, 13–24, and 1–24
+/// (columns: MultiTitan cold, warm, Cray-1S, Cray X-MP).
+pub const PUBLISHED_HARMONIC_1_12: [f64; 4] = [2.5, 10.8, 14.4, 35.8];
+/// See [`PUBLISHED_HARMONIC_1_12`].
+pub const PUBLISHED_HARMONIC_13_24: [f64; 4] = [2.4, 3.2, 5.6, 10.0];
+/// See [`PUBLISHED_HARMONIC_1_12`].
+pub const PUBLISHED_HARMONIC_1_24: [f64; 4] = [2.5, 4.9, 8.0, 15.6];
+
+/// §3.3 Linpack results (MFLOPS).
+pub mod linpack {
+    /// MultiTitan scalar Linpack.
+    pub const MT_SCALAR: f64 = 4.1;
+    /// MultiTitan vector Linpack.
+    pub const MT_VECTOR: f64 = 6.1;
+    /// "approximately 25 times the performance of a VAX 11/780 with FPA".
+    pub const VAX_RATIO: f64 = 25.0;
+    /// "the vector performance is only 1/4 that of the Cray 1-S Coded BLAS".
+    pub const CRAY_1S_RATIO: f64 = 4.0;
+    /// "and 1/8 that of the Cray X-MP".
+    pub const CRAY_XMP_RATIO: f64 = 8.0;
+}
+
+/// Harmonic mean of a set of rates — the aggregate the paper uses for the
+/// Livermore Loops.
+///
+/// # Panics
+///
+/// Panics on an empty slice or a non-positive rate.
+pub fn harmonic_mean(rates: &[f64]) -> f64 {
+    assert!(!rates.is_empty(), "harmonic mean of nothing");
+    let denom: f64 = rates
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "harmonic mean requires positive rates");
+            1.0 / r
+        })
+        .sum();
+    rates.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_complete_and_ordered() {
+        assert_eq!(PUBLISHED_LIVERMORE.len(), 24);
+        for (i, row) in PUBLISHED_LIVERMORE.iter().enumerate() {
+            assert_eq!(row.loop_no as usize, i + 1);
+            assert!(row.mt_cold <= row.mt_warm, "warm ≥ cold for loop {}", row.loop_no);
+            assert!(row.cray_1s <= row.cray_xmp, "X-MP ≥ 1S for loop {}", row.loop_no);
+        }
+    }
+
+    #[test]
+    fn eleven_loops_vectorize_on_the_cray() {
+        // Fig. 14 stars loops 1-4, 6-10, 12, 18, 21, 22.
+        let starred: Vec<u8> = PUBLISHED_LIVERMORE
+            .iter()
+            .filter(|r| r.cray_vectorized)
+            .map(|r| r.loop_no)
+            .collect();
+        assert_eq!(starred, vec![1, 2, 3, 4, 6, 7, 8, 9, 10, 12, 18, 21, 22]);
+    }
+
+    #[test]
+    fn harmonic_means_match_the_printed_rows() {
+        let col = |f: fn(&LivermoreRow) -> f64, lo: usize, hi: usize| {
+            harmonic_mean(
+                &PUBLISHED_LIVERMORE[lo..hi]
+                    .iter()
+                    .map(f)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        // Allow rounding slack: the paper prints one decimal place.
+        let close = |a: f64, b: f64| (a - b).abs() < 0.15;
+        assert!(close(col(|r| r.mt_cold, 0, 12), PUBLISHED_HARMONIC_1_12[0]));
+        assert!(close(col(|r| r.mt_warm, 0, 12), PUBLISHED_HARMONIC_1_12[1]));
+        assert!(close(col(|r| r.cray_1s, 0, 12), PUBLISHED_HARMONIC_1_12[2]));
+        assert!(close(col(|r| r.mt_cold, 12, 24), PUBLISHED_HARMONIC_13_24[0]));
+        assert!(close(col(|r| r.mt_warm, 12, 24), PUBLISHED_HARMONIC_13_24[1]));
+        assert!(close(col(|r| r.mt_warm, 0, 24), PUBLISHED_HARMONIC_1_24[1]));
+        assert!(close(col(|r| r.cray_xmp, 0, 24), PUBLISHED_HARMONIC_1_24[3]));
+    }
+
+    #[test]
+    fn overall_conclusion_holds_in_the_data() {
+        // §3.2: "the warm-cache MultiTitan performance was about one-half
+        // that of the Cray 1-S and about one-third that of the Cray X-MP."
+        let warm = PUBLISHED_HARMONIC_1_24[1];
+        let cray1s = PUBLISHED_HARMONIC_1_24[2];
+        let xmp = PUBLISHED_HARMONIC_1_24[3];
+        assert!((warm / cray1s - 0.5).abs() < 0.15);
+        assert!((warm / xmp - 0.33).abs() < 0.05);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[4.0]), 4.0);
+        assert_eq!(harmonic_mean(&[2.0, 2.0]), 2.0);
+        // Dominated by the slow member.
+        assert!((harmonic_mean(&[1.0, 100.0]) - 1.9802).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rates")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+}

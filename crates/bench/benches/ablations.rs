@@ -1,0 +1,30 @@
+//! Criterion bench over the ablation axes: FPU latency and serialized
+//! issue, on one vectorizable kernel (full sweeps in `repro-ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_kernels::livermore;
+use mt_sim::SimConfig;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for latency in [1u64, 3, 8] {
+        group.bench_function(format!("ll07_latency{latency}"), |b| {
+            b.iter(|| {
+                let cfg = SimConfig { fpu_latency: latency, ..SimConfig::default() };
+                black_box(mt_bench::run_with(&livermore::by_number(7), cfg))
+            })
+        });
+    }
+    group.bench_function("ll07_serialized", |b| {
+        b.iter(|| {
+            let cfg = SimConfig { serialized_issue: true, ..SimConfig::default() };
+            black_box(mt_bench::run_with(&livermore::by_number(7), cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

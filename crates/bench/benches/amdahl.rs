@@ -1,0 +1,15 @@
+//! Criterion bench for the Fig. 11 analytic model (cheap; exists so the
+//! figure's data generation is tracked like every other experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_baseline::amdahl::figure_11_curves;
+use std::hint::black_box;
+
+fn bench_amdahl(c: &mut Criterion) {
+    c.bench_function("figure11_curves", |b| {
+        b.iter(|| black_box(figure_11_curves()))
+    });
+}
+
+criterion_group!(benches, bench_amdahl);
+criterion_main!(benches);

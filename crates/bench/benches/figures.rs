@@ -1,0 +1,33 @@
+//! Criterion bench for the timing-figure kernels (Figs. 5–9, 13): the
+//! cycle anchors are asserted in tests; here the simulations are timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_kernels::{gather, graphics, reductions};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig5_scalar_tree", |b| {
+        b.iter(|| black_box(mt_bench::run(&reductions::scalar_tree_sum())))
+    });
+    group.bench_function("fig6_linear_vector", |b| {
+        b.iter(|| black_box(mt_bench::run(&reductions::linear_vector_sum())))
+    });
+    group.bench_function("fig7_vector_tree", |b| {
+        b.iter(|| black_box(mt_bench::run(&reductions::vector_tree_sum())))
+    });
+    group.bench_function("fig8_fibonacci", |b| {
+        b.iter(|| black_box(mt_bench::run(&reductions::fibonacci(16))))
+    });
+    group.bench_function("fig9_linked_list", |b| {
+        b.iter(|| black_box(mt_bench::run(&gather::linked_list())))
+    });
+    group.bench_function("fig13_transform_x64", |b| {
+        b.iter(|| black_box(mt_bench::run(&graphics::transform_points(64))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the §3.3 Linpack comparison: scalar vs vector
+//! codings of the LU factor/solve, at a bench-friendly size (the full
+//! 100×100 table comes from `repro-linpack`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_kernels::linpack::linpack;
+use std::hint::black_box;
+
+fn bench_linpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linpack40");
+    group.sample_size(10);
+    for vectorized in [false, true] {
+        let name = if vectorized { "vector" } else { "scalar" };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(mt_bench::run(&linpack(40, vectorized))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linpack);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench over the Fig. 14 workloads: simulates each Livermore
+//! loop (cold+warm protocol) and reports wall time per simulation; the
+//! MFLOPS table itself comes from `repro-livermore`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_kernels::livermore;
+use std::hint::black_box;
+
+fn bench_livermore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("livermore");
+    group.sample_size(10);
+    // A spread of kernel classes: vector (1), reduction (3), recurrence
+    // (11), scalar-complex (23); the full 24 run in repro-livermore.
+    for n in [1u8, 3, 11, 23] {
+        group.bench_function(format!("ll{n:02}"), |b| {
+            b.iter(|| {
+                let k = livermore::by_number(n);
+                black_box(mt_bench::run(&k))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_livermore);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the §2.2.1 n½ sweep: one vector add per length,
+//! register-resident, as in the half-performance-length definition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt_fparith::FpOp;
+use mt_isa::{FReg, FpuAluInstr, Instr};
+use mt_sim::{Machine, Program, SimConfig};
+use std::hint::black_box;
+
+fn run_vl(n: u8) -> u64 {
+    let i = FpuAluInstr::vector(FpOp::Add, FReg::new(16), FReg::new(0), FReg::new(16), n).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(i), Instr::Halt]).unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    m.run().unwrap().cycles
+}
+
+fn bench_nhalf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nhalf");
+    for n in [1u8, 2, 4, 8, 16] {
+        group.bench_function(format!("vl{n:02}"), |b| b.iter(|| black_box(run_vl(n))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nhalf);
+criterion_main!(benches);

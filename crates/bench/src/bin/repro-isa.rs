@@ -1,0 +1,72 @@
+//! Regenerates Figs. 3 and 4: the FPU ALU instruction format and the
+//! unit/func operation table, straight from the implementation (so the
+//! printout cannot drift from the encoder).
+//!
+//! Run with `cargo run --release -p mt-bench --bin repro-isa`.
+
+use mt_fparith::op::{FpOp, ALL_OPS};
+use mt_fparith::FuncUnit;
+use mt_isa::{FReg, FpuAluInstr};
+
+fn main() {
+    println!("Figure 3 — FPU ALU instruction format (32 bits)\n");
+    println!("  |< 4 >|<  6  >|<  6  >|<  6  >|<2>|<2>|< 4 >|1|1|");
+    println!("  |  op |  Rr   |  Ra   |  Rb   |unit|fnc|VL-1 |SRa|SRb|");
+
+    // Demonstrate the fields on a concrete instruction.
+    let demo = FpuAluInstr::vector_scalar(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(32), 4)
+        .unwrap();
+    let w = demo.encode();
+    println!("\n  {demo}  encodes as {w:#010x}:");
+    println!("    op    = {}", w >> 28);
+    println!("    Rr    = {}", (w >> 22) & 0x3F);
+    println!("    Ra    = {}", (w >> 16) & 0x3F);
+    println!("    Rb    = {}", (w >> 10) & 0x3F);
+    println!("    unit  = {}", (w >> 8) & 3);
+    println!("    func  = {}", (w >> 6) & 3);
+    println!("    VL-1  = {}", (w >> 2) & 0xF);
+    println!("    SRa   = {}", (w >> 1) & 1);
+    println!("    SRb   = {}", w & 1);
+
+    println!("\nFigure 4 — func and unit field operation\n");
+    println!("  operation         unit  func");
+    for unit in 0..4u8 {
+        for func in 0..4u8 {
+            match FpOp::from_unit_func(unit, func) {
+                Some(op) => {
+                    let name = match op {
+                        FpOp::Add => "add",
+                        FpOp::Sub => "subtract",
+                        FpOp::Float => "float",
+                        FpOp::Truncate => "truncate",
+                        FpOp::Mul => "multiply",
+                        FpOp::IntMul => "integer multiply",
+                        FpOp::IterStep => "iteration step",
+                        FpOp::Recip => "reciprocal",
+                    };
+                    println!("  {name:<17} {unit:>3}  {func:>4}");
+                }
+                None if func == 0 || unit == 0 => {
+                    if func == 0 {
+                        println!("  {:<17} {unit:>3}     X", "reserved");
+                    }
+                }
+                None => println!("  {:<17} {unit:>3}  {func:>4}", "reserved"),
+            }
+        }
+    }
+
+    println!("\nFunctional units and their mnemonics:");
+    for op in ALL_OPS {
+        let unit = match op.unit() {
+            FuncUnit::Add => "add unit",
+            FuncUnit::Multiply => "multiply unit",
+            FuncUnit::Reciprocal => "reciprocal unit",
+        };
+        println!(
+            "  {:<7} → {unit}{}",
+            op.mnemonic(),
+            if op.is_unary() { "  (unary)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates §3.3: Linpack MFLOPS, scalar vs vector coding, against the
+//! paper's published numbers and ratios.
+//!
+//! Run with `cargo run --release -p mt-bench --bin repro-linpack`.
+
+use mt_baseline::published::linpack as paper;
+use mt_kernels::linpack::linpack;
+
+fn main() {
+    println!("§3.3 — Linpack (100×100, DAXPY inner loops)\n");
+    let scalar = mt_bench::run(&linpack(100, false));
+    let vector = mt_bench::run(&linpack(100, true));
+
+    println!("  coding    measured MFLOPS   paper MFLOPS");
+    println!(
+        "  scalar    {:>10.1}        {:>10.1}",
+        scalar.mflops_warm(),
+        paper::MT_SCALAR
+    );
+    println!(
+        "  vector    {:>10.1}        {:>10.1}",
+        vector.mflops_warm(),
+        paper::MT_VECTOR
+    );
+    println!(
+        "\n  vector/scalar ratio: measured {:.2}, paper {:.2}",
+        vector.mflops_warm() / scalar.mflops_warm(),
+        paper::MT_VECTOR / paper::MT_SCALAR
+    );
+    println!(
+        "  paper's context: vector Linpack = 1/{} of Cray-1S coded BLAS, 1/{} of Cray X-MP,",
+        paper::CRAY_1S_RATIO,
+        paper::CRAY_XMP_RATIO
+    );
+    println!(
+        "  and scalar ≈ {}× a VAX 11/780 with FPA",
+        paper::VAX_RATIO
+    );
+    println!(
+        "\n  cold-cache: scalar {:.1}, vector {:.1} MFLOPS (the paper reports warm)",
+        scalar.mflops_cold(),
+        vector.mflops_cold()
+    );
+}

@@ -1,0 +1,73 @@
+//! The MultiTitan FPU: the paper's primary contribution.
+//!
+//! This crate models the floating-point unit of *"A Unified Vector/Scalar
+//! Floating-Point Architecture"* at the microarchitectural level of Fig. 2:
+//!
+//! * a **unified vector/scalar register file** of 52 general-purpose 64-bit
+//!   registers ([`regfile`]) — vectors are simply runs of consecutive
+//!   registers, so individual vector elements are addressable as scalars;
+//! * the **register write reservation table** ([`scoreboard`]) — one bit per
+//!   register, set at operation issue and cleared at retirement, providing
+//!   all interlocks for both scalar and vector execution;
+//! * the **ALU instruction register** and vector re-issue engine
+//!   ([`alu_ir`]) — the only vector-specific hardware: three 6-bit specifier
+//!   incrementers, a 4-bit length decrementer, and a re-issue valid bit.
+//!   Each vector element goes through the *normal scalar issue path*, which
+//!   is what lets reductions and recurrences vectorize;
+//! * the three fully pipelined **3-cycle functional units**
+//!   ([`pipeline`], arithmetic from [`mt_fparith`]);
+//! * the **PSW** ([`psw`]) recording exception state, including the
+//!   destination register of the first overflowing vector element (§2.3.1).
+//!
+//! [`Fpu`] assembles these and exposes the per-cycle interface the
+//! whole-system simulator (`mt-sim`) drives: retire → transfer → issue.
+//!
+//! # Semantics note: the result-specifier incrementer
+//!
+//! The paper's figures are ambiguous about whether `Rr` increments when a
+//! source stride bit is clear (Fig. 6 depicts a fixed accumulator register,
+//! while §2.1.1's "vector := scalar op scalar" and Fig. 13's
+//! `R[16..19] := R32 * R[0..3]` require an incrementing `Rr`). We follow the
+//! instruction-format description: **`Rr` always increments**; `SRa`/`SRb`
+//! gate only the source specifiers. Fig. 6's accumulator reduction is then
+//! coded as the equivalent running-register chain
+//! `R[9..16] := R[8..15] + R[0..7]`, which has the identical 24-cycle
+//! dependent-chain timing (reproduced in the Fig. 6 experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use mt_core::Fpu;
+//! use mt_isa::{FpuAluInstr, FReg};
+//! use mt_fparith::FpOp;
+//!
+//! let mut fpu = Fpu::new();
+//! fpu.write_reg_direct(FReg::new(0), 1.5f64.to_bits());
+//! fpu.write_reg_direct(FReg::new(1), 2.0f64.to_bits());
+//!
+//! let add = FpuAluInstr::scalar(FpOp::Add, FReg::new(2), FReg::new(0), FReg::new(1));
+//! let mut cycle = 0;
+//! fpu.begin_cycle(cycle);
+//! assert!(fpu.try_transfer(add));
+//! fpu.issue(cycle);
+//! // Three-cycle latency: the result is architecturally visible at cycle 3.
+//! for _ in 0..3 {
+//!     cycle += 1;
+//!     fpu.begin_cycle(cycle);
+//!     fpu.issue(cycle);
+//! }
+//! assert_eq!(f64::from_bits(fpu.read_reg(FReg::new(2))), 3.5);
+//! ```
+
+pub mod alu_ir;
+pub mod fpu;
+pub mod pipeline;
+pub mod psw;
+pub mod regfile;
+pub mod scoreboard;
+
+pub use alu_ir::{ActiveVector, AluIr};
+pub use fpu::{Fpu, FpuStats, IssueOutcome};
+pub use psw::Psw;
+pub use regfile::RegisterFile;
+pub use scoreboard::Scoreboard;

@@ -1,0 +1,190 @@
+//! The in-flight operation pipeline shared by the three functional units.
+//!
+//! Every unit is fully pipelined with the same 3-cycle latency, so "the
+//! functional unit write port to the register file need not be reserved or
+//! checked for availability before instruction issue" (§2.3.1): at most one
+//! operation retires per cycle because at most one issues per cycle. The
+//! pipeline here also carries FPU loads (which retire one cycle after
+//! issue), reusing the same write port and reservation-clear path.
+
+use mt_fparith::Exceptions;
+use mt_isa::FReg;
+
+/// Where an in-flight write came from (for statistics and squash rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteSource {
+    /// An ALU element: instruction id and element index.
+    AluElement {
+        /// Id assigned by the ALU IR at transfer.
+        instr_id: u64,
+        /// Element index within the vector.
+        element: u8,
+    },
+    /// An FPU load from the memory port.
+    Load,
+}
+
+/// One outstanding register write.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlight {
+    /// Cycle at the start of which the write becomes architecturally
+    /// visible (readable by operations issuing in that cycle).
+    pub ready_at: u64,
+    /// Destination register.
+    pub dest: FReg,
+    /// Result bit pattern.
+    pub value: u64,
+    /// Exceptions raised by the operation.
+    pub flags: Exceptions,
+    /// Origin of the write.
+    pub source: WriteSource,
+}
+
+/// A retirement delivered by [`Pipeline::take_ready`].
+pub type Retired = InFlight;
+
+/// The in-flight write queue.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    in_flight: Vec<InFlight>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Inserts a newly issued operation.
+    pub fn push(&mut self, op: InFlight) {
+        self.in_flight.push(op);
+    }
+
+    /// Removes and returns every operation whose result is visible at
+    /// `cycle`, in issue order.
+    pub fn take_ready(&mut self, cycle: u64) -> Vec<Retired> {
+        let mut ready: Vec<InFlight> = Vec::new();
+        self.in_flight.retain(|op| {
+            if op.ready_at <= cycle {
+                ready.push(*op);
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort_by_key(|op| op.ready_at);
+        ready
+    }
+
+    /// Squashes in-flight ALU elements of instruction `instr_id` with
+    /// element index greater than `after_element` (the overflow-abort rule:
+    /// "vector instructions that overflow on one element discard all
+    /// remaining elements after the overflow", §2.3.1). Returns the
+    /// destination registers of the squashed elements so the caller can
+    /// clear their reservations.
+    pub fn squash_after(&mut self, instr_id: u64, after_element: u8) -> Vec<FReg> {
+        let mut squashed = Vec::new();
+        self.in_flight.retain(|op| match op.source {
+            WriteSource::AluElement {
+                instr_id: id,
+                element,
+            } if id == instr_id && element > after_element => {
+                squashed.push(op.dest);
+                false
+            }
+            _ => true,
+        });
+        squashed
+    }
+
+    /// Number of operations in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Returns `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// The earliest cycle at which something will retire, if anything is in
+    /// flight (used by the simulator to fast-forward drain periods).
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.in_flight.iter().map(|op| op.ready_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(ready_at: u64, dest: u8, value: u64, source: WriteSource) -> InFlight {
+        InFlight {
+            ready_at,
+            dest: FReg::new(dest),
+            value,
+            flags: Exceptions::empty(),
+            source,
+        }
+    }
+
+    #[test]
+    fn retires_at_ready_cycle() {
+        let mut p = Pipeline::new();
+        p.push(op(3, 1, 10, WriteSource::Load));
+        assert!(p.take_ready(2).is_empty());
+        let r = p.take_ready(3);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, 10);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn retires_in_issue_order() {
+        let mut p = Pipeline::new();
+        p.push(op(4, 1, 1, WriteSource::Load));
+        p.push(op(3, 2, 2, WriteSource::Load));
+        let r = p.take_ready(10);
+        assert_eq!(r[0].dest, FReg::new(2));
+        assert_eq!(r[1].dest, FReg::new(1));
+    }
+
+    #[test]
+    fn squash_after_element_discards_later_only() {
+        let mut p = Pipeline::new();
+        for e in 0..4u8 {
+            p.push(op(
+                3 + e as u64,
+                8 + e,
+                e as u64,
+                WriteSource::AluElement {
+                    instr_id: 7,
+                    element: e,
+                },
+            ));
+        }
+        // A load and another instruction's element survive.
+        p.push(op(5, 20, 99, WriteSource::Load));
+        p.push(op(
+            5,
+            30,
+            98,
+            WriteSource::AluElement {
+                instr_id: 8,
+                element: 3,
+            },
+        ));
+        let squashed = p.squash_after(7, 1);
+        assert_eq!(squashed, vec![FReg::new(10), FReg::new(11)]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn next_ready_at() {
+        let mut p = Pipeline::new();
+        assert_eq!(p.next_ready_at(), None);
+        p.push(op(9, 0, 0, WriteSource::Load));
+        p.push(op(5, 1, 0, WriteSource::Load));
+        assert_eq!(p.next_ready_at(), Some(5));
+    }
+}

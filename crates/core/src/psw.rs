@@ -1,0 +1,76 @@
+//! The FPU program status word.
+//!
+//! "The FPU PSW is conceptually in the register file" (§2). It accumulates
+//! exception flags, and — for the vector overflow-abort semantics of
+//! §2.3.1 — records the destination register specifier of the first vector
+//! element to overflow, after which the remaining elements of that vector
+//! instruction are discarded.
+
+use mt_fparith::Exceptions;
+use mt_isa::FReg;
+
+/// FPU program status word.
+#[derive(Debug, Clone, Default)]
+pub struct Psw {
+    /// Sticky accumulated exception flags.
+    pub flags: Exceptions,
+    /// Destination register of the first overflowing vector element, if an
+    /// overflow abort has occurred since the last clear.
+    pub overflow_dest: Option<FReg>,
+}
+
+impl Psw {
+    /// Creates a clear PSW.
+    pub fn new() -> Psw {
+        Psw::default()
+    }
+
+    /// Accumulates flags from a retiring operation.
+    pub fn accumulate(&mut self, flags: Exceptions) {
+        self.flags |= flags;
+    }
+
+    /// Records an overflow abort: only the *first* overflowing element's
+    /// destination is kept (§2.3.1).
+    pub fn record_overflow(&mut self, dest: FReg) {
+        if self.overflow_dest.is_none() {
+            self.overflow_dest = Some(dest);
+        }
+    }
+
+    /// Clears all state (a PSW write by supervisor software).
+    pub fn clear(&mut self) {
+        *self = Psw::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_sticky_flags() {
+        let mut psw = Psw::new();
+        psw.accumulate(Exceptions::INEXACT);
+        psw.accumulate(Exceptions::OVERFLOW);
+        assert!(psw.flags.contains(Exceptions::INEXACT | Exceptions::OVERFLOW));
+    }
+
+    #[test]
+    fn first_overflow_destination_wins() {
+        let mut psw = Psw::new();
+        psw.record_overflow(FReg::new(10));
+        psw.record_overflow(FReg::new(20));
+        assert_eq!(psw.overflow_dest, Some(FReg::new(10)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut psw = Psw::new();
+        psw.accumulate(Exceptions::INVALID);
+        psw.record_overflow(FReg::new(1));
+        psw.clear();
+        assert!(psw.flags.is_empty());
+        assert_eq!(psw.overflow_dest, None);
+    }
+}

@@ -1,0 +1,139 @@
+//! The unified vector/scalar register file.
+//!
+//! 52 general-purpose 64-bit registers behind four ports (two ALU source
+//! reads, one ALU result write, one memory port — §2). There is no
+//! vector/scalar distinction: a vector is a run of consecutive registers,
+//! and any element is addressable as a scalar. The file totals 3.3 Kbits —
+//! an order of magnitude smaller than a classical 8×64-element vector file
+//! (§2.1.2), which is the architectural point of the paper.
+
+use mt_isa::{FReg, NUM_FPU_REGS};
+
+/// The 52-entry 64-bit register file.
+///
+/// ```
+/// use mt_core::RegisterFile;
+/// use mt_isa::FReg;
+/// let mut rf = RegisterFile::new();
+/// rf.write(FReg::new(7), 42);
+/// assert_eq!(rf.read(FReg::new(7)), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    regs: [u64; NUM_FPU_REGS as usize],
+}
+
+impl RegisterFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> RegisterFile {
+        RegisterFile {
+            regs: [0; NUM_FPU_REGS as usize],
+        }
+    }
+
+    /// Reads a register's bit pattern.
+    #[inline]
+    pub fn read(&self, r: FReg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a register's bit pattern.
+    #[inline]
+    pub fn write(&mut self, r: FReg, bits: u64) {
+        self.regs[r.index() as usize] = bits;
+    }
+
+    /// Reads a register as a double.
+    #[inline]
+    pub fn read_f64(&self, r: FReg) -> f64 {
+        f64::from_bits(self.read(r))
+    }
+
+    /// Writes a register from a double.
+    #[inline]
+    pub fn write_f64(&mut self, r: FReg, value: f64) {
+        self.write(r, value.to_bits());
+    }
+
+    /// Reads a run of `len` consecutive registers starting at `first`
+    /// (convenience for inspecting vector results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run leaves the register file.
+    pub fn read_vector(&self, first: FReg, len: u8) -> Vec<f64> {
+        (0..len)
+            .map(|i| self.read_f64(first.offset(i).expect("vector run leaves register file")))
+            .collect()
+    }
+
+    /// Writes a slice of doubles into consecutive registers starting at
+    /// `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run leaves the register file.
+    pub fn write_vector(&mut self, first: FReg, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f64(
+                first
+                    .offset(i as u8)
+                    .expect("vector run leaves register file"),
+                v,
+            );
+        }
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> RegisterFile {
+        RegisterFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let rf = RegisterFile::new();
+        for i in 0..52 {
+            assert_eq!(rf.read(FReg::new(i)), 0);
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut rf = RegisterFile::new();
+        rf.write(FReg::new(0), u64::MAX);
+        rf.write(FReg::new(51), 0x1234);
+        assert_eq!(rf.read(FReg::new(0)), u64::MAX);
+        assert_eq!(rf.read(FReg::new(51)), 0x1234);
+        assert_eq!(rf.read(FReg::new(25)), 0);
+    }
+
+    #[test]
+    fn f64_view() {
+        let mut rf = RegisterFile::new();
+        rf.write_f64(FReg::new(3), -2.5);
+        assert_eq!(rf.read_f64(FReg::new(3)), -2.5);
+        assert_eq!(rf.read(FReg::new(3)), (-2.5f64).to_bits());
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let mut rf = RegisterFile::new();
+        rf.write_vector(FReg::new(8), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(rf.read_vector(FReg::new(8), 4), vec![1.0, 2.0, 3.0, 4.0]);
+        // Elements are individually addressable as scalars — the unified
+        // register file's defining property.
+        assert_eq!(rf.read_f64(FReg::new(10)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves register file")]
+    fn vector_run_bounds_checked() {
+        RegisterFile::new().read_vector(FReg::new(50), 4);
+    }
+}

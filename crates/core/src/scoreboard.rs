@@ -1,0 +1,120 @@
+//! The register write reservation table (§2.3.1).
+//!
+//! One bit per register: set when an outstanding operation (ALU element or
+//! FPU load) will write the register, cleared at retirement. The same table
+//! interlocks scalar operations, vector elements, and loads/stores — reusing
+//! it for vector elements is what makes the vector capability nearly free.
+
+use mt_isa::{FReg, NUM_FPU_REGS};
+
+/// The 52-bit reservation table.
+///
+/// ```
+/// use mt_core::Scoreboard;
+/// use mt_isa::FReg;
+/// let mut sb = Scoreboard::new();
+/// sb.reserve(FReg::new(4));
+/// assert!(sb.is_reserved(FReg::new(4)));
+/// sb.clear(FReg::new(4));
+/// assert!(!sb.is_reserved(FReg::new(4)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    bits: u64,
+}
+
+impl Scoreboard {
+    /// Creates an empty table.
+    pub fn new() -> Scoreboard {
+        Scoreboard { bits: 0 }
+    }
+
+    /// Returns `true` if an outstanding operation will write `r`.
+    #[inline]
+    pub fn is_reserved(&self, r: FReg) -> bool {
+        self.bits & (1 << r.index()) != 0
+    }
+
+    /// Reserves `r` at operation issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on double reservation — the issue logic must
+    /// stall on a reserved destination, because a single reservation bit
+    /// cannot track two outstanding writes (§2.3.1's single-ended set/clear
+    /// write discipline).
+    #[inline]
+    pub fn reserve(&mut self, r: FReg) {
+        debug_assert!(
+            !self.is_reserved(r),
+            "double reservation of {r}: issue logic must stall on reserved destinations"
+        );
+        self.bits |= 1 << r.index();
+    }
+
+    /// Clears `r` at operation retirement.
+    #[inline]
+    pub fn clear(&mut self, r: FReg) {
+        self.bits &= !(1 << r.index());
+    }
+
+    /// Number of outstanding reservations.
+    pub fn count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Returns `true` if no register is reserved.
+    pub fn is_idle(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over the reserved registers.
+    pub fn iter_reserved(&self) -> impl Iterator<Item = FReg> + '_ {
+        (0..NUM_FPU_REGS).filter(|&i| self.bits & (1 << i) != 0).map(FReg::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_clear() {
+        let mut sb = Scoreboard::new();
+        assert!(sb.is_idle());
+        sb.reserve(FReg::new(0));
+        sb.reserve(FReg::new(51));
+        assert_eq!(sb.count(), 2);
+        assert!(sb.is_reserved(FReg::new(0)));
+        assert!(!sb.is_reserved(FReg::new(1)));
+        sb.clear(FReg::new(0));
+        assert_eq!(sb.count(), 1);
+        assert!(sb.is_reserved(FReg::new(51)));
+    }
+
+    #[test]
+    fn clear_is_idempotent() {
+        let mut sb = Scoreboard::new();
+        sb.clear(FReg::new(3));
+        assert!(sb.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "double reservation")]
+    #[cfg(debug_assertions)]
+    fn double_reserve_panics() {
+        let mut sb = Scoreboard::new();
+        sb.reserve(FReg::new(9));
+        sb.reserve(FReg::new(9));
+    }
+
+    #[test]
+    fn iter_reserved_lists_in_order() {
+        let mut sb = Scoreboard::new();
+        for i in [5u8, 17, 40] {
+            sb.reserve(FReg::new(i));
+        }
+        let regs: Vec<u8> = sb.iter_reserved().map(|r| r.index()).collect();
+        assert_eq!(regs, vec![5, 17, 40]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests on the FPU: liveness (no deadlock under arbitrary valid
+//! instruction streams) and the reservation invariant (one outstanding
+//! reservation per in-flight write, zero when drained).
+
+use mt_core::{Fpu, IssueOutcome};
+use mt_fparith::op::ALL_OPS;
+use mt_isa::{FReg, FpuAluInstr};
+use proptest::prelude::*;
+
+fn arb_instr() -> impl Strategy<Value = FpuAluInstr> {
+    (
+        0usize..ALL_OPS.len(),
+        0u8..52,
+        0u8..52,
+        0u8..52,
+        1u8..=16,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter_map("valid", |(op, rr, ra, rb, vl, sra, srb)| {
+            FpuAluInstr::new(ALL_OPS[op], FReg::new(rr), FReg::new(ra), FReg::new(rb), vl, sra, srb)
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any program of valid instructions drains in bounded time, with the
+    /// reservation count always equal to the in-flight count and zero at
+    /// the end.
+    #[test]
+    fn no_deadlock_and_reservations_conserved(
+        instrs in prop::collection::vec(arb_instr(), 1..12),
+        seeds in prop::collection::vec(-100.0f64..100.0, 52),
+    ) {
+        let mut fpu = Fpu::new();
+        for (i, &v) in seeds.iter().enumerate() {
+            fpu.regs_mut().write_f64(FReg::new(i as u8), v);
+        }
+        let mut queue: Vec<FpuAluInstr> = instrs.clone();
+        queue.reverse();
+        let budget = 16 * 6 * (instrs.len() as u64 + 2) + 64;
+        let mut cycle = 0u64;
+        loop {
+            fpu.begin_cycle(cycle);
+            prop_assert_eq!(
+                fpu.reservations() as usize,
+                fpu.in_flight(),
+                "one reservation per in-flight write"
+            );
+            if let Some(&next) = queue.last() {
+                if fpu.try_transfer(next) {
+                    queue.pop();
+                }
+            }
+            fpu.issue(cycle);
+            if queue.is_empty() && !fpu.busy() {
+                break;
+            }
+            cycle += 1;
+            prop_assert!(cycle < budget, "FPU deadlocked after {} cycles", cycle);
+        }
+        prop_assert_eq!(fpu.reservations(), 0);
+    }
+
+    /// Issue outcomes are sane: Idle only when the IR is empty, and an
+    /// issued element always reserves its destination.
+    #[test]
+    fn issue_outcomes_are_consistent(instr in arb_instr()) {
+        let mut fpu = Fpu::new();
+        fpu.begin_cycle(0);
+        prop_assert!(matches!(fpu.issue(0), IssueOutcome::Idle));
+        prop_assert!(fpu.try_transfer(instr));
+        match fpu.issue(0) {
+            IssueOutcome::Issued { dest, .. } => prop_assert!(fpu.reg_reserved(dest)),
+            IssueOutcome::Stalled => prop_assert!(fpu.ir_busy()),
+            IssueOutcome::Idle => prop_assert!(false, "IR was just loaded"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Integer ↔ floating-point conversions (`float` and `truncate`, unit 1
+//! funcs 2 and 3 in Fig. 4 of the paper). Both execute on the add unit.
+
+use crate::bits::{self, Class, MANT_BITS};
+use crate::exception::Exceptions;
+use crate::round::round_pack;
+
+/// `float`: converts a signed 64-bit integer (register bit pattern) to a
+/// double, rounding to nearest-even.
+///
+/// Exact for `|v| < 2^53`; larger magnitudes raise `INEXACT` when rounded.
+///
+/// ```
+/// use mt_fparith::fp_float;
+/// let (r, exc) = fp_float(-42i64 as u64);
+/// assert_eq!(f64::from_bits(r), -42.0);
+/// assert!(exc.is_empty());
+/// ```
+pub fn fp_float(a: u64) -> (u64, Exceptions) {
+    let v = a as i64;
+    if v == 0 {
+        return (bits::POS_ZERO, Exceptions::empty());
+    }
+    let sign = v < 0;
+    let mag = v.unsigned_abs() as u128;
+    // Value = mag = (mag << 3) × 2^(52 − 55): exponent argument 52.
+    round_pack(sign, MANT_BITS as i32, mag << 3)
+}
+
+/// `truncate`: converts a double to a signed 64-bit integer, rounding toward
+/// zero.
+///
+/// Out-of-range values saturate to `i64::MIN`/`i64::MAX` with `INVALID`;
+/// NaN converts to `0` with `INVALID`; fractional inputs raise `INEXACT`.
+///
+/// ```
+/// use mt_fparith::fp_truncate;
+/// let (r, _) = fp_truncate((-2.9f64).to_bits());
+/// assert_eq!(r as i64, -2);
+/// ```
+pub fn fp_truncate(a: u64) -> (u64, Exceptions) {
+    let sign = bits::sign_of(a);
+    match bits::classify(a) {
+        Class::Nan => return (0, Exceptions::INVALID),
+        Class::Infinite => {
+            let sat = if sign { i64::MIN } else { i64::MAX };
+            return (sat as u64, Exceptions::INVALID);
+        }
+        Class::Zero => return (0, Exceptions::empty()),
+        Class::Subnormal => return (0, Exceptions::INEXACT),
+        Class::Normal => {}
+    }
+
+    let u = bits::unpack(a);
+    if u.exp < 0 {
+        // |a| < 1 truncates to zero.
+        return (0, Exceptions::INEXACT);
+    }
+    if u.exp >= 63 {
+        // Only −2^63 itself is representable at exp 63.
+        if sign && u.exp == 63 && u.sig == bits::HIDDEN_BIT {
+            return (i64::MIN as u64, Exceptions::empty());
+        }
+        let sat = if sign { i64::MIN } else { i64::MAX };
+        return (sat as u64, Exceptions::INVALID);
+    }
+
+    let shift = u.exp - MANT_BITS as i32;
+    let (mag, inexact) = if shift >= 0 {
+        (u.sig << shift, false)
+    } else {
+        let s = (-shift) as u32;
+        (u.sig >> s, u.sig & ((1 << s) - 1) != 0)
+    };
+    let v = if sign {
+        (mag as i64).wrapping_neg()
+    } else {
+        mag as i64
+    };
+    let flags = if inexact {
+        Exceptions::INEXACT
+    } else {
+        Exceptions::empty()
+    };
+    (v as u64, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float(v: i64) -> f64 {
+        f64::from_bits(fp_float(v as u64).0)
+    }
+
+    fn trunc(x: f64) -> i64 {
+        fp_truncate(x.to_bits()).0 as i64
+    }
+
+    #[test]
+    fn float_small_integers_exact() {
+        for v in [-3i64, -1, 0, 1, 2, 7, 100, -100, 1 << 52, -(1 << 52)] {
+            assert_eq!(float(v), v as f64);
+        }
+        assert!(fp_float(5u64).1.is_empty());
+    }
+
+    #[test]
+    fn float_extremes() {
+        assert_eq!(float(i64::MAX), i64::MAX as f64);
+        assert_eq!(float(i64::MIN), i64::MIN as f64);
+        // i64::MAX is not representable: must raise INEXACT.
+        assert!(fp_float(i64::MAX as u64).1.contains(Exceptions::INEXACT));
+        // i64::MIN = −2^63 is exact.
+        assert!(fp_float(i64::MIN as u64).1.is_empty());
+    }
+
+    #[test]
+    fn float_rounding_matches_host() {
+        for v in [
+            (1i64 << 53) + 1,
+            (1 << 53) + 3,
+            (1 << 60) + 12345,
+            -((1 << 58) + 777),
+        ] {
+            assert_eq!(float(v), v as f64, "float({v})");
+        }
+    }
+
+    #[test]
+    fn truncate_rounds_toward_zero() {
+        assert_eq!(trunc(2.9), 2);
+        assert_eq!(trunc(-2.9), -2);
+        assert_eq!(trunc(0.999), 0);
+        assert_eq!(trunc(-0.999), 0);
+        assert_eq!(trunc(3.0), 3);
+        assert_eq!(trunc(-3.0), -3);
+    }
+
+    #[test]
+    fn truncate_exactness_flags() {
+        assert!(fp_truncate(3.0f64.to_bits()).1.is_empty());
+        assert!(fp_truncate(3.5f64.to_bits())
+            .1
+            .contains(Exceptions::INEXACT));
+    }
+
+    #[test]
+    fn truncate_large_values() {
+        assert_eq!(trunc((1i64 << 62) as f64), 1 << 62);
+        assert_eq!(trunc(-(1i64 << 62) as f64), -(1 << 62));
+        assert_eq!(trunc(-9.223372036854776e18), i64::MIN); // exactly −2^63
+    }
+
+    #[test]
+    fn truncate_saturates() {
+        let (r, exc) = fp_truncate(1e30f64.to_bits());
+        assert_eq!(r as i64, i64::MAX);
+        assert!(exc.contains(Exceptions::INVALID));
+        let (r, exc) = fp_truncate((-1e30f64).to_bits());
+        assert_eq!(r as i64, i64::MIN);
+        assert!(exc.contains(Exceptions::INVALID));
+        let (r, _) = fp_truncate(f64::INFINITY.to_bits());
+        assert_eq!(r as i64, i64::MAX);
+    }
+
+    #[test]
+    fn truncate_nan_and_subnormal() {
+        let (r, exc) = fp_truncate(f64::NAN.to_bits());
+        assert_eq!(r, 0);
+        assert!(exc.contains(Exceptions::INVALID));
+        let (r, exc) = fp_truncate(1u64);
+        assert_eq!(r, 0);
+        assert!(exc.contains(Exceptions::INEXACT));
+    }
+
+    #[test]
+    fn truncate_matches_host_as_cast() {
+        for x in [
+            0.0f64, -0.0, 0.5, -0.5, 1.5, 123.75, -123.75, 1e15, -1e15, 4.6e18, -4.6e18,
+        ] {
+            assert_eq!(trunc(x), x as i64, "truncate({x})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_float_truncate() {
+        for v in [-1000i64, -1, 0, 1, 42, 99999, 1 << 40] {
+            assert_eq!(fp_truncate(fp_float(v as u64).0).0 as i64, v);
+        }
+    }
+}

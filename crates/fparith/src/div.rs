@@ -1,0 +1,213 @@
+//! Division as a macro-sequence of six 3-cycle operations.
+//!
+//! The MultiTitan has no divide instruction. Per §2.2.3 of the paper,
+//! "division is implemented as a series of six 3-cycle operations": the
+//! reciprocal unit develops a 16-bit approximation, two Newton–Raphson
+//! iterations (each an *iteration step* followed by a multiply) refine it to
+//! full precision, and a final multiply by the dividend produces the
+//! quotient — 18 cycles / 720 ns total, matching Fig. 10.
+//!
+//! [`fp_divide`] executes the sequence functionally; [`DIV_DATAFLOW`]
+//! describes the per-step dataflow so the assembler can expand a `fdiv`
+//! pseudo-instruction into real instructions with the same semantics.
+
+use crate::exception::Exceptions;
+use crate::mul::{fp_iteration_step, fp_mul};
+use crate::op::FpOp;
+use crate::recip::fp_recip_approx;
+
+/// Number of operations in the division macro-sequence.
+pub const DIV_SEQUENCE_LEN: usize = 6;
+
+/// Register roles used by the dataflow description of the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivOperand {
+    /// The dividend `a`.
+    Dividend,
+    /// The divisor `b`.
+    Divisor,
+    /// First scratch register (reciprocal estimate `r`).
+    ScratchR,
+    /// Second scratch register (iteration correction `c`).
+    ScratchC,
+    /// The destination register.
+    Dest,
+    /// Operand unused by this step (one-input operations).
+    Unused,
+}
+
+/// One step of the division macro-sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivStep {
+    /// The operation the step performs.
+    pub op: FpOp,
+    /// First source role.
+    pub src_a: DivOperand,
+    /// Second source role.
+    pub src_b: DivOperand,
+    /// Destination role.
+    pub dst: DivOperand,
+}
+
+/// The dataflow of the six-operation division sequence:
+///
+/// ```text
+/// r  = recip(b)          ; 16-bit approximation
+/// c  = 2 − b·r           ; iteration step
+/// r  = r·c               ; ~32 correct bits
+/// c  = 2 − b·r           ; iteration step
+/// r  = r·c               ; ~full precision 1/b
+/// q  = a·r
+/// ```
+pub const DIV_DATAFLOW: [DivStep; DIV_SEQUENCE_LEN] = [
+    DivStep {
+        op: FpOp::Recip,
+        src_a: DivOperand::Divisor,
+        src_b: DivOperand::Unused,
+        dst: DivOperand::ScratchR,
+    },
+    DivStep {
+        op: FpOp::IterStep,
+        src_a: DivOperand::Divisor,
+        src_b: DivOperand::ScratchR,
+        dst: DivOperand::ScratchC,
+    },
+    DivStep {
+        op: FpOp::Mul,
+        src_a: DivOperand::ScratchR,
+        src_b: DivOperand::ScratchC,
+        dst: DivOperand::ScratchR,
+    },
+    DivStep {
+        op: FpOp::IterStep,
+        src_a: DivOperand::Divisor,
+        src_b: DivOperand::ScratchR,
+        dst: DivOperand::ScratchC,
+    },
+    DivStep {
+        op: FpOp::Mul,
+        src_a: DivOperand::ScratchR,
+        src_b: DivOperand::ScratchC,
+        dst: DivOperand::ScratchR,
+    },
+    DivStep {
+        op: FpOp::Mul,
+        src_a: DivOperand::Dividend,
+        src_b: DivOperand::ScratchR,
+        dst: DivOperand::Dest,
+    },
+];
+
+/// Computes `a / b` by executing the six-operation Newton–Raphson sequence.
+///
+/// The result is within a couple of ulps of the correctly rounded quotient
+/// for well-scaled operands (it is **not** correctly rounded — neither was
+/// the hardware sequence). Faithful artifacts of the macro-sequence are
+/// preserved: dividing by zero routes `inf` through the iteration step's
+/// `0 × inf` and therefore produces NaN with both `DIV_BY_ZERO` and
+/// `INVALID` raised, exactly as the real instruction sequence would.
+///
+/// ```
+/// use mt_fparith::fp_divide;
+/// let (q, _) = fp_divide(1.0f64.to_bits(), 3.0f64.to_bits());
+/// let q = f64::from_bits(q);
+/// assert!((q - 1.0 / 3.0).abs() < 1e-15);
+/// ```
+pub fn fp_divide(a: u64, b: u64) -> (u64, Exceptions) {
+    let (r0, e0) = fp_recip_approx(b);
+    let (c0, e1) = fp_iteration_step(b, r0);
+    let (r1, e2) = fp_mul(r0, c0);
+    let (c1, e3) = fp_iteration_step(b, r1);
+    let (r2, e4) = fp_mul(r1, c1);
+    let (q, e5) = fp_mul(a, r2);
+    (q, e0 | e1 | e2 | e3 | e4 | e5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Units in the last place between our quotient and the host's.
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+        // Map to a monotonic integer line (works for same-sign finite values).
+        let m = |i: i64| if i < 0 { i64::MIN - i } else { i };
+        m(ia).abs_diff(m(ib))
+    }
+
+    fn div(a: f64, b: f64) -> f64 {
+        f64::from_bits(fp_divide(a.to_bits(), b.to_bits()).0)
+    }
+
+    #[test]
+    fn exact_quotients() {
+        assert_eq!(div(6.0, 2.0), 3.0);
+        assert_eq!(div(1.0, 4.0), 0.25);
+        assert_eq!(div(-12.0, 3.0), -4.0);
+        assert_eq!(div(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn near_correctly_rounded() {
+        let cases = [
+            (1.0, 3.0),
+            (2.0, 3.0),
+            (1.0, 7.0),
+            (355.0, 113.0),
+            (1e10, 9.9),
+            (-5.5, 2.3),
+            (1.0e-100, 3.0e50),
+            (7.123456789, 0.000123),
+        ];
+        for (a, b) in cases {
+            let got = div(a, b);
+            let want = a / b;
+            assert!(
+                ulp_diff(got, want) <= 2,
+                "div({a}, {b}) = {got:e}, host {want:e}, ulp {}",
+                ulp_diff(got, want)
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_matches_function() {
+        // Execute DIV_DATAFLOW interpretively and compare with fp_divide.
+        use DivOperand as O;
+        let (a, b) = (17.25f64.to_bits(), 3.7f64.to_bits());
+        let mut regs = std::collections::HashMap::new();
+        regs.insert(O::Dividend, a);
+        regs.insert(O::Divisor, b);
+        for step in DIV_DATAFLOW {
+            let x = regs[&step.src_a];
+            let y = *regs.get(&step.src_b).unwrap_or(&0);
+            let (r, _) = crate::op::execute(step.op, x, y);
+            regs.insert(step.dst, r);
+        }
+        assert_eq!(regs[&O::Dest], fp_divide(a, b).0);
+    }
+
+    #[test]
+    fn divide_by_zero_is_the_faithful_nan_artifact() {
+        let (q, exc) = fp_divide(1.0f64.to_bits(), 0.0f64.to_bits());
+        assert!(f64::from_bits(q).is_nan());
+        assert!(exc.contains(Exceptions::DIV_BY_ZERO));
+        assert!(exc.contains(Exceptions::INVALID));
+    }
+
+    #[test]
+    fn nan_operands_propagate() {
+        assert!(div(f64::NAN, 2.0).is_nan());
+        assert!(div(2.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn sequence_length_is_six_threes() {
+        assert_eq!(DIV_SEQUENCE_LEN, 6);
+        assert_eq!(DIV_DATAFLOW.len(), DIV_SEQUENCE_LEN);
+        assert_eq!(
+            crate::latency::DIV_LATENCY_CYCLES,
+            DIV_SEQUENCE_LEN as u64 * crate::latency::OP_LATENCY_CYCLES
+        );
+    }
+}

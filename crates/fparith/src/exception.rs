@@ -1,0 +1,150 @@
+//! IEEE-754 exception flags raised by the functional units.
+//!
+//! The MultiTitan FPU records the first overflowing element of a vector
+//! operation in the PSW and discards the remaining elements (§2.3.1 of the
+//! paper); the scoreboard logic in `mt-core` consumes the [`Exceptions`]
+//! returned by every operation to implement that behaviour.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A set of IEEE-754 exception flags.
+///
+/// Implemented as a transparent bit set rather than via the `bitflags` crate
+/// to keep this crate dependency-free.
+///
+/// ```
+/// use mt_fparith::Exceptions;
+/// let mut e = Exceptions::empty();
+/// e |= Exceptions::OVERFLOW;
+/// assert!(e.contains(Exceptions::OVERFLOW));
+/// assert!(!e.contains(Exceptions::INVALID));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Exceptions(u8);
+
+impl Exceptions {
+    /// No exception.
+    pub const NONE: Exceptions = Exceptions(0);
+    /// Result overflowed the largest finite double.
+    pub const OVERFLOW: Exceptions = Exceptions(1 << 0);
+    /// Result underflowed to a subnormal or zero and was inexact.
+    pub const UNDERFLOW: Exceptions = Exceptions(1 << 1);
+    /// Result required rounding.
+    pub const INEXACT: Exceptions = Exceptions(1 << 2);
+    /// Invalid operation (e.g. `inf − inf`, `0 × inf`, NaN operand).
+    pub const INVALID: Exceptions = Exceptions(1 << 3);
+    /// Reciprocal of zero.
+    pub const DIV_BY_ZERO: Exceptions = Exceptions(1 << 4);
+
+    /// The empty flag set.
+    #[inline]
+    pub const fn empty() -> Exceptions {
+        Exceptions(0)
+    }
+
+    /// Returns `true` if no flag is set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: Exceptions) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns the raw bit representation (used by the PSW).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs a flag set from raw PSW bits; unknown bits are dropped.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Exceptions {
+        Exceptions(bits & 0b1_1111)
+    }
+}
+
+impl BitOr for Exceptions {
+    type Output = Exceptions;
+    #[inline]
+    fn bitor(self, rhs: Exceptions) -> Exceptions {
+        Exceptions(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Exceptions {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Exceptions) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for Exceptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Exceptions(none)");
+        }
+        let mut names = Vec::new();
+        for (flag, name) in [
+            (Exceptions::OVERFLOW, "overflow"),
+            (Exceptions::UNDERFLOW, "underflow"),
+            (Exceptions::INEXACT, "inexact"),
+            (Exceptions::INVALID, "invalid"),
+            (Exceptions::DIV_BY_ZERO, "div_by_zero"),
+        ] {
+            if self.contains(flag) {
+                names.push(name);
+            }
+        }
+        write!(f, "Exceptions({})", names.join("|"))
+    }
+}
+
+impl fmt::Display for Exceptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_contains() {
+        let e = Exceptions::empty();
+        assert!(e.is_empty());
+        assert!(e.contains(Exceptions::NONE));
+        assert!(!e.contains(Exceptions::OVERFLOW));
+    }
+
+    #[test]
+    fn or_accumulates() {
+        let e = Exceptions::OVERFLOW | Exceptions::INEXACT;
+        assert!(e.contains(Exceptions::OVERFLOW));
+        assert!(e.contains(Exceptions::INEXACT));
+        assert!(e.contains(Exceptions::OVERFLOW | Exceptions::INEXACT));
+        assert!(!e.contains(Exceptions::INVALID));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let e = Exceptions::UNDERFLOW | Exceptions::DIV_BY_ZERO;
+        assert_eq!(Exceptions::from_bits(e.bits()), e);
+        // Unknown high bits are masked off.
+        assert_eq!(Exceptions::from_bits(0xFF).bits(), 0b1_1111);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Exceptions::empty()), "Exceptions(none)");
+        assert_eq!(
+            format!("{:?}", Exceptions::OVERFLOW | Exceptions::INEXACT),
+            "Exceptions(overflow|inexact)"
+        );
+    }
+}

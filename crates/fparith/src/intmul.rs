@@ -1,0 +1,83 @@
+//! Integer multiply (unit 2, func 1 in Fig. 4), executed on the multiply
+//! unit's partial-product tree.
+
+use crate::exception::Exceptions;
+use crate::mul::significand_product;
+
+/// Signed 64-bit integer multiplication producing the low 64 bits of the
+/// product, raising `OVERFLOW` when the full signed product does not fit.
+///
+/// The product is formed by the same carry-save partial-product tree the
+/// floating-point multiply uses (the hardware shares the array).
+///
+/// ```
+/// use mt_fparith::int_multiply;
+/// let (r, exc) = int_multiply(6u64, (-7i64) as u64);
+/// assert_eq!(r as i64, -42);
+/// assert!(exc.is_empty());
+/// ```
+pub fn int_multiply(a: u64, b: u64) -> (u64, Exceptions) {
+    let full = significand_product(a, b);
+    let low = full as u64;
+
+    // Signed interpretation: the unsigned tree product differs from the
+    // signed product by correction terms for negative operands.
+    let (sa, sb) = (a as i64, b as i64);
+    let wide = (sa as i128) * (sb as i128);
+    debug_assert_eq!(wide as u64, low, "tree product must match low bits");
+    let overflows = wide != (wide as i64) as i128;
+    let flags = if overflows {
+        Exceptions::OVERFLOW
+    } else {
+        Exceptions::empty()
+    };
+    (low, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imul(a: i64, b: i64) -> (i64, Exceptions) {
+        let (r, e) = int_multiply(a as u64, b as u64);
+        (r as i64, e)
+    }
+
+    #[test]
+    fn small_products() {
+        assert_eq!(imul(3, 4), (12, Exceptions::empty()));
+        assert_eq!(imul(-3, 4), (-12, Exceptions::empty()));
+        assert_eq!(imul(-3, -4), (12, Exceptions::empty()));
+        assert_eq!(imul(0, 12345), (0, Exceptions::empty()));
+    }
+
+    #[test]
+    fn large_in_range() {
+        let a = 3_037_000_499i64; // floor(sqrt(2^63))
+        let (r, e) = imul(a, a);
+        assert_eq!(r, a * a);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn overflow_wraps_and_flags() {
+        let (r, e) = imul(i64::MAX, 2);
+        assert_eq!(r, i64::MAX.wrapping_mul(2));
+        assert!(e.contains(Exceptions::OVERFLOW));
+
+        let (r, e) = imul(i64::MIN, -1);
+        assert_eq!(r, i64::MIN); // wraps
+        assert!(e.contains(Exceptions::OVERFLOW));
+    }
+
+    #[test]
+    fn matches_wrapping_mul_on_patterns() {
+        let vals = [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 0x1234_5678, -0xABCDEF];
+        for &a in &vals {
+            for &b in &vals {
+                let (r, _) = imul(a, b);
+                assert_eq!(r, a.wrapping_mul(b), "imul({a}, {b})");
+            }
+        }
+    }
+}

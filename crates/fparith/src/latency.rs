@@ -1,0 +1,92 @@
+//! Timing constants of the MultiTitan FPU and the Fig. 10 latency
+//! comparison data.
+
+/// Latency of every FPU ALU operation, in cycles: "the latency of all
+/// floating-point operations is three cycles, including the time required to
+/// bypass the result into a successive computation" (§2.2.3).
+pub const OP_LATENCY_CYCLES: u64 = 3;
+
+/// MultiTitan cycle time in nanoseconds (Fig. 13: "35*40ns cycles").
+pub const CYCLE_NS: f64 = 40.0;
+
+/// Division latency: six 3-cycle operations (§2.2.3, Fig. 10's 720 ns).
+pub const DIV_LATENCY_CYCLES: u64 = 18;
+
+/// Cray X-MP cycle time in nanoseconds, for the Fig. 10 comparison.
+pub const XMP_CYCLE_NS: f64 = 9.5;
+
+/// One row of Fig. 10: operation latencies of the MultiTitan FPU vs the
+/// Cray X-MP, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRow {
+    /// Operation description as printed in the paper.
+    pub operation: &'static str,
+    /// MultiTitan FPU latency (ns).
+    pub fpu_ns: f64,
+    /// Cray X-MP latency (ns).
+    pub xmp_ns: f64,
+}
+
+/// Fig. 10 of the paper: "MultiTitan FPU and Cray X-MP latencies".
+pub const FIGURE_10: [LatencyRow; 3] = [
+    LatencyRow {
+        operation: "Addition, Subtraction",
+        fpu_ns: 120.0,
+        xmp_ns: 57.0,
+    },
+    LatencyRow {
+        operation: "Multiplication",
+        fpu_ns: 120.0,
+        xmp_ns: 66.5,
+    },
+    LatencyRow {
+        operation: "Division (via 1/x)",
+        fpu_ns: 720.0,
+        xmp_ns: 332.5,
+    },
+];
+
+/// Converts a cycle count to nanoseconds at the MultiTitan clock.
+#[inline]
+pub fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 * CYCLE_NS
+}
+
+/// Converts a cycle count and a floating-point operation count to MFLOPS at
+/// the MultiTitan clock.
+///
+/// ```
+/// use mt_fparith::latency::mflops;
+/// // Fig. 13: 28 FLOPs in 35 cycles is 20 MFLOPS.
+/// assert!((mflops(28, 35) - 20.0).abs() < 1e-9);
+/// ```
+pub fn mflops(flops: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    flops as f64 / (cycles as f64 * CYCLE_NS * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_10_is_consistent_with_the_clock() {
+        // 3 cycles at 40 ns = 120 ns; 18 cycles = 720 ns.
+        assert_eq!(cycles_to_ns(OP_LATENCY_CYCLES), FIGURE_10[0].fpu_ns);
+        assert_eq!(cycles_to_ns(OP_LATENCY_CYCLES), FIGURE_10[1].fpu_ns);
+        assert_eq!(cycles_to_ns(DIV_LATENCY_CYCLES), FIGURE_10[2].fpu_ns);
+    }
+
+    #[test]
+    fn graphics_transform_rate() {
+        // The Fig. 13 anchor: 28 FLOP / (35 × 40 ns) = 20 MFLOPS.
+        assert!((mflops(28, 35) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mflops_zero_cycles_is_zero() {
+        assert_eq!(mflops(100, 0), 0.0);
+    }
+}

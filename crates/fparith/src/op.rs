@@ -1,0 +1,241 @@
+//! The operation set of the FPU ALU (Fig. 4 of the paper) and its dispatch.
+//!
+//! Every FPU ALU instruction selects a functional unit with the 2-bit `unit`
+//! field and an operation with the 2-bit `func` field. [`FpOp`] enumerates
+//! the defined combinations; [`execute`] dispatches one element's
+//! computation to the unit implementations.
+
+use std::fmt;
+
+use crate::exception::Exceptions;
+
+/// The three functional units of the FPU (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncUnit {
+    /// The add unit (unit field 1): add, subtract, float, truncate.
+    Add,
+    /// The multiply unit (unit field 2): multiply, integer multiply,
+    /// iteration step.
+    Multiply,
+    /// The reciprocal approximation unit (unit field 3).
+    Reciprocal,
+}
+
+impl FuncUnit {
+    /// The 2-bit `unit` field encoding.
+    pub const fn field(self) -> u8 {
+        match self {
+            FuncUnit::Add => 1,
+            FuncUnit::Multiply => 2,
+            FuncUnit::Reciprocal => 3,
+        }
+    }
+}
+
+/// A defined FPU ALU operation (the non-reserved rows of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Floating add (unit 1, func 0).
+    Add,
+    /// Floating subtract (unit 1, func 1).
+    Sub,
+    /// Integer → float conversion (unit 1, func 2).
+    Float,
+    /// Float → integer truncation (unit 1, func 3).
+    Truncate,
+    /// Floating multiply (unit 2, func 0).
+    Mul,
+    /// Integer multiply (unit 2, func 1).
+    IntMul,
+    /// Newton–Raphson iteration step `2 − a·b` (unit 2, func 2).
+    IterStep,
+    /// 16-bit reciprocal approximation (unit 3, func 0).
+    Recip,
+}
+
+/// All defined operations, in Fig. 4 order.
+pub const ALL_OPS: [FpOp; 8] = [
+    FpOp::Add,
+    FpOp::Sub,
+    FpOp::Float,
+    FpOp::Truncate,
+    FpOp::Mul,
+    FpOp::IntMul,
+    FpOp::IterStep,
+    FpOp::Recip,
+];
+
+impl FpOp {
+    /// The functional unit this operation executes on.
+    pub const fn unit(self) -> FuncUnit {
+        match self {
+            FpOp::Add | FpOp::Sub | FpOp::Float | FpOp::Truncate => FuncUnit::Add,
+            FpOp::Mul | FpOp::IntMul | FpOp::IterStep => FuncUnit::Multiply,
+            FpOp::Recip => FuncUnit::Reciprocal,
+        }
+    }
+
+    /// The 2-bit `func` field encoding.
+    pub const fn func(self) -> u8 {
+        match self {
+            FpOp::Add | FpOp::Mul | FpOp::Recip => 0,
+            FpOp::Sub | FpOp::IntMul => 1,
+            FpOp::Float | FpOp::IterStep => 2,
+            FpOp::Truncate => 3,
+        }
+    }
+
+    /// The `(unit, func)` field pair (Fig. 4).
+    pub const fn unit_func(self) -> (u8, u8) {
+        (self.unit().field(), self.func())
+    }
+
+    /// Decodes a `(unit, func)` field pair; reserved combinations return
+    /// `None`.
+    ///
+    /// ```
+    /// use mt_fparith::FpOp;
+    /// assert_eq!(FpOp::from_unit_func(2, 0), Some(FpOp::Mul));
+    /// assert_eq!(FpOp::from_unit_func(0, 0), None); // reserved
+    /// assert_eq!(FpOp::from_unit_func(3, 2), None); // reserved
+    /// ```
+    pub const fn from_unit_func(unit: u8, func: u8) -> Option<FpOp> {
+        match (unit, func) {
+            (1, 0) => Some(FpOp::Add),
+            (1, 1) => Some(FpOp::Sub),
+            (1, 2) => Some(FpOp::Float),
+            (1, 3) => Some(FpOp::Truncate),
+            (2, 0) => Some(FpOp::Mul),
+            (2, 1) => Some(FpOp::IntMul),
+            (2, 2) => Some(FpOp::IterStep),
+            (3, 0) => Some(FpOp::Recip),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the operation reads only its first source operand.
+    pub const fn is_unary(self) -> bool {
+        matches!(self, FpOp::Float | FpOp::Truncate | FpOp::Recip)
+    }
+
+    /// Returns `true` if the operation counts as a floating-point operation
+    /// for MFLOPS accounting (conversions and integer multiply do not).
+    pub const fn is_flop(self) -> bool {
+        matches!(
+            self,
+            FpOp::Add | FpOp::Sub | FpOp::Mul | FpOp::IterStep | FpOp::Recip
+        )
+    }
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Float => "float",
+            FpOp::Truncate => "trunc",
+            FpOp::Mul => "fmul",
+            FpOp::IntMul => "imul",
+            FpOp::IterStep => "istep",
+            FpOp::Recip => "frecip",
+        }
+    }
+
+    /// Parses an assembly mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<FpOp> {
+        ALL_OPS.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Executes one operation on two operand bit patterns, returning the result
+/// bit pattern and raised exceptions. Unary operations ignore `b`.
+///
+/// This is the combinational function of one functional-unit pipeline; the
+/// 3-cycle timing lives in the pipeline model (`mt-core`), not here.
+pub fn execute(op: FpOp, a: u64, b: u64) -> (u64, Exceptions) {
+    match op {
+        FpOp::Add => crate::add::fp_add(a, b),
+        FpOp::Sub => crate::add::fp_sub(a, b),
+        FpOp::Float => crate::convert::fp_float(a),
+        FpOp::Truncate => crate::convert::fp_truncate(a),
+        FpOp::Mul => crate::mul::fp_mul(a, b),
+        FpOp::IntMul => crate::intmul::int_multiply(a, b),
+        FpOp::IterStep => crate::mul::fp_iteration_step(a, b),
+        FpOp::Recip => crate::recip::fp_recip_approx(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_func_roundtrip() {
+        for op in ALL_OPS {
+            let (u, f) = op.unit_func();
+            assert_eq!(FpOp::from_unit_func(u, f), Some(op));
+        }
+    }
+
+    #[test]
+    fn reserved_encodings_decode_to_none() {
+        let defined: Vec<(u8, u8)> = ALL_OPS.iter().map(|o| o.unit_func()).collect();
+        for u in 0..4u8 {
+            for f in 0..4u8 {
+                if !defined.contains(&(u, f)) {
+                    assert_eq!(FpOp::from_unit_func(u, f), None, "unit {u} func {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in ALL_OPS {
+            assert_eq!(FpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(FpOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn unary_classification() {
+        assert!(FpOp::Recip.is_unary());
+        assert!(FpOp::Float.is_unary());
+        assert!(FpOp::Truncate.is_unary());
+        assert!(!FpOp::Add.is_unary());
+        assert!(!FpOp::IterStep.is_unary());
+    }
+
+    #[test]
+    fn execute_dispatches() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(execute(FpOp::Add, two, three).0), 5.0);
+        assert_eq!(f64::from_bits(execute(FpOp::Sub, two, three).0), -1.0);
+        assert_eq!(f64::from_bits(execute(FpOp::Mul, two, three).0), 6.0);
+        assert_eq!(f64::from_bits(execute(FpOp::Float, 7, 0).0), 7.0);
+        assert_eq!(execute(FpOp::Truncate, 7.9f64.to_bits(), 0).0, 7);
+        assert_eq!(execute(FpOp::IntMul, 6, 7).0, 42);
+        assert_eq!(f64::from_bits(execute(FpOp::Recip, two, 0).0), 0.5);
+        // istep(2, 0.5) = 2 − 1 = 1.
+        assert_eq!(
+            f64::from_bits(execute(FpOp::IterStep, two, 0.5f64.to_bits()).0),
+            1.0
+        );
+    }
+
+    #[test]
+    fn units_map_per_figure_4() {
+        assert_eq!(FpOp::Add.unit().field(), 1);
+        assert_eq!(FpOp::Mul.unit().field(), 2);
+        assert_eq!(FpOp::Recip.unit().field(), 3);
+        assert_eq!(FpOp::IterStep.unit_func(), (2, 2));
+        assert_eq!(FpOp::Truncate.unit_func(), (1, 3));
+    }
+}

@@ -1,0 +1,191 @@
+//! The MultiTitan reciprocal approximation unit.
+//!
+//! Per §2.2.3 of the paper, "the reciprocal approximation unit uses linear
+//! interpolation to develop a 16-bit reciprocal approximation". We model it
+//! with a 256-entry table of (base, slope) pairs indexed by the top eight
+//! mantissa bits; the remaining mantissa bits interpolate linearly between
+//! segment endpoints in fixed point, and the result significand is truncated
+//! to its top 16 bits (hidden bit + 15 mantissa bits), mirroring the 16-bit
+//! datapath of the unit.
+//!
+//! The achieved relative accuracy (interpolation error plus truncation) is
+//! better than `2^-15`, which two Newton–Raphson iterations (see
+//! [`crate::div`]) refine to full double precision.
+
+use std::sync::OnceLock;
+
+use crate::bits::{self, Class};
+use crate::exception::Exceptions;
+use crate::round::round_pack;
+
+/// Table index width: top bits of the mantissa selecting a segment.
+const INDEX_BITS: u32 = 8;
+/// Number of interpolation fraction bits below the index.
+const FRAC_BITS: u32 = bits::MANT_BITS - INDEX_BITS; // 44
+/// Fixed-point scale of table entries (Q61: 1.0 = 2^61).
+const Q: u32 = 61;
+/// Significant bits retained in the approximation (hidden bit included).
+const APPROX_BITS: u32 = 16;
+
+struct Segment {
+    /// Reciprocal of the segment's left endpoint, Q61 fixed point.
+    base: u64,
+    /// Magnitude of the reciprocal's drop across the segment, Q61.
+    slope: u64,
+}
+
+fn table() -> &'static [Segment; 256] {
+    static TABLE: OnceLock<[Segment; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let x0 = 1.0 + i as f64 / 256.0;
+            let x1 = 1.0 + (i + 1) as f64 / 256.0;
+            let r0 = 1.0 / x0;
+            let r1 = 1.0 / x1;
+            let scale = (1u64 << Q) as f64;
+            Segment {
+                base: (r0 * scale).round() as u64,
+                slope: ((r0 - r1) * scale).round() as u64,
+            }
+        })
+    })
+}
+
+/// Produces the 16-bit reciprocal approximation of `a`.
+///
+/// Special cases:
+/// * `±0` → `±inf` with `DIV_BY_ZERO`;
+/// * `±inf` → `±0`;
+/// * NaN → canonical quiet NaN;
+/// * results outside the normal range overflow to `±inf` (with `OVERFLOW`)
+///   or denormalize, as for any other unit.
+///
+/// ```
+/// use mt_fparith::fp_recip_approx;
+/// let (r, _) = fp_recip_approx(4.0f64.to_bits());
+/// let approx = f64::from_bits(r);
+/// assert!((approx * 4.0 - 1.0).abs() < 1.0 / 32768.0);
+/// ```
+pub fn fp_recip_approx(a: u64) -> (u64, Exceptions) {
+    let sign = bits::sign_of(a);
+    match bits::classify(a) {
+        Class::Nan => return (bits::QNAN, Exceptions::empty()),
+        Class::Zero => return (bits::infinity(sign), Exceptions::DIV_BY_ZERO),
+        Class::Infinite => return (bits::zero(sign), Exceptions::empty()),
+        Class::Normal | Class::Subnormal => {}
+    }
+
+    let u = bits::unpack(a);
+    let mant = u.sig & bits::MANT_MASK;
+    let idx = (mant >> FRAC_BITS) as usize;
+    let frac = mant & ((1 << FRAC_BITS) - 1);
+    let seg = &table()[idx];
+    // Linear interpolation in Q61: approx ≈ 1 / (1.mant), in (0.5, 1.0].
+    let interp = ((seg.slope as u128 * frac as u128) >> FRAC_BITS) as u64;
+    let approx = seg.base - interp;
+    debug_assert!(approx > 0);
+
+    // Truncate to the unit's 16-bit result width.
+    let msb = 63 - approx.leading_zeros();
+    let truncated = approx & !((1u64 << (msb + 1 - APPROX_BITS)) - 1);
+
+    // Value = truncated × 2^(−exp − 61); present at round_pack's 2^(e−55).
+    round_pack(sign, -u.exp - Q as i32 + 55, truncated as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relative-error bound the unit guarantees.
+    const BOUND: f64 = 1.0 / 32768.0; // 2^-15
+
+    fn recip(x: f64) -> f64 {
+        f64::from_bits(fp_recip_approx(x.to_bits()).0)
+    }
+
+    #[test]
+    fn exact_powers_of_two() {
+        assert_eq!(recip(1.0), 1.0);
+        assert_eq!(recip(2.0), 0.5);
+        assert_eq!(recip(0.25), 4.0);
+        assert_eq!(recip(-8.0), -0.125);
+    }
+
+    #[test]
+    fn accuracy_across_one_binade() {
+        for i in 0..4096 {
+            let x = 1.0 + i as f64 / 4096.0;
+            let r = recip(x);
+            let rel = (r * x - 1.0).abs();
+            assert!(rel < BOUND, "recip({x}) = {r}, rel err {rel:e}");
+        }
+    }
+
+    #[test]
+    fn accuracy_across_exponents() {
+        for e in [-1000, -100, -1, 0, 1, 100, 1000] {
+            let x = 1.375 * 2f64.powi(e);
+            let r = recip(x);
+            let rel = (r * x - 1.0).abs();
+            assert!(rel < BOUND, "recip(2^{e}·1.375), rel err {rel:e}");
+        }
+    }
+
+    #[test]
+    fn result_has_sixteen_significant_bits() {
+        for x in [1.1f64, 1.9, 3.7, 123.456, 0.007] {
+            let r = recip(x).to_bits();
+            let mant = bits::mantissa(r);
+            assert_eq!(
+                mant & ((1 << (53 - APPROX_BITS)) - 1),
+                0,
+                "low mantissa bits of recip({x}) must be zero"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_inputs() {
+        let r = recip(-4.0);
+        assert!((r * -4.0 - 1.0).abs() < BOUND);
+        assert!(r < 0.0);
+    }
+
+    #[test]
+    fn zero_gives_signed_infinity_and_flag() {
+        let (r, exc) = fp_recip_approx(bits::POS_ZERO);
+        assert_eq!(f64::from_bits(r), f64::INFINITY);
+        assert!(exc.contains(Exceptions::DIV_BY_ZERO));
+        let (r, _) = fp_recip_approx(bits::NEG_ZERO);
+        assert_eq!(f64::from_bits(r), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn infinity_gives_signed_zero() {
+        assert_eq!(fp_recip_approx(bits::POS_INF).0, bits::POS_ZERO);
+        assert_eq!(fp_recip_approx(bits::NEG_INF).0, bits::NEG_ZERO);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let (r, exc) = fp_recip_approx(f64::NAN.to_bits());
+        assert!(f64::from_bits(r).is_nan());
+        assert!(exc.is_empty());
+    }
+
+    #[test]
+    fn subnormal_input_overflows() {
+        let (r, exc) = fp_recip_approx(1u64); // 2^-1074
+        assert_eq!(f64::from_bits(r), f64::INFINITY);
+        assert!(exc.contains(Exceptions::OVERFLOW));
+    }
+
+    #[test]
+    fn huge_input_denormalizes() {
+        let x = f64::MAX;
+        let (r, _) = fp_recip_approx(x.to_bits());
+        let r = f64::from_bits(r);
+        assert!(r > 0.0 && r < f64::MIN_POSITIVE, "1/MAX is subnormal");
+    }
+}

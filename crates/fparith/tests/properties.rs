@@ -1,0 +1,151 @@
+//! Property-based tests: the MultiTitan arithmetic units against the host
+//! FPU over random 64-bit patterns (including subnormals, infinities, NaNs)
+//! and over structured random values.
+
+use mt_fparith::{
+    fp_add, fp_divide, fp_float, fp_mul, fp_recip_approx, fp_sub, fp_truncate, int_multiply,
+    mul::significand_product,
+};
+use proptest::prelude::*;
+
+/// Compares result bit patterns, treating any two NaNs as equal (the FPU
+/// produces a canonical quiet NaN; the host propagates payloads).
+fn bits_match(got: u64, want: u64) -> bool {
+    let (g, w) = (f64::from_bits(got), f64::from_bits(want));
+    (g.is_nan() && w.is_nan()) || got == want
+}
+
+/// ULP distance between two same-sign finite doubles.
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    let m = |x: f64| {
+        let i = x.to_bits() as i64;
+        if i < 0 {
+            i64::MIN.wrapping_sub(i)
+        } else {
+            i
+        }
+    };
+    m(a).abs_diff(m(b))
+}
+
+/// A strategy covering the full bit space with extra weight on exponent
+/// boundaries (zeros, subnormals, near-overflow) where rounding is tricky.
+fn any_double_bits() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => any::<u64>(),
+        1 => any::<u64>().prop_map(|b| b & 0x800F_FFFF_FFFF_FFFF), // zeros/subnormals
+        1 => any::<u64>().prop_map(|b| b | 0x7FE0_0000_0000_0000), // huge magnitudes
+        1 => (any::<u64>(), 0u64..64).prop_map(|(b, sh)| b >> sh), // clustered exponents
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn add_is_bit_exact(a in any_double_bits(), b in any_double_bits()) {
+        let (got, _) = fp_add(a, b);
+        let want = (f64::from_bits(a) + f64::from_bits(b)).to_bits();
+        prop_assert!(bits_match(got, want),
+            "add({a:#018x}, {b:#018x}) = {got:#018x}, host {want:#018x}");
+    }
+
+    #[test]
+    fn sub_is_bit_exact(a in any_double_bits(), b in any_double_bits()) {
+        let (got, _) = fp_sub(a, b);
+        let want = (f64::from_bits(a) - f64::from_bits(b)).to_bits();
+        prop_assert!(bits_match(got, want),
+            "sub({a:#018x}, {b:#018x}) = {got:#018x}, host {want:#018x}");
+    }
+
+    #[test]
+    fn mul_is_bit_exact(a in any_double_bits(), b in any_double_bits()) {
+        let (got, _) = fp_mul(a, b);
+        let want = (f64::from_bits(a) * f64::from_bits(b)).to_bits();
+        prop_assert!(bits_match(got, want),
+            "mul({a:#018x}, {b:#018x}) = {got:#018x}, host {want:#018x}");
+    }
+
+    #[test]
+    fn add_commutes_on_non_nan(a in any_double_bits(), b in any_double_bits()) {
+        let (r1, _) = fp_add(a, b);
+        let (r2, _) = fp_add(b, a);
+        prop_assert!(bits_match(r1, r2));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(a in any_double_bits(), b in any_double_bits()) {
+        let (r1, _) = fp_sub(a, b);
+        let (r2, _) = fp_add(a, b ^ (1u64 << 63));
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn partial_product_tree_is_exact(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(significand_product(a, b), (a as u128) * (b as u128));
+    }
+
+    #[test]
+    fn float_matches_host(v in any::<i64>()) {
+        let (got, _) = fp_float(v as u64);
+        prop_assert_eq!(got, (v as f64).to_bits(), "float({})", v);
+    }
+
+    #[test]
+    fn truncate_matches_host_saturating_cast(bits in any_double_bits()) {
+        let (got, _) = fp_truncate(bits);
+        // Rust's `as` cast is round-toward-zero with saturation, NaN → 0:
+        // exactly the unit's contract.
+        prop_assert_eq!(got as i64, f64::from_bits(bits) as i64,
+            "truncate({:#018x})", bits);
+    }
+
+    #[test]
+    fn int_multiply_wraps_like_wrapping_mul(a in any::<i64>(), b in any::<i64>()) {
+        let (got, _) = int_multiply(a as u64, b as u64);
+        prop_assert_eq!(got as i64, a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn recip_approx_within_spec(
+        mant in 0u64..(1 << 52),
+        exp in 1u64..2046,
+        neg in any::<bool>(),
+    ) {
+        let bits = ((neg as u64) << 63) | (exp << 52) | mant;
+        let x = f64::from_bits(bits);
+        let (r, _) = fp_recip_approx(bits);
+        let r = f64::from_bits(r);
+        // Results at the range edges may denormalize or overflow; the
+        // accuracy contract applies where 1/x is comfortably normal.
+        prop_assume!(x.abs() > 1e-300 && x.abs() < 1e300);
+        let rel = (r * x - 1.0).abs();
+        prop_assert!(rel < 1.0 / 32768.0, "recip({x:e}) rel err {rel:e}");
+    }
+
+    #[test]
+    fn division_is_nearly_correctly_rounded(
+        am in 0u64..(1 << 52), ae in 500u64..1500,
+        bm in 0u64..(1 << 52), be in 500u64..1500,
+        an in any::<bool>(), bn in any::<bool>(),
+    ) {
+        // Well-scaled normal operands whose quotient is comfortably normal.
+        let a = ((an as u64) << 63) | (ae << 52) | am;
+        let b = ((bn as u64) << 63) | (be << 52) | bm;
+        let (q, _) = fp_divide(a, b);
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        let want = fa / fb;
+        let got = f64::from_bits(q);
+        // The macro-sequence is not correctly rounded (each of its six
+        // operations rounds); a few ulps is its documented contract.
+        prop_assert!(ulp_diff(got, want) <= 4,
+            "div({fa:e}, {fb:e}) = {got:e}, host {want:e}, ulp {}",
+            ulp_diff(got, want));
+    }
+
+    #[test]
+    fn execute_never_panics(op_idx in 0usize..8, a in any::<u64>(), b in any::<u64>()) {
+        let op = mt_fparith::op::ALL_OPS[op_idx];
+        let _ = mt_fparith::execute(op, a, b);
+    }
+}

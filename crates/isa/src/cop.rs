@@ -1,0 +1,93 @@
+//! The 10-bit coprocessor instruction bus format.
+//!
+//! Loads and stores of FPU registers are transmitted from the CPU to the FPU
+//! over a 10-bit coprocessor instruction bus: "The 10 bits supply an opcode
+//! (4 bits) and source or destination register specifier (6 bits)" (§2).
+//! The CPU performs the addressing; the FPU only learns which register to
+//! drive onto or latch from the memory port. This module captures that
+//! bus-level encoding.
+
+use std::fmt;
+
+use crate::reg::FReg;
+
+/// Opcode value for an FPU register load (memory → register).
+pub const COP_LOAD: u16 = 0x1;
+/// Opcode value for an FPU register store (register → memory).
+pub const COP_STORE: u16 = 0x2;
+
+/// A coprocessor load/store operation as seen on the 10-bit bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopOp {
+    /// Load the named FPU register from the memory port.
+    Load(FReg),
+    /// Store the named FPU register to the memory port.
+    Store(FReg),
+}
+
+impl CopOp {
+    /// Encodes to the 10-bit bus word: `opcode:4 | reg:6`.
+    pub fn encode(self) -> u16 {
+        match self {
+            CopOp::Load(r) => (COP_LOAD << 6) | r.index() as u16,
+            CopOp::Store(r) => (COP_STORE << 6) | r.index() as u16,
+        }
+    }
+
+    /// Decodes a 10-bit bus word; returns `None` for unknown opcodes or
+    /// out-of-range register specifiers.
+    pub fn decode(word: u16) -> Option<CopOp> {
+        let reg = FReg::try_new((word & 0x3F) as u8)?;
+        match word >> 6 {
+            COP_LOAD => Some(CopOp::Load(reg)),
+            COP_STORE => Some(CopOp::Store(reg)),
+            _ => None,
+        }
+    }
+
+    /// The register the operation names.
+    pub fn reg(self) -> FReg {
+        match self {
+            CopOp::Load(r) | CopOp::Store(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for CopOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopOp::Load(r) => write!(f, "cop.load {r}"),
+            CopOp::Store(r) => write!(f, "cop.store {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_register() {
+        for i in 0..52 {
+            let r = FReg::new(i);
+            for op in [CopOp::Load(r), CopOp::Store(r)] {
+                let w = op.encode();
+                assert!(w < 1 << 10, "fits in 10 bits");
+                assert_eq!(CopOp::decode(w), Some(op));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_words() {
+        assert_eq!(CopOp::decode(52), None, "reg 52 under opcode 0");
+        assert_eq!(CopOp::decode((0x3 << 6) | 1), None, "unknown opcode");
+        assert_eq!(CopOp::decode((COP_LOAD << 6) | 52), None, "reg 52");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CopOp::Load(FReg::new(9)).to_string(), "cop.load R9");
+        assert_eq!(CopOp::Store(FReg::new(51)).to_string(), "cop.store R51");
+    }
+}

@@ -1,0 +1,42 @@
+//! The MultiTitan instruction set.
+//!
+//! Defines the machine-level interface of the reproduction:
+//!
+//! * [`fpu`] — the 32-bit FPU ALU instruction format of Fig. 3 of the paper
+//!   (`op | Rr | Ra | Rb | unit | func | VL−1 | SRa | SRb`), carrying the
+//!   unified vector/scalar semantics: every arithmetic instruction is a
+//!   vector of length 1–16 over consecutive registers;
+//! * [`cop`] — the 10-bit coprocessor load/store operations transmitted to
+//!   the FPU over the coprocessor instruction bus (4-bit opcode + 6-bit
+//!   register specifier);
+//! * [`cpu`] — the scalar CPU substrate instruction set (integer ALU,
+//!   branches, loads/stores) needed to express loop overhead and drive the
+//!   FPU. The paper does not specify the CPU encoding; ours is documented in
+//!   [`cpu`] and exists so programs can be assembled, encoded, and decoded
+//!   end to end;
+//! * [`reg`] — register name types ([`FReg`] for the 52 FPU registers,
+//!   [`IReg`] for the 32 CPU registers).
+//!
+//! # Example: the Fibonacci vector instruction of Fig. 8
+//!
+//! ```
+//! use mt_isa::fpu::FpuAluInstr;
+//! use mt_isa::reg::FReg;
+//! use mt_fparith::FpOp;
+//!
+//! // R2 := R1 + R0, vector length 8, both sources striding.
+//! let fib = FpuAluInstr::vector(FpOp::Add, FReg::new(2), FReg::new(1), FReg::new(0), 8)
+//!     .unwrap();
+//! let word = fib.encode();
+//! assert_eq!(FpuAluInstr::decode(word).unwrap(), fib);
+//! ```
+
+pub mod cop;
+pub mod cpu;
+pub mod fpu;
+pub mod reg;
+
+pub use cop::CopOp;
+pub use cpu::{DecodeError, Instr};
+pub use fpu::FpuAluInstr;
+pub use reg::{FReg, IReg, NUM_CPU_REGS, NUM_FPU_REGS};

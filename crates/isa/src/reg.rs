@@ -1,0 +1,153 @@
+//! Register name types.
+//!
+//! The FPU register file holds 52 general-purpose 64-bit registers (§2.2.1:
+//! the 6-bit coprocessor register address space is shared with other
+//! coprocessors, limiting the FPU to 52). The scalar CPU substrate has 32
+//! integer registers with `r0` hard-wired to zero.
+
+use std::fmt;
+
+/// Number of addressable FPU registers (R0–R51).
+pub const NUM_FPU_REGS: u8 = 52;
+
+/// Number of CPU integer registers (r0 is hard-wired to zero).
+pub const NUM_CPU_REGS: u8 = 32;
+
+/// An FPU register name, guaranteed in range `0..52`.
+///
+/// ```
+/// use mt_isa::FReg;
+/// let r = FReg::new(10);
+/// assert_eq!(r.index(), 10);
+/// assert_eq!(r.to_string(), "R10");
+/// assert!(FReg::try_new(52).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 52`.
+    pub const fn new(index: u8) -> FReg {
+        assert!(index < NUM_FPU_REGS, "FPU register out of range");
+        FReg(index)
+    }
+
+    /// Creates a register name, returning `None` when out of range.
+    pub const fn try_new(index: u8) -> Option<FReg> {
+        if index < NUM_FPU_REGS {
+            Some(FReg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register number.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The register `offset` places above this one, as produced by the
+    /// vector-issue specifier incrementers. Returns `None` when the run of
+    /// registers would leave the file.
+    pub const fn offset(self, offset: u8) -> Option<FReg> {
+        FReg::try_new(self.0 + offset)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A CPU integer register name, guaranteed in range `0..32`.
+///
+/// Register `r0` always reads as zero; writes to it are discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IReg(u8);
+
+impl IReg {
+    /// The zero register.
+    pub const ZERO: IReg = IReg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> IReg {
+        assert!(index < NUM_CPU_REGS, "CPU register out of range");
+        IReg(index)
+    }
+
+    /// Creates a register name, returning `None` when out of range.
+    pub const fn try_new(index: u8) -> Option<IReg> {
+        if index < NUM_CPU_REGS {
+            Some(IReg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register number.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for the hard-wired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freg_bounds() {
+        assert_eq!(FReg::new(0).index(), 0);
+        assert_eq!(FReg::new(51).index(), 51);
+        assert!(FReg::try_new(52).is_none());
+        assert!(FReg::try_new(63).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_new_panics_out_of_range() {
+        FReg::new(52);
+    }
+
+    #[test]
+    fn freg_offset_walks_the_file() {
+        let r = FReg::new(48);
+        assert_eq!(r.offset(3), Some(FReg::new(51)));
+        assert_eq!(r.offset(4), None, "R52 does not exist");
+    }
+
+    #[test]
+    fn ireg_zero() {
+        assert!(IReg::ZERO.is_zero());
+        assert!(!IReg::new(1).is_zero());
+        assert!(IReg::try_new(32).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FReg::new(7).to_string(), "R7");
+        assert_eq!(IReg::new(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: encode∘decode is the identity on valid instructions, and
+//! decode never panics on arbitrary words.
+
+use mt_fparith::op::ALL_OPS;
+use mt_isa::fpu::MAX_VECTOR_LEN;
+use mt_isa::{FReg, FpuAluInstr, IReg, Instr};
+use proptest::prelude::*;
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..52).prop_map(FReg::new)
+}
+
+fn arb_ireg() -> impl Strategy<Value = IReg> {
+    (0u8..32).prop_map(IReg::new)
+}
+
+fn arb_fpu_alu() -> impl Strategy<Value = FpuAluInstr> {
+    (
+        0usize..ALL_OPS.len(),
+        arb_freg(),
+        arb_freg(),
+        arb_freg(),
+        1u8..=MAX_VECTOR_LEN,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter_map("register run must stay in file", |(op, rr, ra, rb, vl, sra, srb)| {
+            FpuAluInstr::new(ALL_OPS[op], rr, ra, rb, vl, sra, srb).ok()
+        })
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    use mt_isa::cpu::{AluOp, BranchCond};
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (arb_ireg(), arb_ireg(), arb_ireg(), 0usize..10).prop_map(|(rd, rs1, rs2, f)| {
+            let ops = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Slt,
+                AluOp::Mul,
+            ];
+            Instr::Alu {
+                op: ops[f],
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (arb_ireg(), arb_ireg(), -131072i32..=131071).prop_map(|(rd, rs1, imm)| Instr::Addi {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_ireg(), 0u32..(1 << 23)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (arb_ireg(), arb_ireg(), -131072i32..=131071).prop_map(|(rd, base, offset)| Instr::Lw {
+            rd,
+            base,
+            offset
+        }),
+        (arb_ireg(), arb_ireg(), -131072i32..=131071).prop_map(|(rs, base, offset)| Instr::Sw {
+            rs,
+            base,
+            offset
+        }),
+        (arb_freg(), arb_ireg(), -65536i32..=65535).prop_map(|(fr, base, offset)| Instr::Fld {
+            fr,
+            base,
+            offset
+        }),
+        (arb_freg(), arb_ireg(), -65536i32..=65535).prop_map(|(fr, base, offset)| Instr::Fst {
+            fr,
+            base,
+            offset
+        }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Lt),
+                Just(BranchCond::Ge)
+            ],
+            arb_ireg(),
+            arb_ireg(),
+            -131072i32..=131071
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }),
+        (0u32..(1 << 28)).prop_map(|target| Instr::Jump { target }),
+        (0u32..(1 << 28)).prop_map(|target| Instr::Jal { target }),
+        arb_ireg().prop_map(|rs| Instr::Jr { rs }),
+        arb_fpu_alu().prop_map(Instr::Falu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn instr_roundtrip(i in arb_instr()) {
+        let w = i.encode().expect("generated instructions are encodable");
+        prop_assert_eq!(Instr::decode(w).expect("own encoding decodes"), i);
+    }
+
+    #[test]
+    fn fpu_alu_roundtrip(i in arb_fpu_alu()) {
+        prop_assert_eq!(FpuAluInstr::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        let _ = Instr::decode(w);
+        let _ = FpuAluInstr::decode(w);
+    }
+
+    #[test]
+    fn element_walk_stays_in_file(i in arb_fpu_alu()) {
+        for e in 0..i.vl {
+            let refs = i.element(e);
+            prop_assert!(refs.rr.index() < 52);
+            prop_assert!(refs.ra.index() < 52);
+            prop_assert!(refs.rb.index() < 52);
+        }
+    }
+
+    #[test]
+    fn display_is_never_empty(i in arb_instr()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+}

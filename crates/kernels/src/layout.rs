@@ -1,0 +1,140 @@
+//! Data-segment layout and deterministic workload data.
+
+/// Start of the workload data segment (text sits at 0x10000, the Mahler
+/// constant pool at 0xF000).
+pub const DATA_BASE: u32 = 0x10_0000;
+
+/// A bump allocator for laying out workload arrays in the data segment.
+///
+/// ```
+/// use mt_kernels::DataLayout;
+/// let mut l = DataLayout::new();
+/// let x = l.alloc_f64(100);
+/// let y = l.alloc_f64(100);
+/// assert_eq!(y, x + 800);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataLayout {
+    next: u32,
+}
+
+impl DataLayout {
+    /// Starts allocating at [`DATA_BASE`].
+    pub fn new() -> DataLayout {
+        DataLayout { next: DATA_BASE }
+    }
+
+    /// Reserves space for `n` doubles, returning the base address.
+    pub fn alloc_f64(&mut self, n: u32) -> u32 {
+        let addr = self.next;
+        self.next += 8 * n;
+        addr
+    }
+
+    /// Reserves space for `n` 32-bit words, returning the base address
+    /// (kept 8-byte aligned so doubles can follow).
+    pub fn alloc_i32(&mut self, n: u32) -> u32 {
+        let addr = self.next;
+        self.next += (4 * n + 7) & !7;
+        addr
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u32 {
+        self.next - DATA_BASE
+    }
+}
+
+impl Default for DataLayout {
+    fn default() -> DataLayout {
+        DataLayout::new()
+    }
+}
+
+/// Deterministic pseudo-random doubles in `(lo, hi)` — a splitmix64 stream,
+/// so workload data is identical across runs and platforms.
+pub fn random_doubles(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        })
+        .collect()
+}
+
+/// Relative-error comparison for verifying simulated output against the
+/// Rust reference.
+pub fn nearly_equal(got: f64, want: f64, tol: f64) -> bool {
+    if got == want {
+        return true;
+    }
+    let scale = want.abs().max(got.abs()).max(1e-300);
+    (got - want).abs() / scale <= tol
+}
+
+/// Verifies a whole slice, reporting the first mismatch.
+pub fn compare_slices(got: &[f64], want: &[f64], tol: f64, what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: length mismatch {} vs {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if !nearly_equal(g, w, tol) {
+            return Err(format!("{what}[{i}]: got {g:e}, want {w:e}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_aligned() {
+        let mut l = DataLayout::new();
+        let a = l.alloc_f64(10);
+        let b = l.alloc_i32(3);
+        let c = l.alloc_f64(1);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(b, DATA_BASE + 80);
+        assert_eq!(c % 8, 0, "doubles stay aligned after i32 block");
+        assert_eq!(l.used(), 80 + 16 + 8);
+    }
+
+    #[test]
+    fn random_doubles_deterministic_and_in_range() {
+        let a = random_doubles(7, 100, 0.5, 2.0);
+        let b = random_doubles(7, 100, 0.5, 2.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.5..2.0).contains(&v)));
+        let c = random_doubles(8, 100, 0.5, 2.0);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn nearly_equal_semantics() {
+        assert!(nearly_equal(1.0, 1.0, 0.0));
+        assert!(nearly_equal(1.0 + 1e-13, 1.0, 1e-12));
+        assert!(!nearly_equal(1.0 + 1e-9, 1.0, 1e-12));
+        assert!(nearly_equal(0.0, 0.0, 1e-12));
+        assert!(nearly_equal(1e-320, 2e-320, 1e-12), "tiny denormals compare via floor scale");
+    }
+
+    #[test]
+    fn compare_slices_reports_index() {
+        let err = compare_slices(&[1.0, 2.0], &[1.0, 3.0], 1e-12, "x").unwrap_err();
+        assert!(err.contains("x[1]"));
+        let err = compare_slices(&[1.0], &[1.0, 2.0], 1e-12, "x").unwrap_err();
+        assert!(err.contains("length mismatch"));
+    }
+}

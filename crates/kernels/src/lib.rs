@@ -1,0 +1,34 @@
+//! The paper's workloads, hand-coded for the MultiTitan as in §3.
+//!
+//! Every benchmark of the evaluation section is here, each with a pure-Rust
+//! reference implementation that the simulated output is verified against:
+//!
+//! * [`livermore`] — all 24 Livermore Fortran Kernels, recoded with the
+//!   mini-Mahler vector primitives where they vectorize on the MultiTitan
+//!   (including the reductions and recurrences classical machines cannot
+//!   vectorize) and as tuned scalar loops otherwise — Fig. 14;
+//! * [`linpack`] — LU factorization and solve with DAXPY inner loops, in
+//!   scalar and vector codings — §3.3;
+//! * [`graphics`] — the 4×4 transform of Figs. 12/13 over a stream of
+//!   points;
+//! * [`reductions`] — the three codings of an 8-element sum
+//!   (Figs. 5/6/7) and the Fibonacci recurrence (Fig. 8);
+//! * [`gather`] — fixed-stride and linked-list vector loading (Fig. 9);
+//! * [`mathlib`] — the scalar `exp` subroutine Livermore loop 22 calls
+//!   (the paper: "implemented with a scalar subroutine call").
+//!
+//! The [`harness`] runs a [`Kernel`] cold and warm (the §3.2 protocol: run
+//! twice, the second pass sees warm caches), validates the numeric output,
+//! and reports [`mt_sim::RunStats`] for each pass.
+
+pub mod gather;
+pub mod graphics;
+pub mod harness;
+pub mod layout;
+pub mod linpack;
+pub mod livermore;
+pub mod mathlib;
+pub mod reductions;
+
+pub use harness::{run_kernel, Kernel, KernelReport};
+pub use layout::DataLayout;

@@ -1,0 +1,1128 @@
+//! Livermore loops 1–12: the mostly-vectorizable first dozen (Fig. 14's
+//! upper half), coded in mini-Mahler vector strips.
+
+use mt_fparith::FpOp;
+use mt_isa::cpu::BranchCond;
+use mt_mahler::{Mahler, Scal};
+
+use crate::harness::Kernel;
+use crate::layout::{compare_slices, random_doubles, DataLayout};
+
+/// Standard strip length (the paper: "our vector operations had lengths of
+/// 4 or 8").
+const STRIP: u8 = 8;
+
+/// The exact association order of `vsum` over `len` elements, mirrored so
+/// references reproduce the simulated rounding bit for bit.
+fn vsum_order(v: &[f64]) -> f64 {
+    let mut buf = v.to_vec();
+    let mut len = buf.len();
+    while len > 1 {
+        let half = len / 2;
+        if len == 2 {
+            return buf[0] + buf[1];
+        }
+        for i in 0..half {
+            buf[i] += buf[i + half];
+        }
+        if len % 2 == 1 {
+            buf[0] += buf[len - 1];
+        }
+        len = half;
+    }
+    buf[0]
+}
+
+/// Loop 1 — hydro fragment: `x[k] = q + y[k]·(r·z[k+10] + t·z[k+11])`.
+pub fn loop01() -> Kernel {
+    let n: u32 = 990;
+    let (full, rem) = (n / STRIP as u32, (n % STRIP as u32) as u8);
+    let (q, rr, tt) = (0.05, 0.02, 0.01);
+    let y = random_doubles(11, n as usize, 0.0, 1.0);
+    let z = random_doubles(12, n as usize + 11, 0.0, 1.0);
+
+    let want: Vec<f64> = (0..n as usize)
+        .map(|k| (rr * z[k + 10] + tt * z[k + 11]) * y[k] + q)
+        .collect();
+
+    let mut l = DataLayout::new();
+    let (xa, ya, za) = (l.alloc_f64(n), l.alloc_f64(n), l.alloc_f64(n + 11));
+
+    let mut m = Mahler::new();
+    let a = m.vector(STRIP).unwrap();
+    let b = m.vector(STRIP).unwrap();
+    let yv = m.vector(STRIP).unwrap();
+    let sq = m.scalar().unwrap();
+    let sr = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let px = m.ivar().unwrap();
+    let py = m.ivar().unwrap();
+    let pz = m.ivar().unwrap();
+    m.load_const(sq, q).unwrap();
+    m.load_const(sr, rr).unwrap();
+    m.load_const(st, tt).unwrap();
+    m.set_i(px, xa as i32);
+    m.set_i(py, ya as i32);
+    m.set_i(pz, za as i32);
+
+    let emit = |m: &mut Mahler, vl: u8| {
+        let (a, b, yv) = (a.slice(0, vl), b.slice(0, vl), yv.slice(0, vl));
+        m.load(a, pz, 80, 8).unwrap(); // z[k+10]
+        m.vop_scalar(FpOp::Mul, a, a, sr).unwrap();
+        m.load(b, pz, 88, 8).unwrap(); // z[k+11]
+        m.vop_scalar(FpOp::Mul, b, b, st).unwrap();
+        m.vop(FpOp::Add, a, a, b).unwrap();
+        m.load(yv, py, 0, 8).unwrap();
+        m.vop(FpOp::Mul, a, a, yv).unwrap();
+        m.vop_scalar(FpOp::Add, a, a, sq).unwrap();
+        m.store(a, px, 0, 8).unwrap();
+    };
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, full as i32, 1, |m| {
+        emit(m, STRIP);
+        m.iadd_imm(px, px, 64);
+        m.iadd_imm(py, py, 64);
+        m.iadd_imm(pz, pz, 64);
+    });
+    if rem > 0 {
+        emit(&mut m, rem);
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 1 hydro fragment".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ya, &y);
+            mm.mem.memory.write_f64_slice(za, &z);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(xa, n as usize),
+                &want,
+                1e-12,
+                "x",
+            )
+        }),
+    }
+}
+
+/// Loop 2 — ICCG (incomplete Cholesky conjugate gradient) reduction
+/// cascade: stride-2 gathers at every level, vector strips of 8 with a
+/// dynamic scalar tail.
+pub fn loop02() -> Kernel {
+    let n: usize = 500;
+    let size = 2 * n + 4;
+    let x0 = random_doubles(21, size, 0.0, 1.0);
+    let v = random_doubles(22, size, 0.0, 0.5);
+
+    // Reference with identical level structure and per-strip order.
+    let mut want = x0.clone();
+    {
+        let mut ii = n;
+        let mut ipntp = 0usize;
+        while ii > 1 {
+            let ipnt = ipntp;
+            ipntp += ii;
+            ii /= 2;
+            let mut i = ipntp;
+            let mut k = ipnt + 1;
+            while k < ipntp {
+                want[i] = want[k] - v[k] * want[k - 1] - v[k + 1] * want[k + 1];
+                i += 1;
+                k += 2;
+            }
+        }
+    }
+
+    let mut l = DataLayout::new();
+    let (xa, va) = (l.alloc_f64(size as u32), l.alloc_f64(size as u32));
+
+    let mut m = Mahler::new();
+    let xk = m.vector(STRIP).unwrap();
+    // x[k−1], x[k+1], … share a stride-2 stream: nine loads give both the
+    // k−1 and k+1 operands as overlapping register slices.
+    let xm9 = m.vector(9).unwrap();
+    let vk = m.vector(STRIP).unwrap();
+    let vp = m.vector(STRIP).unwrap();
+    let (sa, sb, sc) = (m.scalar().unwrap(), m.scalar().unwrap(), m.scalar().unwrap());
+    // Level bookkeeping on the CPU.
+    let ii = m.ivar().unwrap();
+    let pb = m.ivar().unwrap(); // byte address of the level boundary x[ipnt]
+    let kptr = m.ivar().unwrap(); // byte address of x[k]
+    let vptr = m.ivar().unwrap(); // byte address of v[k]
+    let iptr = m.ivar().unwrap(); // byte address of x[i]
+    let remv = m.ivar().unwrap(); // writes remaining in this level
+    let c8 = m.ivar().unwrap();
+    let c1 = m.ivar().unwrap();
+    let shift = m.ivar().unwrap();
+
+    m.set_i(ii, n as i32);
+    m.set_i(pb, xa as i32);
+    m.set_i(c8, 8);
+    m.set_i(c1, 1);
+
+    // Level loop: while ii > 1.
+    let level_top = m.here();
+    let done = m.label();
+    m.ibranch(BranchCond::Ge, c1, ii, done); // ii <= 1 ⇒ done
+    {
+        use mt_isa::cpu::AluOp;
+        // kptr = x[ipnt + 1]; vptr mirrors it in v.
+        m.iadd_imm(kptr, pb, 8);
+        m.iadd_imm(vptr, kptr, va as i32 - xa as i32);
+        // New boundary: pb += 8·ii; writes start there (iptr = new pb).
+        m.set_i(shift, 3);
+        m.iop(AluOp::Sll, iptr, ii, shift);
+        m.iop(AluOp::Add, pb, pb, iptr);
+        m.iadd_imm(iptr, pb, 0);
+        // remv = ii/2 writes this level; ii /= 2.
+        m.set_i(shift, 1);
+        m.iop(AluOp::Sra, remv, ii, shift);
+        m.iop(AluOp::Sra, ii, ii, shift);
+    }
+
+    // Strip loop: while remv >= 8. The loads are interleaved with the
+    // vector transfers so they issue during the IR-busy windows — the
+    // §2.1.2 overlap at work.
+    let strip_top = m.here();
+    let tail = m.label();
+    m.ibranch(BranchCond::Lt, remv, c8, tail);
+    m.load(xm9, kptr, -8, 16).unwrap(); // x[k−1], x[k+1], … (9 values)
+    m.load(vk, vptr, 0, 16).unwrap();
+    m.vop(FpOp::Mul, vk, vk, xm9.slice(0, 8)).unwrap();
+    m.load(xk, kptr, 0, 16).unwrap(); // issues while the multiply re-issues
+    m.vop(FpOp::Sub, xk, xk, vk).unwrap();
+    m.load(vp, vptr, 8, 16).unwrap();
+    m.vop(FpOp::Mul, vp, vp, xm9.slice(1, 8)).unwrap();
+    m.vop(FpOp::Sub, xk, xk, vp).unwrap();
+    m.store(xk, iptr, 0, 8).unwrap();
+    m.iadd_imm(kptr, kptr, 128);
+    m.iadd_imm(vptr, vptr, 128);
+    m.iadd_imm(iptr, iptr, 64);
+    m.iadd_imm(remv, remv, -8);
+    m.jump(strip_top);
+
+    // Scalar tail: while remv > 0.
+    m.bind(tail);
+    let level_next = m.label();
+    let tail_top = m.here();
+    m.ibranch_zero(BranchCond::Eq, remv, level_next);
+    m.load_scalar(sa, kptr, 0).unwrap();
+    m.load_scalar(sb, vptr, 0).unwrap();
+    m.load_scalar(sc, kptr, -8).unwrap();
+    m.sop(FpOp::Mul, sb, sb, sc);
+    m.sop(FpOp::Sub, sa, sa, sb);
+    m.load_scalar(sb, vptr, 8).unwrap();
+    m.load_scalar(sc, kptr, 8).unwrap();
+    m.sop(FpOp::Mul, sb, sb, sc);
+    m.sop(FpOp::Sub, sa, sa, sb);
+    m.store_scalar(sa, iptr, 0).unwrap();
+    m.iadd_imm(kptr, kptr, 16);
+    m.iadd_imm(vptr, vptr, 16);
+    m.iadd_imm(iptr, iptr, 8);
+    m.iadd_imm(remv, remv, -1);
+    m.jump(tail_top);
+
+    m.bind(level_next);
+    m.jump(level_top);
+    m.bind(done);
+    let routine = m.finish().unwrap();
+
+    let size_u = size;
+    Kernel {
+        name: "LL 2 ICCG".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xa, &x0);
+            mm.mem.memory.write_f64_slice(va, &v);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(xa, size_u),
+                &want,
+                1e-12,
+                "x",
+            )
+        }),
+    }
+}
+
+/// Loop 3 — inner product: `q = Σ x[k]·z[k]` — the paper's showcase
+/// reduction, vectorized without moving data out of the result registers.
+pub fn loop03() -> Kernel {
+    let n: usize = 1001;
+    let (full, rem) = (n / STRIP as usize, n % STRIP as usize);
+    let x = random_doubles(31, n, 0.0, 1.0);
+    let z = random_doubles(32, n, 0.0, 1.0);
+
+    let mut q_want = 0.0f64;
+    for s in 0..full {
+        let prods: Vec<f64> = (0..8).map(|i| x[8 * s + i] * z[8 * s + i]).collect();
+        q_want += vsum_order(&prods);
+    }
+    for k in (n - rem)..n {
+        q_want += x[k] * z[k];
+    }
+
+    let mut l = DataLayout::new();
+    let (xa, za, qa) = (l.alloc_f64(n as u32), l.alloc_f64(n as u32), l.alloc_f64(1));
+
+    let mut m = Mahler::new();
+    let xv = m.vector(STRIP).unwrap();
+    let zv = m.vector(STRIP).unwrap();
+    let q = m.scalar().unwrap();
+    let s = m.scalar().unwrap();
+    let t = m.scalar().unwrap();
+    let (px, pz, pq) = (m.ivar().unwrap(), m.ivar().unwrap(), m.ivar().unwrap());
+    m.load_const(q, 0.0).unwrap();
+    m.set_i(px, xa as i32);
+    m.set_i(pz, za as i32);
+    m.set_i(pq, qa as i32);
+
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, full as i32, 1, |m| {
+        m.load(xv, px, 0, 8).unwrap();
+        m.load(zv, pz, 0, 8).unwrap();
+        m.vop(FpOp::Mul, xv, xv, zv).unwrap();
+        m.vsum(s, xv).unwrap();
+        m.sop(FpOp::Add, q, q, s);
+        m.iadd_imm(px, px, 64);
+        m.iadd_imm(pz, pz, 64);
+    });
+    for k in 0..rem {
+        m.load_scalar(s, px, 8 * k as i32).unwrap();
+        m.load_scalar(t, pz, 8 * k as i32).unwrap();
+        m.sop(FpOp::Mul, s, s, t);
+        m.sop(FpOp::Add, q, q, s);
+    }
+    m.store_scalar(q, pq, 0).unwrap();
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 3 inner product".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xa, &x);
+            mm.mem.memory.write_f64_slice(za, &z);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&[mm.mem.memory.read_f64(qa)], &[q_want], 1e-12, "q")
+        }),
+    }
+}
+
+/// Loop 4 — banded linear equations: three dot products with stride-5
+/// access on one operand.
+pub fn loop04() -> Kernel {
+    let n_arr: usize = 1024; // x sized to cover lw reaching k−6+19 at k=1000
+    let n: usize = 101; // the LFK loop parameter: j = 4, 9, …, < n
+    let ks = [6usize, 503, 1000];
+    let inner = (n - 4).div_ceil(5); // 20 = 2 strips of 8 + remainder 4
+    let (full, rem) = (inner / 8, (inner % 8) as u8);
+    let x0 = random_doubles(41, n_arr, 0.0, 1.0);
+    let y = random_doubles(42, n_arr, 0.0, 0.01);
+
+    let mut want = x0.clone();
+    for &k in &ks {
+        let mut temp = want[k - 1];
+        for s in 0..full {
+            let prods: Vec<f64> = (0..8)
+                .map(|e| {
+                    let j = 4 + 5 * (8 * s + e);
+                    let lw = k - 6 + 8 * s + e;
+                    want[lw] * y[j]
+                })
+                .collect();
+            temp -= vsum_order(&prods);
+        }
+        if rem > 0 {
+            let prods: Vec<f64> = (0..rem as usize)
+                .map(|e| {
+                    let j = 4 + 5 * (8 * full + e);
+                    let lw = k - 6 + 8 * full + e;
+                    want[lw] * y[j]
+                })
+                .collect();
+            temp -= vsum_order(&prods);
+        }
+        want[k - 1] = y[4] * temp;
+    }
+
+    let mut l = DataLayout::new();
+    let (xa, ya) = (l.alloc_f64(n_arr as u32), l.alloc_f64(n_arr as u32));
+
+    let mut m = Mahler::new();
+    let xv = m.vector(STRIP).unwrap();
+    let yv = m.vector(STRIP).unwrap();
+    let temp = m.scalar().unwrap();
+    let s = m.scalar().unwrap();
+    let (px, py) = (m.ivar().unwrap(), m.ivar().unwrap());
+    let i = m.ivar().unwrap();
+
+    for &k in &ks {
+        m.set_i(px, (xa + 8 * (k as u32 - 6)) as i32);
+        m.set_i(py, (ya + 8 * 4) as i32);
+        // temp = x[k−1]
+        let pxk = m.ivar().unwrap();
+        m.set_i(pxk, (xa + 8 * (k as u32 - 1)) as i32);
+        m.load_scalar(temp, pxk, 0).unwrap();
+        m.counted_loop(i, 0, full as i32, 1, |m| {
+            m.load(xv, px, 0, 8).unwrap();
+            m.load(yv, py, 0, 40).unwrap();
+            m.vop(FpOp::Mul, xv, xv, yv).unwrap();
+            m.vsum(s, xv).unwrap();
+            m.sop(FpOp::Sub, temp, temp, s);
+            m.iadd_imm(px, px, 64);
+            m.iadd_imm(py, py, 320);
+        });
+        if rem > 0 {
+            let xv_r = xv.slice(0, rem);
+            let yv_r = yv.slice(0, rem);
+            m.load(xv_r, px, 0, 8).unwrap();
+            m.load(yv_r, py, 0, 40).unwrap();
+            m.vop(FpOp::Mul, xv_r, xv_r, yv_r).unwrap();
+            m.vsum(s, xv_r).unwrap();
+            m.sop(FpOp::Sub, temp, temp, s);
+        }
+        m.set_i(py, ya as i32);
+        m.load_scalar(s, py, 32).unwrap(); // y[4]
+        m.sop(FpOp::Mul, temp, temp, s);
+        m.store_scalar(temp, pxk, 0).unwrap();
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 4 banded linear".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xa, &x0);
+            mm.mem.memory.write_f64_slice(ya, &y);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, n_arr), &want, 1e-12, "x")
+        }),
+    }
+}
+
+/// Loop 5 — tri-diagonal elimination: `x[i] = z[i]·(y[i] − x[i−1])`, a
+/// first-order recurrence the Cray does not vectorize; the MultiTitan runs
+/// it as a tight scalar loop with the carry held in a register.
+pub fn loop05() -> Kernel {
+    let n: usize = 1001;
+    let x0 = random_doubles(51, n, 0.0, 1.0);
+    let y = random_doubles(52, n, 0.0, 1.0);
+    let z = random_doubles(53, n, 0.0, 1.0);
+
+    let mut want = x0.clone();
+    for i in 1..n {
+        want[i] = z[i] * (y[i] - want[i - 1]);
+    }
+
+    let mut l = DataLayout::new();
+    // y and z carry 8 doubles of slack: the software pipeline prefetches
+    // one half-block past the end.
+    let (xa, ya, za) = (
+        l.alloc_f64(n as u32),
+        l.alloc_f64(n as u32 + 8),
+        l.alloc_f64(n as u32 + 8),
+    );
+
+    let mut m = Mahler::new();
+    let t = m.scalar().unwrap(); // the carried x[i−1]
+    // Double-buffered operand vectors: while the 6-cycle dependent chain
+    // works through one half, the loads for the other half issue in its
+    // shadow — the §2.1.2 overlap, software-pipelined by hand as the
+    // paper's Mahler codings were.
+    let yv = m.vector(8).unwrap();
+    let zv = m.vector(8).unwrap();
+    let (px, py, pz) = (m.ivar().unwrap(), m.ivar().unwrap(), m.ivar().unwrap());
+    m.set_i(px, (xa + 8) as i32);
+    m.set_i(py, (ya + 8) as i32);
+    m.set_i(pz, (za + 8) as i32);
+    {
+        let p0 = m.ivar().unwrap();
+        m.set_i(p0, xa as i32);
+        m.load_scalar(t, p0, 0).unwrap();
+    }
+    // Prime the first half.
+    m.load(yv.slice(0, 4), py, 0, 8).unwrap();
+    m.load(zv.slice(0, 4), pz, 0, 8).unwrap();
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, ((n - 1) / 8) as i32, 1, |m| {
+        for half in 0..2u8 {
+            let (cur, nxt) = (4 * half, 4 * (1 - half));
+            // Byte offset of the half being prefetched.
+            let pref = 32 + 32 * half as i32;
+            for e in 0..4u8 {
+                let (ye, ze) = (yv.element(cur + e), zv.element(cur + e));
+                m.sop(FpOp::Sub, ye, ye, t);
+                m.sop(FpOp::Mul, t, ze, ye);
+                // Two prefetch loads fit in each element's chain shadow.
+                m.load_scalar(yv.element(nxt + e), py, pref + 8 * e as i32)
+                    .unwrap();
+                m.load_scalar(zv.element(nxt + e), pz, pref + 8 * e as i32)
+                    .unwrap();
+                m.store_scalar(t, px, 32 * half as i32 + 8 * e as i32)
+                    .unwrap();
+            }
+        }
+        m.iadd_imm(px, px, 64);
+        m.iadd_imm(py, py, 64);
+        m.iadd_imm(pz, pz, 64);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 5 tri-diagonal".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xa, &x0);
+            mm.mem.memory.write_f64_slice(ya, &y);
+            mm.mem.memory.write_f64_slice(za, &z);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, n), &want, 1e-12, "x")
+        }),
+    }
+}
+
+/// Loop 6 — general linear recurrence: growing dot products against the
+/// reversed prefix of `w`, vector strips with a dynamic scalar tail.
+pub fn loop06() -> Kernel {
+    let n: usize = 64;
+    let b = random_doubles(61, n * n, 0.0, 0.05);
+    let w0 = random_doubles(62, n, 0.0, 1.0);
+
+    let mut want = w0.clone();
+    for i in 1..n {
+        let mut s = 0.01f64;
+        let count = i;
+        let strips = count / 8;
+        for st in 0..strips {
+            let prods: Vec<f64> = (0..8)
+                .map(|e| {
+                    let k = 8 * st + e;
+                    b[i * n + k] * want[i - 1 - k]
+                })
+                .collect();
+            s += vsum_order(&prods);
+        }
+        for k in (strips * 8)..count {
+            s += b[i * n + k] * want[i - 1 - k];
+        }
+        want[i] = s;
+    }
+
+    let mut l = DataLayout::new();
+    let (ba, wa) = (l.alloc_f64((n * n) as u32), l.alloc_f64(n as u32));
+
+    let mut m = Mahler::new();
+    let bv = m.vector(STRIP).unwrap();
+    let wv = m.vector(STRIP).unwrap();
+    let s = m.scalar().unwrap();
+    let t = m.scalar().unwrap();
+    let acc = m.scalar().unwrap();
+    let pb = m.ivar().unwrap(); // b[i][k] walker
+    let pw = m.ivar().unwrap(); // w[i−1−k] walker (descending)
+    let pwi = m.ivar().unwrap(); // &w[i]
+    let remv = m.ivar().unwrap();
+    let c8 = m.ivar().unwrap();
+    let iv = m.ivar().unwrap();
+    let base_b = m.ivar().unwrap();
+    let base_w = m.ivar().unwrap();
+    m.set_i(c8, 8);
+    m.set_i(pwi, (wa + 8) as i32);
+    m.set_i(base_b, ba as i32);
+    m.set_i(base_w, wa as i32);
+
+    m.counted_loop(iv, 1, n as i32, 1, |m| {
+        m.load_const(acc, 0.01).unwrap();
+        // pb = &b[i][0]: advance a row per iteration, tracked separately.
+        // (Recomputed from iv would need a multiply; keep a running pointer.)
+        // pw = &w[i−1].
+        {
+            use mt_isa::cpu::AluOp;
+            // pb = ba + i·n·8 = ba + iv·512 (n = 64); the bases exceed the
+            // 18-bit immediate range, so they live in registers.
+            let sh = remv; // reuse as shift temp before the inner loop
+            m.set_i(sh, 9);
+            m.iop(AluOp::Sll, pb, iv, sh);
+            m.iop(AluOp::Add, pb, pb, base_b);
+            // pw = wa + (i−1)·8.
+            m.set_i(sh, 3);
+            m.iop(AluOp::Sll, pw, iv, sh);
+            m.iop(AluOp::Add, pw, pw, base_w);
+            m.iadd_imm(pw, pw, -8);
+        }
+        {
+            use mt_isa::cpu::AluOp;
+            m.iop(AluOp::Add, remv, iv, iv);
+            // remv = i (inner count): overwrite the doubled value.
+            m.iop(AluOp::Sub, remv, remv, iv);
+        }
+        let tail = m.label();
+        let done = m.label();
+        let strip_top = m.here();
+        m.ibranch(BranchCond::Lt, remv, c8, tail);
+        m.load(bv, pb, 0, 8).unwrap();
+        m.load(wv, pw, 0, -8).unwrap();
+        m.vop(FpOp::Mul, bv, bv, wv).unwrap();
+        m.vsum(s, bv).unwrap();
+        m.sop(FpOp::Add, acc, acc, s);
+        m.iadd_imm(pb, pb, 64);
+        m.iadd_imm(pw, pw, -64);
+        m.iadd_imm(remv, remv, -8);
+        m.jump(strip_top);
+        m.bind(tail);
+        let tail_top = m.here();
+        m.ibranch_zero(BranchCond::Eq, remv, done);
+        m.load_scalar(s, pb, 0).unwrap();
+        m.load_scalar(t, pw, 0).unwrap();
+        m.sop(FpOp::Mul, s, s, t);
+        m.sop(FpOp::Add, acc, acc, s);
+        m.iadd_imm(pb, pb, 8);
+        m.iadd_imm(pw, pw, -8);
+        m.iadd_imm(remv, remv, -1);
+        m.jump(tail_top);
+        m.bind(done);
+        m.store_scalar(acc, pwi, 0).unwrap();
+        m.iadd_imm(pwi, pwi, 8);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 6 linear recurrence".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ba, &b);
+            mm.mem.memory.write_f64_slice(wa, &w0);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(wa, n), &want, 1e-12, "w")
+        }),
+    }
+}
+
+/// Loop 7 — equation of state: 16 FLOPs per element of pure elementwise
+/// arithmetic with heavy operand reuse.
+pub fn loop07() -> Kernel {
+    let n: usize = 995;
+    let (full, rem) = (n / STRIP as usize, (n % STRIP as usize) as u8);
+    let (q, rr, tt) = (0.5, 0.25, 0.125);
+    let u = random_doubles(71, n + 6, 0.0, 1.0);
+    let y = random_doubles(72, n, 0.0, 1.0);
+    let z = random_doubles(73, n, 0.0, 1.0);
+
+    let want: Vec<f64> = (0..n)
+        .map(|k| {
+            let inner_q = (u[k + 4] * q + u[k + 5]) * q + u[k + 6];
+            let inner_r = (u[k + 1] * rr + u[k + 2]) * rr + u[k + 3];
+            let mid = inner_q * tt + inner_r;
+            let rz = (y[k] * rr + z[k]) * rr;
+            (mid * tt + rz) + u[k]
+        })
+        .collect();
+
+    let mut l = DataLayout::new();
+    let (xa, ya, za, ua) = (
+        l.alloc_f64(n as u32),
+        l.alloc_f64(n as u32),
+        l.alloc_f64(n as u32),
+        l.alloc_f64(n as u32 + 6),
+    );
+
+    let mut m = Mahler::new();
+    let t1 = m.vector(STRIP).unwrap();
+    let va = m.vector(STRIP).unwrap();
+    let vb = m.vector(STRIP).unwrap();
+    let sq = m.scalar().unwrap();
+    let sr = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let (px, py, pz, pu) = (
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+    );
+    m.load_const(sq, q).unwrap();
+    m.load_const(sr, rr).unwrap();
+    m.load_const(st, tt).unwrap();
+    m.set_i(px, xa as i32);
+    m.set_i(py, ya as i32);
+    m.set_i(pz, za as i32);
+    m.set_i(pu, ua as i32);
+
+    let emit = |m: &mut Mahler, vl: u8| {
+        let (t1, va, vb) = (t1.slice(0, vl), va.slice(0, vl), vb.slice(0, vl));
+        // inner_q = (u4·q + u5)·q + u6
+        m.load(t1, pu, 32, 8).unwrap();
+        m.vop_scalar(FpOp::Mul, t1, t1, sq).unwrap();
+        m.load(vb, pu, 40, 8).unwrap();
+        m.vop(FpOp::Add, t1, t1, vb).unwrap();
+        m.vop_scalar(FpOp::Mul, t1, t1, sq).unwrap();
+        m.load(vb, pu, 48, 8).unwrap();
+        m.vop(FpOp::Add, t1, t1, vb).unwrap();
+        // inner_r = (u1·r + u2)·r + u3
+        m.load(va, pu, 8, 8).unwrap();
+        m.vop_scalar(FpOp::Mul, va, va, sr).unwrap();
+        m.load(vb, pu, 16, 8).unwrap();
+        m.vop(FpOp::Add, va, va, vb).unwrap();
+        m.vop_scalar(FpOp::Mul, va, va, sr).unwrap();
+        m.load(vb, pu, 24, 8).unwrap();
+        m.vop(FpOp::Add, va, va, vb).unwrap();
+        // mid = inner_q·t + inner_r
+        m.vop_scalar(FpOp::Mul, t1, t1, st).unwrap();
+        m.vop(FpOp::Add, t1, t1, va).unwrap();
+        // rz = (y·r + z)·r
+        m.load(va, py, 0, 8).unwrap();
+        m.vop_scalar(FpOp::Mul, va, va, sr).unwrap();
+        m.load(vb, pz, 0, 8).unwrap();
+        m.vop(FpOp::Add, va, va, vb).unwrap();
+        m.vop_scalar(FpOp::Mul, va, va, sr).unwrap();
+        // x = (mid·t + rz) + u
+        m.vop_scalar(FpOp::Mul, t1, t1, st).unwrap();
+        m.vop(FpOp::Add, t1, t1, va).unwrap();
+        m.load(vb, pu, 0, 8).unwrap();
+        m.vop(FpOp::Add, t1, t1, vb).unwrap();
+        m.store(t1, px, 0, 8).unwrap();
+    };
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, full as i32, 1, |m| {
+        emit(m, STRIP);
+        for p in [px, py, pz, pu] {
+            m.iadd_imm(p, p, 64);
+        }
+    });
+    if rem > 0 {
+        emit(&mut m, rem);
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 7 equation of state".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ya, &y);
+            mm.mem.memory.write_f64_slice(za, &z);
+            mm.mem.memory.write_f64_slice(ua, &u);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, n), &want, 1e-12, "x")
+        }),
+    }
+}
+
+/// Loop 8 — ADI integration: three coupled 2-D arrays, vector strips of 4
+/// (the register budget: 6 vectors × 4 + 11 broadcast constants).
+pub fn loop08() -> Kernel {
+    const KY: usize = 101; // writes at ky = 1..=100
+    const KXD: usize = 4; // padded inner dimension
+    let plane = (KY + 1) * KXD;
+    let n_writes = KY - 1; // 100 = 25 strips of 4
+    let u1 = random_doubles(81, 2 * plane, 0.0, 1.0);
+    let u2 = random_doubles(82, 2 * plane, 0.0, 1.0);
+    let u3 = random_doubles(83, 2 * plane, 0.0, 1.0);
+    let a: [f64; 9] = [0.031, -0.012, 0.007, 0.022, 0.041, -0.003, 0.013, 0.009, 0.051];
+    let sig = 0.25;
+
+    let idx = |nl: usize, ky: usize, kx: usize| nl * plane + ky * KXD + kx;
+    let mut w1 = u1.clone();
+    let mut w2 = u2.clone();
+    let mut w3 = u3.clone();
+    let mut du = vec![0.0f64; 3 * KY];
+    for kx in 1..3usize {
+        for ky in 1..KY {
+            let d1 = u1[idx(0, ky + 1, kx)] - u1[idx(0, ky - 1, kx)];
+            let d2 = u2[idx(0, ky + 1, kx)] - u2[idx(0, ky - 1, kx)];
+            let d3 = u3[idx(0, ky + 1, kx)] - u3[idx(0, ky - 1, kx)];
+            du[ky] = d1;
+            du[KY + ky] = d2;
+            du[2 * KY + ky] = d3;
+            let upd = |u: &[f64], aj: &[f64]| {
+                let c = u[idx(0, ky, kx)];
+                let sigterm =
+                    ((u[idx(0, ky, kx + 1)] + u[idx(0, ky, kx - 1)]) - c * 2.0) * sig;
+                let mut s = sigterm + d1 * aj[0];
+                s += d2 * aj[1];
+                s += d3 * aj[2];
+                s + c
+            };
+            w1[idx(1, ky, kx)] = upd(&u1, &a[0..3]);
+            w2[idx(1, ky, kx)] = upd(&u2, &a[3..6]);
+            w3[idx(1, ky, kx)] = upd(&u3, &a[6..9]);
+        }
+    }
+
+    let mut l = DataLayout::new();
+    let u1a = l.alloc_f64(2 * plane as u32);
+    let u2a = l.alloc_f64(2 * plane as u32);
+    let u3a = l.alloc_f64(2 * plane as u32);
+    let dua = l.alloc_f64(3 * KY as u32);
+
+    let mut m = Mahler::new();
+    const VL: u8 = 4;
+    let d1 = m.vector(VL).unwrap();
+    let d2 = m.vector(VL).unwrap();
+    let d3 = m.vector(VL).unwrap();
+    let tv = m.vector(VL).unwrap();
+    let sv = m.vector(VL).unwrap();
+    let cv = m.vector(VL).unwrap();
+    let sa: Vec<Scal> = (0..9).map(|_| m.scalar().unwrap()).collect();
+    let ssig = m.scalar().unwrap();
+    let stwo = m.scalar().unwrap();
+    for (i, s) in sa.iter().enumerate() {
+        m.load_const(*s, a[i]).unwrap();
+    }
+    m.load_const(ssig, sig).unwrap();
+    m.load_const(stwo, 2.0).unwrap();
+
+    let (p1, p2, p3, pd) = (
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+        m.ivar().unwrap(),
+    );
+    let i = m.ivar().unwrap();
+    let row = 8 * KXD as i32; // byte stride between ky rows
+
+    for kx in 1..3usize {
+        // Pointers at [nl=0][ky=1][kx].
+        m.set_i(p1, (u1a + 8 * idx(0, 1, kx) as u32) as i32);
+        m.set_i(p2, (u2a + 8 * idx(0, 1, kx) as u32) as i32);
+        m.set_i(p3, (u3a + 8 * idx(0, 1, kx) as u32) as i32);
+        m.set_i(pd, (dua + 8) as i32);
+        let plane_off = 8 * plane as i32; // nl 0 → 1
+
+        m.counted_loop(i, 0, (n_writes / VL as usize) as i32, 1, |m| {
+            // du_j = u_j[ky+1] − u_j[ky−1]
+            for (dj, pj) in [(d1, p1), (d2, p2), (d3, p3)] {
+                m.load(dj, pj, row, row).unwrap();
+                m.load(tv, pj, -row, row).unwrap();
+                m.vop(FpOp::Sub, dj, dj, tv).unwrap();
+            }
+            m.store(d1, pd, 0, 8).unwrap();
+            m.store(d2, pd, 8 * KY as i32, 8).unwrap();
+            m.store(d3, pd, 16 * KY as i32, 8).unwrap();
+            // Updates into the nl = 1 plane.
+            for (j, pj) in [(0usize, p1), (1, p2), (2, p3)] {
+                m.load(cv, pj, 0, row).unwrap();
+                m.load(sv, pj, 8, row).unwrap(); // kx+1
+                m.load(tv, pj, -8, row).unwrap(); // kx−1
+                m.vop(FpOp::Add, sv, sv, tv).unwrap();
+                m.vop_scalar(FpOp::Mul, tv, cv, stwo).unwrap();
+                m.vop(FpOp::Sub, sv, sv, tv).unwrap();
+                m.vop_scalar(FpOp::Mul, sv, sv, ssig).unwrap();
+                m.vop_scalar(FpOp::Mul, tv, d1, sa[3 * j]).unwrap();
+                m.vop(FpOp::Add, sv, sv, tv).unwrap();
+                m.vop_scalar(FpOp::Mul, tv, d2, sa[3 * j + 1]).unwrap();
+                m.vop(FpOp::Add, sv, sv, tv).unwrap();
+                m.vop_scalar(FpOp::Mul, tv, d3, sa[3 * j + 2]).unwrap();
+                m.vop(FpOp::Add, sv, sv, tv).unwrap();
+                m.vop(FpOp::Add, sv, sv, cv).unwrap();
+                m.store(sv, pj, plane_off, row).unwrap();
+            }
+            for p in [p1, p2, p3] {
+                m.iadd_imm(p, p, row * VL as i32);
+            }
+            m.iadd_imm(pd, pd, 8 * VL as i32);
+        });
+    }
+    let routine = m.finish().unwrap();
+
+    let plane_u = plane;
+    Kernel {
+        name: "LL 8 ADI integration".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(u1a, &u1);
+            mm.mem.memory.write_f64_slice(u2a, &u2);
+            mm.mem.memory.write_f64_slice(u3a, &u3);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(u1a, 2 * plane_u),
+                &w1,
+                1e-12,
+                "u1",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(u2a, 2 * plane_u),
+                &w2,
+                1e-12,
+                "u2",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(u3a, 2 * plane_u),
+                &w3,
+                1e-12,
+                "u3",
+            )
+        }),
+    }
+}
+
+/// Loop 9 — integrate predictors: a 9-term polynomial over the columns of
+/// a row-major predictor table, vectorized across rows (stride 128 bytes).
+pub fn loop09() -> Kernel {
+    const N: usize = 101;
+    const COLS: usize = 16; // padded row
+    let dm: [f64; 7] = [0.2, 0.18, 0.16, 0.14, 0.12, 0.1, 0.08]; // dm22..dm28
+    let c0 = 0.3;
+    let px0 = random_doubles(91, N * COLS, 0.0, 1.0);
+
+    let mut want = px0.clone();
+    for i in 0..N {
+        let row = |j: usize| px0[i * COLS + j];
+        let mut acc = row(12) * dm[6];
+        let mut t = row(11) * dm[5];
+        acc += t;
+        t = row(10) * dm[4];
+        acc += t;
+        t = row(9) * dm[3];
+        acc += t;
+        t = row(8) * dm[2];
+        acc += t;
+        t = row(7) * dm[1];
+        acc += t;
+        t = row(6) * dm[0];
+        acc += t;
+        t = (row(4) + row(5)) * c0;
+        acc += t;
+        acc += row(2);
+        want[i * COLS] = acc;
+    }
+
+    let mut l = DataLayout::new();
+    let pxa = l.alloc_f64((N * COLS) as u32);
+
+    let mut m = Mahler::new();
+    let acc = m.vector(STRIP).unwrap();
+    let t = m.vector(STRIP).unwrap();
+    let b = m.vector(STRIP).unwrap();
+    let sdm: Vec<Scal> = (0..7).map(|_| m.scalar().unwrap()).collect();
+    let sc0 = m.scalar().unwrap();
+    for (i, s) in sdm.iter().enumerate() {
+        m.load_const(*s, dm[i]).unwrap();
+    }
+    m.load_const(sc0, c0).unwrap();
+    let p = m.ivar().unwrap();
+    m.set_i(p, pxa as i32);
+    let stride = 8 * COLS as i32;
+
+    let emit = |m: &mut Mahler, vl: u8| {
+        let (acc, t, b) = (acc.slice(0, vl), t.slice(0, vl), b.slice(0, vl));
+        m.load(acc, p, 8 * 12, stride).unwrap();
+        m.vop_scalar(FpOp::Mul, acc, acc, sdm[6]).unwrap();
+        for (col, dmi) in [(11, 5), (10, 4), (9, 3), (8, 2), (7, 1), (6, 0)] {
+            m.load(t, p, 8 * col, stride).unwrap();
+            m.vop_scalar(FpOp::Mul, t, t, sdm[dmi]).unwrap();
+            m.vop(FpOp::Add, acc, acc, t).unwrap();
+        }
+        m.load(t, p, 8 * 4, stride).unwrap();
+        m.load(b, p, 8 * 5, stride).unwrap();
+        m.vop(FpOp::Add, t, t, b).unwrap();
+        m.vop_scalar(FpOp::Mul, t, t, sc0).unwrap();
+        m.vop(FpOp::Add, acc, acc, t).unwrap();
+        m.load(t, p, 8 * 2, stride).unwrap();
+        m.vop(FpOp::Add, acc, acc, t).unwrap();
+        m.store(acc, p, 0, stride).unwrap();
+    };
+    let i = m.ivar().unwrap();
+    let (full, rem) = (N / STRIP as usize, (N % STRIP as usize) as u8);
+    m.counted_loop(i, 0, full as i32, 1, |m| {
+        emit(m, STRIP);
+        m.iadd_imm(p, p, stride * STRIP as i32);
+    });
+    if rem > 0 {
+        emit(&mut m, rem);
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 9 integrate predictors".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(pxa, &px0);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(pxa, N * COLS),
+                &want,
+                1e-12,
+                "px",
+            )
+        }),
+    }
+}
+
+/// Loop 10 — difference predictors: a 9-deep cascade of first differences
+/// down each row, vectorized across rows.
+pub fn loop10() -> Kernel {
+    const N: usize = 101;
+    const COLS: usize = 16;
+    let px0 = random_doubles(101, N * COLS, 0.0, 1.0);
+    let cx = random_doubles(102, N * COLS, 0.0, 1.0);
+
+    let mut want = px0.clone();
+    for i in 0..N {
+        let mut prev = cx[i * COLS + 4];
+        for col in 4..13 {
+            let next = prev - want[i * COLS + col];
+            want[i * COLS + col] = prev;
+            prev = next;
+        }
+        want[i * COLS + 13] = prev;
+    }
+
+    let mut l = DataLayout::new();
+    let pxa = l.alloc_f64((N * COLS) as u32);
+    let cxa = l.alloc_f64((N * COLS) as u32);
+
+    let mut m = Mahler::new();
+    let prev = m.vector(STRIP).unwrap();
+    let t = m.vector(STRIP).unwrap();
+    let next = m.vector(STRIP).unwrap();
+    let (pp, pc) = (m.ivar().unwrap(), m.ivar().unwrap());
+    m.set_i(pp, pxa as i32);
+    m.set_i(pc, cxa as i32);
+    let stride = 8 * COLS as i32;
+
+    let emit = |m: &mut Mahler, vl: u8| {
+        // Ping-pong between the two difference buffers so no copies are
+        // needed: the register choice rotates at emission time.
+        let bufs = [prev.slice(0, vl), next.slice(0, vl)];
+        let t = t.slice(0, vl);
+        let mut cur = 0usize;
+        m.load(bufs[cur], pc, 8 * 4, stride).unwrap();
+        for col in 4..13 {
+            m.load(t, pp, 8 * col, stride).unwrap();
+            m.vop(FpOp::Sub, bufs[1 - cur], bufs[cur], t).unwrap();
+            m.store(bufs[cur], pp, 8 * col, stride).unwrap();
+            cur = 1 - cur;
+        }
+        m.store(bufs[cur], pp, 8 * 13, stride).unwrap();
+    };
+    let i = m.ivar().unwrap();
+    let (full, rem) = (N / STRIP as usize, (N % STRIP as usize) as u8);
+    m.counted_loop(i, 0, full as i32, 1, |m| {
+        emit(m, STRIP);
+        m.iadd_imm(pp, pp, stride * STRIP as i32);
+        m.iadd_imm(pc, pc, stride * STRIP as i32);
+    });
+    if rem > 0 {
+        emit(&mut m, rem);
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 10 difference predictors".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(pxa, &px0);
+            mm.mem.memory.write_f64_slice(cxa, &cx);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(pxa, N * COLS),
+                &want,
+                1e-12,
+                "px",
+            )
+        }),
+    }
+}
+
+/// Loop 11 — first partial sums: `x[k] = x[k−1] + y[k]`, a first-order
+/// recurrence the MultiTitan expresses as ONE vector instruction per strip
+/// (the running-register chain), unlike classical vector machines.
+pub fn loop11() -> Kernel {
+    let n: usize = 1001; // x[0] unchanged; 1000 updates = 125 strips
+    let x0 = random_doubles(111, n, 0.0, 1.0);
+    let y = random_doubles(112, n, 0.0, 1.0);
+
+    let mut want = x0.clone();
+    for k in 1..n {
+        want[k] = want[k - 1] + y[k];
+    }
+
+    let mut l = DataLayout::new();
+    let (xa, ya) = (l.alloc_f64(n as u32), l.alloc_f64(n as u32));
+
+    let mut m = Mahler::new();
+    let chain = m.vector(9).unwrap(); // chain[0] carries, chain[1..9] results
+    let yv = m.vector(STRIP).unwrap();
+    let zero = m.scalar().unwrap();
+    let (px, py) = (m.ivar().unwrap(), m.ivar().unwrap());
+    m.load_const(zero, 0.0).unwrap();
+    m.set_i(px, (xa + 8) as i32);
+    m.set_i(py, (ya + 8) as i32);
+    {
+        let p0 = m.ivar().unwrap();
+        m.set_i(p0, xa as i32);
+        m.load_scalar(chain.element(0), p0, 0).unwrap();
+    }
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, ((n - 1) / 8) as i32, 1, |m| {
+        m.load(yv, py, 0, 8).unwrap();
+        // The one-instruction recurrence: chain[e+1] = chain[e] + y[e].
+        m.vop(FpOp::Add, chain.slice(1, 8), chain.slice(0, 8), yv)
+            .unwrap();
+        m.store(chain.slice(1, 8), px, 0, 8).unwrap();
+        // Carry the last sum into the chain head for the next strip.
+        m.sop(FpOp::Add, chain.element(0), chain.element(8), zero);
+        m.iadd_imm(px, px, 64);
+        m.iadd_imm(py, py, 64);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 11 first partial sums".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xa, &x0);
+            mm.mem.memory.write_f64_slice(ya, &y);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, n), &want, 1e-12, "x")
+        }),
+    }
+}
+
+/// Loop 12 — first differences: `x[k] = y[k+1] − y[k]`, pure vector.
+pub fn loop12() -> Kernel {
+    let n: usize = 1000;
+    let y = random_doubles(121, n + 1, 0.0, 1.0);
+    let want: Vec<f64> = (0..n).map(|k| y[k + 1] - y[k]).collect();
+
+    let mut l = DataLayout::new();
+    let (xa, ya) = (l.alloc_f64(n as u32), l.alloc_f64(n as u32 + 1));
+
+    let mut m = Mahler::new();
+    let yv = m.vector(9).unwrap();
+    let d = m.vector(STRIP).unwrap();
+    let (px, py) = (m.ivar().unwrap(), m.ivar().unwrap());
+    m.set_i(px, xa as i32);
+    m.set_i(py, ya as i32);
+    let i = m.ivar().unwrap();
+    m.counted_loop(i, 0, (n / 8) as i32, 1, |m| {
+        m.load(yv, py, 0, 8).unwrap();
+        m.vop(FpOp::Sub, d, yv.slice(1, 8), yv.slice(0, 8)).unwrap();
+        m.store(d, px, 0, 8).unwrap();
+        m.iadd_imm(px, px, 64);
+        m.iadd_imm(py, py, 64);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 12 first differences".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ya, &y);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, n), &want, 1e-12, "x")
+        }),
+    }
+}
+

@@ -1,0 +1,1461 @@
+//! Livermore loops 13–24: the "larger and more complex kernels" of Fig. 14,
+//! mostly scalar codings (the paper coded 13, 15, 17, 19, 20, 22, 23 in
+//! Modula-2, i.e. straightforward scalar code). Loops 13, 14 and 16 keep
+//! the computation structure (indirect gathers/scatters, branchy search)
+//! at modestly reduced sizes — see DESIGN.md.
+
+use mt_fparith::FpOp;
+use mt_isa::cpu::{AluOp, BranchCond};
+use mt_mahler::Mahler;
+
+use crate::harness::Kernel;
+use crate::layout::{compare_slices, random_doubles, DataLayout};
+use crate::mathlib;
+
+/// Loop 13 — 2-D particle-in-cell: float→int index extraction, masked 2-D
+/// gathers, particle pushes, and a scatter-increment into the charge grid.
+pub fn loop13() -> Kernel {
+    const NP: usize = 100;
+    const G: usize = 32; // grid side; mask G−1
+    let p0 = random_doubles(131, 4 * NP, 0.0, G as f64);
+    let b = random_doubles(132, G * G, 0.0, 0.5);
+    let c = random_doubles(133, G * G, 0.0, 0.5);
+    let yt = random_doubles(134, 2 * G, 0.0, 0.25);
+
+    // Reference, mirroring the coding's order exactly.
+    let mut p = p0.clone();
+    let mut h = vec![0.0f64; G * G];
+    for ip in 0..NP {
+        let (x, y, vx, vy) = (p[4 * ip], p[4 * ip + 1], p[4 * ip + 2], p[4 * ip + 3]);
+        let i1 = (x as i64 as i32) & (G as i32 - 1);
+        let j1 = (y as i64 as i32) & (G as i32 - 1);
+        let vx = vx + b[(j1 as usize) * G + i1 as usize];
+        let vy = vy + c[(j1 as usize) * G + i1 as usize];
+        let x = x + vx;
+        let y = y + vy;
+        let i2 = (x as i64 as i32) & (G as i32 - 1);
+        let j2 = (y as i64 as i32) & (G as i32 - 1);
+        let x = x + yt[i2 as usize + G];
+        let y = y + yt[j2 as usize + G];
+        h[(j2 as usize) * G + i2 as usize] += 1.0;
+        p[4 * ip] = x;
+        p[4 * ip + 1] = y;
+        p[4 * ip + 2] = vx;
+        p[4 * ip + 3] = vy;
+    }
+    let (p_want, h_want) = (p, h);
+
+    let mut l = DataLayout::new();
+    let pa = l.alloc_f64(4 * NP as u32);
+    let ba = l.alloc_f64((G * G) as u32);
+    let ca = l.alloc_f64((G * G) as u32);
+    let ha = l.alloc_f64((G * G) as u32);
+    let ya = l.alloc_f64(2 * G as u32);
+
+    let mut m = Mahler::new();
+    let sx = m.scalar().unwrap();
+    let sy = m.scalar().unwrap();
+    let svx = m.scalar().unwrap();
+    let svy = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let one = m.scalar().unwrap();
+    let pp = m.ivar().unwrap();
+    let i1 = m.ivar().unwrap();
+    let j1 = m.ivar().unwrap();
+    let addr = m.ivar().unwrap();
+    let mask = m.ivar().unwrap();
+    let c5 = m.ivar().unwrap();
+    let c3 = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    let gb = m.ivar().unwrap(); // b grid base (c/h at fixed offsets from it)
+    let gy = m.ivar().unwrap(); // &yt[G]
+    m.load_const(one, 1.0).unwrap();
+    m.set_i(pp, pa as i32);
+    m.set_i(mask, G as i32 - 1);
+    m.set_i(c5, 5);
+    m.set_i(c3, 3);
+    m.set_i(gb, ba as i32);
+    m.set_i(gy, (ya + 8 * G as u32) as i32);
+
+    // addr = grid_base + ((j << 5) + i) << 3 (bases exceed the immediate
+    // range, so they live in registers).
+    let grid_addr = |m: &mut Mahler, addr: mt_mahler::IVar, j, i, base: mt_mahler::IVar, extra: i32, c5, c3| {
+        m.iop(AluOp::Sll, addr, j, c5);
+        m.iop(AluOp::Add, addr, addr, i);
+        m.iop(AluOp::Sll, addr, addr, c3);
+        m.iop(AluOp::Add, addr, addr, base);
+        if extra != 0 {
+            m.iadd_imm(addr, addr, extra);
+        }
+    };
+
+    m.counted_loop(k, 0, NP as i32, 1, |m| {
+        m.load_scalar(sx, pp, 0).unwrap();
+        m.load_scalar(sy, pp, 8).unwrap();
+        m.load_scalar(svx, pp, 16).unwrap();
+        m.load_scalar(svy, pp, 24).unwrap();
+        m.trunc_to_ivar(i1, sx).unwrap();
+        m.iop(AluOp::And, i1, i1, mask);
+        m.trunc_to_ivar(j1, sy).unwrap();
+        m.iop(AluOp::And, j1, j1, mask);
+        grid_addr(m, addr, j1, i1, gb, 0, c5, c3);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, svx, svx, st);
+        m.iadd_imm(addr, addr, (ca - ba) as i32);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, svy, svy, st);
+        m.sop(FpOp::Add, sx, sx, svx);
+        m.sop(FpOp::Add, sy, sy, svy);
+        m.trunc_to_ivar(i1, sx).unwrap();
+        m.iop(AluOp::And, i1, i1, mask);
+        m.trunc_to_ivar(j1, sy).unwrap();
+        m.iop(AluOp::And, j1, j1, mask);
+        // x += yt[i2+G]; y += yt[j2+G]
+        m.iop(AluOp::Sll, addr, i1, c3);
+        m.iop(AluOp::Add, addr, addr, gy);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, sx, sx, st);
+        m.iop(AluOp::Sll, addr, j1, c3);
+        m.iop(AluOp::Add, addr, addr, gy);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, sy, sy, st);
+        // h[j2][i2] += 1.0 — read-modify-write scatter.
+        grid_addr(m, addr, j1, i1, gb, (ha - ba) as i32, c5, c3);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, st, st, one);
+        m.store_scalar(st, addr, 0).unwrap();
+        // Write the particle back.
+        m.store_scalar(sx, pp, 0).unwrap();
+        m.store_scalar(sy, pp, 8).unwrap();
+        m.store_scalar(svx, pp, 16).unwrap();
+        m.store_scalar(svy, pp, 24).unwrap();
+        m.iadd_imm(pp, pp, 32);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 13 2-D PIC".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(pa, &p0);
+            mm.mem.memory.write_f64_slice(ba, &b);
+            mm.mem.memory.write_f64_slice(ca, &c);
+            mm.mem.memory.write_f64_slice(ya, &yt);
+            mm.mem.memory.write_f64_slice(ha, &vec![0.0; G * G]);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(pa, 4 * NP),
+                &p_want,
+                1e-12,
+                "particles",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(ha, G * G),
+                &h_want,
+                1e-12,
+                "h grid",
+            )
+        }),
+    }
+}
+
+/// Loop 14 — 1-D particle-in-cell: gather, field interpolation, push, and
+/// a two-point scatter-accumulate into the charge density.
+pub fn loop14() -> Kernel {
+    const NP: usize = 150;
+    const G: usize = 512;
+    let xx0 = random_doubles(141, NP, 1.0, (G - 4) as f64);
+    let vx0 = random_doubles(142, NP, -0.5, 0.5);
+    let ex = random_doubles(143, G, -0.1, 0.1);
+    let dex = random_doubles(144, G, -0.01, 0.01);
+
+    let mut xx = xx0.clone();
+    let mut vx = vx0.clone();
+    let mut rh = vec![0.0f64; G + 2];
+    for k in 0..NP {
+        let ix = xx[k] as i64 as i32;
+        let xi = ix as f64;
+        let e = ex[ix as usize] - dex[ix as usize] * (xx[k] - xi);
+        vx[k] += e;
+        xx[k] += vx[k];
+        let i2 = ((xx[k] as i64 as i32) & (G as i32 - 1)) as usize;
+        rh[i2] += 0.5;
+        rh[i2 + 1] += 0.5;
+    }
+    let (xx_want, vx_want, rh_want) = (xx, vx, rh);
+
+    let mut l = DataLayout::new();
+    let xxa = l.alloc_f64(NP as u32);
+    let vxa = l.alloc_f64(NP as u32);
+    let exa = l.alloc_f64(G as u32);
+    let dexa = l.alloc_f64(G as u32);
+    let rha = l.alloc_f64(G as u32 + 2);
+
+    let mut m = Mahler::new();
+    let sx = m.scalar().unwrap();
+    let sv = m.scalar().unwrap();
+    let se = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let sxi = m.scalar().unwrap();
+    let half = m.scalar().unwrap();
+    let px = m.ivar().unwrap();
+    let pv = m.ivar().unwrap();
+    let ix = m.ivar().unwrap();
+    let addr = m.ivar().unwrap();
+    let mask = m.ivar().unwrap();
+    let c3 = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    let gex = m.ivar().unwrap();
+    let grh = m.ivar().unwrap();
+    m.load_const(half, 0.5).unwrap();
+    m.set_i(px, xxa as i32);
+    m.set_i(pv, vxa as i32);
+    m.set_i(mask, G as i32 - 1);
+    m.set_i(c3, 3);
+    m.set_i(gex, exa as i32);
+    m.set_i(grh, rha as i32);
+
+    m.counted_loop(k, 0, NP as i32, 1, |m| {
+        m.load_scalar(sx, px, 0).unwrap();
+        m.load_scalar(sv, pv, 0).unwrap();
+        m.trunc_to_ivar(ix, sx).unwrap();
+        m.ivar_to_scal(sxi, ix).unwrap();
+        // e = ex[ix] − dex[ix]·(x − xi)
+        m.iop(AluOp::Sll, addr, ix, c3);
+        m.iop(AluOp::Add, addr, addr, gex);
+        m.load_scalar(se, addr, 0).unwrap();
+        m.iadd_imm(addr, addr, (dexa - exa) as i32);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Sub, sxi, sx, sxi); // x − xi
+        m.sop(FpOp::Mul, st, st, sxi);
+        m.sop(FpOp::Sub, se, se, st);
+        m.sop(FpOp::Add, sv, sv, se);
+        m.sop(FpOp::Add, sx, sx, sv);
+        m.store_scalar(sx, px, 0).unwrap();
+        m.store_scalar(sv, pv, 0).unwrap();
+        // Scatter: rh[i2] += 0.5; rh[i2+1] += 0.5.
+        m.trunc_to_ivar(ix, sx).unwrap();
+        m.iop(AluOp::And, ix, ix, mask);
+        m.iop(AluOp::Sll, addr, ix, c3);
+        m.iop(AluOp::Add, addr, addr, grh);
+        m.load_scalar(st, addr, 0).unwrap();
+        m.sop(FpOp::Add, st, st, half);
+        m.store_scalar(st, addr, 0).unwrap();
+        m.load_scalar(st, addr, 8).unwrap();
+        m.sop(FpOp::Add, st, st, half);
+        m.store_scalar(st, addr, 8).unwrap();
+        m.iadd_imm(px, px, 8);
+        m.iadd_imm(pv, pv, 8);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 14 1-D PIC".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(xxa, &xx0);
+            mm.mem.memory.write_f64_slice(vxa, &vx0);
+            mm.mem.memory.write_f64_slice(exa, &ex);
+            mm.mem.memory.write_f64_slice(dexa, &dex);
+            mm.mem.memory.write_f64_slice(rha, &vec![0.0; G + 2]);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xxa, NP), &xx_want, 1e-12, "xx")?;
+            compare_slices(&mm.mem.memory.read_f64_slice(vxa, NP), &vx_want, 1e-12, "vx")?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(rha, G + 2),
+                &rh_want,
+                1e-12,
+                "rh",
+            )
+        }),
+    }
+}
+
+/// Loop 15 — "casual Fortran" — data-dependent selects feeding a
+/// `sqrt` and a divide per element; coded scalar with the `sqrt`
+/// subroutine.
+pub fn loop15() -> Kernel {
+    const NJ: usize = 7;
+    const NK: usize = 101;
+    let (ar, br) = (0.053, 0.073);
+    let vh = random_doubles(151, NJ * NK, 0.1, 1.0);
+    let vf = random_doubles(152, NJ * NK, 0.5, 1.5);
+
+    let idx = |j: usize, k: usize| j * NK + k;
+    let mut vy_want = vec![0.0f64; NJ * NK];
+    for j in 1..6 {
+        for k in 1..NK - 1 {
+            let t = if vh[idx(j + 1, k)] > vh[idx(j, k)] { ar } else { br };
+            let (r, s) = if vf[idx(j, k)] < vf[idx(j, k - 1)] {
+                let r = if vh[idx(j, k - 1)] > vh[idx(j + 1, k - 1)] {
+                    vh[idx(j, k - 1)]
+                } else {
+                    vh[idx(j + 1, k - 1)]
+                };
+                (r, vf[idx(j, k - 1)])
+            } else {
+                let r = if vh[idx(j, k + 1)] > vh[idx(j + 1, k + 1)] {
+                    vh[idx(j, k + 1)]
+                } else {
+                    vh[idx(j + 1, k + 1)]
+                };
+                (r, vf[idx(j, k)])
+            };
+            let h = vh[idx(j, k)];
+            vy_want[idx(j, k)] = (h * h + r * r).sqrt() * t / s;
+        }
+    }
+
+    let mut l = DataLayout::new();
+    let vha = l.alloc_f64((NJ * NK) as u32);
+    let vfa = l.alloc_f64((NJ * NK) as u32);
+    let vya = l.alloc_f64((NJ * NK) as u32);
+    const SQRT_POOL: u32 = 0xE000;
+    const SQRT_SCRATCH: u32 = 0xE900;
+
+    let mut m = Mahler::new();
+    let sh = m.scalar().unwrap();
+    let sr = m.scalar().unwrap();
+    let ss = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let sa = m.scalar().unwrap();
+    let s_ar = m.scalar().unwrap();
+    let s_br = m.scalar().unwrap();
+    let zero = m.scalar().unwrap();
+    let ph = m.ivar().unwrap(); // &vh[j][k]
+    let pf = m.ivar().unwrap(); // &vf[j][k]
+    let py = m.ivar().unwrap(); // &vy[j][k]
+    let k = m.ivar().unwrap();
+    m.load_const(s_ar, ar).unwrap();
+    m.load_const(s_br, br).unwrap();
+    m.load_const(zero, 0.0).unwrap();
+
+    let sqrt_entry = m.label();
+    let row = 8 * NK as i32;
+
+    for j in 1..6usize {
+        m.set_i(ph, (vha + 8 * idx(j, 1) as u32) as i32);
+        m.set_i(pf, (vfa + 8 * idx(j, 1) as u32) as i32);
+        m.set_i(py, (vya + 8 * idx(j, 1) as u32) as i32);
+        m.counted_loop(k, 1, (NK - 1) as i32, 1, |m| {
+            // t = vh[j+1][k] > vh[j][k] ? ar : br
+            m.load_scalar(sh, ph, 0).unwrap();
+            m.load_scalar(st, ph, row).unwrap();
+            let take_ar = m.label();
+            let t_done = m.label();
+            // st > sh  ⟺  sh < st
+            m.fbranch(BranchCond::Lt, sh, st, take_ar).unwrap();
+            m.sop(FpOp::Add, sa, s_br, zero); // sa = br
+            m.jump(t_done);
+            m.bind(take_ar);
+            m.sop(FpOp::Add, sa, s_ar, zero); // sa = ar
+            m.bind(t_done);
+            // Select (r, s) by the vf comparison.
+            m.load_scalar(ss, pf, 0).unwrap(); // vf[j][k]
+            m.load_scalar(st, pf, -8).unwrap(); // vf[j][k−1]
+            let lt_branch = m.label();
+            let rs_done = m.label();
+            m.fbranch(BranchCond::Lt, ss, st, lt_branch).unwrap();
+            // else: r = max(vh[j][k+1], vh[j+1][k+1]); s = vf[j][k] (in ss).
+            m.load_scalar(sr, ph, 8).unwrap();
+            m.load_scalar(st, ph, row + 8).unwrap();
+            let keep = m.label();
+            m.fbranch(BranchCond::Ge, sr, st, keep).unwrap();
+            m.sop(FpOp::Add, sr, st, zero);
+            m.bind(keep);
+            m.jump(rs_done);
+            m.bind(lt_branch);
+            // r = max(vh[j][k−1], vh[j+1][k−1]); s = vf[j][k−1] (in st → ss).
+            m.sop(FpOp::Add, ss, st, zero);
+            m.load_scalar(sr, ph, -8).unwrap();
+            m.load_scalar(st, ph, row - 8).unwrap();
+            let keep2 = m.label();
+            m.fbranch(BranchCond::Ge, sr, st, keep2).unwrap();
+            m.sop(FpOp::Add, sr, st, zero);
+            m.bind(keep2);
+            m.bind(rs_done);
+            // vy = sqrt(h² + r²)·t / s
+            m.load_scalar(sh, ph, 0).unwrap();
+            m.sop(FpOp::Mul, sh, sh, sh);
+            m.sop(FpOp::Mul, sr, sr, sr);
+            m.sop(FpOp::Add, sh, sh, sr);
+            // Call sqrt: argument R40, result R41.
+            m.fence().unwrap();
+            let asm = m.asm_mut();
+            asm.fscalar(FpOp::Add, mathlib::EXP_ARG, sh.reg(), zero.reg());
+            asm.jal(sqrt_entry);
+            asm.fscalar(FpOp::Add, sh.reg(), mathlib::EXP_RESULT, zero.reg());
+            m.sop(FpOp::Mul, sh, sh, sa);
+            m.sdiv(st, sh, ss).unwrap();
+            m.store_scalar(st, py, 0).unwrap();
+            m.iadd_imm(ph, ph, 8);
+            m.iadd_imm(pf, pf, 8);
+            m.iadd_imm(py, py, 8);
+        });
+    }
+    // Emit the sqrt subroutine after the main body; the main code must
+    // halt before falling through into it.
+    m.asm_mut().halt();
+    let sqrt_consts = mathlib::emit_sqrt(m.asm_mut(), sqrt_entry, SQRT_POOL, SQRT_SCRATCH);
+    let mut routine = m.finish().unwrap();
+    routine.consts.extend(sqrt_consts);
+
+    Kernel {
+        name: "LL 15 casual Fortran".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(vha, &vh);
+            mm.mem.memory.write_f64_slice(vfa, &vf);
+            mm.mem.memory.write_f64_slice(vya, &vec![0.0; NJ * NK]);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(vya, NJ * NK),
+                &vy_want,
+                1e-9,
+                "vy",
+            )
+        }),
+    }
+}
+
+/// Loop 16 — Monte Carlo search: a branchy scan over zone/plan tables with
+/// almost no floating-point arithmetic (Fig. 14's lowest MFLOPS class).
+pub fn loop16() -> Kernel {
+    const N: usize = 300;
+    const PROBES: usize = 75;
+    let plan = random_doubles(161, N, 0.0, 10.0);
+    let d = random_doubles(163, N, 0.0, 10.0);
+    let zone: Vec<i32> = (0..N).map(|i| ((i * 73 + 19) % N) as i32).collect();
+    let targets = random_doubles(162, PROBES, 0.0, 10.0);
+
+    // Reference: for each target, walk zones testing the LFK16-style
+    // bracket (plan[z] − t)·(t − d[z]) > 0; count compares (k2) and hits
+    // (k3).
+    let mut k2 = 0i32;
+    let mut k3 = 0i32;
+    let mut found = vec![0.0f64; PROBES];
+    for (pi, &t) in targets.iter().enumerate() {
+        let mut j = (pi * 7) % N;
+        let mut steps = 0;
+        loop {
+            k2 += 1;
+            steps += 1;
+            let z = zone[j] as usize;
+            let bracket = (plan[z] - t) * (t - d[z]);
+            if bracket > 0.0 {
+                k3 += 1;
+                found[pi] = bracket;
+                break;
+            }
+            if steps >= 30 {
+                found[pi] = -bracket;
+                break;
+            }
+            j = (j + 1) % N;
+        }
+    }
+    let (k2_want, k3_want, found_want) = (k2, k3, found);
+
+    let mut l = DataLayout::new();
+    let plana = l.alloc_f64(N as u32);
+    let da = l.alloc_f64(N as u32);
+    let zonea = l.alloc_i32(N as u32);
+    let ta = l.alloc_f64(PROBES as u32);
+    let founda = l.alloc_f64(PROBES as u32);
+    let ka = l.alloc_i32(2);
+
+    let mut m = Mahler::new();
+    let st = m.scalar().unwrap();
+    let sp = m.scalar().unwrap();
+    let sd = m.scalar().unwrap();
+    let szero = m.scalar().unwrap();
+    let pt = m.ivar().unwrap();
+    let pf = m.ivar().unwrap();
+    let j = m.ivar().unwrap();
+    let steps = m.ivar().unwrap();
+    let k2v = m.ivar().unwrap();
+    let k3v = m.ivar().unwrap();
+    let addr = m.ivar().unwrap();
+    let zidx = m.ivar().unwrap();
+    let climit = m.ivar().unwrap();
+    let cn = m.ivar().unwrap();
+    let c2 = m.ivar().unwrap();
+    let c3 = m.ivar().unwrap();
+    let pi = m.ivar().unwrap();
+    let gz = m.ivar().unwrap();
+    let gp = m.ivar().unwrap();
+    m.load_const(szero, 0.0).unwrap();
+    m.set_i(gz, zonea as i32);
+    m.set_i(gp, plana as i32);
+    m.set_i(pt, ta as i32);
+    m.set_i(pf, founda as i32);
+    m.set_i(k2v, 0);
+    m.set_i(k3v, 0);
+    m.set_i(climit, 30);
+    m.set_i(cn, N as i32);
+    m.set_i(c2, 2);
+    m.set_i(c3, 3);
+
+    m.counted_loop(pi, 0, PROBES as i32, 1, |m| {
+        m.load_scalar(st, pt, 0).unwrap();
+        // j = (pi·7) mod N — keep a running value: j += 7 each probe then
+        // wrap (equivalent for our sizes since 7·PROBES < 2N handled by
+        // conditional subtract below). Simpler: recompute j = pi·7 − floor.
+        // Running form:
+        {
+            // j starts 0 on the first probe (ivars reset per run).
+            // After the body j holds the search end; recompute here.
+            use mt_isa::cpu::AluOp as A;
+            let t = addr;
+            m.iop(A::Sll, t, pi, c3); // pi·8
+            m.iop(A::Sub, t, t, pi); // pi·7
+            // t mod N by repeated subtract (pi·7 ≤ 525 < 2N).
+            let no_wrap = m.label();
+            m.ibranch(BranchCond::Lt, t, cn, no_wrap);
+            m.iop(A::Sub, t, t, cn);
+            m.bind(no_wrap);
+            m.iop(A::Add, j, t, t);
+            m.iop(A::Sub, j, j, t); // j = t
+        }
+        m.set_i(steps, 0);
+        let search = m.here();
+        let found_hit = m.label();
+        let found_miss = m.label();
+        let next_probe = m.label();
+        m.iadd_imm(k2v, k2v, 1);
+        m.iadd_imm(steps, steps, 1);
+        // z = zone[j]; bracket = (plan[z] − t)·(t − d[z]).
+        {
+            use mt_isa::cpu::AluOp as A;
+            m.iop(A::Sll, addr, j, c2);
+            m.iop(A::Add, addr, addr, gz);
+            m.load_int(zidx, addr, 0).unwrap();
+            m.iop(A::Sll, addr, zidx, c3);
+            m.iop(A::Add, addr, addr, gp);
+            m.load_scalar(sp, addr, 0).unwrap();
+            m.sop(FpOp::Sub, sp, sp, st); // plan[z] − t
+            m.iadd_imm(addr, addr, (da - plana) as i32);
+            m.load_scalar(sd, addr, 0).unwrap();
+            m.sop(FpOp::Sub, sd, st, sd); // t − d[z]
+            m.sop(FpOp::Mul, sp, sp, sd); // the bracket product
+        }
+        // bracket > 0 ⟺ zero < bracket.
+        m.fbranch(BranchCond::Lt, szero, sp, found_hit).unwrap();
+        m.ibranch(BranchCond::Ge, steps, climit, found_miss);
+        m.iadd_imm(j, j, 1);
+        {
+            let no_wrap = m.label();
+            m.ibranch(BranchCond::Lt, j, cn, no_wrap);
+            m.set_i(j, 0);
+            m.bind(no_wrap);
+        }
+        m.jump(search);
+        m.bind(found_hit);
+        m.iadd_imm(k3v, k3v, 1);
+        m.store_scalar(sp, pf, 0).unwrap();
+        m.jump(next_probe);
+        m.bind(found_miss);
+        m.sop(FpOp::Sub, sp, szero, sp); // −bracket
+        m.store_scalar(sp, pf, 0).unwrap();
+        m.bind(next_probe);
+        m.iadd_imm(pt, pt, 8);
+        m.iadd_imm(pf, pf, 8);
+    });
+    // Store the counters.
+    m.set_i(addr, ka as i32);
+    m.store_int(k2v, addr, 0);
+    m.store_int(k3v, addr, 4);
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 16 Monte Carlo search".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(plana, &plan);
+            mm.mem.memory.write_f64_slice(da, &d);
+            for (i, &z) in zone.iter().enumerate() {
+                mm.mem.memory.write_u32(zonea + 4 * i as u32, z as u32);
+            }
+            mm.mem.memory.write_f64_slice(ta, &targets);
+        }),
+        verify: Box::new(move |mm| {
+            if mm.mem.memory.read_u32(ka) as i32 != k2_want {
+                return Err(format!(
+                    "k2: got {}, want {k2_want}",
+                    mm.mem.memory.read_u32(ka) as i32
+                ));
+            }
+            if mm.mem.memory.read_u32(ka + 4) as i32 != k3_want {
+                return Err(format!(
+                    "k3: got {}, want {k3_want}",
+                    mm.mem.memory.read_u32(ka + 4) as i32
+                ));
+            }
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(founda, PROBES),
+                &found_want,
+                1e-12,
+                "found",
+            )
+        }),
+    }
+}
+
+/// Loop 17 — implicit conditional computation: a backward scan whose
+/// branch outcome feeds the next iteration.
+pub fn loop17() -> Kernel {
+    const N: usize = 101;
+    let vlr = random_doubles(171, N, 0.0, 1.0);
+    let vlin = random_doubles(172, N, 0.0, 1.0);
+    let vsp = random_doubles(173, N, 0.0, 1.0);
+    let vstp = random_doubles(174, N, 0.0, 1.0);
+    let vxne0 = random_doubles(175, N, 0.0, 2.0);
+
+    let scale = 5.0 / 3.0;
+    let mut xnm = 1.0 / 3.0;
+    let mut e6 = 1.03 / 3.07;
+    let mut vxne = vxne0.clone();
+    let mut vxnd = vec![0.0f64; N];
+    for k in (0..N).rev() {
+        let e3 = xnm * vlr[k] + vlin[k];
+        let xnei = vxne[k];
+        vxnd[k] = e6;
+        let xnc = scale * e3;
+        if xnm > xnc {
+            e6 = xnm * vsp[k] + vstp[k];
+            vxne[k] = e6;
+            xnm = e6;
+        } else if xnei > xnc {
+            e6 = e3 * vsp[k] + vstp[k];
+            vxne[k] = e6;
+            xnm = e6;
+        } else {
+            e6 = e3;
+            xnm = e3;
+        }
+    }
+    let (vxne_want, vxnd_want) = (vxne, vxnd);
+
+    let mut l = DataLayout::new();
+    let vlra = l.alloc_f64(N as u32);
+    let vlina = l.alloc_f64(N as u32);
+    let vspa = l.alloc_f64(N as u32);
+    let vstpa = l.alloc_f64(N as u32);
+    let vxnea = l.alloc_f64(N as u32);
+    let vxnda = l.alloc_f64(N as u32);
+
+    let mut m = Mahler::new();
+    let sxnm = m.scalar().unwrap();
+    let se6 = m.scalar().unwrap();
+    let se3 = m.scalar().unwrap();
+    let sxnc = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let sscale = m.scalar().unwrap();
+    let p = m.ivar().unwrap(); // common element pointer (descending)
+    let k = m.ivar().unwrap();
+    m.load_const(sxnm, 1.0 / 3.0).unwrap();
+    m.load_const(se6, 1.03 / 3.07).unwrap();
+    m.load_const(sscale, scale).unwrap();
+    m.set_i(p, (vlra + 8 * (N as u32 - 1)) as i32);
+    let off = |base: u32| (base as i32) - (vlra as i32);
+
+    m.counted_loop(k, 0, N as i32, 1, |m| {
+        m.load_scalar(se3, p, 0).unwrap(); // vlr[k]
+        m.sop(FpOp::Mul, se3, sxnm, se3);
+        m.load_scalar(st, p, off(vlina)).unwrap();
+        m.sop(FpOp::Add, se3, se3, st);
+        m.store_scalar(se6, p, off(vxnda)).unwrap();
+        m.sop(FpOp::Mul, sxnc, sscale, se3);
+        let case1 = m.label();
+        let case2 = m.label();
+        let case3 = m.label();
+        let done = m.label();
+        // xnm > xnc ⟺ xnc < xnm.
+        m.fbranch(BranchCond::Lt, sxnc, sxnm, case1).unwrap();
+        m.load_scalar(st, p, off(vxnea)).unwrap();
+        m.fbranch(BranchCond::Lt, sxnc, st, case2).unwrap();
+        m.jump(case3);
+        m.bind(case1);
+        m.load_scalar(st, p, off(vspa)).unwrap();
+        m.sop(FpOp::Mul, se6, sxnm, st);
+        m.load_scalar(st, p, off(vstpa)).unwrap();
+        m.sop(FpOp::Add, se6, se6, st);
+        m.store_scalar(se6, p, off(vxnea)).unwrap();
+        m.sop(FpOp::Add, sxnm, se6, se6);
+        m.sop(FpOp::Sub, sxnm, sxnm, se6);
+        m.jump(done);
+        m.bind(case2);
+        m.load_scalar(st, p, off(vspa)).unwrap();
+        m.sop(FpOp::Mul, se6, se3, st);
+        m.load_scalar(st, p, off(vstpa)).unwrap();
+        m.sop(FpOp::Add, se6, se6, st);
+        m.store_scalar(se6, p, off(vxnea)).unwrap();
+        m.sop(FpOp::Add, sxnm, se6, se6);
+        m.sop(FpOp::Sub, sxnm, sxnm, se6);
+        m.jump(done);
+        m.bind(case3);
+        m.sop(FpOp::Add, se6, se3, se3);
+        m.sop(FpOp::Sub, se6, se6, se3);
+        m.sop(FpOp::Add, sxnm, se3, se3);
+        m.sop(FpOp::Sub, sxnm, sxnm, se3);
+        m.bind(done);
+        m.iadd_imm(p, p, -8);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 17 implicit conditional".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(vlra, &vlr);
+            mm.mem.memory.write_f64_slice(vlina, &vlin);
+            mm.mem.memory.write_f64_slice(vspa, &vsp);
+            mm.mem.memory.write_f64_slice(vstpa, &vstp);
+            mm.mem.memory.write_f64_slice(vxnea, &vxne0);
+            mm.mem.memory.write_f64_slice(vxnda, &vec![0.0; N]);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(vxnea, N),
+                &vxne_want,
+                1e-12,
+                "vxne",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(vxnda, N),
+                &vxnd_want,
+                1e-12,
+                "vxnd",
+            )
+        }),
+    }
+}
+
+/// Loop 18 — 2-D explicit hydrodynamics: three vectorizable passes over a
+/// 7×102 zone mesh, including a vectorized Newton–Raphson divide.
+pub fn loop18() -> Kernel {
+    const NJ: usize = 7;
+    const NK: usize = 102;
+    let t = 0.0037;
+    let s = 0.0041;
+    let zp = random_doubles(181, NJ * NK, 0.5, 1.0);
+    let zq = random_doubles(182, NJ * NK, 0.5, 1.0);
+    let zm = random_doubles(183, NJ * NK, 1.0, 2.0);
+    let zr0 = random_doubles(184, NJ * NK, 0.5, 1.0);
+    let zz0 = random_doubles(185, NJ * NK, 0.5, 1.0);
+    let zu0 = random_doubles(186, NJ * NK, 0.0, 0.1);
+    let zv0 = random_doubles(187, NJ * NK, 0.0, 0.1);
+
+    let idx = |j: usize, k: usize| j * NK + k;
+    let mut za = vec![0.0f64; NJ * NK];
+    let mut zb = vec![0.0f64; NJ * NK];
+    let mut zu = zu0.clone();
+    let mut zv = zv0.clone();
+    let mut zr = zr0.clone();
+    let mut zz = zz0.clone();
+    for j in 1..6 {
+        for k in 1..NK - 1 {
+            za[idx(j, k)] = ((zp[idx(j - 1, k + 1)] + zq[idx(j - 1, k + 1)])
+                - (zp[idx(j - 1, k)] + zq[idx(j - 1, k)]))
+                * (zr[idx(j, k)] + zr[idx(j - 1, k)])
+                / (zm[idx(j - 1, k)] + zm[idx(j - 1, k + 1)]);
+            zb[idx(j, k)] = ((zp[idx(j - 1, k)] + zq[idx(j - 1, k)])
+                - (zp[idx(j, k)] + zq[idx(j, k)]))
+                * (zr[idx(j, k)] + zr[idx(j, k - 1)])
+                / (zm[idx(j, k)] + zm[idx(j - 1, k)]);
+        }
+    }
+    for j in 1..6 {
+        for k in 1..NK - 1 {
+            let d = |a: f64, b: f64| a - b;
+            let zzc = zz0[idx(j, k)];
+            let zrc = zr0[idx(j, k)];
+            zu[idx(j, k)] += s
+                * (za[idx(j, k)] * d(zzc, zz0[idx(j, k + 1)])
+                    - za[idx(j, k - 1)] * d(zzc, zz0[idx(j, k - 1)])
+                    - zb[idx(j, k)] * d(zzc, zz0[idx(j - 1, k)])
+                    + zb[idx(j + 1, k)] * d(zzc, zz0[idx(j + 1, k)]));
+            zv[idx(j, k)] += s
+                * (za[idx(j, k)] * d(zrc, zr0[idx(j, k + 1)])
+                    - za[idx(j, k - 1)] * d(zrc, zr0[idx(j, k - 1)])
+                    - zb[idx(j, k)] * d(zrc, zr0[idx(j - 1, k)])
+                    + zb[idx(j + 1, k)] * d(zrc, zr0[idx(j + 1, k)]));
+        }
+    }
+    for j in 1..6 {
+        for k in 1..NK - 1 {
+            zr[idx(j, k)] = zr0[idx(j, k)] + t * zu[idx(j, k)];
+            zz[idx(j, k)] = zz0[idx(j, k)] + t * zv[idx(j, k)];
+        }
+    }
+    let (zu_want, zv_want, zr_want, zz_want) = (zu, zv, zr, zz);
+
+    let mut l = DataLayout::new();
+    let zpa = l.alloc_f64((NJ * NK) as u32);
+    let zqa = l.alloc_f64((NJ * NK) as u32);
+    let zma = l.alloc_f64((NJ * NK) as u32);
+    let zra = l.alloc_f64((NJ * NK) as u32);
+    let zza = l.alloc_f64((NJ * NK) as u32);
+    let zua = l.alloc_f64((NJ * NK) as u32);
+    let zva = l.alloc_f64((NJ * NK) as u32);
+    let zaa = l.alloc_f64((NJ * NK) as u32);
+    let zba = l.alloc_f64((NJ * NK) as u32);
+
+    let mut m = Mahler::new();
+    const VL: u8 = 4;
+    let va = m.vector(VL).unwrap();
+    let vb = m.vector(VL).unwrap();
+    let vc = m.vector(VL).unwrap();
+    let vd = m.vector(VL).unwrap();
+    let w0 = m.vector(VL).unwrap();
+    let w1 = m.vector(VL).unwrap();
+    let sconst = m.scalar().unwrap();
+    let p = m.ivar().unwrap(); // &zp[j][k] — all arrays share offsets
+    let k = m.ivar().unwrap();
+    let row = 8 * NK as i32;
+    let off = |b: u32| b as i32 - zpa as i32;
+    let strips = (NK - 2) / VL as usize; // 100/4 = 25
+
+    // Pass 1: za and zb (each with a vectorized divide).
+    for j in 1..6usize {
+        m.set_i(p, (zpa + 8 * idx(j, 1) as u32) as i32);
+        m.counted_loop(k, 0, strips as i32, 1, |m| {
+            // za numerator: (zp+zq)[j−1][k+1] − (zp+zq)[j−1][k], times
+            // (zr[j][k] + zr[j−1][k]).
+            m.load(va, p, -row + 8, 8).unwrap();
+            m.load(vb, p, off(zqa) - row + 8, 8).unwrap();
+            m.vop(FpOp::Add, va, va, vb).unwrap();
+            m.load(vb, p, -row, 8).unwrap();
+            m.load(vc, p, off(zqa) - row, 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vop(FpOp::Sub, va, va, vb).unwrap();
+            m.load(vb, p, off(zra), 8).unwrap();
+            m.load(vc, p, off(zra) - row, 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vop(FpOp::Mul, va, va, vb).unwrap();
+            // Denominator: zm[j−1][k] + zm[j−1][k+1]; divide.
+            m.load(vb, p, off(zma) - row, 8).unwrap();
+            m.load(vc, p, off(zma) - row + 8, 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vdiv(vd, va, vb, w0, w1).unwrap();
+            m.store(vd, p, off(zaa), 8).unwrap();
+            // zb: ((zp+zq)[j−1][k] − (zp+zq)[j][k]) ·
+            //     (zr[j][k] + zr[j][k−1]) / (zm[j][k] + zm[j−1][k]).
+            m.load(va, p, -row, 8).unwrap();
+            m.load(vb, p, off(zqa) - row, 8).unwrap();
+            m.vop(FpOp::Add, va, va, vb).unwrap();
+            m.load(vb, p, 0, 8).unwrap();
+            m.load(vc, p, off(zqa), 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vop(FpOp::Sub, va, va, vb).unwrap();
+            m.load(vb, p, off(zra), 8).unwrap();
+            m.load(vc, p, off(zra) - 8, 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vop(FpOp::Mul, va, va, vb).unwrap();
+            m.load(vb, p, off(zma), 8).unwrap();
+            m.load(vc, p, off(zma) - row, 8).unwrap();
+            m.vop(FpOp::Add, vb, vb, vc).unwrap();
+            m.vdiv(vd, va, vb, w0, w1).unwrap();
+            m.store(vd, p, off(zba), 8).unwrap();
+            m.iadd_imm(p, p, 8 * VL as i32);
+        });
+    }
+    // Pass 2: zu and zv.
+    m.load_const(sconst, s).unwrap();
+    for j in 1..6usize {
+        m.set_i(p, (zpa + 8 * idx(j, 1) as u32) as i32);
+        m.counted_loop(k, 0, strips as i32, 1, |m| {
+            for (centre, out) in [(zza, zua), (zra, zva)] {
+                // acc = za[j][k]·(c − c[k+1]) − za[j][k−1]·(c − c[k−1])
+                //     − zb[j][k]·(c − c[j−1]) + zb[j+1][k]·(c − c[j+1])
+                m.load(vc, p, off(centre), 8).unwrap(); // centre value c
+                m.load(va, p, off(centre) + 8, 8).unwrap();
+                m.vop(FpOp::Sub, va, vc, va).unwrap();
+                m.load(vb, p, off(zaa), 8).unwrap();
+                m.vop(FpOp::Mul, va, va, vb).unwrap(); // acc
+                m.load(vb, p, off(centre) - 8, 8).unwrap();
+                m.vop(FpOp::Sub, vb, vc, vb).unwrap();
+                m.load(vd, p, off(zaa) - 8, 8).unwrap();
+                m.vop(FpOp::Mul, vb, vb, vd).unwrap();
+                m.vop(FpOp::Sub, va, va, vb).unwrap();
+                m.load(vb, p, off(centre) - row, 8).unwrap();
+                m.vop(FpOp::Sub, vb, vc, vb).unwrap();
+                m.load(vd, p, off(zba), 8).unwrap();
+                m.vop(FpOp::Mul, vb, vb, vd).unwrap();
+                m.vop(FpOp::Sub, va, va, vb).unwrap();
+                m.load(vb, p, off(centre) + row, 8).unwrap();
+                m.vop(FpOp::Sub, vb, vc, vb).unwrap();
+                m.load(vd, p, off(zba) + row, 8).unwrap();
+                m.vop(FpOp::Mul, vb, vb, vd).unwrap();
+                m.vop(FpOp::Add, va, va, vb).unwrap();
+                m.vop_scalar(FpOp::Mul, va, va, sconst).unwrap();
+                m.load(vb, p, off(out), 8).unwrap();
+                m.vop(FpOp::Add, va, va, vb).unwrap();
+                m.store(va, p, off(out), 8).unwrap();
+            }
+            m.iadd_imm(p, p, 8 * VL as i32);
+        });
+    }
+    // Pass 3: zr += t·zu; zz += t·zv.
+    m.load_const(sconst, t).unwrap();
+    for j in 1..6usize {
+        m.set_i(p, (zpa + 8 * idx(j, 1) as u32) as i32);
+        m.counted_loop(k, 0, strips as i32, 1, |m| {
+            for (src, dst) in [(zua, zra), (zva, zza)] {
+                m.load(va, p, off(src), 8).unwrap();
+                m.vop_scalar(FpOp::Mul, va, va, sconst).unwrap();
+                m.load(vb, p, off(dst), 8).unwrap();
+                m.vop(FpOp::Add, va, va, vb).unwrap();
+                m.store(va, p, off(dst), 8).unwrap();
+            }
+            m.iadd_imm(p, p, 8 * VL as i32);
+        });
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 18 2-D explicit hydro".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(zpa, &zp);
+            mm.mem.memory.write_f64_slice(zqa, &zq);
+            mm.mem.memory.write_f64_slice(zma, &zm);
+            mm.mem.memory.write_f64_slice(zra, &zr0);
+            mm.mem.memory.write_f64_slice(zza, &zz0);
+            mm.mem.memory.write_f64_slice(zua, &zu0);
+            mm.mem.memory.write_f64_slice(zva, &zv0);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(zua, NJ * NK), &zu_want, 1e-8, "zu")?;
+            compare_slices(&mm.mem.memory.read_f64_slice(zva, NJ * NK), &zv_want, 1e-8, "zv")?;
+            compare_slices(&mm.mem.memory.read_f64_slice(zra, NJ * NK), &zr_want, 1e-8, "zr")?;
+            compare_slices(&mm.mem.memory.read_f64_slice(zza, NJ * NK), &zz_want, 1e-8, "zz")
+        }),
+    }
+}
+
+/// Loop 19 — general linear recurrence equations: a forward then a
+/// backward fully serial sweep.
+pub fn loop19() -> Kernel {
+    const N: usize = 101;
+    let sa = random_doubles(191, N, 0.0, 1.0);
+    let sb = random_doubles(192, N, 0.0, 0.5);
+
+    let mut b5 = vec![0.0f64; N];
+    let mut stb5 = 0.0123;
+    for k in 0..N {
+        b5[k] = sa[k] + stb5 * sb[k];
+        stb5 = b5[k] - stb5;
+    }
+    for k in (0..N).rev() {
+        b5[k] = sa[k] + stb5 * sb[k];
+        stb5 = b5[k] - stb5;
+    }
+    let b5_want = b5;
+
+    let mut l = DataLayout::new();
+    let saa = l.alloc_f64(N as u32);
+    let sba = l.alloc_f64(N as u32);
+    let b5a = l.alloc_f64(N as u32);
+
+    let mut m = Mahler::new();
+    let s5 = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let su = m.scalar().unwrap();
+    let p = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    m.load_const(s5, 0.0123).unwrap();
+    let off = |b: u32| b as i32 - saa as i32;
+
+    for dir in 0..2 {
+        let step = if dir == 0 { 8 } else { -8 };
+        let start = if dir == 0 {
+            saa as i32
+        } else {
+            (saa + 8 * (N as u32 - 1)) as i32
+        };
+        m.set_i(p, start);
+        m.counted_loop(k, 0, N as i32, 1, |m| {
+            m.load_scalar(st, p, 0).unwrap(); // sa[k]
+            m.load_scalar(su, p, off(sba)).unwrap(); // sb[k]
+            m.sop(FpOp::Mul, su, s5, su);
+            m.sop(FpOp::Add, su, st, su); // b5[k]
+            m.store_scalar(su, p, off(b5a)).unwrap();
+            m.sop(FpOp::Sub, s5, su, s5);
+            m.iadd_imm(p, p, step);
+        });
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 19 linear recurrence".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(saa, &sa);
+            mm.mem.memory.write_f64_slice(sba, &sb);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(b5a, N), &b5_want, 1e-12, "b5")
+        }),
+    }
+}
+
+/// Loop 20 — discrete ordinates transport: two divides, two clamps, and a
+/// serial `xx` recurrence per element.
+pub fn loop20() -> Kernel {
+    const N: usize = 101;
+    let y = random_doubles(201, N, 1.0, 2.0);
+    let g = random_doubles(202, N, 0.1, 0.5);
+    let z = random_doubles(203, N, 0.1, 2.0);
+    let w = random_doubles(204, N, 0.1, 1.0);
+    let v = random_doubles(205, N, 0.1, 1.0);
+    let u = random_doubles(206, N, 0.1, 1.0);
+    let vxa_in = random_doubles(207, N, 0.5, 1.5);
+    let dk = 0.2;
+    let (tclamp, sclamp) = (2.0, 0.01);
+
+    let mut xx = 0.75f64;
+    let mut x_want = vec![0.0f64; N];
+    let mut xx_want = vec![0.0f64; N + 1];
+    xx_want[0] = xx;
+    for k in 0..N {
+        let di = y[k] - g[k] / (xx + dk);
+        let mut dn = z[k] / di;
+        if tclamp < dn {
+            dn = tclamp;
+        }
+        if sclamp > dn {
+            dn = sclamp;
+        }
+        x_want[k] = ((w[k] + v[k] * dn) * xx + u[k]) / (vxa_in[k] + v[k] * dn);
+        xx = (x_want[k] - xx) * dn + xx;
+        xx_want[k + 1] = xx;
+    }
+
+    let mut l = DataLayout::new();
+    let ya = l.alloc_f64(N as u32);
+    let ga = l.alloc_f64(N as u32);
+    let za = l.alloc_f64(N as u32);
+    let wa = l.alloc_f64(N as u32);
+    let va = l.alloc_f64(N as u32);
+    let ua = l.alloc_f64(N as u32);
+    let vxaa = l.alloc_f64(N as u32);
+    let xa = l.alloc_f64(N as u32);
+    let xxa = l.alloc_f64(N as u32 + 1);
+
+    let mut m = Mahler::new();
+    let sxx = m.scalar().unwrap();
+    let sdi = m.scalar().unwrap();
+    let sdn = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let su = m.scalar().unwrap();
+    let sdk = m.scalar().unwrap();
+    let stc = m.scalar().unwrap();
+    let ssc = m.scalar().unwrap();
+    let p = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    m.load_const(sxx, 0.75).unwrap();
+    m.load_const(sdk, dk).unwrap();
+    m.load_const(stc, tclamp).unwrap();
+    m.load_const(ssc, sclamp).unwrap();
+    m.set_i(p, ya as i32);
+    let off = |b: u32| b as i32 - ya as i32;
+    // Store xx[0].
+    m.store_scalar(sxx, p, off(xxa)).unwrap();
+
+    m.counted_loop(k, 0, N as i32, 1, |m| {
+        // di = y − g/(xx + dk)
+        m.sop(FpOp::Add, st, sxx, sdk);
+        m.load_scalar(su, p, off(ga)).unwrap();
+        m.sdiv(sdi, su, st).unwrap();
+        m.load_scalar(su, p, 0).unwrap(); // y[k]
+        m.sop(FpOp::Sub, sdi, su, sdi);
+        // dn = clamp(z/di, sclamp, tclamp)
+        m.load_scalar(su, p, off(za)).unwrap();
+        m.sdiv(sdn, su, sdi).unwrap();
+        let no_upper = m.label();
+        m.fbranch(BranchCond::Lt, sdn, stc, no_upper).unwrap();
+        m.sop(FpOp::Add, sdn, stc, stc);
+        m.sop(FpOp::Sub, sdn, sdn, stc);
+        m.bind(no_upper);
+        let no_lower = m.label();
+        m.fbranch(BranchCond::Ge, sdn, ssc, no_lower).unwrap();
+        m.sop(FpOp::Add, sdn, ssc, ssc);
+        m.sop(FpOp::Sub, sdn, sdn, ssc);
+        m.bind(no_lower);
+        // x = ((w + v·dn)·xx + u) / (vx + v·dn)
+        m.load_scalar(st, p, off(va)).unwrap();
+        m.sop(FpOp::Mul, st, st, sdn); // v·dn
+        m.load_scalar(su, p, off(wa)).unwrap();
+        m.sop(FpOp::Add, su, su, st);
+        m.sop(FpOp::Mul, su, su, sxx);
+        m.load_scalar(sdi, p, off(ua)).unwrap();
+        m.sop(FpOp::Add, su, su, sdi); // numerator
+        m.load_scalar(sdi, p, off(vxaa)).unwrap();
+        m.sop(FpOp::Add, st, sdi, st); // denominator
+        m.sdiv(sdi, su, st).unwrap(); // x[k]
+        m.store_scalar(sdi, p, off(xa)).unwrap();
+        // xx = (x − xx)·dn + xx
+        m.sop(FpOp::Sub, st, sdi, sxx);
+        m.sop(FpOp::Mul, st, st, sdn);
+        m.sop(FpOp::Add, sxx, st, sxx);
+        m.store_scalar(sxx, p, off(xxa) + 8).unwrap();
+        m.iadd_imm(p, p, 8);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 20 discrete ordinates".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ya, &y);
+            mm.mem.memory.write_f64_slice(ga, &g);
+            mm.mem.memory.write_f64_slice(za, &z);
+            mm.mem.memory.write_f64_slice(wa, &w);
+            mm.mem.memory.write_f64_slice(va, &v);
+            mm.mem.memory.write_f64_slice(ua, &u);
+            mm.mem.memory.write_f64_slice(vxaa, &vxa_in);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, N), &x_want, 1e-8, "x")?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(xxa, N + 1),
+                &xx_want,
+                1e-8,
+                "xx",
+            )
+        }),
+    }
+}
+
+/// Loop 21 — matrix·matrix product: the result row strip stays in the
+/// register file across the whole inner accumulation, the unified register
+/// file's best case.
+pub fn loop21() -> Kernel {
+    const N: usize = 25;
+    const COLS: usize = 28; // padded row length
+    let px0 = random_doubles(211, N * COLS, 0.0, 1.0);
+    let vy = random_doubles(212, N * COLS, 0.0, 1.0);
+    let cx = random_doubles(213, N * COLS, 0.0, 1.0);
+
+    let mut want = px0.clone();
+    for i in 0..N {
+        // Strips over j: 8, 8, 9 (a 9-element strip beats a 1-element
+        // remainder, whose scalar dependence chain would dominate).
+        for (j0, len) in [(0usize, 8usize), (8, 8), (16, 9)] {
+            let mut acc: Vec<f64> = (0..len).map(|e| want[i * COLS + j0 + e]).collect();
+            for k in 0..N {
+                for e in 0..len {
+                    acc[e] += vy[i * COLS + k] * cx[k * COLS + j0 + e];
+                }
+            }
+            for e in 0..len {
+                want[i * COLS + j0 + e] = acc[e];
+            }
+        }
+    }
+
+    let mut l = DataLayout::new();
+    let pxa = l.alloc_f64((N * COLS) as u32);
+    let vya = l.alloc_f64((N * COLS) as u32);
+    let cxa = l.alloc_f64((N * COLS) as u32);
+
+    let mut m = Mahler::new();
+    let acc = m.vector(9).unwrap();
+    let tv = m.vector(9).unwrap();
+    let sv = m.scalar().unwrap();
+    let ppx = m.ivar().unwrap(); // &px[i][j0]
+    let pvy = m.ivar().unwrap(); // &vy[i][0]
+    let pcx = m.ivar().unwrap(); // &cx[k][j0]
+    let k = m.ivar().unwrap();
+    let i = m.ivar().unwrap();
+    let row = 8 * COLS as i32;
+
+    m.set_i(ppx, pxa as i32);
+    m.set_i(pvy, vya as i32);
+    m.counted_loop(i, 0, N as i32, 1, |m| {
+        for (j0, len) in [(0i32, 8u8), (8, 8), (16, 9)] {
+            let acc_s = acc.slice(0, len);
+            let tv_s = tv.slice(0, len);
+            m.load(acc_s, ppx, 8 * j0, 8).unwrap();
+            m.set_i(pcx, cxa as i32 + 8 * j0);
+            m.counted_loop(k, 0, N as i32, 1, |m| {
+                m.load_scalar(sv, pvy, 0).unwrap();
+                m.load(tv_s, pcx, 0, 8).unwrap();
+                m.vop_scalar(FpOp::Mul, tv_s, tv_s, sv).unwrap();
+                m.vop(FpOp::Add, acc_s, acc_s, tv_s).unwrap();
+                m.iadd_imm(pvy, pvy, 8);
+                m.iadd_imm(pcx, pcx, row);
+            });
+            m.store(acc_s, ppx, 8 * j0, 8).unwrap();
+            m.iadd_imm(pvy, pvy, -(8 * N as i32)); // rewind vy[i]
+        }
+        m.iadd_imm(ppx, ppx, row);
+        m.iadd_imm(pvy, pvy, row);
+    });
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 21 matrix product".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(pxa, &px0);
+            mm.mem.memory.write_f64_slice(vya, &vy);
+            mm.mem.memory.write_f64_slice(cxa, &cx);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(pxa, N * COLS),
+                &want,
+                1e-12,
+                "px",
+            )
+        }),
+    }
+}
+
+/// Loop 22 — Planckian distribution: `w = x/(exp(u/v) − 1)` — two divides
+/// and the scalar `exp` subroutine call per element, exactly the paper's
+/// explanation for the MultiTitan's weakest relative showing.
+pub fn loop22() -> Kernel {
+    const N: usize = 101;
+    let u = random_doubles(221, N, 0.1, 10.0);
+    let v = random_doubles(222, N, 0.55, 1.5);
+    let x = random_doubles(223, N, 0.1, 1.0);
+
+    let mut y_want = vec![0.0f64; N];
+    let mut w_want = vec![0.0f64; N];
+    for k in 0..N {
+        y_want[k] = u[k] / v[k];
+        w_want[k] = x[k] / (y_want[k].exp() - 1.0);
+    }
+
+    let mut l = DataLayout::new();
+    let ua = l.alloc_f64(N as u32);
+    let va = l.alloc_f64(N as u32);
+    let xa = l.alloc_f64(N as u32);
+    let ya = l.alloc_f64(N as u32);
+    let wa = l.alloc_f64(N as u32);
+    const EXP_POOL: u32 = 0xE000;
+    const EXP_SCRATCH: u32 = 0xE900;
+
+    let mut m = Mahler::new();
+    let sy = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let su = m.scalar().unwrap();
+    let one = m.scalar().unwrap();
+    let zero = m.scalar().unwrap();
+    let p = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    m.load_const(one, 1.0).unwrap();
+    m.load_const(zero, 0.0).unwrap();
+    m.set_i(p, ua as i32);
+    let off = |b: u32| b as i32 - ua as i32;
+    let exp_entry = m.label();
+
+    m.counted_loop(k, 0, N as i32, 1, |m| {
+        m.load_scalar(su, p, 0).unwrap();
+        m.load_scalar(st, p, off(va)).unwrap();
+        m.sdiv(sy, su, st).unwrap();
+        m.store_scalar(sy, p, off(ya)).unwrap();
+        // exp(y) via the scalar subroutine.
+        m.fence().unwrap();
+        let asm = m.asm_mut();
+        asm.fscalar(FpOp::Add, mathlib::EXP_ARG, sy.reg(), zero.reg());
+        asm.jal(exp_entry);
+        asm.fscalar(FpOp::Add, st.reg(), mathlib::EXP_RESULT, zero.reg());
+        m.sop(FpOp::Sub, st, st, one);
+        m.load_scalar(su, p, off(xa)).unwrap();
+        m.sdiv(sy, su, st).unwrap();
+        m.store_scalar(sy, p, off(wa)).unwrap();
+        m.iadd_imm(p, p, 8);
+    });
+    m.asm_mut().halt(); // do not fall through into the subroutine body
+    let exp_consts = mathlib::emit_exp(m.asm_mut(), exp_entry, EXP_POOL, EXP_SCRATCH);
+    let mut routine = m.finish().unwrap();
+    routine.consts.extend(exp_consts);
+
+    Kernel {
+        name: "LL 22 Planckian".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(ua, &u);
+            mm.mem.memory.write_f64_slice(va, &v);
+            mm.mem.memory.write_f64_slice(xa, &x);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(&mm.mem.memory.read_f64_slice(ya, N), &y_want, 1e-9, "y")?;
+            compare_slices(&mm.mem.memory.read_f64_slice(wa, N), &w_want, 1e-8, "w")
+        }),
+    }
+}
+
+/// Loop 23 — 2-D implicit hydrodynamics: a five-point update with a serial
+/// dependence along `k` (via `za[j][k−1]`) and across rows (via
+/// `za[j−1][k]`).
+pub fn loop23() -> Kernel {
+    const NJ: usize = 7;
+    const NK: usize = 102;
+    let za0 = random_doubles(231, NJ * NK, 0.5, 1.0);
+    let zb = random_doubles(232, NJ * NK, 0.0, 0.2);
+    let zr = random_doubles(233, NJ * NK, 0.0, 0.2);
+    let zu = random_doubles(234, NJ * NK, 0.0, 0.2);
+    let zv = random_doubles(235, NJ * NK, 0.0, 0.2);
+    let zz = random_doubles(236, NJ * NK, 0.0, 0.2);
+
+    let idx = |j: usize, k: usize| j * NK + k;
+    let mut za = za0.clone();
+    for j in 1..6 {
+        for k in 1..NK - 1 {
+            let qa = za[idx(j + 1, k)] * zr[idx(j, k)]
+                + za[idx(j - 1, k)] * zb[idx(j, k)]
+                + za[idx(j, k + 1)] * zu[idx(j, k)]
+                + za[idx(j, k - 1)] * zv[idx(j, k)]
+                + zz[idx(j, k)];
+            za[idx(j, k)] += 0.175 * (qa - za[idx(j, k)]);
+        }
+    }
+    let za_want = za;
+
+    let mut l = DataLayout::new();
+    let zaa = l.alloc_f64((NJ * NK) as u32);
+    let zba = l.alloc_f64((NJ * NK) as u32);
+    let zra = l.alloc_f64((NJ * NK) as u32);
+    let zua = l.alloc_f64((NJ * NK) as u32);
+    let zva = l.alloc_f64((NJ * NK) as u32);
+    let zza = l.alloc_f64((NJ * NK) as u32);
+
+    let mut m = Mahler::new();
+    let qa = m.scalar().unwrap();
+    let st = m.scalar().unwrap();
+    let su = m.scalar().unwrap();
+    let sfac = m.scalar().unwrap();
+    let p = m.ivar().unwrap();
+    let k = m.ivar().unwrap();
+    m.load_const(sfac, 0.175).unwrap();
+    let row = 8 * NK as i32;
+    let off = |b: u32| b as i32 - zaa as i32;
+
+    for j in 1..6usize {
+        m.set_i(p, (zaa + 8 * idx(j, 1) as u32) as i32);
+        m.counted_loop(k, 0, (NK - 2) as i32, 1, |m| {
+            m.load_scalar(qa, p, row).unwrap(); // za[j+1][k]
+            m.load_scalar(st, p, off(zra)).unwrap();
+            m.sop(FpOp::Mul, qa, qa, st);
+            m.load_scalar(su, p, -row).unwrap(); // za[j−1][k]
+            m.load_scalar(st, p, off(zba)).unwrap();
+            m.sop(FpOp::Mul, su, su, st);
+            m.sop(FpOp::Add, qa, qa, su);
+            m.load_scalar(su, p, 8).unwrap(); // za[j][k+1]
+            m.load_scalar(st, p, off(zua)).unwrap();
+            m.sop(FpOp::Mul, su, su, st);
+            m.sop(FpOp::Add, qa, qa, su);
+            m.load_scalar(su, p, -8).unwrap(); // za[j][k−1] (just written)
+            m.load_scalar(st, p, off(zva)).unwrap();
+            m.sop(FpOp::Mul, su, su, st);
+            m.sop(FpOp::Add, qa, qa, su);
+            m.load_scalar(st, p, off(zza)).unwrap();
+            m.sop(FpOp::Add, qa, qa, st);
+            m.load_scalar(su, p, 0).unwrap(); // za[j][k]
+            m.sop(FpOp::Sub, qa, qa, su);
+            m.sop(FpOp::Mul, qa, qa, sfac);
+            m.sop(FpOp::Add, qa, qa, su);
+            m.store_scalar(qa, p, 0).unwrap();
+            m.iadd_imm(p, p, 8);
+        });
+    }
+    let routine = m.finish().unwrap();
+
+    Kernel {
+        name: "LL 23 2-D implicit hydro".into(),
+        routine,
+        init: Box::new(move |mm| {
+            mm.mem.memory.write_f64_slice(zaa, &za0);
+            mm.mem.memory.write_f64_slice(zba, &zb);
+            mm.mem.memory.write_f64_slice(zra, &zr);
+            mm.mem.memory.write_f64_slice(zua, &zu);
+            mm.mem.memory.write_f64_slice(zva, &zv);
+            mm.mem.memory.write_f64_slice(zza, &zz);
+        }),
+        verify: Box::new(move |mm| {
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(zaa, NJ * NK),
+                &za_want,
+                1e-12,
+                "za",
+            )
+        }),
+    }
+}
+
+/// Loop 24 — location of the first minimum: one comparison (a subtract on
+/// the add unit plus a sign test) per element, virtually no arithmetic.
+pub fn loop24() -> Kernel {
+    const N: usize = 1001;
+    let mut x = random_doubles(241, N, 0.0, 1.0);
+    // Plant a distinctive minimum off-centre, as the LFK driver does.
+    x[N / 2] = -1.0;
+
+    let mut m_want = 0usize;
+    for k in 1..N {
+        if x[k] < x[m_want] {
+            m_want = k;
+        }
+    }
+
+    let mut l = DataLayout::new();
+    let xaa = l.alloc_f64(N as u32);
+    let ma = l.alloc_i32(1);
+
+    let mut mm = Mahler::new();
+    let smin = mm.scalar().unwrap();
+    let sx = mm.scalar().unwrap();
+    let p = mm.ivar().unwrap();
+    let best = mm.ivar().unwrap();
+    let k = mm.ivar().unwrap();
+    let addr = mm.ivar().unwrap();
+    mm.set_i(p, (xaa + 8) as i32);
+    mm.set_i(best, 0);
+    {
+        let p0 = mm.ivar().unwrap();
+        mm.set_i(p0, xaa as i32);
+        mm.load_scalar(smin, p0, 0).unwrap();
+    }
+    mm.counted_loop(k, 1, N as i32, 1, |m| {
+        m.load_scalar(sx, p, 0).unwrap();
+        let no_update = m.label();
+        m.fbranch(BranchCond::Ge, sx, smin, no_update).unwrap();
+        // New minimum: copy value and index.
+        m.sop(FpOp::Add, smin, sx, sx);
+        m.sop(FpOp::Sub, smin, smin, sx);
+        {
+            use mt_isa::cpu::AluOp as A;
+            m.iop(A::Add, best, k, k);
+            m.iop(A::Sub, best, best, k);
+        }
+        m.bind(no_update);
+        m.iadd_imm(p, p, 8);
+    });
+    mm.set_i(addr, ma as i32);
+    mm.store_int(best, addr, 0);
+    let routine = mm.finish().unwrap();
+
+    Kernel {
+        name: "LL 24 first minimum".into(),
+        routine,
+        init: Box::new(move |machine| {
+            machine.mem.memory.write_f64_slice(xaa, &x);
+        }),
+        verify: Box::new(move |machine| {
+            let got = machine.mem.memory.read_u32(ma) as usize;
+            if got == m_want {
+                Ok(())
+            } else {
+                Err(format!("argmin: got {got}, want {m_want}"))
+            }
+        }),
+    }
+}

@@ -1,0 +1,258 @@
+//! Scalar math subroutines for the MultiTitan, used by Livermore loop 22.
+//!
+//! The paper: "it contains an exp() call … the MultiTitan version is
+//! implemented with a scalar subroutine call". This module emits that
+//! subroutine: `exp(x)` by range reduction (`x = n·ln2 + r`,
+//! `|r| ≤ ln2/2`), a degree-10 Horner polynomial for `e^r`, and scaling by
+//! `2^n` — where `2^n` is constructed by the CPU writing the exponent field
+//! of a double into memory and loading it back through the FPU, a
+//! demonstration of the shared-cache CPU/FPU interplay.
+
+use mt_asm::{Asm, Label};
+use mt_fparith::FpOp;
+use mt_isa::cpu::AluOp;
+use mt_isa::{FReg, IReg};
+
+/// Calling convention of [`emit_exp`]:
+/// argument in `R40`, result in `R41`, return address in `r31`.
+pub const EXP_ARG: FReg = FReg::new(40);
+/// Result register of the exp subroutine.
+pub const EXP_RESULT: FReg = FReg::new(41);
+/// FPU registers clobbered by the subroutine (besides the result).
+pub const EXP_CLOBBERS: [u8; 6] = [42, 43, 44, 45, 46, 47];
+
+/// Number of polynomial coefficients (degree 10 ⇒ relative error ≲ 1e-12
+/// over `|r| ≤ ln2/2`).
+const POLY_TERMS: usize = 11;
+
+/// Emits the `exp` subroutine into `asm`, binding `entry` (created by the
+/// caller so call sites can precede the body) at its first instruction.
+/// Returns the `(address, bits)` constants the routine expects in memory.
+///
+/// `pool` is the base address of a free 128-byte constant region;
+/// `scratch` an 8-byte aligned scratch double used for FPU↔CPU bit
+/// transfers. Integer registers r20–r22 are clobbered.
+pub fn emit_exp(asm: &mut Asm, entry: Label, pool: u32, scratch: u32) -> Vec<(u32, u64)> {
+    let r = FReg::new;
+    let rp = IReg::new(20);
+    let rt = IReg::new(21);
+    let rs = IReg::new(22);
+
+    // Constant pool layout.
+    let mut consts: Vec<(u32, u64)> = Vec::new();
+    let c = |v: f64, consts: &mut Vec<(u32, u64)>| -> i32 {
+        let off = 8 * consts.len() as i32;
+        consts.push((pool + off as u32, v.to_bits()));
+        off
+    };
+    let log2e = c(std::f64::consts::LOG2_E, &mut consts);
+    let half = c(0.5, &mut consts);
+    let ln2 = c(std::f64::consts::LN_2, &mut consts);
+    // Taylor coefficients 1/k!, highest degree first for Horner.
+    let mut coef_offsets = Vec::new();
+    let mut fact = 1.0f64;
+    let mut facts = vec![1.0f64];
+    for k in 1..POLY_TERMS {
+        fact *= k as f64;
+        facts.push(fact);
+    }
+    for k in (0..POLY_TERMS).rev() {
+        coef_offsets.push(c(1.0 / facts[k], &mut consts));
+    }
+
+    asm.bind(entry);
+    asm.li(rp, pool as i32);
+    // t = x · log2(e)
+    asm.fld(r(42), rp, log2e);
+    asm.fscalar(FpOp::Mul, r(42), EXP_ARG, r(42));
+    asm.fld(r(43), rp, half);
+    // Sign-aware round-to-nearest: n = trunc(t ± 0.5). The CPU reads t's
+    // sign from its high word through the shared cache.
+    asm.li(rs, scratch as i32);
+    asm.fst(r(42), rs, 0);
+    asm.lw(rt, rs, 4);
+    let neg = asm.label();
+    let join = asm.label();
+    asm.blt(rt, IReg::ZERO, neg);
+    asm.fscalar(FpOp::Add, r(42), r(42), r(43));
+    asm.j(join);
+    asm.bind(neg);
+    asm.fscalar(FpOp::Sub, r(42), r(42), r(43));
+    asm.bind(join);
+    asm.fscalar(FpOp::Truncate, r(44), r(42), r(0));
+    // r = x − n·ln2
+    asm.fscalar(FpOp::Float, r(45), r(44), r(0));
+    asm.fld(r(46), rp, ln2);
+    asm.fscalar(FpOp::Mul, r(45), r(45), r(46));
+    asm.fscalar(FpOp::Sub, r(45), EXP_ARG, r(45));
+    // Build 2^n: the CPU assembles the exponent field in memory.
+    asm.fst(r(44), rs, 0);
+    asm.lw(rt, rs, 0); // n (fits i32 for any sane argument)
+    asm.addi(rt, rt, 1023);
+    asm.li(rs, 20);
+    asm.alu(AluOp::Sll, rt, rt, rs);
+    asm.li(rs, scratch as i32);
+    asm.sw(rt, rs, 4); // high word: biased exponent << 20
+    asm.sw(IReg::ZERO, rs, 0); // low word: zero mantissa
+    asm.fld(r(46), rs, 0); // 2^n
+    // Horner: p = c10; p = p·r + c_k.
+    asm.fld(r(47), rp, coef_offsets[0]);
+    for &off in &coef_offsets[1..] {
+        asm.fscalar(FpOp::Mul, r(47), r(47), r(45));
+        asm.fld(r(43), rp, off);
+        asm.fscalar(FpOp::Add, r(47), r(47), r(43));
+    }
+    // Scale.
+    asm.fscalar(FpOp::Mul, EXP_RESULT, r(47), r(46));
+    asm.jr(IReg::new(31));
+
+    consts
+}
+
+/// Calling convention of [`emit_sqrt`]: argument in `R40`, result in
+/// `R41`, return address in `r31`; clobbers R42–R46 and r20–r22.
+///
+/// The seed comes from the classic exponent-halving integer trick on the
+/// double's high word (the CPU writes the estimate's bit pattern through
+/// the shared cache), refined by five Newton–Raphson iterations of
+/// `r ← r·(1.5 − x/2·r²)`, finishing with `sqrt(x) = x·r`. Exact zero
+/// arguments return zero; negative arguments are not handled (loop 15's
+/// inputs are non-negative).
+pub fn emit_sqrt(asm: &mut Asm, entry: Label, pool: u32, scratch: u32) -> Vec<(u32, u64)> {
+    let r = FReg::new;
+    let rp = IReg::new(20);
+    let rt = IReg::new(21);
+    let rs = IReg::new(22);
+
+    let consts = vec![(pool, 0.5f64.to_bits()), (pool + 8, 1.5f64.to_bits())];
+
+    asm.bind(entry);
+    asm.li(rp, scratch as i32);
+    asm.fst(EXP_ARG, rp, 0);
+    // sqrt(+0) = +0: the Newton iteration would square an enormous seed,
+    // so test the argument's words and return early.
+    let zero_arg = asm.label();
+    let done = asm.label();
+    asm.lw(rt, rp, 0);
+    asm.lw(rs, rp, 4);
+    asm.alu(AluOp::Or, rt, rt, rs);
+    asm.beq(rt, IReg::ZERO, zero_arg);
+    // Seed: hi(r0) = 0x5FE6EB50 − (hi(x) >> 1), lo = 0.
+    asm.lw(rt, rp, 4);
+    asm.li(rs, 1);
+    asm.alu(AluOp::Srl, rt, rt, rs);
+    asm.li(rs, 0x5FE6_EB50);
+    asm.alu(AluOp::Sub, rt, rs, rt);
+    asm.sw(rt, rp, 4);
+    asm.sw(IReg::ZERO, rp, 0);
+    asm.fld(r(42), rp, 0); // r ≈ 1/sqrt(x)
+    asm.li(rp, pool as i32);
+    asm.fld(r(43), rp, 0); // 0.5
+    asm.fld(r(44), rp, 8); // 1.5
+    asm.fscalar(FpOp::Mul, r(45), EXP_ARG, r(43)); // x/2
+    for _ in 0..5 {
+        asm.fscalar(FpOp::Mul, r(46), r(42), r(42));
+        asm.fscalar(FpOp::Mul, r(46), r(45), r(46));
+        asm.fscalar(FpOp::Sub, r(46), r(44), r(46));
+        asm.fscalar(FpOp::Mul, r(42), r(42), r(46));
+    }
+    asm.fscalar(FpOp::Mul, EXP_RESULT, EXP_ARG, r(42));
+    asm.j(done);
+    asm.bind(zero_arg);
+    asm.fscalar(FpOp::Sub, EXP_RESULT, EXP_ARG, EXP_ARG);
+    asm.bind(done);
+    asm.jr(IReg::new(31));
+
+    consts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_sim::{Machine, SimConfig};
+
+    fn exp_on_machine(x: f64) -> (f64, u64) {
+        let pool = 0xE000;
+        let scratch = 0xE800;
+        let mut a = Asm::new();
+        let entry = a.label();
+        // Main: load the argument, call exp, store the result, halt.
+        let rb = IReg::new(1);
+        a.li(rb, (scratch + 8) as i32);
+        a.fld(EXP_ARG, rb, 0);
+        a.jal(entry);
+        a.li(rb, (scratch + 16) as i32);
+        a.fst(EXP_RESULT, rb, 0);
+        a.halt();
+        // Subroutine body after the main code.
+        let consts = emit_exp(&mut a, entry, pool, scratch);
+
+        let program = a.assemble(0x1_0000).unwrap();
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&program);
+        m.warm_instructions(&program);
+        for (addr, bits) in &consts {
+            m.mem.memory.write_u64(*addr, *bits);
+        }
+        m.mem.memory.write_f64(scratch + 8, x);
+        let stats = m.run().unwrap();
+        (m.mem.memory.read_f64(scratch + 16), stats.cycles)
+    }
+
+    #[test]
+    fn exp_accuracy_over_the_loop22_range() {
+        for &x in &[0.0, 0.5, 1.0, -1.0, 3.25, -7.5, 13.0, 19.9, -19.9, 0.001] {
+            let (got, _) = exp_on_machine(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-10, "exp({x}) = {got:e}, want {want:e}, rel {rel:e}");
+        }
+    }
+
+    #[test]
+    fn exp_is_expensive_like_a_scalar_call() {
+        // The cost explains loop 22's poor showing: ≫ 100 cycles per call.
+        let (_, cycles) = exp_on_machine(2.0);
+        assert!(cycles > 100, "exp took only {cycles} cycles");
+    }
+
+    fn sqrt_on_machine(x: f64) -> f64 {
+        let pool = 0xE000;
+        let scratch = 0xE800;
+        let mut a = Asm::new();
+        let entry = a.label();
+        let rb = IReg::new(1);
+        a.li(rb, (scratch + 8) as i32);
+        a.fld(EXP_ARG, rb, 0);
+        a.jal(entry);
+        a.li(rb, (scratch + 16) as i32);
+        a.fst(EXP_RESULT, rb, 0);
+        a.halt();
+        let consts = emit_sqrt(&mut a, entry, pool, scratch);
+        let program = a.assemble(0x1_0000).unwrap();
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&program);
+        m.warm_instructions(&program);
+        for (addr, bits) in &consts {
+            m.mem.memory.write_u64(*addr, *bits);
+        }
+        m.mem.memory.write_f64(scratch + 8, x);
+        m.run().unwrap();
+        m.mem.memory.read_f64(scratch + 16)
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        for &x in &[1.0, 2.0, 0.25, 1e-3, 123.456, 9.0, 1e6, 0.5, 3.5e-7] {
+            let got = sqrt_on_machine(x);
+            let want = x.sqrt();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-12, "sqrt({x}) = {got:e}, want {want:e}, rel {rel:e}");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_zero_is_zero() {
+        assert_eq!(sqrt_on_machine(0.0), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The three codings of an 8-element summation (Figs. 5–7) and the
+//! Fibonacci recurrence (Fig. 8), as kernels over in-memory data.
+//!
+//! Each kernel loads 8 doubles, reduces (or recurs), and stores the result,
+//! so the three reduction codings are directly comparable end to end. The
+//! register-only timing anchors (12 / 24 / 12 cycles) live in the `mt-sim`
+//! integration tests; these kernels add the loads/stores around them.
+
+use mt_asm::Asm;
+use mt_fparith::FpOp;
+use mt_isa::{FReg, IReg};
+use mt_mahler::CompiledRoutine;
+
+use crate::harness::Kernel;
+use crate::layout::{compare_slices, random_doubles, DataLayout};
+
+const TEXT_BASE: u32 = 0x1_0000;
+
+fn r(i: u8) -> FReg {
+    FReg::new(i)
+}
+
+fn finish(name: &str, asm: Asm, input: Vec<f64>, in_addr: u32, out_addr: u32, want: Vec<f64>) -> Kernel {
+    let program = asm.assemble(TEXT_BASE).expect("reduction kernels assemble");
+    let n_out = want.len();
+    Kernel {
+        name: name.to_string(),
+        routine: CompiledRoutine {
+            program,
+            consts: Vec::new(),
+        },
+        init: Box::new(move |m| {
+            m.mem.memory.write_f64_slice(in_addr, &input);
+        }),
+        verify: Box::new(move |m| {
+            compare_slices(
+                &m.mem.memory.read_f64_slice(out_addr, n_out),
+                &want,
+                0.0,
+                "result",
+            )
+        }),
+    }
+}
+
+fn sum_input() -> (Vec<f64>, f64) {
+    let data = random_doubles(42, 8, 0.0, 1.0);
+    // All three codings add in balanced or sequential orders; with these
+    // magnitudes every order rounds identically only by luck, so compute
+    // the exact expected value per coding instead (done by each builder).
+    let s = data.iter().sum();
+    (data, s)
+}
+
+/// Fig. 5: the sum of 8 elements as a tree of *scalar* operations —
+/// 7 instruction transfers.
+pub fn scalar_tree_sum() -> Kernel {
+    let mut layout = DataLayout::new();
+    let input_addr = layout.alloc_f64(8);
+    let out_addr = layout.alloc_f64(1);
+    let (data, _) = sum_input();
+
+    // Expected value with the tree's association order.
+    let p = |a: f64, b: f64| a + b;
+    let want = p(
+        p(p(data[0], data[1]), p(data[2], data[3])),
+        p(p(data[4], data[5]), p(data[6], data[7])),
+    );
+
+    let mut a = Asm::new();
+    let base = IReg::new(1);
+    a.li(base, input_addr as i32);
+    for i in 0..8 {
+        a.fld(r(i), base, 8 * i as i32);
+    }
+    a.fscalar(FpOp::Add, r(8), r(0), r(1));
+    a.fscalar(FpOp::Add, r(9), r(2), r(3));
+    a.fscalar(FpOp::Add, r(10), r(4), r(5));
+    a.fscalar(FpOp::Add, r(11), r(6), r(7));
+    a.fscalar(FpOp::Add, r(12), r(8), r(9));
+    a.fscalar(FpOp::Add, r(13), r(10), r(11));
+    a.fscalar(FpOp::Add, r(14), r(12), r(13));
+    a.fst(r(14), base, (out_addr - input_addr) as i32);
+    a.halt();
+    finish("Fig.5 scalar tree sum", a, data, input_addr, out_addr, vec![want])
+}
+
+/// Fig. 6: the same sum as one *linear* vector instruction — a fully
+/// dependent chain, one transfer, 24 issue cycles.
+pub fn linear_vector_sum() -> Kernel {
+    let mut layout = DataLayout::new();
+    let input_addr = layout.alloc_f64(8);
+    let out_addr = layout.alloc_f64(1);
+    let (data, _) = sum_input();
+    // Sequential association order.
+    let want = data.iter().fold(0.0, |acc, &v| acc + v);
+
+    let mut a = Asm::new();
+    let base = IReg::new(1);
+    a.li(base, input_addr as i32);
+    for i in 0..8 {
+        a.fld(r(i), base, 8 * i as i32);
+    }
+    // R8 = 0 accumulator seed via x − x (operands are finite).
+    a.fscalar(FpOp::Sub, r(8), r(0), r(0));
+    // The running-register chain: R(9+i) := R(8+i) + R(i), one instruction.
+    a.fvector(FpOp::Add, r(9), r(8), r(0), 8).unwrap();
+    // §2.3.2: the store reads the *last* element's result, so it must not
+    // slip past the still-issuing chain — fence with an IR-occupying no-op
+    // (the compiler's "break the vector" duty, done minimally).
+    a.fscalar(FpOp::Add, r(17), r(17), r(17));
+    a.fst(r(16), base, (out_addr - input_addr) as i32);
+    a.halt();
+    finish("Fig.6 linear vector sum", a, data, input_addr, out_addr, vec![want])
+}
+
+/// Fig. 7: the sum as a *tree of vector operations* — 3 transfers, the CPU
+/// free for most of the reduction.
+pub fn vector_tree_sum() -> Kernel {
+    let mut layout = DataLayout::new();
+    let input_addr = layout.alloc_f64(8);
+    let out_addr = layout.alloc_f64(1);
+    let (data, _) = sum_input();
+    // Pairs (i, i+4), then (i, i+2), then final.
+    let h1: Vec<f64> = (0..4).map(|i| data[i] + data[i + 4]).collect();
+    let h2: Vec<f64> = (0..2).map(|i| h1[i] + h1[i + 2]).collect();
+    let want = h2[0] + h2[1];
+
+    let mut a = Asm::new();
+    let base = IReg::new(1);
+    a.li(base, input_addr as i32);
+    for i in 0..8 {
+        a.fld(r(i), base, 8 * i as i32);
+    }
+    a.fvector(FpOp::Add, r(8), r(0), r(4), 4).unwrap();
+    a.fvector(FpOp::Add, r(12), r(8), r(10), 2).unwrap();
+    a.fvector(FpOp::Add, r(14), r(12), r(13), 1).unwrap();
+    a.fst(r(14), base, (out_addr - input_addr) as i32);
+    a.halt();
+    finish("Fig.7 vector tree sum", a, data, input_addr, out_addr, vec![want])
+}
+
+/// Fig. 8: the first `2 + VL` Fibonacci numbers with one vector add.
+pub fn fibonacci(vl: u8) -> Kernel {
+    assert!((1..=16).contains(&vl));
+    let mut layout = DataLayout::new();
+    let seed_addr = layout.alloc_f64(2);
+    let out_addr = layout.alloc_f64(2 + vl as u32);
+
+    let mut want = vec![1.0f64, 1.0];
+    for i in 2..(2 + vl as usize) {
+        want.push(want[i - 1] + want[i - 2]);
+    }
+
+    let mut a = Asm::new();
+    let base = IReg::new(1);
+    a.li(base, seed_addr as i32);
+    a.fld(r(0), base, 0);
+    a.fld(r(1), base, 8);
+    a.fvector(FpOp::Add, r(2), r(1), r(0), vl).unwrap();
+    for i in 0..(2 + vl) {
+        a.fst(r(i), base, (out_addr - seed_addr) as i32 + 8 * i as i32);
+    }
+    a.halt();
+    finish(
+        &format!("Fig.8 Fibonacci VL{vl}"),
+        a,
+        vec![1.0, 1.0],
+        seed_addr,
+        out_addr,
+        want,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_kernel;
+
+    #[test]
+    fn all_three_sums_validate() {
+        for k in [scalar_tree_sum(), linear_vector_sum(), vector_tree_sum()] {
+            run_kernel(&k).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn codings_trade_transfers_for_cycles() {
+        let scalar = run_kernel(&scalar_tree_sum()).unwrap();
+        let linear = run_kernel(&linear_vector_sum()).unwrap();
+        let tree = run_kernel(&vector_tree_sum()).unwrap();
+        // Fig. 5 vs Fig. 7: same latency class, but the vector tree needs
+        // 3 ALU transfers instead of 7.
+        assert_eq!(scalar.warm.fpu.instructions_transferred, 7);
+        assert_eq!(tree.warm.fpu.instructions_transferred, 3);
+        assert!(tree.warm.cycles <= scalar.warm.cycles);
+        // Fig. 6: the dependent chain is much slower than either tree.
+        assert!(linear.warm.cycles > tree.warm.cycles + 8);
+    }
+
+    #[test]
+    fn fibonacci_recurrence_validates_at_every_length() {
+        for vl in [1, 2, 8, 16] {
+            run_kernel(&fibonacci(vl)).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn fibonacci_is_one_alu_instruction() {
+        let rep = run_kernel(&fibonacci(16)).unwrap();
+        assert_eq!(rep.warm.fpu.instructions_transferred, 1);
+        assert_eq!(rep.warm.fpu.elements_issued, 16);
+    }
+}

@@ -1,0 +1,48 @@
+//! Mini-Mahler: the vector-extended intermediate language of §3.
+//!
+//! The paper's benchmarks were recoded in an extension of the Mahler
+//! intermediate language with "a primitive vector capability that
+//! corresponds fairly closely to the machine": vector variables of fixed
+//! compile-time length, memory vectors with compile-time stride,
+//! elementwise operations between equal-length vectors or vector and
+//! scalar, a summation operator that repeatedly adds a vector's two halves,
+//! and per-procedure register allocation that raises a compile error when
+//! the declared vectors don't fit the register file.
+//!
+//! This crate reproduces that layer: a [`Mahler`] routine builder allocates
+//! vector/scalar/integer variables, emits vector and scalar operations,
+//! loads/stores memory vectors (as series of scalar loads with the stride
+//! folded into the offset, Fig. 9), reduces with [`Mahler::vsum`], and
+//! compiles to an `mt-asm` program. Loops are built with
+//! [`Mahler::counted_loop`]; strip-mining is expressed the way the paper
+//! did it — an explicit loop over fixed-length strips plus a remainder.
+//!
+//! # Example: DAXPY over one strip
+//!
+//! ```
+//! use mt_mahler::Mahler;
+//! use mt_fparith::FpOp;
+//!
+//! let mut m = Mahler::new();
+//! let x = m.vector(8).unwrap();
+//! let y = m.vector(8).unwrap();
+//! let a = m.scalar().unwrap();
+//! let xp = m.ivar().unwrap();
+//! let yp = m.ivar().unwrap();
+//! m.set_i(xp, 0x2000);
+//! m.set_i(yp, 0x3000);
+//! m.load_const(a, 3.0).unwrap();
+//! m.load(x, xp, 0, 8).unwrap();
+//! m.load(y, yp, 0, 8).unwrap();
+//! m.vop_scalar(FpOp::Mul, x, x, a).unwrap();   // x = a*x
+//! m.vop(FpOp::Add, y, y, x).unwrap();          // y = y + a*x
+//! m.store(y, yp, 0, 8).unwrap();
+//! let routine = m.finish().unwrap();
+//! assert!(routine.program.len() > 20);
+//! ```
+
+pub mod expr;
+pub mod routine;
+
+pub use expr::VExpr;
+pub use routine::{CompiledRoutine, IVar, Mahler, MahlerError, Scal, Vect};

@@ -1,0 +1,189 @@
+//! Flat byte-addressed main memory.
+
+use std::fmt;
+
+/// Main memory: a flat little-endian byte array.
+///
+/// Addresses are 32-bit as on the MultiTitan (Fig. 1 shows a 32-bit address
+/// bus). Accesses must be naturally aligned — the simulator treats
+/// misalignment as a program bug and panics with the offending address.
+///
+/// ```
+/// use mt_mem::Memory;
+/// let mut m = Memory::new(4096);
+/// m.write_f64(16, 2.5);
+/// assert_eq!(m.read_f64(16), 2.5);
+/// ```
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    #[track_caller]
+    fn check(&self, addr: u32, len: u32) {
+        assert!(
+            addr.is_multiple_of(len),
+            "misaligned {len}-byte access at {addr:#010x}"
+        );
+        assert!(
+            (addr as usize + len as usize) <= self.bytes.len(),
+            "access at {addr:#010x} beyond memory size {:#x}",
+            self.bytes.len()
+        );
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access.
+    #[track_caller]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.check(addr, 4);
+        let a = addr as usize;
+        u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap())
+    }
+
+    /// Writes a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access.
+    #[track_caller]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.check(addr, 4);
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access.
+    #[track_caller]
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        self.check(addr, 8);
+        let a = addr as usize;
+        u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap())
+    }
+
+    /// Writes a 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access.
+    #[track_caller]
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.check(addr, 8);
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a double (bit pattern of [`Memory::read_u64`]).
+    #[track_caller]
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes a double.
+    #[track_caller]
+    pub fn write_f64(&mut self, addr: u32, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Writes a slice of doubles starting at `addr` (a convenience for
+    /// loading workload arrays).
+    #[track_caller]
+    pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u32, v);
+        }
+    }
+
+    /// Reads `count` doubles starting at `addr`.
+    #[track_caller]
+    pub fn read_f64_slice(&self, addr: u32, count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|i| self.read_f64(addr + 8 * i as u32))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = Memory::new(64);
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u32(60), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip_little_endian() {
+        let mut m = Memory::new(64);
+        m.write_u32(4, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(4), 0xDEAD_BEEF);
+        // Little-endian byte order within the containing u64.
+        m.write_u32(0, 0x0403_0201);
+        m.write_u32(4, 0x0807_0605);
+        assert_eq!(m.read_u64(0), 0x0807_0605_0403_0201);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new(64);
+        for (i, v) in [-1.5, 0.0, f64::MAX, 1e-300].iter().enumerate() {
+            m.write_f64(8 * i as u32, *v);
+        }
+        assert_eq!(m.read_f64(0), -1.5);
+        assert_eq!(m.read_f64(16), f64::MAX);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = Memory::new(256);
+        let data: Vec<f64> = (0..10).map(|i| i as f64 * 1.5).collect();
+        m.write_f64_slice(64, &data);
+        assert_eq!(m.read_f64_slice(64, 10), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_u64_panics() {
+        Memory::new(64).read_u64(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_u32_panics() {
+        Memory::new(64).read_u32(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond memory size")]
+    fn out_of_bounds_panics() {
+        Memory::new(64).read_u32(64);
+    }
+}

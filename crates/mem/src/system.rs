@@ -1,0 +1,194 @@
+//! The assembled memory hierarchy of one MultiTitan processor.
+
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use crate::memory::Memory;
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Main memory size in bytes.
+    pub memory_bytes: usize,
+    /// Data cache geometry.
+    pub data_cache: CacheConfig,
+    /// External instruction cache geometry.
+    pub instr_cache: CacheConfig,
+    /// On-chip instruction buffer geometry.
+    pub instr_buffer: CacheConfig,
+}
+
+impl MemConfig {
+    /// The paper's parameters with 4 MB of main memory.
+    pub const fn multititan() -> MemConfig {
+        MemConfig {
+            memory_bytes: 4 * 1024 * 1024,
+            data_cache: CacheConfig::multititan_data(),
+            instr_cache: CacheConfig::multititan_instr(),
+            instr_buffer: CacheConfig::multititan_ibuffer(),
+        }
+    }
+
+    /// The paper's caches over a custom memory size (for large workloads).
+    pub const fn multititan_with_memory(memory_bytes: usize) -> MemConfig {
+        MemConfig {
+            memory_bytes,
+            ..MemConfig::multititan()
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig::multititan()
+    }
+}
+
+/// Main memory plus the three caches, with the access paths the simulator
+/// uses: data accesses through the shared data cache, instruction fetches
+/// through the instruction buffer backed by the external instruction cache.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    /// Main memory (public: workloads initialize arrays directly).
+    pub memory: Memory,
+    dcache: Cache,
+    icache: Cache,
+    ibuffer: Cache,
+}
+
+impl MemorySystem {
+    /// Builds a cold hierarchy.
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            memory: Memory::new(config.memory_bytes),
+            dcache: Cache::new(config.data_cache),
+            icache: Cache::new(config.instr_cache),
+            ibuffer: Cache::new(config.instr_buffer),
+        }
+    }
+
+    /// Data read of a 64-bit double for the FPU; returns `(bits, penalty)`.
+    pub fn load_f64(&mut self, addr: u32) -> (u64, u64) {
+        let penalty = self.dcache.access(addr, AccessKind::Read);
+        (self.memory.read_u64(addr), penalty)
+    }
+
+    /// Data write of a 64-bit double from the FPU; returns the penalty.
+    pub fn store_f64(&mut self, addr: u32, bits: u64) -> u64 {
+        let penalty = self.dcache.access(addr, AccessKind::Write);
+        self.memory.write_u64(addr, bits);
+        penalty
+    }
+
+    /// Data read of a 32-bit integer word for the CPU.
+    pub fn load_u32(&mut self, addr: u32) -> (u32, u64) {
+        let penalty = self.dcache.access(addr, AccessKind::Read);
+        (self.memory.read_u32(addr), penalty)
+    }
+
+    /// Data write of a 32-bit integer word from the CPU.
+    pub fn store_u32(&mut self, addr: u32, value: u32) -> u64 {
+        let penalty = self.dcache.access(addr, AccessKind::Write);
+        self.memory.write_u32(addr, value);
+        penalty
+    }
+
+    /// Instruction fetch: first the on-chip buffer, then the external
+    /// instruction cache. Returns `(word, penalty)` where the penalty
+    /// accumulates both levels' misses.
+    pub fn fetch(&mut self, addr: u32) -> (u32, u64) {
+        let mut penalty = self.ibuffer.access(addr, AccessKind::Read);
+        if penalty > 0 {
+            penalty += self.icache.access(addr, AccessKind::Read);
+        }
+        (self.memory.read_u32(addr), penalty)
+    }
+
+    /// Cold-start: invalidates all three caches (statistics survive; use
+    /// [`MemorySystem::reset_stats`] to clear them).
+    pub fn flush_caches(&mut self) {
+        self.dcache.flush();
+        self.icache.flush();
+        self.ibuffer.flush();
+    }
+
+    /// Clears all cache statistics without touching residency.
+    pub fn reset_stats(&mut self) {
+        self.dcache.reset_stats();
+        self.icache.reset_stats();
+        self.ibuffer.reset_stats();
+    }
+
+    /// Data cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// External instruction cache statistics.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Instruction buffer statistics.
+    pub fn ibuffer_stats(&self) -> CacheStats {
+        self.ibuffer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_path_roundtrip_with_penalties() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        assert_eq!(s.store_f64(0x100, 7.5f64.to_bits()), 14, "cold write miss");
+        let (bits, p) = s.load_f64(0x100);
+        assert_eq!(f64::from_bits(bits), 7.5);
+        assert_eq!(p, 0, "line resident after write-allocate");
+    }
+
+    #[test]
+    fn fetch_goes_through_both_levels() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        s.memory.write_u32(0x40, 0xABCD);
+        let (w, p) = s.fetch(0x40);
+        assert_eq!(w, 0xABCD);
+        // Buffer miss (2) + instruction cache miss (14).
+        assert_eq!(p, 16);
+        // Now both levels are warm.
+        assert_eq!(s.fetch(0x40).1, 0);
+    }
+
+    #[test]
+    fn ibuffer_conflict_refills_from_warm_icache() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        // 2 KB buffer: addresses 0 and 2048 conflict in the buffer but not
+        // in the 64 KB instruction cache.
+        s.fetch(0);
+        s.fetch(2048);
+        let (_, p) = s.fetch(0);
+        assert_eq!(p, 2, "buffer miss, instruction cache hit");
+    }
+
+    #[test]
+    fn flush_makes_caches_cold_again() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        s.load_f64(0x200);
+        s.flush_caches();
+        assert_eq!(s.load_f64(0x200).1, 14);
+    }
+
+    #[test]
+    fn warm_run_protocol() {
+        // The §3.2 warm-cache protocol: run once, reset stats, run again.
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        for i in 0..64 {
+            s.load_f64(i * 8);
+        }
+        s.reset_stats();
+        for i in 0..64 {
+            s.load_f64(i * 8);
+        }
+        assert_eq!(s.dcache_stats().misses, 0);
+        assert_eq!(s.dcache_stats().hits, 64);
+    }
+}

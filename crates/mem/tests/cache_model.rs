@@ -1,0 +1,109 @@
+//! Property tests: the direct-mapped cache against a naive reference model.
+
+use mt_mem::{AccessKind, Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Naive reference: a map from set index to (tag, dirty).
+struct RefModel {
+    lines: HashMap<u32, (u32, bool)>,
+    config: CacheConfig,
+}
+
+impl RefModel {
+    fn new(config: CacheConfig) -> RefModel {
+        RefModel {
+            lines: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Returns (hit, wrote_back).
+    fn access(&mut self, addr: u32, kind: AccessKind) -> (bool, bool) {
+        let line_addr = addr / self.config.line_bytes;
+        let index = line_addr % self.config.lines();
+        let tag = line_addr / self.config.lines();
+        match self.lines.get_mut(&index) {
+            Some((t, dirty)) if *t == tag => {
+                if kind == AccessKind::Write {
+                    *dirty = true;
+                }
+                (true, false)
+            }
+            other => {
+                let wb = matches!(other, Some((_, true)));
+                self.lines.insert(index, (tag, kind == AccessKind::Write));
+                (false, wb)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in prop::collection::vec((0u32..65536, any::<bool>()), 1..400),
+        size_pow in 6u32..12,
+        line_pow in 2u32..6,
+    ) {
+        prop_assume!(size_pow > line_pow);
+        let config = CacheConfig {
+            size_bytes: 1 << size_pow,
+            line_bytes: 1 << line_pow,
+            miss_penalty: 14,
+        };
+        let mut cache = Cache::new(config);
+        let mut model = RefModel::new(config);
+        let mut model_hits = 0u64;
+        let mut model_misses = 0u64;
+        let mut model_wbs = 0u64;
+
+        for &(addr, write) in &accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let penalty = cache.access(addr, kind);
+            let (hit, wb) = model.access(addr, kind);
+            prop_assert_eq!(penalty == 0, hit, "addr {:#x}", addr);
+            if hit { model_hits += 1 } else { model_misses += 1 }
+            if wb { model_wbs += 1 }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, model_hits);
+        prop_assert_eq!(stats.misses, model_misses);
+        prop_assert_eq!(stats.writebacks, model_wbs);
+    }
+
+    #[test]
+    fn probe_agrees_with_next_access(
+        accesses in prop::collection::vec(0u32..4096, 1..100),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+            miss_penalty: 14,
+        });
+        for &addr in &accesses {
+            let resident = cache.probe(addr);
+            let penalty = cache.access(addr, AccessKind::Read);
+            prop_assert_eq!(resident, penalty == 0);
+        }
+    }
+
+    #[test]
+    fn stats_are_conserved(
+        accesses in prop::collection::vec((0u32..8192, any::<bool>()), 0..200),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 16,
+            miss_penalty: 14,
+        });
+        for &(addr, write) in &accesses {
+            cache.access(addr, if write { AccessKind::Write } else { AccessKind::Read });
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), accesses.len() as u64);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+}

@@ -1,0 +1,711 @@
+//! The machine: CPU substrate + FPU + memory hierarchy, stepped by cycle.
+
+use mt_core::Fpu;
+use mt_fparith::OP_LATENCY_CYCLES;
+use mt_isa::cpu::AluOp;
+use mt_isa::{FReg, IReg, Instr};
+use mt_mem::{MemConfig, MemorySystem};
+
+use crate::program::Program;
+use crate::stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
+use crate::timeline::Timeline;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// FPU functional-unit latency (3 on the real machine; ablations sweep
+    /// it).
+    pub fpu_latency: u64,
+    /// Cycles a taken branch costs beyond the branch itself (substrate
+    /// assumption; 1 by default).
+    pub branch_penalty: u64,
+    /// Abort with [`RunError::CycleLimit`] after this many cycles.
+    pub max_cycles: u64,
+    /// Detect and record §2.3.2 ordering-rule violations.
+    pub checked_ordering: bool,
+    /// Ablation: serialize the Load/Store and ALU instruction registers —
+    /// the CPU stalls completely while a vector is issuing, destroying the
+    /// two-operations-per-cycle overlap of §2.4.
+    pub serialized_issue: bool,
+    /// Alternative hardware of §2.3.2 (the approach "taken in the recently
+    /// announced Ardent Titan"): compare loads/stores against the register
+    /// ranges of *every* unissued element of the in-flight vector, not just
+    /// the current one. Removes the compiler's vector-breaking duty at the
+    /// cost of "a fair amount of hardware"; provided for the ablation
+    /// study.
+    pub full_range_interlock: bool,
+    /// Record a per-cycle trace (expensive; debugging only).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            mem: MemConfig::multititan(),
+            fpu_latency: OP_LATENCY_CYCLES,
+            branch_penalty: 1,
+            max_cycles: 200_000_000,
+            checked_ordering: false,
+            serialized_issue: false,
+            full_range_interlock: false,
+            trace: false,
+        }
+    }
+}
+
+/// Why a run ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle limit elapsed before `halt`.
+    CycleLimit(u64),
+    /// The program counter left the loaded program or hit an undecodable
+    /// word.
+    BadInstruction {
+        /// Program counter of the bad word.
+        pc: u32,
+        /// Decoder message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleLimit(n) => write!(f, "no halt within {n} cycles"),
+            RunError::BadInstruction { pc, message } => {
+                write!(f, "bad instruction at {pc:#x}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Outcome of attempting to execute the pending instruction this cycle.
+enum Exec {
+    /// Completed; `Some(target)` redirects the PC (branch taken / jump).
+    Done(Option<u32>),
+    /// Blocked; retry next cycle (the stall has been accounted).
+    Stall,
+    /// Completed and the machine is halting.
+    Halted,
+}
+
+/// One MultiTitan processor.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The FPU (public for workload setup and result inspection).
+    pub fpu: Fpu,
+    /// The memory hierarchy (public for workload setup).
+    pub mem: MemorySystem,
+    config: SimConfig,
+    iregs: [i32; 32],
+    /// Cycle at which each integer register's pending load completes.
+    int_ready: [u64; 32],
+    pc: u32,
+    entry: u32,
+    cycle: u64,
+    /// Next cycle the data port accepts an operation.
+    ls_free_at: u64,
+    /// Issue freeze horizon from a data-cache miss (lock-step stall).
+    freeze_until: u64,
+    /// Earliest cycle the next fetch may begin (taken-branch bubble).
+    fetch_ready_at: u64,
+    pending: Option<Instr>,
+    pending_ready_at: u64,
+    halted: bool,
+    /// Cycle at which an external interrupt redirects the CPU (§2.3.1);
+    /// the FPU keeps issuing and retiring vector elements regardless.
+    interrupt_at: Option<u64>,
+    instructions: u64,
+    stalls: StallBreakdown,
+    violations: Vec<OrderingViolation>,
+    trace_log: Vec<String>,
+    timeline: Timeline,
+}
+
+impl Machine {
+    /// Creates a machine with cold caches and no program loaded.
+    pub fn new(config: SimConfig) -> Machine {
+        Machine {
+            fpu: Fpu::with_latency(config.fpu_latency),
+            mem: MemorySystem::new(config.mem),
+            config,
+            iregs: [0; 32],
+            int_ready: [0; 32],
+            pc: 0,
+            entry: 0,
+            cycle: 0,
+            ls_free_at: 0,
+            freeze_until: 0,
+            fetch_ready_at: 0,
+            pending: None,
+            pending_ready_at: 0,
+            halted: false,
+            interrupt_at: None,
+            instructions: 0,
+            stalls: StallBreakdown::default(),
+            violations: Vec::new(),
+            trace_log: Vec::new(),
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Loads a program's text and data segments into memory and sets the
+    /// entry point.
+    pub fn load_program(&mut self, program: &Program) {
+        for (i, &w) in program.words.iter().enumerate() {
+            self.mem.memory.write_u32(program.base + 4 * i as u32, w);
+        }
+        for seg in &program.segments {
+            for (i, &b) in seg.bytes.iter().enumerate() {
+                let addr = seg.base + i as u32;
+                // Byte-granular writes through the word interface.
+                let word_addr = addr & !3;
+                let shift = 8 * (addr & 3);
+                let old = self.mem.memory.read_u32(word_addr);
+                let new = (old & !(0xFF << shift)) | ((b as u32) << shift);
+                self.mem.memory.write_u32(word_addr, new);
+            }
+        }
+        self.pc = program.base;
+        self.entry = program.base;
+        self.halted = false;
+    }
+
+    /// Touches every text line through the instruction buffer and cache so
+    /// a run starts with warm instruction fetch (the paper's figures assume
+    /// no instruction-buffer misses in kernels).
+    pub fn warm_instructions(&mut self, program: &Program) {
+        for i in 0..program.words.len() {
+            self.mem.fetch(program.base + 4 * i as u32);
+        }
+    }
+
+    /// Reads a CPU integer register.
+    pub fn ireg(&self, r: IReg) -> i32 {
+        self.iregs[r.index() as usize]
+    }
+
+    /// Writes a CPU integer register (setup; writes to `r0` are ignored).
+    pub fn set_ireg(&mut self, r: IReg, value: i32) {
+        if !r.is_zero() {
+            self.iregs[r.index() as usize] = value;
+        }
+    }
+
+    /// The collected trace (populated when `config.trace` is set).
+    pub fn trace_log(&self) -> &[String] {
+        &self.trace_log
+    }
+
+    /// The collected per-cycle timeline (populated when `config.trace` is
+    /// set) — render with [`Timeline::render`] for diagrams in the style
+    /// of the paper's Figs. 5–8.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Schedules an external interrupt: `cycles` from now the CPU stops
+    /// executing the program (as if redirected to a handler). Per §2.3.1
+    /// the FPU is *not* stopped — "vector ALU instructions may continue
+    /// long after an interrupt" — so an in-flight vector keeps issuing and
+    /// retiring elements; [`Machine::run`] returns once it drains.
+    pub fn interrupt_after(&mut self, cycles: u64) {
+        self.interrupt_at = Some(self.cycle + cycles);
+    }
+
+    /// Resets execution state (PC, pipeline timing, stall counters) for a
+    /// re-run while *keeping* memory and cache contents — the warm-cache
+    /// protocol of §3.2. Register files are preserved too; workloads that
+    /// need fresh inputs rewrite them before the second run.
+    pub fn reset_for_rerun(&mut self) {
+        self.pc = self.entry;
+        self.halted = false;
+        self.pending = None;
+        // Advance past any residual timing state rather than rewinding, so
+        // in-flight bookkeeping can never leak into the next run.
+        assert!(!self.fpu.busy(), "reset_for_rerun with FPU busy");
+        self.ls_free_at = self.cycle;
+        self.freeze_until = self.cycle;
+        self.fetch_ready_at = self.cycle;
+        self.int_ready = [0; 32];
+    }
+
+    /// Runs from the current PC until `halt`, returning the statistics of
+    /// this run (deltas — safe to call repeatedly for warm re-runs).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::CycleLimit`] if the program does not halt, or
+    /// [`RunError::BadInstruction`] on an undecodable word.
+    pub fn run(&mut self) -> Result<RunStats, RunError> {
+        let start_cycle = self.cycle;
+        let start_instructions = self.instructions;
+        let start_stalls = self.stalls;
+        let start_fpu = *self.fpu.stats();
+        let start_violations = self.violations.len();
+        let dcache0 = self.mem.dcache_stats();
+        let icache0 = self.mem.icache_stats();
+        let ibuffer0 = self.mem.ibuffer_stats();
+
+        while !self.halted {
+            if let Some(at) = self.interrupt_at {
+                if self.cycle >= at {
+                    self.halted = true;
+                    self.interrupt_at = None;
+                    break;
+                }
+            }
+            if self.cycle - start_cycle > self.config.max_cycles {
+                return Err(RunError::CycleLimit(self.config.max_cycles));
+            }
+            self.step()?;
+        }
+        // Drain the FPU: a vector may continue issuing and retiring long
+        // after the CPU halts (§2.3.1's "vector ALU instructions may
+        // continue long after an interrupt").
+        loop {
+            self.fpu.begin_cycle(self.cycle);
+            if !self.fpu.busy() {
+                break;
+            }
+            self.issue_and_record();
+            self.cycle += 1;
+        }
+
+        let delta = |a: mt_mem::CacheStats, b: mt_mem::CacheStats| mt_mem::CacheStats {
+            hits: a.hits - b.hits,
+            misses: a.misses - b.misses,
+            writebacks: a.writebacks - b.writebacks,
+        };
+        let f = self.fpu.stats();
+        Ok(RunStats {
+            cycles: self.cycle - start_cycle,
+            instructions: self.instructions - start_instructions,
+            fpu: mt_core::FpuStats {
+                instructions_transferred: f.instructions_transferred
+                    - start_fpu.instructions_transferred,
+                elements_issued: f.elements_issued - start_fpu.elements_issued,
+                flops: f.flops - start_fpu.flops,
+                scoreboard_stall_cycles: f.scoreboard_stall_cycles
+                    - start_fpu.scoreboard_stall_cycles,
+                loads: f.loads - start_fpu.loads,
+                stores: f.stores - start_fpu.stores,
+                overflow_aborts: f.overflow_aborts - start_fpu.overflow_aborts,
+                elements_squashed: f.elements_squashed - start_fpu.elements_squashed,
+            },
+            stalls: StallBreakdown {
+                ir_busy: self.stalls.ir_busy - start_stalls.ir_busy,
+                ls_port_busy: self.stalls.ls_port_busy - start_stalls.ls_port_busy,
+                fpu_reg_hazard: self.stalls.fpu_reg_hazard - start_stalls.fpu_reg_hazard,
+                int_load_hazard: self.stalls.int_load_hazard - start_stalls.int_load_hazard,
+                fetch: self.stalls.fetch - start_stalls.fetch,
+                data_miss: self.stalls.data_miss - start_stalls.data_miss,
+                branch: self.stalls.branch - start_stalls.branch,
+            },
+            dcache: delta(self.mem.dcache_stats(), dcache0),
+            icache: delta(self.mem.icache_stats(), icache0),
+            ibuffer: delta(self.mem.ibuffer_stats(), ibuffer0),
+            violations: self.violations[start_violations..].to_vec(),
+        })
+    }
+
+    /// Advances the machine by one cycle.
+    fn step(&mut self) -> Result<(), RunError> {
+        self.fpu.begin_cycle(self.cycle);
+        if self.cycle >= self.freeze_until {
+            self.cpu_step()?;
+            self.issue_and_record();
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Lets the ALU IR issue its current element, recording it on the
+    /// timeline when tracing.
+    fn issue_and_record(&mut self) {
+        let outcome = self.fpu.issue(self.cycle);
+        if self.config.trace {
+            if let mt_core::IssueOutcome::Issued { op, refs, .. } = outcome {
+                // Paper-style operator symbols for the timeline labels.
+                let sym = match op {
+                    mt_fparith::FpOp::Add => "+",
+                    mt_fparith::FpOp::Sub => "-",
+                    mt_fparith::FpOp::Mul => "*",
+                    mt_fparith::FpOp::IntMul => "i*",
+                    mt_fparith::FpOp::IterStep => "istep",
+                    mt_fparith::FpOp::Float => "float",
+                    mt_fparith::FpOp::Truncate => "trunc",
+                    mt_fparith::FpOp::Recip => "1/~",
+                };
+                let label = if op.is_unary() {
+                    format!("{} := {sym} {}", refs.rr, refs.ra)
+                } else {
+                    format!("{} := {} {sym} {}", refs.rr, refs.ra, refs.rb)
+                };
+                self.timeline.element(self.cycle, self.fpu.latency(), label);
+            }
+        }
+    }
+
+    /// The CPU's slice of the cycle: fetch if needed, then try to execute.
+    fn cpu_step(&mut self) -> Result<(), RunError> {
+        if self.pending.is_none() {
+            if self.cycle < self.fetch_ready_at {
+                return Ok(()); // branch bubble (accounted at the branch)
+            }
+            let (word, penalty) = self.mem.fetch(self.pc);
+            let instr = Instr::decode(word).map_err(|e| RunError::BadInstruction {
+                pc: self.pc,
+                message: e.to_string(),
+            })?;
+            self.pending = Some(instr);
+            self.pending_ready_at = self.cycle + penalty;
+            if penalty > 0 {
+                self.stalls.fetch += penalty;
+                return Ok(());
+            }
+        }
+        if self.cycle < self.pending_ready_at {
+            return Ok(()); // fetch penalty elapsing
+        }
+        let instr = self.pending.expect("pending instruction present");
+
+        // Ablation: with serialized issue the CPU may not proceed at all
+        // while the ALU IR is still issuing a vector.
+        if self.config.serialized_issue && self.fpu.ir_busy() {
+            self.stalls.ir_busy += 1;
+            return Ok(());
+        }
+
+        match self.execute(instr) {
+            Exec::Stall => Ok(()),
+            Exec::Done(redirect) => {
+                self.instructions += 1;
+                self.pending = None;
+                if self.config.trace {
+                    self.trace_log
+                        .push(format!("{:>8}  {:#07x}  {instr}", self.cycle, self.pc));
+                    match instr {
+                        Instr::Falu(f) => self
+                            .timeline
+                            .event(self.cycle, 'T', format!("xfer {f}")),
+                        Instr::Fld { fr, .. } => {
+                            self.timeline.load(self.cycle, format!("fld {fr}"))
+                        }
+                        Instr::Fst { fr, .. } => {
+                            self.timeline.store(self.cycle, format!("fst {fr}"))
+                        }
+                        other => self.timeline.event(self.cycle, 'c', other.to_string()),
+                    }
+                }
+                self.pc = redirect.unwrap_or(self.pc + 4);
+                Ok(())
+            }
+            Exec::Halted => {
+                self.instructions += 1;
+                self.pending = None;
+                self.halted = true;
+                if self.config.trace {
+                    self.trace_log
+                        .push(format!("{:>8}  {:#07x}  halt", self.cycle, self.pc));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `true` when `r` has a load in its delay slot (interlock).
+    fn int_blocked(&self, r: IReg) -> bool {
+        self.cycle < self.int_ready[r.index() as usize]
+    }
+
+    fn execute(&mut self, instr: Instr) -> Exec {
+        match instr {
+            Instr::Nop => Exec::Done(None),
+            Instr::Halt => Exec::Halted,
+
+            Instr::Mfpsw { rd } => {
+                let psw = self.fpu.psw();
+                let mut v = psw.flags.bits() as i32;
+                if let Some(dest) = psw.overflow_dest {
+                    v |= (dest.index() as i32) << 8 | 1 << 15;
+                }
+                self.set_ireg(rd, v);
+                Exec::Done(None)
+            }
+
+            Instr::ClrPsw => {
+                self.fpu.clear_psw();
+                Exec::Done(None)
+            }
+
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                if self.int_blocked(rs1) || self.int_blocked(rs2) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                let a = self.ireg(rs1);
+                let b = self.ireg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+                    AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+                    AluOp::Sra => a >> (b as u32 & 31),
+                    AluOp::Slt => (a < b) as i32,
+                    AluOp::Mul => a.wrapping_mul(b),
+                };
+                self.set_ireg(rd, v);
+                Exec::Done(None)
+            }
+
+            Instr::Addi { rd, rs1, imm } => {
+                if self.int_blocked(rs1) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                self.set_ireg(rd, self.ireg(rs1).wrapping_add(imm));
+                Exec::Done(None)
+            }
+
+            Instr::Lui { rd, imm } => {
+                self.set_ireg(rd, ((imm << 14) & 0xFFFF_C000) as i32);
+                Exec::Done(None)
+            }
+
+            Instr::Lw { rd, base, offset } => {
+                if self.int_blocked(base) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.cycle < self.ls_free_at {
+                    self.stalls.ls_port_busy += 1;
+                    return Exec::Stall;
+                }
+                let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                let (value, penalty) = self.mem.load_u32(addr);
+                self.set_ireg(rd, value as i32);
+                // One load delay slot beyond any miss stall.
+                self.int_ready[rd.index() as usize] = self.cycle + penalty + 2;
+                self.ls_free_at = self.cycle + penalty + 1;
+                self.apply_miss(penalty);
+                Exec::Done(None)
+            }
+
+            Instr::Sw { rs, base, offset } => {
+                if self.int_blocked(base) || self.int_blocked(rs) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.cycle < self.ls_free_at {
+                    self.stalls.ls_port_busy += 1;
+                    return Exec::Stall;
+                }
+                let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                let penalty = self.mem.store_u32(addr, self.ireg(rs) as u32);
+                self.ls_free_at = self.cycle + penalty + 2; // stores take two cycles
+                self.apply_miss(penalty);
+                Exec::Done(None)
+            }
+
+            Instr::Fld { fr, base, offset } => {
+                if self.int_blocked(base) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.cycle < self.ls_free_at {
+                    self.stalls.ls_port_busy += 1;
+                    return Exec::Stall;
+                }
+                if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, true) {
+                    self.stalls.fpu_reg_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.config.checked_ordering {
+                    self.check_ordering_load(fr);
+                }
+                let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                let (bits, penalty) = self.mem.load_f64(addr);
+                self.fpu.load_write(fr, bits, self.cycle + penalty);
+                self.ls_free_at = self.cycle + penalty + 1;
+                self.apply_miss(penalty);
+                Exec::Done(None)
+            }
+
+            Instr::Fst { fr, base, offset } => {
+                if self.int_blocked(base) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.cycle < self.ls_free_at {
+                    self.stalls.ls_port_busy += 1;
+                    return Exec::Stall;
+                }
+                if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, false) {
+                    self.stalls.fpu_reg_hazard += 1;
+                    return Exec::Stall;
+                }
+                if self.config.checked_ordering {
+                    self.check_ordering_store(fr);
+                }
+                let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                let bits = self.fpu.read_reg_for_store(fr);
+                let penalty = self.mem.store_f64(addr, bits);
+                self.ls_free_at = self.cycle + penalty + 2; // stores take two cycles
+                self.apply_miss(penalty);
+                Exec::Done(None)
+            }
+
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if self.int_blocked(rs1) || self.int_blocked(rs2) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                if cond.eval(self.ireg(rs1), self.ireg(rs2)) {
+                    self.take_branch_bubble();
+                    let target = (self.pc / 4).wrapping_add(1).wrapping_add(offset as u32);
+                    Exec::Done(Some(target * 4))
+                } else {
+                    Exec::Done(None)
+                }
+            }
+
+            Instr::Jump { target } => {
+                self.take_branch_bubble();
+                Exec::Done(Some(target * 4))
+            }
+
+            Instr::Jal { target } => {
+                self.set_ireg(IReg::new(31), (self.pc + 4) as i32);
+                self.take_branch_bubble();
+                Exec::Done(Some(target * 4))
+            }
+
+            Instr::Jr { rs } => {
+                if self.int_blocked(rs) {
+                    self.stalls.int_load_hazard += 1;
+                    return Exec::Stall;
+                }
+                self.take_branch_bubble();
+                Exec::Done(Some(self.ireg(rs) as u32))
+            }
+
+            Instr::Falu(f) => {
+                if self.fpu.try_transfer(f) {
+                    Exec::Done(None)
+                } else {
+                    self.stalls.ir_busy += 1;
+                    Exec::Stall
+                }
+            }
+        }
+    }
+
+    fn take_branch_bubble(&mut self) {
+        self.stalls.branch += self.config.branch_penalty;
+        self.fetch_ready_at = self.cycle + 1 + self.config.branch_penalty;
+    }
+
+    /// A data-cache miss freezes instruction issue for the penalty (the
+    /// lock-step pipeline), while in-flight FPU results keep draining.
+    fn apply_miss(&mut self, penalty: u64) {
+        if penalty > 0 {
+            self.freeze_until = self.cycle + 1 + penalty;
+            self.stalls.data_miss += penalty;
+        }
+    }
+
+    /// The §2.3.2 hardware execution constraint: a load/store is held off
+    /// while the *current* (next-to-issue) element of the ALU IR references
+    /// its register. "If dependencies occur between loads and stores or
+    /// elements in a vector other than the first, the compiler must break
+    /// the vector" — the first unissued element is interlocked by this
+    /// comparator against the IR's live specifier fields; later elements
+    /// are software's responsibility (see checked mode).
+    fn current_element_conflict(&self, fr: FReg, is_load: bool) -> bool {
+        let Some(active) = self.fpu.ir_active() else {
+            return false;
+        };
+        let elements: Box<dyn Iterator<Item = u8>> = if self.config.full_range_interlock {
+            // Ardent-Titan-style hardware: check every unissued element's
+            // register ranges (§2.3.2's first approach).
+            Box::new(active.next_element..active.instr.vl)
+        } else {
+            Box::new(std::iter::once(active.next_element))
+        };
+        for e in elements {
+            let refs = active.instr.element(e);
+            let conflict = if is_load {
+                // A load may neither clobber an operand the element has yet
+                // to read nor race the element's own write.
+                refs.rr == fr || refs.ra == fr || (!active.instr.op.is_unary() && refs.rb == fr)
+            } else {
+                // A store must not read a register the element will write.
+                refs.rr == fr
+            };
+            if conflict {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// §2.3.2 checked mode: a load completing now interacts with elements
+    /// of the in-flight vector instruction beyond the hardware-interlocked
+    /// current one.
+    fn check_ordering_load(&mut self, fr: FReg) {
+        let Some(active) = self.fpu.ir_active() else {
+            return;
+        };
+        let mut found: Vec<(ViolationKind, FReg)> = Vec::new();
+        for e in active.next_element + 1..active.instr.vl {
+            let refs = active.instr.element(e);
+            if refs.ra == fr || (!active.instr.op.is_unary() && refs.rb == fr) {
+                found.push((ViolationKind::LoadClobbersPendingSource, fr));
+            }
+            if refs.rr == fr {
+                found.push((ViolationKind::LoadIntoPendingDest, fr));
+            }
+        }
+        for (kind, reg) in found {
+            self.violations.push(OrderingViolation {
+                cycle: self.cycle,
+                kind,
+                reg,
+            });
+        }
+    }
+
+    /// §2.3.2 checked mode: a store reading now would see a stale value if
+    /// a not-yet-issued element is going to write its register.
+    fn check_ordering_store(&mut self, fr: FReg) {
+        let Some(active) = self.fpu.ir_active() else {
+            return;
+        };
+        let mut found: Vec<FReg> = Vec::new();
+        for e in active.next_element + 1..active.instr.vl {
+            if active.instr.element(e).rr == fr {
+                found.push(fr);
+            }
+        }
+        for reg in found {
+            self.violations.push(OrderingViolation {
+                cycle: self.cycle,
+                kind: ViolationKind::StoreReadsPendingDest,
+                reg,
+            });
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Run statistics: cycle and FLOP accounting, stall breakdowns, cache
+//! behaviour, and checked-mode ordering diagnostics.
+
+use std::fmt;
+
+use mt_core::FpuStats;
+use mt_fparith::latency::mflops;
+use mt_isa::FReg;
+use mt_mem::CacheStats;
+
+/// Why the CPU could not complete an instruction in a given cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// FPU ALU transfer blocked: the ALU IR was still issuing a vector.
+    pub ir_busy: u64,
+    /// Memory operation blocked: the load/store port was busy.
+    pub ls_port_busy: u64,
+    /// FPU load/store blocked on a reserved FPU register.
+    pub fpu_reg_hazard: u64,
+    /// CPU instruction blocked on an integer load delay interlock.
+    pub int_load_hazard: u64,
+    /// Instruction fetch penalties (instruction buffer / cache misses).
+    pub fetch: u64,
+    /// Data-cache miss freeze cycles.
+    pub data_miss: u64,
+    /// Taken-branch bubbles.
+    pub branch: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.ir_busy
+            + self.ls_port_busy
+            + self.fpu_reg_hazard
+            + self.int_load_hazard
+            + self.fetch
+            + self.data_miss
+            + self.branch
+    }
+}
+
+/// The kind of §2.3.2 ordering rule violated (checked mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A load wrote a register that a not-yet-issued element of an earlier
+    /// vector instruction still has to *read* (the element will see the new
+    /// value instead of the program-order value).
+    LoadClobbersPendingSource,
+    /// A load targets a register that a not-yet-issued element will write
+    /// (the element's later write will clobber the load).
+    LoadIntoPendingDest,
+    /// A store read a register that a not-yet-issued element of an earlier
+    /// vector instruction will write (the store sees the stale value).
+    StoreReadsPendingDest,
+}
+
+/// One checked-mode diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderingViolation {
+    /// Cycle of the offending load/store.
+    pub cycle: u64,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The register involved.
+    pub reg: FReg,
+}
+
+impl fmt::Display for OrderingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {:?} on {} (compiler must break the vector, §2.3.2)",
+            self.cycle, self.kind, self.reg
+        )
+    }
+}
+
+/// Statistics of one run (or the delta of a warm re-run).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total cycles from entry to halt.
+    pub cycles: u64,
+    /// CPU instructions completed.
+    pub instructions: u64,
+    /// FPU counters (elements, FLOPs, loads, stores, …).
+    pub fpu: FpuStats,
+    /// CPU stall breakdown.
+    pub stalls: StallBreakdown,
+    /// Data cache behaviour.
+    pub dcache: CacheStats,
+    /// Instruction cache behaviour.
+    pub icache: CacheStats,
+    /// Instruction buffer behaviour.
+    pub ibuffer: CacheStats,
+    /// Checked-mode ordering diagnostics (empty when the mode is off or the
+    /// program is clean).
+    pub violations: Vec<OrderingViolation>,
+}
+
+impl RunStats {
+    /// Double-precision MFLOPS at the 40 ns clock.
+    pub fn mflops(&self) -> f64 {
+        mflops(self.fpu.flops, self.cycles)
+    }
+
+    /// CPU instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total operations (CPU instructions + FPU elements) per cycle — the
+    /// metric behind the paper's "two operations per cycle" peak.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.instructions + self.fpu.elements_issued) as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} instructions (IPC {:.2}), {} FP elements, {:.2} MFLOPS",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.fpu.elements_issued,
+            self.mflops()
+        )?;
+        writeln!(
+            f,
+            "stalls: ir_busy {} ls_port {} fpu_hazard {} int_hazard {} fetch {} dmiss {} branch {}",
+            self.stalls.ir_busy,
+            self.stalls.ls_port_busy,
+            self.stalls.fpu_reg_hazard,
+            self.stalls.int_load_hazard,
+            self.stalls.fetch,
+            self.stalls.data_miss,
+            self.stalls.branch
+        )?;
+        write!(f, "dcache: {} | ibuffer: {}", self.dcache, self.ibuffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflops_accounting() {
+        let stats = RunStats {
+            cycles: 35,
+            fpu: FpuStats {
+                flops: 28,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((stats.mflops() - 20.0).abs() < 1e-9, "Fig. 13 anchor");
+    }
+
+    #[test]
+    fn rates_handle_zero_cycles() {
+        let stats = RunStats::default();
+        assert_eq!(stats.mflops(), 0.0);
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = StallBreakdown {
+            ir_busy: 1,
+            ls_port_busy: 2,
+            fpu_reg_hazard: 3,
+            int_load_hazard: 4,
+            fetch: 5,
+            data_miss: 6,
+            branch: 7,
+        };
+        assert_eq!(b.total(), 28);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 cycles"));
+        assert!(text.contains("stalls:"));
+    }
+}

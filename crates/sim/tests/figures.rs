@@ -1,0 +1,238 @@
+//! Cycle-exact reproduction of the paper's timing figures (Figs. 5–8, 13)
+//! at the whole-machine level. These are the fidelity anchors of DESIGN.md:
+//! if one of these numbers moves, the simulator no longer implements the
+//! paper.
+
+use mt_fparith::FpOp;
+use mt_isa::{FReg, FpuAluInstr, IReg, Instr};
+use mt_sim::{Machine, Program, SimConfig};
+
+fn r(i: u8) -> FReg {
+    FReg::new(i)
+}
+
+fn ir(i: u8) -> IReg {
+    IReg::new(i)
+}
+
+/// Builds a machine with the program loaded and instruction fetch warmed
+/// (the figures assume no instruction-buffer misses).
+fn machine_with(instrs: &[Instr]) -> (Machine, Program) {
+    let prog = Program::assemble(instrs).expect("program assembles");
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    (m, prog)
+}
+
+fn scalar_add(rr: u8, ra: u8, rb: u8) -> Instr {
+    Instr::Falu(FpuAluInstr::scalar(FpOp::Add, r(rr), r(ra), r(rb)))
+}
+
+fn vector_add(rr: u8, ra: u8, rb: u8, vl: u8) -> Instr {
+    Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(rr), r(ra), r(rb), vl).unwrap())
+}
+
+/// Figure 5: summing 8 elements with a tree of scalar operations takes
+/// 12 cycles.
+#[test]
+fn figure_5_scalar_tree_sum_is_12_cycles() {
+    let (mut m, _) = machine_with(&[
+        scalar_add(8, 0, 1),
+        scalar_add(9, 2, 3),
+        scalar_add(10, 4, 5),
+        scalar_add(11, 6, 7),
+        scalar_add(12, 8, 9),
+        scalar_add(13, 10, 11),
+        scalar_add(14, 12, 13),
+        Instr::Halt,
+    ]);
+    m.fpu
+        .regs_mut()
+        .write_vector(r(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    let stats = m.run().unwrap();
+    assert_eq!(m.fpu.regs().read_f64(r(14)), 36.0);
+    assert_eq!(stats.cycles, 12, "Fig. 5 anchor");
+    assert_eq!(stats.fpu.instructions_transferred, 7);
+}
+
+/// Figure 6: the linear (fully dependent) vector sum of 8 elements takes
+/// 24 cycles — a single instruction whose elements chain at the 3-cycle
+/// latency. Coded as the running-register chain (see the `mt-core` crate
+/// docs for why `Rr` increments).
+#[test]
+fn figure_6_linear_vector_sum_is_24_cycles() {
+    let (mut m, _) = machine_with(&[vector_add(9, 8, 0, 8), Instr::Halt]);
+    m.fpu
+        .regs_mut()
+        .write_vector(r(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    m.fpu.regs_mut().write_f64(r(8), 0.0);
+    let stats = m.run().unwrap();
+    assert_eq!(m.fpu.regs().read_f64(r(16)), 36.0);
+    assert_eq!(stats.cycles, 24, "Fig. 6 anchor");
+    assert_eq!(
+        stats.fpu.instructions_transferred, 1,
+        "one vector instruction does the whole reduction"
+    );
+}
+
+/// Figure 7: the tree of vector operations also takes 12 cycles but needs
+/// only 3 instruction transfers, freeing the CPU for 9 of the 12 cycles.
+#[test]
+fn figure_7_vector_tree_sum_is_12_cycles_3_instructions() {
+    let (mut m, _) = machine_with(&[
+        // Pairs (R0,R4), (R1,R5), (R2,R6), (R3,R7): specifiers increment
+        // by one, so the pairs differ by the vector length.
+        vector_add(8, 0, 4, 4),
+        vector_add(12, 8, 10, 2),
+        vector_add(14, 12, 13, 1),
+        Instr::Halt,
+    ]);
+    m.fpu
+        .regs_mut()
+        .write_vector(r(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    let stats = m.run().unwrap();
+    assert_eq!(m.fpu.regs().read_f64(r(14)), 36.0);
+    assert_eq!(stats.cycles, 12, "Fig. 7 anchor");
+    assert_eq!(stats.fpu.instructions_transferred, 3);
+}
+
+/// Figure 8: the first 10 Fibonacci numbers via one vector instruction —
+/// a recurrence expressed as a vector, the paper's signature capability.
+/// Elements issue 3 cycles apart; the instruction completes at cycle 24.
+#[test]
+fn figure_8_fibonacci_recurrence() {
+    let (mut m, _) = machine_with(&[vector_add(2, 1, 0, 8), Instr::Halt]);
+    m.fpu.regs_mut().write_f64(r(0), 1.0);
+    m.fpu.regs_mut().write_f64(r(1), 1.0);
+    let stats = m.run().unwrap();
+    assert_eq!(
+        m.fpu.regs().read_vector(r(0), 10),
+        vec![1.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0]
+    );
+    assert_eq!(stats.cycles, 24, "Fig. 8 anchor (8 chained elements)");
+    assert_eq!(stats.fpu.instructions_transferred, 1);
+}
+
+/// §2.2.3 / Fig. 10: division as six dependent 3-cycle operations is
+/// 18 cycles (720 ns).
+#[test]
+fn division_macro_sequence_is_18_cycles() {
+    let div = |op: FpOp, rr: u8, ra: u8, rb: u8| {
+        Instr::Falu(FpuAluInstr::scalar(op, r(rr), r(ra), r(rb)))
+    };
+    let (mut m, _) = machine_with(&[
+        div(FpOp::Recip, 48, 1, 0),
+        div(FpOp::IterStep, 49, 1, 48),
+        div(FpOp::Mul, 48, 48, 49),
+        div(FpOp::IterStep, 49, 1, 48),
+        div(FpOp::Mul, 48, 48, 49),
+        div(FpOp::Mul, 2, 0, 48),
+        Instr::Halt,
+    ]);
+    m.fpu.regs_mut().write_f64(r(0), 10.0);
+    m.fpu.regs_mut().write_f64(r(1), 4.0);
+    let stats = m.run().unwrap();
+    assert_eq!(m.fpu.regs().read_f64(r(2)), 2.5);
+    assert_eq!(stats.cycles, 18, "six dependent 3-cycle ops");
+}
+
+/// Figure 13: the graphics transform — load point, four vector multiplies,
+/// three vector adds, store result — in 35 cycles (plus the halt), i.e.
+/// 28 FLOPs at 20 MFLOPS.
+#[test]
+fn figure_13_graphics_transform_timing() {
+    let fmul_vs = |rr: u8, ra: u8, rb: u8| {
+        Instr::Falu(FpuAluInstr::vector_scalar(FpOp::Mul, r(rr), r(ra), r(rb), 4).unwrap())
+    };
+    let fadd_v = |rr: u8, ra: u8, rb: u8| {
+        Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(rr), r(ra), r(rb), 4).unwrap())
+    };
+    let point_base = 0x8000u32;
+    let result_base = 0x8100u32;
+    let (mut m, _) = machine_with(&[
+        // Load and multiply the initial vector.
+        Instr::Fld { fr: r(32), base: ir(1), offset: 0 },
+        fmul_vs(16, 0, 32),
+        Instr::Fld { fr: r(33), base: ir(1), offset: 8 },
+        fmul_vs(20, 4, 33),
+        Instr::Fld { fr: r(34), base: ir(1), offset: 16 },
+        fmul_vs(24, 8, 34),
+        Instr::Fld { fr: r(35), base: ir(1), offset: 24 },
+        fmul_vs(28, 12, 35),
+        // Sum products in parallel binary trees.
+        fadd_v(16, 16, 20),
+        fadd_v(24, 24, 28),
+        fadd_v(36, 16, 24),
+        // Store the result vector.
+        Instr::Fst { fr: r(36), base: ir(2), offset: 0 },
+        Instr::Fst { fr: r(37), base: ir(2), offset: 8 },
+        Instr::Fst { fr: r(38), base: ir(2), offset: 16 },
+        Instr::Fst { fr: r(39), base: ir(2), offset: 24 },
+        Instr::Halt,
+    ]);
+
+    // Identity-ish matrix with distinct values, column-major in R0..R15.
+    #[rustfmt::skip]
+    let matrix = [
+        2.0, 0.0, 0.0, 0.5,   // column 1: a11 a21 a31 a41
+        0.0, 3.0, 0.0, 0.0,
+        0.0, 0.0, 4.0, 0.0,
+        1.0, 0.0, 0.0, 1.0,
+    ];
+    m.fpu.regs_mut().write_vector(r(0), &matrix);
+    m.set_ireg(ir(1), point_base as i32);
+    m.set_ireg(ir(2), result_base as i32);
+    let point = [1.0, 2.0, 3.0, 4.0];
+    m.mem.memory.write_f64_slice(point_base, &point);
+    // Warm the data lines too — the paper's figure assumes no cache misses.
+    for off in (0..32).step_by(8) {
+        m.mem.load_f64(point_base + off);
+        m.mem.load_f64(result_base + off);
+    }
+
+    let stats = m.run().unwrap();
+
+    // x' = 2·1 + 0 + 0 + 1·4 = 6;  y' = 3·2 = 6;  z' = 4·3 = 12;
+    // w' = 0.5·1 + 1·4 = 4.5.
+    let result = m.mem.memory.read_f64_slice(result_base, 4);
+    assert_eq!(result, vec![6.0, 6.0, 12.0, 4.5]);
+
+    assert_eq!(stats.cycles - 1, 35, "Fig. 13 anchor (35 cycles + halt)");
+    assert_eq!(stats.fpu.flops, 28, "16 multiplies + 12 adds");
+    // 28 FLOPs / (35 × 40 ns) = 20 MFLOPS in steady state.
+    let kernel_mflops: f64 = 28.0 / (35.0 * 40.0e-3);
+    assert!((kernel_mflops - 20.0).abs() < 1e-9);
+}
+
+/// Fig. 9 (fixed stride): the MultiTitan issues one load per cycle by
+/// folding the stride into the load offset.
+#[test]
+fn figure_9_fixed_stride_loads_one_per_cycle() {
+    let c = 16; // stride in bytes
+    let loads: Vec<Instr> = (0..8)
+        .map(|i| Instr::Fld {
+            fr: r(i),
+            base: ir(1),
+            offset: (i as i32) * c,
+        })
+        .chain([Instr::Halt])
+        .collect();
+    let (mut m, _) = machine_with(&loads);
+    m.set_ireg(ir(1), 0x8000);
+    for i in 0..8u32 {
+        m.mem.memory.write_f64(0x8000 + i * c as u32, i as f64);
+        m.mem.load_f64(0x8000 + i * c as u32); // warm
+    }
+    let stats = m.run().unwrap();
+    for i in 0..8 {
+        assert_eq!(m.fpu.regs().read_f64(r(i)), i as f64);
+    }
+    // 8 loads at one per cycle + halt + final load visibility.
+    assert_eq!(stats.fpu.loads, 8);
+    assert!(
+        stats.cycles <= 10,
+        "8 loads should take ~8 cycles, got {}",
+        stats.cycles
+    );
+}

@@ -1,0 +1,27 @@
+; y = a*x + y over 16 elements, strip-mined by hand: the Linpack inner loop.
+; Run:  mtasm run examples/asm/daxpy.s
+
+.data 0x2000                        ; x
+.double 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+.data 0x3000                        ; y
+.double 100, 100, 100, 100, 100, 100, 100, 100
+.double 100, 100, 100, 100, 100, 100, 100, 100
+.data 0x4000
+.double 2.5                         ; a
+
+    li   r1, 0x2000
+    li   r2, 0x3000
+    li   r3, 2                      ; strips
+    li   r4, 0
+    fld  R16, 0x4000(r0)
+strip:
+    fldv R0..R7, 0(r1), 8           ; x strip (one load per cycle)
+    fmul R0..R7, R0..R7, R16        ; a*x while y loads below overlap
+    fldv R8..R15, 0(r2), 8
+    fadd R8..R15, R8..R15, R0..R7
+    fstv R8..R15, 0(r2), 8          ; stores interlock with the elements
+    addi r1, r1, 64
+    addi r2, r2, 64
+    addi r4, r4, 1
+    blt  r4, r3, strip
+    halt

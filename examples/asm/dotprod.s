@@ -1,0 +1,18 @@
+; The paper's showcase (section 2.1.1): a dot product whose reduction stays
+; in the vector result registers -- no separate scalar file to move data to.
+; Run:  mtasm run examples/asm/dotprod.s
+
+.data 0x2000                        ; x
+.double 1, 2, 3, 4, 5, 6, 7, 8
+.data 0x2100                        ; z
+.double 8, 7, 6, 5, 4, 3, 2, 1
+
+    li   r1, 0x2000
+    fldv R0..R7, 0(r1), 8
+    fldv R8..R15, 0x100(r1), 8
+    fmul R0..R7, R0..R7, R8..R15    ; elementwise products
+    fadd R16..R19, R0..R3, R4..R7   ; tree reduction (Fig. 7 pattern)
+    fadd R20..R21, R16..R17, R18..R19
+    fadd R22, R20, R21
+    fst  R22, 0x200(r1)             ; 120.0
+    halt

@@ -1,0 +1,13 @@
+; Fig. 8 of the paper: a recurrence as a single vector instruction.
+; Run:  mtasm run examples/asm/fibonacci.s --timeline
+
+.data 0x2000
+.double 1.0, 1.0          ; Fib(0), Fib(1)
+
+    li   r1, 0x2000
+    fld  R0, 0(r1)
+    fld  R1, 8(r1)
+    fadd R2..R17, R1..R16, R0..R15   ; sixteen chained elements
+    fadd R20, R20, R20               ; fence: let the chain finish issuing
+    fst  R17, 16(r1)                 ; Fib(17)
+    halt

@@ -1,0 +1,73 @@
+//! Quickstart: assemble a program from text, run it, inspect the timing.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use multititan::asm::parse;
+use multititan::sim::{Machine, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A DAXPY over one 8-element strip: y = a·x + y, the building block of
+    // Linpack (§3.3). The vector range syntax `R0..R7` strides; the plain
+    // `R16` broadcasts the scalar.
+    let source = r"
+        li   r1, 0x2000        ; &x
+        li   r2, 0x3000        ; &y
+        fld  R16, 0x4000(r0)   ; a
+
+        fld  R0, 0(r1)         ; load the x strip (one load per cycle)
+        fld  R1, 8(r1)
+        fld  R2, 16(r1)
+        fld  R3, 24(r1)
+        fld  R4, 32(r1)
+        fld  R5, 40(r1)
+        fld  R6, 48(r1)
+        fld  R7, 56(r1)
+        fmul R0..R7, R0..R7, R16   ; a·x — one instruction, 8 elements
+
+        fld  R8, 0(r2)         ; load y while the multiply issues
+        fld  R9, 8(r2)
+        fld  R10, 16(r2)
+        fld  R11, 24(r2)
+        fld  R12, 32(r2)
+        fld  R13, 40(r2)
+        fld  R14, 48(r2)
+        fld  R15, 56(r2)
+        fadd R8..R15, R8..R15, R0..R7
+
+        fst  R8, 0(r2)         ; stores interlock with the issuing elements
+        fst  R9, 8(r2)
+        fst  R10, 16(r2)
+        fst  R11, 24(r2)
+        fst  R12, 32(r2)
+        fst  R13, 40(r2)
+        fst  R14, 48(r2)
+        fst  R15, 56(r2)
+        halt
+    ";
+    let program = parse(source, 0x1_0000)?;
+
+    let mut machine = Machine::new(SimConfig::default());
+    machine.load_program(&program);
+    machine.warm_instructions(&program);
+    machine.mem.memory.write_f64(0x4000, 3.0);
+    for i in 0..8u32 {
+        machine.mem.memory.write_f64(0x2000 + 8 * i, i as f64);
+        machine.mem.memory.write_f64(0x3000 + 8 * i, 100.0 + i as f64);
+    }
+
+    let stats = machine.run()?;
+
+    println!("y = 3·x + y over one strip:");
+    for i in 0..8u32 {
+        print!("{:7.1}", machine.mem.memory.read_f64(0x3000 + 8 * i));
+    }
+    println!("\n\n{stats}");
+    println!(
+        "\n{:.2} MFLOPS, {:.2} combined ops/cycle (CPU instructions + FPU elements)",
+        stats.mflops(),
+        stats.ops_per_cycle()
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # MultiTitan: a unified vector/scalar floating-point architecture
+//!
+//! A full reproduction of *"A Unified Vector/Scalar Floating-Point
+//! Architecture"* (Jouppi, Bertoni, Wall; ASPLOS-III 1989 / DEC WRL
+//! Research Report 89/8): a cycle-level simulator of the MultiTitan
+//! CPU+FPU, its toolchain, the paper's comparators, and every workload of
+//! the evaluation section.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`fparith`] — bit-level IEEE-754 double arithmetic: the dual-path
+//!   adder, the partial-product-tree multiplier, the 16-bit reciprocal
+//!   approximation, and the 6-operation Newton–Raphson division sequence;
+//! * [`isa`] — the instruction set: the 32-bit FPU ALU format of Fig. 3
+//!   with its vector-length and stride fields, the 10-bit coprocessor bus
+//!   ops, and the scalar CPU substrate;
+//! * [`asm`] — a two-pass assembler (text syntax and builder API);
+//! * [`mem`] — the memory hierarchy: 64 KB direct-mapped data cache with
+//!   16-byte lines and the 14-cycle miss penalty, instruction cache and
+//!   on-chip instruction buffer;
+//! * [`core`] — the FPU itself: the 52-register unified vector/scalar
+//!   register file, the reservation-bit scoreboard, the ALU instruction
+//!   register with its element re-issue engine, and the three fully
+//!   pipelined 3-cycle functional units;
+//! * [`sim`] — the whole-machine cycle-level simulator with the paper's
+//!   issue rules (one CPU instruction plus one FPU ALU element per cycle);
+//! * [`mahler`] — the §3 vector-extended intermediate language and code
+//!   generator;
+//! * [`baseline`] — the Fig. 11 analytic model, a classical vector-machine
+//!   comparator, and the paper's published numbers;
+//! * [`kernels`] — the Livermore Loops, Linpack, and the figure kernels,
+//!   each verified against a Rust reference.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multititan::asm::parse;
+//! use multititan::sim::{Machine, SimConfig};
+//!
+//! // The Fibonacci recurrence of Fig. 8 — one vector instruction.
+//! let program = parse(
+//!     r"
+//!     li   r1, 0x2000
+//!     fld  R0, 0(r1)
+//!     fld  R1, 8(r1)
+//!     fadd R2..R9, R1..R8, R0..R7   ; recurrence: R[k] = R[k-1] + R[k-2]
+//!     fadd R10, R10, R10            ; fence: occupy the IR until the chain
+//!                                   ; has issued (§2.3.2 — the store below
+//!                                   ; reads the *last* element)
+//!     fst  R9, 16(r1)
+//!     halt
+//!     ",
+//!     0x1_0000,
+//! )?;
+//!
+//! let mut machine = Machine::new(SimConfig::default());
+//! machine.load_program(&program);
+//! machine.mem.memory.write_f64(0x2000, 1.0);
+//! machine.mem.memory.write_f64(0x2008, 1.0);
+//! let stats = machine.run()?;
+//!
+//! assert_eq!(machine.mem.memory.read_f64(0x2010), 55.0); // Fib(10)
+//! assert!(stats.mflops() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use mt_asm as asm;
+pub use mt_baseline as baseline;
+pub use mt_core as core;
+pub use mt_fparith as fparith;
+pub use mt_isa as isa;
+pub use mt_kernels as kernels;
+pub use mt_mahler as mahler;
+pub use mt_mem as mem;
+pub use mt_sim as sim;

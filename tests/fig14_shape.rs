@@ -1,0 +1,96 @@
+//! Pins the Figure 14 reproduction: the headline harmonic means and the
+//! paper's qualitative claims must keep holding as the code evolves.
+//! (Exact MFLOPS per loop are recorded in EXPERIMENTS.md; these bounds are
+//! deliberately loose enough to survive small scheduling changes.)
+
+use multititan::baseline::published::{harmonic_mean, PUBLISHED_LIVERMORE};
+use multititan::kernels::{harness, livermore};
+
+fn measure_all() -> (Vec<f64>, Vec<f64>) {
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for n in 1..=24 {
+        let r = harness::run_kernel(&livermore::by_number(n)).unwrap_or_else(|e| panic!("{e}"));
+        cold.push(r.mflops_cold());
+        warm.push(r.mflops_warm());
+    }
+    (cold, warm)
+}
+
+#[test]
+fn figure_14_shape_holds() {
+    let (cold, warm) = measure_all();
+
+    // Headline harmonic means (paper: cold 2.5, warm 4.9).
+    let cold_hm = harmonic_mean(&cold);
+    let warm_hm = harmonic_mean(&warm);
+    assert!(
+        (1.5..=3.5).contains(&cold_hm),
+        "cold harmonic mean {cold_hm:.2} left the paper's neighbourhood"
+    );
+    assert!(
+        (4.0..=7.0).contains(&warm_hm),
+        "warm harmonic mean {warm_hm:.2} left the paper's neighbourhood"
+    );
+
+    // §3.2: the warm MultiTitan is about half the Cray-1S and a third the
+    // X-MP overall.
+    let cray_1s = harmonic_mean(
+        &PUBLISHED_LIVERMORE.iter().map(|r| r.cray_1s).collect::<Vec<_>>(),
+    );
+    let xmp = harmonic_mean(
+        &PUBLISHED_LIVERMORE.iter().map(|r| r.cray_xmp).collect::<Vec<_>>(),
+    );
+    let r1 = warm_hm / cray_1s;
+    let r2 = warm_hm / xmp;
+    assert!((0.35..=0.85).contains(&r1), "warm/Cray-1S ratio {r1:.2}");
+    assert!((0.2..=0.5).contains(&r2), "warm/X-MP ratio {r2:.2}");
+
+    // §3.2: cache misses hit loops 1–12 much harder than 13–24.
+    let ratio_1_12 = harmonic_mean(&warm[..12]) / harmonic_mean(&cold[..12]);
+    let ratio_13_24 = harmonic_mean(&warm[12..]) / harmonic_mean(&cold[12..]);
+    assert!(
+        ratio_1_12 > ratio_13_24 + 0.5,
+        "warm/cold {ratio_1_12:.2} (1-12) vs {ratio_13_24:.2} (13-24): the dilution claim failed"
+    );
+
+    // The paper's signature: the MultiTitan beats the Cray-1S on the
+    // recurrence loops it alone can vectorize/schedule (5 and 11).
+    assert!(
+        warm[4] > PUBLISHED_LIVERMORE[4].cray_1s,
+        "loop 5: {:.1} must beat the Cray-1S' {:.1}",
+        warm[4],
+        PUBLISHED_LIVERMORE[4].cray_1s
+    );
+    assert!(
+        warm[10] > PUBLISHED_LIVERMORE[10].cray_1s,
+        "loop 11: {:.1} must beat the Cray-1S' {:.1}",
+        warm[10],
+        PUBLISHED_LIVERMORE[10].cray_1s
+    );
+
+    // Register-reuse loops (7, 21) are the fastest of their halves.
+    let max_1_12 = warm[..12].iter().cloned().fold(0.0, f64::max);
+    assert_eq!(warm[6], max_1_12, "loop 7 leads loops 1-12");
+    let max_13_24 = warm[12..].iter().cloned().fold(0.0, f64::max);
+    assert!(
+        warm[20] >= max_13_24 * 0.9,
+        "loop 21 must be at the top of loops 13-24"
+    );
+}
+
+#[test]
+fn every_loop_stays_in_its_published_magnitude_class() {
+    // Within 4× of the paper in both directions — a coarse rail that
+    // catches gross regressions while allowing re-coding differences.
+    let (_, warm) = measure_all();
+    for (w, row) in warm.iter().zip(PUBLISHED_LIVERMORE.iter()) {
+        let ratio = w / row.mt_warm;
+        assert!(
+            (0.25..=4.0).contains(&ratio),
+            "loop {}: measured {w:.1} vs paper {:.1} (ratio {ratio:.2})",
+            row.loop_no,
+            row.mt_warm
+        );
+    }
+}

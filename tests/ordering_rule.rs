@@ -1,0 +1,61 @@
+//! §2.3.2 compliance: every generated workload must be free of the
+//! out-of-order load/store hazards the hardware cannot interlock. The
+//! simulator's checked mode detects them; the mini-Mahler fences are what
+//! should prevent them. Any violation here is a code-generator bug.
+
+use multititan::kernels::{harness, linpack, livermore};
+use multititan::sim::SimConfig;
+
+fn checked() -> SimConfig {
+    SimConfig {
+        checked_ordering: true,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn vectorized_livermore_loops_are_ordering_clean() {
+    // The loops with real vector work are the ones at risk.
+    for n in [1u8, 2, 3, 4, 6, 7, 8, 9, 10, 11, 12, 18, 21] {
+        let kernel = livermore::by_number(n);
+        let report = harness::run_kernel_with(&kernel, checked()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            report.cold.violations.is_empty() && report.warm.violations.is_empty(),
+            "loop {n}: ordering violations {:?}",
+            report.cold.violations
+        );
+    }
+}
+
+#[test]
+fn vector_linpack_is_ordering_clean() {
+    let report =
+        harness::run_kernel_with(&linpack::linpack(24, true), checked()).unwrap();
+    assert!(
+        report.warm.violations.is_empty(),
+        "violations: {:?}",
+        report.warm.violations
+    );
+}
+
+#[test]
+fn figure_kernels_are_ordering_clean() {
+    use multititan::kernels::{gather, graphics, reductions};
+    for kernel in [
+        reductions::scalar_tree_sum(),
+        reductions::linear_vector_sum(),
+        reductions::vector_tree_sum(),
+        reductions::fibonacci(16),
+        gather::fixed_stride(2),
+        gather::linked_list(),
+        graphics::transform_points(8),
+    ] {
+        let name = kernel.name.clone();
+        let report = harness::run_kernel_with(&kernel, checked()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            report.warm.violations.is_empty(),
+            "{name}: {:?}",
+            report.warm.violations
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The shipped assembly examples under `examples/asm/` must assemble, run,
+//! and produce their documented results.
+
+use multititan::asm::parse;
+use multititan::sim::{Machine, SimConfig};
+
+fn run(path: &str) -> Machine {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let program = parse(&src, 0x1_0000).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&program);
+    m.warm_instructions(&program);
+    m.run().unwrap_or_else(|e| panic!("{path}: {e}"));
+    m
+}
+
+#[test]
+fn fibonacci_s() {
+    let m = run("examples/asm/fibonacci.s");
+    assert_eq!(m.mem.memory.read_f64(0x2010), 2584.0); // Fib(17)
+}
+
+#[test]
+fn daxpy_s() {
+    let m = run("examples/asm/daxpy.s");
+    for i in 0..16u32 {
+        assert_eq!(
+            m.mem.memory.read_f64(0x3000 + 8 * i),
+            100.0 + 2.5 * i as f64,
+            "y[{i}]"
+        );
+    }
+}
+
+#[test]
+fn dotprod_s() {
+    let m = run("examples/asm/dotprod.s");
+    let want: f64 = (1..=8).map(|k| (k * (9 - k)) as f64).sum();
+    assert_eq!(m.mem.memory.read_f64(0x2200), want);
+}
+
+#[test]
+fn every_shipped_program_assembles() {
+    for entry in std::fs::read_dir("examples/asm").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("s") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            parse(&src, 0x1_0000).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+}

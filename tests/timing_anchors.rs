@@ -1,0 +1,200 @@
+//! The paper's cycle-exact fidelity anchors, asserted through the public
+//! facade: if any of these numbers moves, the reproduction no longer
+//! implements the paper (see DESIGN.md §2, "fidelity anchors").
+
+use multititan::fparith::FpOp;
+use multititan::isa::{FReg, FpuAluInstr, Instr};
+use multititan::sim::{Machine, Program, SimConfig};
+
+fn run_anchored(instrs: &[Instr], setup: impl FnOnce(&mut Machine)) -> u64 {
+    let prog = Program::assemble(instrs).unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    setup(&mut m);
+    m.run().unwrap().cycles
+}
+
+fn s(rr: u8, ra: u8, rb: u8) -> Instr {
+    Instr::Falu(FpuAluInstr::scalar(
+        FpOp::Add,
+        FReg::new(rr),
+        FReg::new(ra),
+        FReg::new(rb),
+    ))
+}
+
+fn v(rr: u8, ra: u8, rb: u8, vl: u8) -> Instr {
+    Instr::Falu(FpuAluInstr::vector(FpOp::Add, FReg::new(rr), FReg::new(ra), FReg::new(rb), vl).unwrap())
+}
+
+fn eight(m: &mut Machine) {
+    m.fpu
+        .regs_mut()
+        .write_vector(FReg::new(0), &[1., 2., 3., 4., 5., 6., 7., 8.]);
+}
+
+#[test]
+fn figure_5_twelve_cycles() {
+    let cycles = run_anchored(
+        &[
+            s(8, 0, 1),
+            s(9, 2, 3),
+            s(10, 4, 5),
+            s(11, 6, 7),
+            s(12, 8, 9),
+            s(13, 10, 11),
+            s(14, 12, 13),
+            Instr::Halt,
+        ],
+        eight,
+    );
+    assert_eq!(cycles, 12);
+}
+
+#[test]
+fn figure_6_twenty_four_cycles() {
+    assert_eq!(run_anchored(&[v(9, 8, 0, 8), Instr::Halt], eight), 24);
+}
+
+#[test]
+fn figure_7_twelve_cycles() {
+    assert_eq!(
+        run_anchored(
+            &[v(8, 0, 4, 4), v(12, 8, 10, 2), v(14, 12, 13, 1), Instr::Halt],
+            eight
+        ),
+        12
+    );
+}
+
+#[test]
+fn figure_8_twenty_four_cycles() {
+    assert_eq!(run_anchored(&[v(2, 1, 0, 8), Instr::Halt], eight), 24);
+}
+
+#[test]
+fn division_eighteen_cycles_720ns() {
+    let d = |op: FpOp, rr: u8, ra: u8, rb: u8| {
+        Instr::Falu(FpuAluInstr::scalar(op, FReg::new(rr), FReg::new(ra), FReg::new(rb)))
+    };
+    let cycles = run_anchored(
+        &[
+            d(FpOp::Recip, 48, 1, 0),
+            d(FpOp::IterStep, 49, 1, 48),
+            d(FpOp::Mul, 48, 48, 49),
+            d(FpOp::IterStep, 49, 1, 48),
+            d(FpOp::Mul, 48, 48, 49),
+            d(FpOp::Mul, 2, 0, 48),
+            Instr::Halt,
+        ],
+        |m| {
+            m.fpu.regs_mut().write_f64(FReg::new(0), 10.0);
+            m.fpu.regs_mut().write_f64(FReg::new(1), 4.0);
+        },
+    );
+    assert_eq!(cycles, 18);
+    assert_eq!(
+        cycles as f64 * multititan::fparith::CYCLE_NS,
+        multititan::fparith::latency::FIGURE_10[2].fpu_ns
+    );
+}
+
+#[test]
+fn latency_table_matches_figure_10() {
+    use multititan::fparith::latency::{FIGURE_10, OP_LATENCY_CYCLES, CYCLE_NS};
+    assert_eq!(OP_LATENCY_CYCLES as f64 * CYCLE_NS, FIGURE_10[0].fpu_ns);
+    assert_eq!(FIGURE_10[0].fpu_ns, 120.0);
+    assert_eq!(FIGURE_10[2].fpu_ns, 720.0);
+    assert_eq!(FIGURE_10[2].xmp_ns, 332.5);
+}
+
+#[test]
+fn vector_recursion_of_length_16_takes_48_cycles() {
+    // §2.3.1: "in the case of vector recursion … of length 16, the last
+    // element would be written 48 cycles later".
+    let cycles = run_anchored(&[v(2, 1, 0, 16), Instr::Halt], |m| {
+        m.fpu.regs_mut().write_f64(FReg::new(0), 1.0);
+        m.fpu.regs_mut().write_f64(FReg::new(1), 1.0);
+    });
+    assert_eq!(cycles, 48);
+}
+
+#[test]
+fn peak_two_operations_per_cycle() {
+    // §2.4: loads stream at one per cycle while a VL-16 multiply issues
+    // its elements — two operations per cycle at the peak.
+    let mut instrs = vec![Instr::Falu(
+        FpuAluInstr::vector(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(32), 16).unwrap(),
+    )];
+    for i in 0..15 {
+        instrs.push(Instr::Fld {
+            fr: FReg::new(34 + i),
+            base: multititan::isa::IReg::ZERO,
+            offset: 0x2000 + 8 * i as i32,
+        });
+    }
+    instrs.push(Instr::Halt);
+    let prog = Program::assemble(&instrs).unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    for i in 0..15u32 {
+        m.mem.load_f64(0x2000 + 8 * i); // warm the lines
+    }
+    let stats = m.run().unwrap();
+    assert!(
+        stats.ops_per_cycle() > 1.5,
+        "expected ≈2 ops/cycle, got {:.2}",
+        stats.ops_per_cycle()
+    );
+}
+
+/// §3.2: "For a two-operand vector add this requires about 4 cycles per
+/// result - two loads, a compute, and then a partially overlapped store."
+#[test]
+fn four_cycles_per_result_for_a_streaming_vector_add() {
+    use multititan::isa::IReg;
+    let mut instrs = Vec::new();
+    // 8 strips of VL-8 adds: load a, load b, add, store — all streaming.
+    // Straight-line (no loop overhead) to isolate the §3.2 figure.
+    for s in 0..8i32 {
+        let off = 64 * s;
+        for e in 0..8 {
+            instrs.push(Instr::Fld {
+                fr: FReg::new(e),
+                base: IReg::ZERO,
+                offset: 0x2000 + off + 8 * e as i32,
+            });
+        }
+        for e in 0..8 {
+            instrs.push(Instr::Fld {
+                fr: FReg::new(8 + e),
+                base: IReg::ZERO,
+                offset: 0x4000 + off + 8 * e as i32,
+            });
+        }
+        instrs.push(v(16, 0, 8, 8));
+        for e in 0..8 {
+            instrs.push(Instr::Fst {
+                fr: FReg::new(16 + e),
+                base: IReg::ZERO,
+                offset: 0x6000 + off + 8 * e as i32,
+            });
+        }
+    }
+    instrs.push(Instr::Halt);
+    let prog = Program::assemble(&instrs).unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    for a in (0x2000u32..0x6200).step_by(8) {
+        m.mem.load_f64(a); // warm all data
+    }
+    let stats = m.run().unwrap();
+    let per_result = stats.cycles as f64 / 64.0;
+    assert!(
+        (3.3..=4.7).contains(&per_result),
+        "expected ≈4 cycles per result, got {per_result:.2}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property: a vector instruction is architecturally identical to its
+//! per-element scalar unrolling — "scalar operations are simply vector
+//! operations of length one" (§2.1), and each element goes through the
+//! same issue path. This holds even for recurrences, where elements read
+//! earlier elements' results.
+
+use multititan::fparith::op::ALL_OPS;
+use multititan::isa::{FReg, FpuAluInstr, Instr};
+use multititan::sim::{Machine, Program, SimConfig};
+use proptest::prelude::*;
+
+/// Runs and returns the final register file plus the overflow-abort count
+/// (an aborting vector is *not* equivalent to its unrolling — §2.3.1
+/// discards the remaining elements; see the dedicated test below).
+fn run_program(instrs: &[Instr], regs: &[u64]) -> (Vec<u64>, u64) {
+    let prog = Program::assemble(instrs).unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    for (i, &bits) in regs.iter().enumerate() {
+        m.fpu.write_reg_direct(FReg::new(i as u8), bits);
+    }
+    m.run().unwrap();
+    (
+        (0..52).map(|i| m.fpu.read_reg(FReg::new(i))).collect(),
+        m.fpu.stats().overflow_aborts,
+    )
+}
+
+fn arb_valid_vector() -> impl Strategy<Value = FpuAluInstr> {
+    (
+        0usize..ALL_OPS.len(),
+        0u8..52,
+        0u8..52,
+        0u8..52,
+        1u8..=16,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter_map("in range", |(op, rr, ra, rb, vl, sra, srb)| {
+            FpuAluInstr::new(
+                ALL_OPS[op],
+                FReg::new(rr),
+                FReg::new(ra),
+                FReg::new(rb),
+                vl,
+                sra,
+                srb,
+            )
+            .ok()
+        })
+}
+
+/// Doubles that keep every operation finite-ish but still exercise
+/// rounding (subnormal/infinity corners are covered by the fparith props).
+fn arb_regs() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (-1.0e3f64..1.0e3).prop_map(|v| v.to_bits()),
+        52,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vector_equals_unrolled_scalars(instr in arb_valid_vector(), regs in arb_regs()) {
+        let (vector_result, aborts) = run_program(&[Instr::Falu(instr), Instr::Halt], &regs);
+        // Overflow-aborting vectors intentionally differ from their
+        // unrolling (tested separately below).
+        prop_assume!(aborts == 0);
+
+        // Unroll: one scalar (VL = 1) instruction per element, in order.
+        let mut unrolled = Vec::new();
+        for e in 0..instr.vl {
+            let refs = instr.element(e);
+            unrolled.push(Instr::Falu(FpuAluInstr::scalar(
+                instr.op, refs.rr, refs.ra, refs.rb,
+            )));
+        }
+        unrolled.push(Instr::Halt);
+        let (scalar_result, _) = run_program(&unrolled, &regs);
+
+        prop_assert_eq!(vector_result, scalar_result);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(instr in arb_valid_vector(), regs in arb_regs()) {
+        let prog = [Instr::Falu(instr), Instr::Halt];
+        let a = run_program(&prog, &regs);
+        let b = run_program(&prog, &regs);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// §2.3.1's abort rule makes an overflowing vector diverge from its scalar
+/// unrolling: the vector discards the elements after the overflow, the
+/// scalar sequence completes each instruction independently.
+#[test]
+fn overflowing_vector_differs_from_unrolling_by_design() {
+    use multititan::fparith::FpOp;
+    let mut regs = vec![0u64; 52];
+    regs[0] = f64::MAX.to_bits();
+    regs[1] = f64::MAX.to_bits();
+    regs[2] = 2.0f64.to_bits();
+    regs[3] = 3.0f64.to_bits();
+    // R4..R5 := R0..R1 + R2..R3? No — make element 0 overflow, element 1 not:
+    // sources stride: element 0 adds MAX+MAX (overflow), element 1 adds
+    // MAX+2 (finite).
+    let v = FpuAluInstr::vector(FpOp::Mul, FReg::new(8), FReg::new(0), FReg::new(1), 2).unwrap();
+    let (vec_regs, aborts) = run_program(&[Instr::Falu(v), Instr::Halt], &regs);
+    assert_eq!(aborts, 1);
+    assert_eq!(vec_regs[9], 0, "element 1 discarded by the abort");
+
+    let e0 = v.element(0);
+    let e1 = v.element(1);
+    let (scalar_regs, _) = run_program(
+        &[
+            Instr::Falu(FpuAluInstr::scalar(v.op, e0.rr, e0.ra, e0.rb)),
+            Instr::Falu(FpuAluInstr::scalar(v.op, e1.rr, e1.ra, e1.rb)),
+            Instr::Halt,
+        ],
+        &regs,
+    );
+    assert_ne!(scalar_regs[9], 0, "independent scalar completes");
+}
