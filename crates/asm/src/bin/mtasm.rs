@@ -1,26 +1,35 @@
-//! `mtasm` — assemble, disassemble, and run MultiTitan programs.
+//! `mtasm` — assemble, lint, disassemble, and run MultiTitan programs.
 //!
 //! ```text
-//! mtasm asm  <file.s> [--base <hex>]       assemble; print words as hex
-//! mtasm dis  <file.hex> [--base <hex>]     disassemble hex words
-//! mtasm run  <file.s> [--base <hex>] [--trace] [--timeline] [--cold]
-//!                                          assemble and simulate to halt
+//! mtasm asm  <file.s> [--base <hex>] [--lint]  assemble; print words as hex
+//! mtasm dis  <file.hex> [--base <hex>]         disassemble hex words
+//! mtasm lint <file.s> [--base <hex>]           static analysis only
+//! mtasm run  <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]
+//!                                              assemble and simulate to halt
 //! ```
 //!
 //! `run` starts with warm instruction fetch unless `--cold` is given, and
 //! prints the run statistics (cycles, MFLOPS, stall breakdown) on exit.
 //! Initialize memory with `.data <addr>` / `.double` / `.word` directives
 //! in the source (see `examples/asm/*.s`); everything else starts zeroed.
+//!
+//! `lint` (or `--lint` alongside `asm`/`run`) runs the `mt-lint` static
+//! analyzer — the §2.3.2 ordering rule, register dataflow, and structural
+//! checks — and prints rustc-style diagnostics with source spans. Errors
+//! make the command fail (and stop `run` before simulation); warnings and
+//! notes do not. Silence an intentional Fig. 8 recurrence by annotating
+//! its line with `; lint: allow(recurrence)`.
 
 use std::process::ExitCode;
 
-use mt_asm::parse;
+use mt_asm::{parse_with_source_map, SourceMap};
 use mt_isa::Instr;
+use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::{Machine, Program, SimConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--trace] [--timeline] [--cold]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]"
     );
     ExitCode::from(2)
 }
@@ -31,6 +40,7 @@ struct Options {
     trace: bool,
     timeline: bool,
     cold: bool,
+    lint: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -39,6 +49,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut trace = false;
     let mut timeline = false;
     let mut cold = false;
+    let mut lint = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -50,6 +61,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => trace = true,
             "--timeline" => timeline = true,
             "--cold" => cold = true,
+            "--lint" => lint = true,
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -62,7 +74,38 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace,
         timeline,
         cold,
+        lint,
     })
+}
+
+/// Lints an assembled program, printing rustc-style diagnostics to
+/// stderr. Returns an error when any error-severity finding exists.
+fn lint(program: &Program, map: &SourceMap, path: &str) -> Result<(), String> {
+    let opts = LintOptions {
+        allow_recurrence: map.allowed_indices("recurrence"),
+        ..LintOptions::default()
+    };
+    let findings = lint_program_with(program, &opts);
+    for finding in &findings {
+        eprintln!("{}", map.render(finding, path));
+    }
+    let errors = mt_lint::error_count(&findings);
+    let warnings = findings
+        .iter()
+        .filter(|f| f.severity() == Severity::Warning)
+        .count();
+    if !findings.is_empty() {
+        eprintln!(
+            "{path}: {} finding(s): {errors} error(s), {warnings} warning(s), {} note(s)",
+            findings.len(),
+            findings.len() - errors - warnings
+        );
+    }
+    if errors > 0 {
+        Err(format!("{errors} lint error(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -81,11 +124,20 @@ fn main() -> ExitCode {
 
     let result = match cmd.as_str() {
         "asm" => read(&opts.path).and_then(|src| {
-            let program = parse(&src, opts.base).map_err(|e| e.to_string())?;
+            let (program, map) =
+                parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
+            if opts.lint {
+                lint(&program, &map, &opts.path)?;
+            }
             for w in &program.words {
                 println!("{w:08x}");
             }
             Ok(())
+        }),
+        "lint" => read(&opts.path).and_then(|src| {
+            let (program, map) =
+                parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
+            lint(&program, &map, &opts.path)
         }),
         "dis" => read(&opts.path).and_then(|text| {
             let mut addr = opts.base;
@@ -105,7 +157,11 @@ fn main() -> ExitCode {
             Ok(())
         }),
         "run" => read(&opts.path).and_then(|src| {
-            let program = parse(&src, opts.base).map_err(|e| e.to_string())?;
+            let (program, map) =
+                parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
+            if opts.lint {
+                lint(&program, &map, &opts.path)?;
+            }
             let mut m = Machine::new(SimConfig {
                 trace: opts.trace || opts.timeline,
                 ..SimConfig::default()

@@ -7,6 +7,7 @@ use mt_isa::{FReg, FpuAluInstr, IReg, Instr};
 use mt_sim::Program;
 
 use crate::error::AsmError;
+use crate::span::SourceSpan;
 
 /// A label handle; create with [`Asm::label`], place with [`Asm::bind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +37,10 @@ enum Item {
 pub struct Asm {
     items: Vec<Item>,
     labels: Vec<Option<usize>>,
+    /// Source span applied to items as they are pushed (parallel to
+    /// `items`); `None` entries for programmatically built instructions.
+    spans: Vec<Option<SourceSpan>>,
+    current_span: Option<SourceSpan>,
 }
 
 impl Asm {
@@ -56,10 +61,7 @@ impl Asm {
     ///
     /// Panics if the label was already bound.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label bound twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label bound twice");
         self.labels[label.0] = Some(self.items.len());
     }
 
@@ -80,9 +82,22 @@ impl Asm {
         self.items.is_empty()
     }
 
+    fn push(&mut self, item: Item) {
+        self.items.push(item);
+        self.spans.push(self.current_span);
+    }
+
+    /// Sets the source span recorded for subsequently emitted items
+    /// (`None` to clear). The text assembler calls this per source line;
+    /// pseudo-instructions expanding to several items share the span.
+    pub fn set_span(&mut self, span: Option<SourceSpan>) -> &mut Asm {
+        self.current_span = span;
+        self
+    }
+
     /// Appends a raw instruction.
     pub fn instr(&mut self, i: Instr) -> &mut Asm {
-        self.items.push(Item::Fixed(i));
+        self.push(Item::Fixed(i));
         self
     }
 
@@ -162,7 +177,8 @@ impl Asm {
         rb: FReg,
         vl: u8,
     ) -> Result<&mut Asm, AsmError> {
-        let i = FpuAluInstr::vector(op, rr, ra, rb, vl).map_err(|e| AsmError::new(e.to_string()))?;
+        let i =
+            FpuAluInstr::vector(op, rr, ra, rb, vl).map_err(|e| AsmError::new(e.to_string()))?;
         Ok(self.falu(i))
     }
 
@@ -246,7 +262,7 @@ impl Asm {
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: BranchCond, rs1: IReg, rs2: IReg, target: Label) -> &mut Asm {
-        self.items.push(Item::Branch {
+        self.push(Item::Branch {
             cond,
             rs1,
             rs2,
@@ -277,7 +293,7 @@ impl Asm {
 
     /// Unconditional jump to a label.
     pub fn j(&mut self, target: Label) -> &mut Asm {
-        self.items.push(Item::Jump {
+        self.push(Item::Jump {
             target,
             link: false,
         });
@@ -286,7 +302,7 @@ impl Asm {
 
     /// Jump-and-link (call) to a label.
     pub fn jal(&mut self, target: Label) -> &mut Asm {
-        self.items.push(Item::Jump { target, link: true });
+        self.push(Item::Jump { target, link: true });
         self
     }
 
@@ -302,6 +318,19 @@ impl Asm {
     /// Reports unbound labels, out-of-range branch offsets, and instruction
     /// encoding failures.
     pub fn assemble(self, base: u32) -> Result<Program, AsmError> {
+        Ok(self.assemble_with_spans(base)?.0)
+    }
+
+    /// Like [`Asm::assemble`], also returning the per-word source spans
+    /// recorded via [`Asm::set_span`] (one entry per instruction word).
+    ///
+    /// # Errors
+    ///
+    /// See [`Asm::assemble`].
+    pub fn assemble_with_spans(
+        self,
+        base: u32,
+    ) -> Result<(Program, Vec<Option<SourceSpan>>), AsmError> {
         let resolve = |l: Label| -> Result<usize, AsmError> {
             self.labels[l.0].ok_or_else(|| AsmError::new(format!("unbound label #{}", l.0)))
         };
@@ -337,7 +366,9 @@ impl Asm {
             };
             instrs.push(instr);
         }
-        Program::assemble_at(&instrs, base).map_err(|e| AsmError::new(e.to_string()))
+        let program =
+            Program::assemble_at(&instrs, base).map_err(|e| AsmError::new(e.to_string()))?;
+        Ok((program, self.spans))
     }
 }
 

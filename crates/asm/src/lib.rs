@@ -31,7 +31,9 @@
 pub mod builder;
 pub mod error;
 pub mod parser;
+pub mod span;
 
 pub use builder::{Asm, Label};
 pub use error::AsmError;
-pub use parser::parse;
+pub use parser::{parse, parse_with_source_map};
+pub use span::{SourceMap, SourceSpan};

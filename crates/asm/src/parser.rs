@@ -28,6 +28,7 @@ use mt_sim::Program;
 
 use crate::builder::{Asm, Label};
 use crate::error::AsmError;
+use crate::span::{SourceMap, SourceSpan};
 use mt_sim::DataSegment;
 
 /// An FPU register operand: plain or a striding range.
@@ -45,11 +46,23 @@ struct FOperand {
 /// Returns the first syntax, validation, or label error with its 1-based
 /// source line.
 pub fn parse(source: &str, base: u32) -> Result<Program, AsmError> {
+    Ok(parse_with_source_map(source, base)?.0)
+}
+
+/// Like [`parse`], also returning a [`SourceMap`] carrying each
+/// instruction's source span and any `lint: allow(...)` comment
+/// annotations — the glue `mtasm lint` uses for rustc-style diagnostics.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with_source_map(source: &str, base: u32) -> Result<(Program, SourceMap), AsmError> {
     let mut asm = Asm::new();
     let mut labels: HashMap<String, Label> = HashMap::new();
     let mut bound: Vec<String> = Vec::new();
     let mut segments: Vec<DataSegment> = Vec::new();
     let mut current_seg: Option<DataSegment> = None;
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
 
     let mut get_label = |asm: &mut Asm, name: &str| -> Label {
         *labels
@@ -59,11 +72,13 @@ pub fn parse(source: &str, base: u32) -> Result<Program, AsmError> {
 
     for (lineno, raw) in source.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = raw
-            .split([';', '#'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        if let Some((_, comment)) = raw.split_once([';', '#']) {
+            let rules = crate::span::parse_allow_annotation(comment);
+            if !rules.is_empty() {
+                allows.entry(lineno).or_default().extend(rules);
+            }
+        }
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -84,7 +99,10 @@ pub fn parse(source: &str, base: u32) -> Result<Program, AsmError> {
             }
             let l = get_label(&mut asm, name);
             if bound.contains(&name.to_string()) {
-                return Err(AsmError::at(lineno, format!("label `{name}` defined twice")));
+                return Err(AsmError::at(
+                    lineno,
+                    format!("label `{name}` defined twice"),
+                ));
             }
             asm.bind(l);
             bound.push(name.to_string());
@@ -94,6 +112,13 @@ pub fn parse(source: &str, base: u32) -> Result<Program, AsmError> {
             continue;
         }
 
+        // `rest` is a subslice of `raw`, so its byte offset is the column.
+        let col = rest.as_ptr() as usize - raw.as_ptr() as usize + 1;
+        asm.set_span(Some(SourceSpan {
+            line: lineno,
+            col,
+            len: rest.len(),
+        }));
         parse_instruction(rest, lineno, &mut asm, &mut get_label)?;
     }
 
@@ -107,9 +132,10 @@ pub fn parse(source: &str, base: u32) -> Result<Program, AsmError> {
     if let Some(seg) = current_seg.take() {
         segments.push(seg);
     }
-    let mut program = asm.assemble(base)?;
+    let (mut program, spans) = asm.assemble_with_spans(base)?;
     program.segments = segments;
-    Ok(program)
+    let map = SourceMap::new(spans, source, allows);
+    Ok((program, map))
 }
 
 /// Parses one `.directive` line: `.data <addr>` opens a segment;
@@ -229,7 +255,11 @@ fn parse_instruction(
         }
         "addi" => {
             want(3)?;
-            asm.addi(ireg(ops[0], lineno)?, ireg(ops[1], lineno)?, imm(ops[2], lineno)?);
+            asm.addi(
+                ireg(ops[0], lineno)?,
+                ireg(ops[1], lineno)?,
+                imm(ops[2], lineno)?,
+            );
         }
         "li" => {
             want(2)?;
@@ -271,7 +301,10 @@ fn parse_instruction(
             want(3)?;
             let range = foperand(ops[0], lineno)?;
             let len = range.len.ok_or_else(|| {
-                err(format!("`{mnemonic}` needs a register range, got `{}`", ops[0]))
+                err(format!(
+                    "`{mnemonic}` needs a register range, got `{}`",
+                    ops[0]
+                ))
             })?;
             let (offset, base) = mem_operand(ops[1], lineno)?;
             let stride = imm(ops[2], lineno)?;
@@ -366,7 +399,12 @@ fn ireg(s: &str, lineno: usize) -> Result<IReg, AsmError> {
     s.strip_prefix('r')
         .and_then(|n| n.parse::<u8>().ok())
         .and_then(IReg::try_new)
-        .ok_or_else(|| AsmError::at(lineno, format!("expected integer register r0..r31, got `{s}`")))
+        .ok_or_else(|| {
+            AsmError::at(
+                lineno,
+                format!("expected integer register r0..r31, got `{s}`"),
+            )
+        })
 }
 
 fn freg(s: &str, lineno: usize) -> Result<FReg, AsmError> {
@@ -415,7 +453,11 @@ fn imm(s: &str, lineno: usize) -> Result<i32, AsmError> {
         let v = if neg { -v } else { v };
         i32::try_from(v).ok().or(
             // Allow unsigned 32-bit hex constants like 0xFFFFC000.
-            if !neg { u32::try_from(v).ok().map(|u| u as i32) } else { None },
+            if !neg {
+                u32::try_from(v).ok().map(|u| u as i32)
+            } else {
+                None
+            },
         )
     };
     let (t, neg) = match s.strip_prefix('-') {
@@ -502,7 +544,11 @@ mod tests {
 
     #[test]
     fn unary_ops_take_two_operands() {
-        let p = parse("frecip R5, R6\nfloat R1, R2\ntrunc R3, R4\nhalt\n", 0x1_0000).unwrap();
+        let p = parse(
+            "frecip R5, R6\nfloat R1, R2\ntrunc R3, R4\nhalt\n",
+            0x1_0000,
+        )
+        .unwrap();
         assert_eq!(p.len(), 4);
     }
 
@@ -533,11 +579,7 @@ mod tests {
         );
         // Memory was zero; loads gave 0.0 — rewrite with real data instead.
         let _ = m;
-        let p = parse(
-            "fadd R2..R9, R1..R8, R0..R7\nhalt\n",
-            0x1_0000,
-        )
-        .unwrap();
+        let p = parse("fadd R2..R9, R1..R8, R0..R7\nhalt\n", 0x1_0000).unwrap();
         let mut m = Machine::new(SimConfig::default());
         m.load_program(&p);
         m.warm_instructions(&p);
@@ -562,7 +604,11 @@ mod tests {
 
     #[test]
     fn fldv_fstv_expand_to_strided_scalars() {
-        let p = parse("fldv R0..R3, 8(r1), 16\nfstv R0..R3, 0(r2), 8\nhalt\n", 0x1_0000).unwrap();
+        let p = parse(
+            "fldv R0..R3, 8(r1), 16\nfstv R0..R3, 0(r2), 8\nhalt\n",
+            0x1_0000,
+        )
+        .unwrap();
         assert_eq!(p.len(), 9, "4 loads + 4 stores + halt");
         match Instr::decode(p.words[1]).unwrap() {
             Instr::Fld { offset, .. } => assert_eq!(offset, 24, "8 + 1·16"),
@@ -680,9 +726,21 @@ mod tests {
 
     #[test]
     fn data_directive_errors() {
-        assert!(parse(".double 1.0\n", 0).unwrap_err().message.contains("before `.data`"));
-        assert!(parse(".word 1\n", 0).unwrap_err().message.contains("before `.data`"));
-        assert!(parse(".bogus 1\n", 0).unwrap_err().message.contains("unknown directive"));
-        assert!(parse(".data 0x100\n.double oops\n", 0).unwrap_err().message.contains("bad double"));
+        assert!(parse(".double 1.0\n", 0)
+            .unwrap_err()
+            .message
+            .contains("before `.data`"));
+        assert!(parse(".word 1\n", 0)
+            .unwrap_err()
+            .message
+            .contains("before `.data`"));
+        assert!(parse(".bogus 1\n", 0)
+            .unwrap_err()
+            .message
+            .contains("unknown directive"));
+        assert!(parse(".data 0x100\n.double oops\n", 0)
+            .unwrap_err()
+            .message
+            .contains("bad double"));
     }
 }

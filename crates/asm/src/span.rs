@@ -1,0 +1,157 @@
+//! Source spans: mapping assembled instructions back to the text they came
+//! from, and rendering `mt-lint` findings as rustc-style diagnostics.
+
+use std::collections::{HashMap, HashSet};
+
+use mt_lint::Finding;
+
+/// Where in the source text an instruction was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column of the instruction's first character.
+    pub col: usize,
+    /// Length of the instruction text in bytes.
+    pub len: usize,
+}
+
+/// Per-instruction source locations for an assembled program, plus the
+/// `lint: allow(...)` annotations collected from comments.
+///
+/// Produced by [`crate::parse_with_source_map`]; instruction indices match
+/// the program's text-section word indices (and therefore `mt-lint`
+/// finding indices). Pseudo-instructions that expand to several words
+/// (`li`, `fdiv`, `fldv`, `fstv`) map every word to the source line that
+/// wrote them.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    spans: Vec<Option<SourceSpan>>,
+    lines: Vec<String>,
+    /// Line number → lint rule names allowed on that line.
+    allows: HashMap<usize, Vec<String>>,
+}
+
+impl SourceMap {
+    pub(crate) fn new(
+        spans: Vec<Option<SourceSpan>>,
+        source: &str,
+        allows: HashMap<usize, Vec<String>>,
+    ) -> SourceMap {
+        SourceMap {
+            spans,
+            lines: source.lines().map(str::to_string).collect(),
+            allows,
+        }
+    }
+
+    /// The span of instruction `instr_index`, if known.
+    pub fn span(&self, instr_index: usize) -> Option<SourceSpan> {
+        self.spans.get(instr_index).copied().flatten()
+    }
+
+    /// The text of 1-based source line `line`.
+    pub fn line_text(&self, line: usize) -> Option<&str> {
+        self.lines.get(line.checked_sub(1)?).map(String::as_str)
+    }
+
+    /// Instruction indices whose source line carries a
+    /// `lint: allow(<rule>)` annotation.
+    pub fn allowed_indices(&self, rule: &str) -> HashSet<usize> {
+        let lines: HashSet<usize> = self
+            .allows
+            .iter()
+            .filter(|(_, rules)| rules.iter().any(|r| r == rule))
+            .map(|(&line, _)| line)
+            .collect();
+        self.spans
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.filter(|s| lines.contains(&s.line)).map(|_| i))
+            .collect()
+    }
+
+    /// Renders one finding rustc-style, with the source line and a caret
+    /// underline when the instruction has a span:
+    ///
+    /// ```text
+    /// error[ordering-violation]: load of R5 clobbers ... (§2.3.2)
+    ///   --> kernel.s:7:5
+    ///    |
+    ///  7 |     fld   R5, 0(r1)
+    ///    |     ^^^^^^^^^^^^^^^
+    ///    = note: instr #2, pc 0x10008
+    /// ```
+    pub fn render(&self, finding: &Finding, path: &str) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            finding.severity(),
+            finding.lint.name(),
+            finding.message
+        );
+        match self.span(finding.instr_index) {
+            Some(span) => {
+                let number = span.line.to_string();
+                let gutter = " ".repeat(number.len());
+                out.push_str(&format!(
+                    "{gutter}--> {path}:{}:{}\n{gutter} |\n",
+                    span.line, span.col
+                ));
+                if let Some(text) = self.line_text(span.line) {
+                    out.push_str(&format!("{number} | {text}\n"));
+                    out.push_str(&format!(
+                        "{gutter} | {}{}\n",
+                        " ".repeat(span.col - 1),
+                        "^".repeat(span.len.max(1))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{gutter} = note: instr #{}, pc {:#x}\n",
+                    finding.instr_index, finding.pc
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    " --> {path}: instr #{}, pc {:#x}\n",
+                    finding.instr_index, finding.pc
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parses the `lint: allow(rule, rule)` annotation form out of a comment.
+pub(crate) fn parse_allow_annotation(comment: &str) -> Vec<String> {
+    let Some(after) = comment.split("lint:").nth(1) else {
+        return Vec::new();
+    };
+    let after = after.trim_start();
+    let Some(args) = after
+        .strip_prefix("allow(")
+        .and_then(|rest| rest.split(')').next())
+    else {
+        return Vec::new();
+    };
+    args.split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_annotation_forms() {
+        assert_eq!(
+            parse_allow_annotation(" lint: allow(recurrence)"),
+            ["recurrence"]
+        );
+        assert_eq!(parse_allow_annotation("lint: allow(a, b)"), ["a", "b"]);
+        assert!(parse_allow_annotation("just a comment").is_empty());
+        assert!(parse_allow_annotation("lint: deny(x)").is_empty());
+        assert!(parse_allow_annotation("lint: allow()").is_empty());
+    }
+}

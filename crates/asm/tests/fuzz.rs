@@ -1,9 +1,12 @@
 //! Fuzz-style property tests: the text assembler must never panic, must
 //! produce decodable words when it succeeds, and parsing a program's own
-//! disassembly-like source must be stable.
+//! disassembly-like source must be stable. Every program that assembles
+//! is additionally pushed through the `mt-lint` static analyzer, which
+//! must never panic regardless of how degenerate the program is.
 
 use mt_asm::parse;
 use mt_isa::Instr;
+use mt_lint::lint_program;
 use proptest::prelude::*;
 
 proptest! {
@@ -44,7 +47,23 @@ proptest! {
             for &w in &program.words {
                 prop_assert!(Instr::decode(w).is_ok(), "assembled word {w:#010x} must decode");
             }
+            // The static analyzer must survive anything the assembler
+            // accepts; findings are free-form, panics are bugs.
+            let _ = lint_program(&program);
         }
+    }
+
+    /// Arbitrary *words* (not just assembler output) never panic the
+    /// linter: undecodable slots, wild branch targets, and hand-mangled
+    /// vector encodings all flow through the CFG and replay analyses.
+    #[test]
+    fn lint_survives_arbitrary_words(words in prop::collection::vec(any::<u32>(), 0..48)) {
+        let program = mt_sim::Program {
+            words,
+            base: 0x1_0000,
+            segments: Vec::new(),
+        };
+        let _ = lint_program(&program);
     }
 
     /// Valid immediate forms roundtrip through addi.

@@ -129,7 +129,11 @@ mod tests {
             let back = effective_vectorization(s, 2.0).unwrap();
             assert!((back - f).abs() < 1e-12, "f={f}, back={back}");
         }
-        assert_eq!(effective_vectorization(3.0, 2.0), None, "impossible speedup");
+        assert_eq!(
+            effective_vectorization(3.0, 2.0),
+            None,
+            "impossible speedup"
+        );
         assert_eq!(effective_vectorization(0.5, 2.0), None, "slowdown");
     }
 

@@ -122,7 +122,11 @@ impl ClassicalVectorMachine {
                 _ => cycles += self.config.startup(op) + strip_len as u64,
             }
         }
-        if self.config.chaining && body.iter().any(|o| !matches!(o, VectorOp::ScalarOverhead(_))) {
+        if self.config.chaining
+            && body
+                .iter()
+                .any(|o| !matches!(o, VectorOp::ScalarOverhead(_)))
+        {
             cycles += strip_len as u64;
         }
         cycles

@@ -21,30 +21,198 @@ pub struct LivermoreRow {
 
 /// Fig. 14, "Uniprocessor Livermore Loops (MFLOPS)", all 24 rows.
 pub const PUBLISHED_LIVERMORE: [LivermoreRow; 24] = [
-    LivermoreRow { loop_no: 1, mt_cold: 4.3, mt_warm: 19.0, cray_1s: 68.4, cray_xmp: 164.6, cray_vectorized: true },
-    LivermoreRow { loop_no: 2, mt_cold: 2.8, mt_warm: 17.3, cray_1s: 16.4, cray_xmp: 45.1, cray_vectorized: true },
-    LivermoreRow { loop_no: 3, mt_cold: 2.8, mt_warm: 17.3, cray_1s: 63.1, cray_xmp: 151.7, cray_vectorized: true },
-    LivermoreRow { loop_no: 4, mt_cold: 2.3, mt_warm: 14.5, cray_1s: 20.6, cray_xmp: 65.9, cray_vectorized: true },
-    LivermoreRow { loop_no: 5, mt_cold: 2.0, mt_warm: 8.0, cray_1s: 5.3, cray_xmp: 14.4, cray_vectorized: false },
-    LivermoreRow { loop_no: 6, mt_cold: 3.4, mt_warm: 5.2, cray_1s: 6.6, cray_xmp: 11.3, cray_vectorized: true },
-    LivermoreRow { loop_no: 7, mt_cold: 6.9, mt_warm: 23.4, cray_1s: 82.1, cray_xmp: 187.8, cray_vectorized: true },
-    LivermoreRow { loop_no: 8, mt_cold: 6.0, mt_warm: 19.9, cray_1s: 65.6, cray_xmp: 145.8, cray_vectorized: true },
-    LivermoreRow { loop_no: 9, mt_cold: 3.6, mt_warm: 20.3, cray_1s: 80.4, cray_xmp: 157.5, cray_vectorized: true },
-    LivermoreRow { loop_no: 10, mt_cold: 1.5, mt_warm: 7.1, cray_1s: 28.1, cray_xmp: 61.2, cray_vectorized: true },
-    LivermoreRow { loop_no: 11, mt_cold: 1.7, mt_warm: 6.6, cray_1s: 4.4, cray_xmp: 12.7, cray_vectorized: false },
-    LivermoreRow { loop_no: 12, mt_cold: 1.4, mt_warm: 7.9, cray_1s: 21.8, cray_xmp: 74.3, cray_vectorized: true },
-    LivermoreRow { loop_no: 13, mt_cold: 1.4, mt_warm: 1.8, cray_1s: 4.1, cray_xmp: 5.8, cray_vectorized: false },
-    LivermoreRow { loop_no: 14, mt_cold: 2.6, mt_warm: 3.1, cray_1s: 7.3, cray_xmp: 22.2, cray_vectorized: false },
-    LivermoreRow { loop_no: 15, mt_cold: 1.5, mt_warm: 1.6, cray_1s: 3.8, cray_xmp: 5.2, cray_vectorized: false },
-    LivermoreRow { loop_no: 16, mt_cold: 2.3, mt_warm: 2.5, cray_1s: 3.2, cray_xmp: 6.2, cray_vectorized: false },
-    LivermoreRow { loop_no: 17, mt_cold: 4.0, mt_warm: 4.9, cray_1s: 7.6, cray_xmp: 10.1, cray_vectorized: false },
-    LivermoreRow { loop_no: 18, mt_cold: 7.4, mt_warm: 14.8, cray_1s: 54.9, cray_xmp: 110.6, cray_vectorized: true },
-    LivermoreRow { loop_no: 19, mt_cold: 2.6, mt_warm: 4.2, cray_1s: 6.5, cray_xmp: 13.4, cray_vectorized: false },
-    LivermoreRow { loop_no: 20, mt_cold: 4.5, mt_warm: 4.7, cray_1s: 9.6, cray_xmp: 13.2, cray_vectorized: false },
-    LivermoreRow { loop_no: 21, mt_cold: 15.9, mt_warm: 21.4, cray_1s: 32.8, cray_xmp: 108.9, cray_vectorized: true },
-    LivermoreRow { loop_no: 22, mt_cold: 2.4, mt_warm: 2.7, cray_1s: 39.9, cray_xmp: 65.8, cray_vectorized: true },
-    LivermoreRow { loop_no: 23, mt_cold: 3.0, mt_warm: 7.4, cray_1s: 10.4, cray_xmp: 13.9, cray_vectorized: false },
-    LivermoreRow { loop_no: 24, mt_cold: 1.1, mt_warm: 1.6, cray_1s: 1.6, cray_xmp: 3.6, cray_vectorized: false },
+    LivermoreRow {
+        loop_no: 1,
+        mt_cold: 4.3,
+        mt_warm: 19.0,
+        cray_1s: 68.4,
+        cray_xmp: 164.6,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 2,
+        mt_cold: 2.8,
+        mt_warm: 17.3,
+        cray_1s: 16.4,
+        cray_xmp: 45.1,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 3,
+        mt_cold: 2.8,
+        mt_warm: 17.3,
+        cray_1s: 63.1,
+        cray_xmp: 151.7,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 4,
+        mt_cold: 2.3,
+        mt_warm: 14.5,
+        cray_1s: 20.6,
+        cray_xmp: 65.9,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 5,
+        mt_cold: 2.0,
+        mt_warm: 8.0,
+        cray_1s: 5.3,
+        cray_xmp: 14.4,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 6,
+        mt_cold: 3.4,
+        mt_warm: 5.2,
+        cray_1s: 6.6,
+        cray_xmp: 11.3,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 7,
+        mt_cold: 6.9,
+        mt_warm: 23.4,
+        cray_1s: 82.1,
+        cray_xmp: 187.8,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 8,
+        mt_cold: 6.0,
+        mt_warm: 19.9,
+        cray_1s: 65.6,
+        cray_xmp: 145.8,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 9,
+        mt_cold: 3.6,
+        mt_warm: 20.3,
+        cray_1s: 80.4,
+        cray_xmp: 157.5,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 10,
+        mt_cold: 1.5,
+        mt_warm: 7.1,
+        cray_1s: 28.1,
+        cray_xmp: 61.2,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 11,
+        mt_cold: 1.7,
+        mt_warm: 6.6,
+        cray_1s: 4.4,
+        cray_xmp: 12.7,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 12,
+        mt_cold: 1.4,
+        mt_warm: 7.9,
+        cray_1s: 21.8,
+        cray_xmp: 74.3,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 13,
+        mt_cold: 1.4,
+        mt_warm: 1.8,
+        cray_1s: 4.1,
+        cray_xmp: 5.8,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 14,
+        mt_cold: 2.6,
+        mt_warm: 3.1,
+        cray_1s: 7.3,
+        cray_xmp: 22.2,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 15,
+        mt_cold: 1.5,
+        mt_warm: 1.6,
+        cray_1s: 3.8,
+        cray_xmp: 5.2,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 16,
+        mt_cold: 2.3,
+        mt_warm: 2.5,
+        cray_1s: 3.2,
+        cray_xmp: 6.2,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 17,
+        mt_cold: 4.0,
+        mt_warm: 4.9,
+        cray_1s: 7.6,
+        cray_xmp: 10.1,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 18,
+        mt_cold: 7.4,
+        mt_warm: 14.8,
+        cray_1s: 54.9,
+        cray_xmp: 110.6,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 19,
+        mt_cold: 2.6,
+        mt_warm: 4.2,
+        cray_1s: 6.5,
+        cray_xmp: 13.4,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 20,
+        mt_cold: 4.5,
+        mt_warm: 4.7,
+        cray_1s: 9.6,
+        cray_xmp: 13.2,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 21,
+        mt_cold: 15.9,
+        mt_warm: 21.4,
+        cray_1s: 32.8,
+        cray_xmp: 108.9,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 22,
+        mt_cold: 2.4,
+        mt_warm: 2.7,
+        cray_1s: 39.9,
+        cray_xmp: 65.8,
+        cray_vectorized: true,
+    },
+    LivermoreRow {
+        loop_no: 23,
+        mt_cold: 3.0,
+        mt_warm: 7.4,
+        cray_1s: 10.4,
+        cray_xmp: 13.9,
+        cray_vectorized: false,
+    },
+    LivermoreRow {
+        loop_no: 24,
+        mt_cold: 1.1,
+        mt_warm: 1.6,
+        cray_1s: 1.6,
+        cray_xmp: 3.6,
+        cray_vectorized: false,
+    },
 ];
 
 /// Harmonic means the paper prints for loops 1–12, 13–24, and 1–24
@@ -96,8 +264,16 @@ mod tests {
         assert_eq!(PUBLISHED_LIVERMORE.len(), 24);
         for (i, row) in PUBLISHED_LIVERMORE.iter().enumerate() {
             assert_eq!(row.loop_no as usize, i + 1);
-            assert!(row.mt_cold <= row.mt_warm, "warm ≥ cold for loop {}", row.loop_no);
-            assert!(row.cray_1s <= row.cray_xmp, "X-MP ≥ 1S for loop {}", row.loop_no);
+            assert!(
+                row.mt_cold <= row.mt_warm,
+                "warm ≥ cold for loop {}",
+                row.loop_no
+            );
+            assert!(
+                row.cray_1s <= row.cray_xmp,
+                "X-MP ≥ 1S for loop {}",
+                row.loop_no
+            );
         }
     }
 
@@ -127,10 +303,19 @@ mod tests {
         assert!(close(col(|r| r.mt_cold, 0, 12), PUBLISHED_HARMONIC_1_12[0]));
         assert!(close(col(|r| r.mt_warm, 0, 12), PUBLISHED_HARMONIC_1_12[1]));
         assert!(close(col(|r| r.cray_1s, 0, 12), PUBLISHED_HARMONIC_1_12[2]));
-        assert!(close(col(|r| r.mt_cold, 12, 24), PUBLISHED_HARMONIC_13_24[0]));
-        assert!(close(col(|r| r.mt_warm, 12, 24), PUBLISHED_HARMONIC_13_24[1]));
+        assert!(close(
+            col(|r| r.mt_cold, 12, 24),
+            PUBLISHED_HARMONIC_13_24[0]
+        ));
+        assert!(close(
+            col(|r| r.mt_warm, 12, 24),
+            PUBLISHED_HARMONIC_13_24[1]
+        ));
         assert!(close(col(|r| r.mt_warm, 0, 24), PUBLISHED_HARMONIC_1_24[1]));
-        assert!(close(col(|r| r.cray_xmp, 0, 24), PUBLISHED_HARMONIC_1_24[3]));
+        assert!(close(
+            col(|r| r.cray_xmp, 0, 24),
+            PUBLISHED_HARMONIC_1_24[3]
+        ));
     }
 
     #[test]

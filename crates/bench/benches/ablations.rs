@@ -12,14 +12,20 @@ fn bench_ablations(c: &mut Criterion) {
     for latency in [1u64, 3, 8] {
         group.bench_function(format!("ll07_latency{latency}"), |b| {
             b.iter(|| {
-                let cfg = SimConfig { fpu_latency: latency, ..SimConfig::default() };
+                let cfg = SimConfig {
+                    fpu_latency: latency,
+                    ..SimConfig::default()
+                };
                 black_box(mt_bench::run_with(&livermore::by_number(7), cfg))
             })
         });
     }
     group.bench_function("ll07_serialized", |b| {
         b.iter(|| {
-            let cfg = SimConfig { serialized_issue: true, ..SimConfig::default() };
+            let cfg = SimConfig {
+                serialized_issue: true,
+                ..SimConfig::default()
+            };
             black_box(mt_bench::run_with(&livermore::by_number(7), cfg))
         })
     });

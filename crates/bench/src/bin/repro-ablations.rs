@@ -44,7 +44,10 @@ fn main() {
             fpu_latency: latency,
             ..SimConfig::default()
         };
-        println!("  latency {latency}: warm {:.2} MFLOPS", subset_hm(&cfg, true));
+        println!(
+            "  latency {latency}: warm {:.2} MFLOPS",
+            subset_hm(&cfg, true)
+        );
     }
 
     println!("\nData-cache miss penalty sweep (the machine is 14):");
@@ -149,8 +152,8 @@ fn context_switch() {
     // through the same port (stores at 1 per 2 cycles, loads at 1/cycle),
     // plus per-register vector memory startup from the Cray-class model.
     let cray = ClassicalVectorMachine::new(CrayConfig::cray_1s());
-    let classical = cray.loop_cycles(&[VectorOp::Store], 8 * 64)
-        + cray.loop_cycles(&[VectorOp::Load], 8 * 64);
+    let classical =
+        cray.loop_cycles(&[VectorOp::Store], 8 * 64) + cray.loop_cycles(&[VectorOp::Load], 8 * 64);
 
     println!("\nContext-switch cost (§2.1.2 — save + restore the FP register state):");
     println!("  unified 52-register file : {cycles} MultiTitan cycles (measured)");

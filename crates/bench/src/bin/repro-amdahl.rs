@@ -30,13 +30,19 @@ fn main() {
                 .join(" ")
         );
     }
-    println!("\n  MultiTitan sits at ratio {MULTITITAN_PEAK_RATIO}, the Cray-1S at ~{CRAY_PEAK_RATIO}.");
-    println!("  At 40% vectorized: MultiTitan {:.2}×, Cray-class {:.2}× — the cheap",
+    println!(
+        "\n  MultiTitan sits at ratio {MULTITITAN_PEAK_RATIO}, the Cray-1S at ~{CRAY_PEAK_RATIO}."
+    );
+    println!(
+        "  At 40% vectorized: MultiTitan {:.2}×, Cray-class {:.2}× — the cheap",
         overall_speedup(0.4, MULTITITAN_PEAK_RATIO),
-        overall_speedup(0.4, CRAY_PEAK_RATIO));
-    println!("  2× capability captures {:.0}% of the achievable improvement.\n",
+        overall_speedup(0.4, CRAY_PEAK_RATIO)
+    );
+    println!(
+        "  2× capability captures {:.0}% of the achievable improvement.\n",
         100.0 * (overall_speedup(0.4, MULTITITAN_PEAK_RATIO) - 1.0)
-            / (overall_speedup(0.4, CRAY_PEAK_RATIO) - 1.0));
+            / (overall_speedup(0.4, CRAY_PEAK_RATIO) - 1.0)
+    );
 
     // Effective vectorization of the measured Livermore subsets: compare
     // the full machine against the serialized-issue ablation (vector

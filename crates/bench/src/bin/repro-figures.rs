@@ -24,7 +24,12 @@ fn main() {
 /// trace — compare them with the bars in the paper.
 fn timelines() {
     let s = |rr: u8, ra: u8, rb: u8| {
-        Instr::Falu(FpuAluInstr::scalar(FpOp::Add, FReg::new(rr), FReg::new(ra), FReg::new(rb)))
+        Instr::Falu(FpuAluInstr::scalar(
+            FpOp::Add,
+            FReg::new(rr),
+            FReg::new(ra),
+            FReg::new(rb),
+        ))
     };
     let v = |rr: u8, ra: u8, rb: u8, vl: u8| {
         Instr::Falu(
@@ -92,7 +97,12 @@ fn figures_5_to_8() {
         m.run().unwrap().cycles
     };
     let s = |rr: u8, ra: u8, rb: u8| {
-        Instr::Falu(FpuAluInstr::scalar(FpOp::Add, FReg::new(rr), FReg::new(ra), FReg::new(rb)))
+        Instr::Falu(FpuAluInstr::scalar(
+            FpOp::Add,
+            FReg::new(rr),
+            FReg::new(ra),
+            FReg::new(rb),
+        ))
     };
     let v = |rr: u8, ra: u8, rb: u8, vl: u8| {
         Instr::Falu(
@@ -101,11 +111,22 @@ fn figures_5_to_8() {
         )
     };
     let fig5 = anchor(&[
-        s(8, 0, 1), s(9, 2, 3), s(10, 4, 5), s(11, 6, 7),
-        s(12, 8, 9), s(13, 10, 11), s(14, 12, 13), Instr::Halt,
+        s(8, 0, 1),
+        s(9, 2, 3),
+        s(10, 4, 5),
+        s(11, 6, 7),
+        s(12, 8, 9),
+        s(13, 10, 11),
+        s(14, 12, 13),
+        Instr::Halt,
     ]);
     let fig6 = anchor(&[v(9, 8, 0, 8), Instr::Halt]);
-    let fig7 = anchor(&[v(8, 0, 4, 4), v(12, 8, 10, 2), v(14, 12, 13, 1), Instr::Halt]);
+    let fig7 = anchor(&[
+        v(8, 0, 4, 4),
+        v(12, 8, 10, 2),
+        v(14, 12, 13, 1),
+        Instr::Halt,
+    ]);
     let fig8 = anchor(&[v(2, 1, 0, 8), Instr::Halt]);
 
     let (c5, t5) = kernel_cycles(&reductions::scalar_tree_sum());
@@ -162,8 +183,8 @@ fn n_half() {
     // at 1 element/cycle issue → find n where rate reaches half of the
     // machine's long-vector rate.
     let measure = |n: u8| -> f64 {
-        let i = FpuAluInstr::vector(FpOp::Add, FReg::new(16), FReg::new(0), FReg::new(16), n)
-            .unwrap();
+        let i =
+            FpuAluInstr::vector(FpOp::Add, FReg::new(16), FReg::new(0), FReg::new(16), n).unwrap();
         let prog = Program::assemble(&[Instr::Falu(i), Instr::Halt]).unwrap();
         let mut m = Machine::new(SimConfig::default());
         m.load_program(&prog);

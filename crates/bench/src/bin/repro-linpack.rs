@@ -32,10 +32,7 @@ fn main() {
         paper::CRAY_1S_RATIO,
         paper::CRAY_XMP_RATIO
     );
-    println!(
-        "  and scalar ≈ {}× a VAX 11/780 with FPA",
-        paper::VAX_RATIO
-    );
+    println!("  and scalar ≈ {}× a VAX 11/780 with FPA", paper::VAX_RATIO);
     println!(
         "\n  cold-cache: scalar {:.1}, vector {:.1} MFLOPS (the paper reports warm)",
         scalar.mflops_cold(),

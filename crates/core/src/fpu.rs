@@ -332,7 +332,10 @@ mod tests {
     /// instructions in order; returns the cycle after which everything
     /// drained.
     fn run(fpu: &mut Fpu, program: &[FpuAluInstr], max_cycles: u64) -> u64 {
-        let mut queue = program.iter().copied().collect::<std::collections::VecDeque<_>>();
+        let mut queue = program
+            .iter()
+            .copied()
+            .collect::<std::collections::VecDeque<_>>();
         for cycle in 0..max_cycles {
             fpu.begin_cycle(cycle);
             if let Some(&instr) = queue.front() {
@@ -376,12 +379,16 @@ mod tests {
         fpu.regs_mut().write_vector(r(4), &[10.0, 20.0, 30.0, 40.0]);
         let v = FpuAluInstr::vector(FpOp::Add, r(8), r(0), r(4), 4).unwrap();
 
-        let done = run(&mut Fpu::clone(&{
-            let mut f = Fpu::new();
-            f.regs_mut().write_vector(r(0), &[1.0, 2.0, 3.0, 4.0]);
-            f.regs_mut().write_vector(r(4), &[10.0, 20.0, 30.0, 40.0]);
-            f
-        }), &[v], 100);
+        let done = run(
+            &mut Fpu::clone(&{
+                let mut f = Fpu::new();
+                f.regs_mut().write_vector(r(0), &[1.0, 2.0, 3.0, 4.0]);
+                f.regs_mut().write_vector(r(4), &[10.0, 20.0, 30.0, 40.0]);
+                f
+            }),
+            &[v],
+            100,
+        );
         // Elements issue cycles 0..3, last retires at 6: drained when
         // begin_cycle(6) has run and nothing is pending.
         assert_eq!(done, 6);
@@ -403,7 +410,10 @@ mod tests {
         let fib = FpuAluInstr::vector(FpOp::Add, r(2), r(1), r(0), 8).unwrap();
         run(&mut fpu, &[fib], 100);
         let got = fpu.regs().read_vector(r(0), 10);
-        assert_eq!(got, vec![1.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0]);
+        assert_eq!(
+            got,
+            vec![1.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0]
+        );
     }
 
     #[test]
@@ -412,8 +422,7 @@ mod tests {
         // chain — element i reads element i−1's result, so issues are 3
         // cycles apart and 8 elements take 8×3 = 24 cycles of issue span.
         let mut fpu = Fpu::new();
-        fpu.regs_mut()
-            .write_vector(r(0), &[1.0; 8]); // sum 8 ones
+        fpu.regs_mut().write_vector(r(0), &[1.0; 8]); // sum 8 ones
         fpu.regs_mut().write_f64(r(8), 0.0);
         let chain = FpuAluInstr::vector(FpOp::Add, r(9), r(8), r(0), 8).unwrap();
         let done = run(&mut fpu, &[chain], 200);
@@ -421,7 +430,11 @@ mod tests {
         // Element 0 issues at cycle 0; element i at 3i; last at 21, retiring
         // at 24 — the Fig. 6 anchor.
         assert_eq!(done, 24);
-        assert_eq!(fpu.stats().scoreboard_stall_cycles, 7 * 2, "2 stall cycles between each pair");
+        assert_eq!(
+            fpu.stats().scoreboard_stall_cycles,
+            7 * 2,
+            "2 stall cycles between each pair"
+        );
     }
 
     #[test]
@@ -572,7 +585,7 @@ mod tests {
         let mut fpu = Fpu::new();
         fpu.regs_mut().write_f64(r(0), 10.0); // dividend
         fpu.regs_mut().write_f64(r(1), 4.0); // divisor
-        // The 6-op Newton–Raphson division macro (r48/r49 scratch).
+                                             // The 6-op Newton–Raphson division macro (r48/r49 scratch).
         let seq = [
             FpuAluInstr::scalar(FpOp::Recip, r(48), r(1), r(0)),
             FpuAluInstr::scalar(FpOp::IterStep, r(49), r(1), r(48)),

@@ -53,7 +53,9 @@ mod tests {
         let mut psw = Psw::new();
         psw.accumulate(Exceptions::INEXACT);
         psw.accumulate(Exceptions::OVERFLOW);
-        assert!(psw.flags.contains(Exceptions::INEXACT | Exceptions::OVERFLOW));
+        assert!(psw
+            .flags
+            .contains(Exceptions::INEXACT | Exceptions::OVERFLOW));
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl Scoreboard {
 
     /// Iterates over the reserved registers.
     pub fn iter_reserved(&self) -> impl Iterator<Item = FReg> + '_ {
-        (0..NUM_FPU_REGS).filter(|&i| self.bits & (1 << i) != 0).map(FReg::new)
+        (0..NUM_FPU_REGS)
+            .filter(|&i| self.bits & (1 << i) != 0)
+            .map(FReg::new)
     }
 }
 

@@ -18,8 +18,16 @@ fn arb_instr() -> impl Strategy<Value = FpuAluInstr> {
         any::<bool>(),
     )
         .prop_filter_map("valid", |(op, rr, ra, rb, vl, sra, srb)| {
-            FpuAluInstr::new(ALL_OPS[op], FReg::new(rr), FReg::new(ra), FReg::new(rb), vl, sra, srb)
-                .ok()
+            FpuAluInstr::new(
+                ALL_OPS[op],
+                FReg::new(rr),
+                FReg::new(ra),
+                FReg::new(rb),
+                vl,
+                sra,
+                srb,
+            )
+            .ok()
         })
 }
 

@@ -1,0 +1,148 @@
+//! An offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment cannot resolve registry dependencies, so this
+//! shim provides the subset of the criterion API the workspace's benches
+//! use: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`/`bench_function`/`finish`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. It runs each benchmark a
+//! small, fixed number of iterations and prints a mean wall-clock time —
+//! enough to execute the bench targets in CI and smoke out regressions,
+//! without statistical analysis, warm-up tuning, or HTML reports.
+
+use std::time::Instant;
+
+const MIN_ITERS: u64 = 10;
+
+/// Entry point handed to benchmark group functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Accepted for CLI compatibility; configuration is ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final-summary hook; a no-op in this shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters: MIN_ITERS,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let mean = b.elapsed_ns / b.iters.max(1) as u128;
+    println!("bench {name}: {mean} ns/iter (n={})", b.iters);
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// criterion's macro of the same name. Configuration syntax
+/// (`config = ...; targets = ...`) is accepted and the config ignored.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(20);
+        g.bench_function("mul".to_string(), |b| b.iter(|| 3u64 * 7));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

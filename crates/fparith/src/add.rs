@@ -292,17 +292,9 @@ mod alignment_boundary_tests {
                     let b = f64::from_bits(1023u64 << 52 | mant_b);
                     for (x, y) in [(a, b), (b, a), (a, -b), (-a, b)] {
                         let (got, _) = fp_add(x.to_bits(), y.to_bits());
-                        assert_eq!(
-                            got,
-                            (x + y).to_bits(),
-                            "add({x:e}, {y:e}) at distance {d}"
-                        );
+                        assert_eq!(got, (x + y).to_bits(), "add({x:e}, {y:e}) at distance {d}");
                         let (got, _) = fp_sub(x.to_bits(), y.to_bits());
-                        assert_eq!(
-                            got,
-                            (x - y).to_bits(),
-                            "sub({x:e}, {y:e}) at distance {d}"
-                        );
+                        assert_eq!(got, (x - y).to_bits(), "sub({x:e}, {y:e}) at distance {d}");
                     }
                 }
             }

@@ -72,7 +72,17 @@ mod tests {
 
     #[test]
     fn matches_wrapping_mul_on_patterns() {
-        let vals = [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 0x1234_5678, -0xABCDEF];
+        let vals = [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            i64::MAX,
+            i64::MIN,
+            0x1234_5678,
+            -0xABCDEF,
+        ];
         for &a in &vals {
             for &b in &vals {
                 let (r, _) = imul(a, b);

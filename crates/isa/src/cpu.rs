@@ -330,9 +330,7 @@ impl Instr {
             ),
             Instr::Addi { rd, rs1, imm } => w(
                 2,
-                ((rd.index() as u32) << 23)
-                    | ((rs1.index() as u32) << 18)
-                    | check_simm(imm, 18)?,
+                ((rd.index() as u32) << 23) | ((rs1.index() as u32) << 18) | check_simm(imm, 18)?,
             ),
             Instr::Lui { rd, imm } => {
                 if imm >= 1 << 23 {
@@ -589,7 +587,12 @@ mod tests {
             base: ir(2),
             offset: 65528,
         });
-        for cond in [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge] {
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+        ] {
             roundtrip(Instr::Branch {
                 cond,
                 rs1: ir(6),
@@ -597,7 +600,9 @@ mod tests {
                 offset: -100,
             });
         }
-        roundtrip(Instr::Jump { target: 0x0FFF_FFFF });
+        roundtrip(Instr::Jump {
+            target: 0x0FFF_FFFF,
+        });
         roundtrip(Instr::Jal { target: 42 });
         roundtrip(Instr::Jr { rs: ir(31) });
         roundtrip(Instr::Falu(FpuAluInstr::scalar(
@@ -667,8 +672,8 @@ mod tests {
 
     #[test]
     fn falu_embeds_figure_3_format() {
-        let i = FpuAluInstr::vector(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(8), 4)
-            .unwrap();
+        let i =
+            FpuAluInstr::vector(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(8), 4).unwrap();
         let w = Instr::Falu(i).encode().unwrap();
         assert_eq!(w >> 28, FPU_ALU_OPCODE);
         assert_eq!(Instr::decode(w).unwrap(), Instr::Falu(i));

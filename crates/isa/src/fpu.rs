@@ -46,7 +46,9 @@ impl fmt::Display for FpuInstrError {
             FpuInstrError::RegisterRunOutOfRange(r, vl) => {
                 write!(f, "register run {r}..+{vl} leaves the register file")
             }
-            FpuInstrError::NotFpuAlu(w) => write!(f, "word {w:#010x} is not an FPU ALU instruction"),
+            FpuInstrError::NotFpuAlu(w) => {
+                write!(f, "word {w:#010x} is not an FPU ALU instruction")
+            }
             FpuInstrError::ReservedOperation { unit, func } => {
                 write!(f, "reserved operation: unit {unit} func {func}")
             }
@@ -159,7 +161,11 @@ impl FpuAluInstr {
     ///
     /// Panics if `i >= vl`.
     pub fn element(&self, i: u8) -> ElementRefs {
-        assert!(i < self.vl, "element index {i} out of range for VL {}", self.vl);
+        assert!(
+            i < self.vl,
+            "element index {i} out of range for VL {}",
+            self.vl
+        );
         ElementRefs {
             rr: self.rr.offset(i).expect("validated at construction"),
             ra: if self.sra {
@@ -200,9 +206,7 @@ impl FpuAluInstr {
         if word >> 28 != FPU_ALU_OPCODE {
             return Err(FpuInstrError::NotFpuAlu(word));
         }
-        let reg = |v: u32| {
-            FReg::try_new(v as u8).ok_or(FpuInstrError::BadRegister(v as u8))
-        };
+        let reg = |v: u32| FReg::try_new(v as u8).ok_or(FpuInstrError::BadRegister(v as u8));
         let rr = reg((word >> 22) & 0x3F)?;
         let ra = reg((word >> 16) & 0x3F)?;
         let rb = reg((word >> 10) & 0x3F)?;

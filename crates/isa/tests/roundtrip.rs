@@ -24,9 +24,12 @@ fn arb_fpu_alu() -> impl Strategy<Value = FpuAluInstr> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_filter_map("register run must stay in file", |(op, rr, ra, rb, vl, sra, srb)| {
-            FpuAluInstr::new(ALL_OPS[op], rr, ra, rb, vl, sra, srb).ok()
-        })
+        .prop_filter_map(
+            "register run must stay in file",
+            |(op, rr, ra, rb, vl, sra, srb)| {
+                FpuAluInstr::new(ALL_OPS[op], rr, ra, rb, vl, sra, srb).ok()
+            },
+        )
 }
 
 fn arb_instr() -> impl Strategy<Value = Instr> {

@@ -117,9 +117,7 @@ pub fn linked_list() -> Kernel {
                 let slot = order2[i];
                 let next = order2[(i + 1) % N];
                 m.mem.memory.write_u32(node_addr(slot), node_addr(next));
-                m.mem
-                    .memory
-                    .write_f64(node_addr(slot) + 8, payloads2[slot]);
+                m.mem.memory.write_f64(node_addr(slot) + 8, payloads2[slot]);
             }
         }),
         verify: Box::new(move |m| {

@@ -24,7 +24,12 @@ pub struct Kernel {
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Kernel({}, {} words)", self.name, self.routine.program.len())
+        write!(
+            f,
+            "Kernel({}, {} words)",
+            self.name,
+            self.routine.program.len()
+        )
     }
 }
 

@@ -127,7 +127,10 @@ mod tests {
         assert!(nearly_equal(1.0 + 1e-13, 1.0, 1e-12));
         assert!(!nearly_equal(1.0 + 1e-9, 1.0, 1e-12));
         assert!(nearly_equal(0.0, 0.0, 1e-12));
-        assert!(nearly_equal(1e-320, 2e-320, 1e-12), "tiny denormals compare via floor scale");
+        assert!(
+            nearly_equal(1e-320, 2e-320, 1e-12),
+            "tiny denormals compare via floor scale"
+        );
     }
 
     #[test]

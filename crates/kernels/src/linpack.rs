@@ -321,7 +321,12 @@ mod tests {
         }
         let got = reference_solve(n, &a, &b);
         for i in 0..n {
-            assert!((got[i] - x[i]).abs() < 1e-10, "x[{i}]: {} vs {}", got[i], x[i]);
+            assert!(
+                (got[i] - x[i]).abs() < 1e-10,
+                "x[{i}]: {} vs {}",
+                got[i],
+                x[i]
+            );
         }
     }
 

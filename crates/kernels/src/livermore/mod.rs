@@ -19,12 +19,10 @@ mod part1;
 mod part2;
 
 pub use part1::{
-    loop01, loop02, loop03, loop04, loop05, loop06, loop07, loop08, loop09, loop10, loop11,
-    loop12,
+    loop01, loop02, loop03, loop04, loop05, loop06, loop07, loop08, loop09, loop10, loop11, loop12,
 };
 pub use part2::{
-    loop13, loop14, loop15, loop16, loop17, loop18, loop19, loop20, loop21, loop22, loop23,
-    loop24,
+    loop13, loop14, loop15, loop16, loop17, loop18, loop19, loop20, loop21, loop22, loop23, loop24,
 };
 
 use crate::harness::Kernel;

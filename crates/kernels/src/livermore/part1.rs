@@ -145,7 +145,11 @@ pub fn loop02() -> Kernel {
     let xm9 = m.vector(9).unwrap();
     let vk = m.vector(STRIP).unwrap();
     let vp = m.vector(STRIP).unwrap();
-    let (sa, sb, sc) = (m.scalar().unwrap(), m.scalar().unwrap(), m.scalar().unwrap());
+    let (sa, sb, sc) = (
+        m.scalar().unwrap(),
+        m.scalar().unwrap(),
+        m.scalar().unwrap(),
+    );
     // Level bookkeeping on the CPU.
     let ii = m.ivar().unwrap();
     let pb = m.ivar().unwrap(); // byte address of the level boundary x[ipnt]
@@ -238,12 +242,7 @@ pub fn loop02() -> Kernel {
             mm.mem.memory.write_f64_slice(va, &v);
         }),
         verify: Box::new(move |mm| {
-            compare_slices(
-                &mm.mem.memory.read_f64_slice(xa, size_u),
-                &want,
-                1e-12,
-                "x",
-            )
+            compare_slices(&mm.mem.memory.read_f64_slice(xa, size_u), &want, 1e-12, "x")
         }),
     }
 }
@@ -430,10 +429,10 @@ pub fn loop05() -> Kernel {
 
     let mut m = Mahler::new();
     let t = m.scalar().unwrap(); // the carried x[i−1]
-    // Double-buffered operand vectors: while the 6-cycle dependent chain
-    // works through one half, the loads for the other half issue in its
-    // shadow — the §2.1.2 overlap, software-pipelined by hand as the
-    // paper's Mahler codings were.
+                                 // Double-buffered operand vectors: while the 6-cycle dependent chain
+                                 // works through one half, the loads for the other half issue in its
+                                 // shadow — the §2.1.2 overlap, software-pipelined by hand as the
+                                 // paper's Mahler codings were.
     let yv = m.vector(8).unwrap();
     let zv = m.vector(8).unwrap();
     let (px, py, pz) = (m.ivar().unwrap(), m.ivar().unwrap(), m.ivar().unwrap());
@@ -723,7 +722,9 @@ pub fn loop08() -> Kernel {
     let u1 = random_doubles(81, 2 * plane, 0.0, 1.0);
     let u2 = random_doubles(82, 2 * plane, 0.0, 1.0);
     let u3 = random_doubles(83, 2 * plane, 0.0, 1.0);
-    let a: [f64; 9] = [0.031, -0.012, 0.007, 0.022, 0.041, -0.003, 0.013, 0.009, 0.051];
+    let a: [f64; 9] = [
+        0.031, -0.012, 0.007, 0.022, 0.041, -0.003, 0.013, 0.009, 0.051,
+    ];
     let sig = 0.25;
 
     let idx = |nl: usize, ky: usize, kx: usize| nl * plane + ky * KXD + kx;
@@ -741,8 +742,7 @@ pub fn loop08() -> Kernel {
             du[2 * KY + ky] = d3;
             let upd = |u: &[f64], aj: &[f64]| {
                 let c = u[idx(0, ky, kx)];
-                let sigterm =
-                    ((u[idx(0, ky, kx + 1)] + u[idx(0, ky, kx - 1)]) - c * 2.0) * sig;
+                let sigterm = ((u[idx(0, ky, kx + 1)] + u[idx(0, ky, kx - 1)]) - c * 2.0) * sig;
                 let mut s = sigterm + d1 * aj[0];
                 s += d2 * aj[1];
                 s += d3 * aj[2];
@@ -1125,4 +1125,3 @@ pub fn loop12() -> Kernel {
         }),
     }
 }
-

@@ -79,15 +79,16 @@ pub fn loop13() -> Kernel {
 
     // addr = grid_base + ((j << 5) + i) << 3 (bases exceed the immediate
     // range, so they live in registers).
-    let grid_addr = |m: &mut Mahler, addr: mt_mahler::IVar, j, i, base: mt_mahler::IVar, extra: i32, c5, c3| {
-        m.iop(AluOp::Sll, addr, j, c5);
-        m.iop(AluOp::Add, addr, addr, i);
-        m.iop(AluOp::Sll, addr, addr, c3);
-        m.iop(AluOp::Add, addr, addr, base);
-        if extra != 0 {
-            m.iadd_imm(addr, addr, extra);
-        }
-    };
+    let grid_addr =
+        |m: &mut Mahler, addr: mt_mahler::IVar, j, i, base: mt_mahler::IVar, extra: i32, c5, c3| {
+            m.iop(AluOp::Sll, addr, j, c5);
+            m.iop(AluOp::Add, addr, addr, i);
+            m.iop(AluOp::Sll, addr, addr, c3);
+            m.iop(AluOp::Add, addr, addr, base);
+            if extra != 0 {
+                m.iadd_imm(addr, addr, extra);
+            }
+        };
 
     m.counted_loop(k, 0, NP as i32, 1, |m| {
         m.load_scalar(sx, pp, 0).unwrap();
@@ -261,8 +262,18 @@ pub fn loop14() -> Kernel {
             mm.mem.memory.write_f64_slice(rha, &vec![0.0; G + 2]);
         }),
         verify: Box::new(move |mm| {
-            compare_slices(&mm.mem.memory.read_f64_slice(xxa, NP), &xx_want, 1e-12, "xx")?;
-            compare_slices(&mm.mem.memory.read_f64_slice(vxa, NP), &vx_want, 1e-12, "vx")?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(xxa, NP),
+                &xx_want,
+                1e-12,
+                "xx",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(vxa, NP),
+                &vx_want,
+                1e-12,
+                "vx",
+            )?;
             compare_slices(
                 &mm.mem.memory.read_f64_slice(rha, G + 2),
                 &rh_want,
@@ -287,7 +298,11 @@ pub fn loop15() -> Kernel {
     let mut vy_want = vec![0.0f64; NJ * NK];
     for j in 1..6 {
         for k in 1..NK - 1 {
-            let t = if vh[idx(j + 1, k)] > vh[idx(j, k)] { ar } else { br };
+            let t = if vh[idx(j + 1, k)] > vh[idx(j, k)] {
+                ar
+            } else {
+                br
+            };
             let (r, s) = if vf[idx(j, k)] < vf[idx(j, k - 1)] {
                 let r = if vh[idx(j, k - 1)] > vh[idx(j + 1, k - 1)] {
                     vh[idx(j, k - 1)]
@@ -512,7 +527,7 @@ pub fn loop16() -> Kernel {
             let t = addr;
             m.iop(A::Sll, t, pi, c3); // pi·8
             m.iop(A::Sub, t, t, pi); // pi·7
-            // t mod N by repeated subtract (pi·7 ≤ 525 < 2N).
+                                     // t mod N by repeated subtract (pi·7 ≤ 525 < 2N).
             let no_wrap = m.label();
             m.ibranch(BranchCond::Lt, t, cn, no_wrap);
             m.iop(A::Sub, t, t, cn);
@@ -929,10 +944,30 @@ pub fn loop18() -> Kernel {
             mm.mem.memory.write_f64_slice(zva, &zv0);
         }),
         verify: Box::new(move |mm| {
-            compare_slices(&mm.mem.memory.read_f64_slice(zua, NJ * NK), &zu_want, 1e-8, "zu")?;
-            compare_slices(&mm.mem.memory.read_f64_slice(zva, NJ * NK), &zv_want, 1e-8, "zv")?;
-            compare_slices(&mm.mem.memory.read_f64_slice(zra, NJ * NK), &zr_want, 1e-8, "zr")?;
-            compare_slices(&mm.mem.memory.read_f64_slice(zza, NJ * NK), &zz_want, 1e-8, "zz")
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(zua, NJ * NK),
+                &zu_want,
+                1e-8,
+                "zu",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(zva, NJ * NK),
+                &zv_want,
+                1e-8,
+                "zv",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(zra, NJ * NK),
+                &zr_want,
+                1e-8,
+                "zr",
+            )?;
+            compare_slices(
+                &mm.mem.memory.read_f64_slice(zza, NJ * NK),
+                &zz_want,
+                1e-8,
+                "zz",
+            )
         }),
     }
 }

@@ -95,7 +95,7 @@ pub fn emit_exp(asm: &mut Asm, entry: Label, pool: u32, scratch: u32) -> Vec<(u3
     asm.sw(rt, rs, 4); // high word: biased exponent << 20
     asm.sw(IReg::ZERO, rs, 0); // low word: zero mantissa
     asm.fld(r(46), rs, 0); // 2^n
-    // Horner: p = c10; p = p·r + c_k.
+                           // Horner: p = c10; p = p·r + c_k.
     asm.fld(r(47), rp, coef_offsets[0]);
     for &off in &coef_offsets[1..] {
         asm.fscalar(FpOp::Mul, r(47), r(47), r(45));
@@ -205,7 +205,10 @@ mod tests {
             let (got, _) = exp_on_machine(x);
             let want = x.exp();
             let rel = ((got - want) / want).abs();
-            assert!(rel < 1e-10, "exp({x}) = {got:e}, want {want:e}, rel {rel:e}");
+            assert!(
+                rel < 1e-10,
+                "exp({x}) = {got:e}, want {want:e}, rel {rel:e}"
+            );
         }
     }
 
@@ -247,7 +250,10 @@ mod tests {
             let got = sqrt_on_machine(x);
             let want = x.sqrt();
             let rel = ((got - want) / want).abs();
-            assert!(rel < 1e-12, "sqrt({x}) = {got:e}, want {want:e}, rel {rel:e}");
+            assert!(
+                rel < 1e-12,
+                "sqrt({x}) = {got:e}, want {want:e}, rel {rel:e}"
+            );
         }
     }
 

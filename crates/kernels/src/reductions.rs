@@ -20,7 +20,14 @@ fn r(i: u8) -> FReg {
     FReg::new(i)
 }
 
-fn finish(name: &str, asm: Asm, input: Vec<f64>, in_addr: u32, out_addr: u32, want: Vec<f64>) -> Kernel {
+fn finish(
+    name: &str,
+    asm: Asm,
+    input: Vec<f64>,
+    in_addr: u32,
+    out_addr: u32,
+    want: Vec<f64>,
+) -> Kernel {
     let program = asm.assemble(TEXT_BASE).expect("reduction kernels assemble");
     let n_out = want.len();
     Kernel {
@@ -82,7 +89,14 @@ pub fn scalar_tree_sum() -> Kernel {
     a.fscalar(FpOp::Add, r(14), r(12), r(13));
     a.fst(r(14), base, (out_addr - input_addr) as i32);
     a.halt();
-    finish("Fig.5 scalar tree sum", a, data, input_addr, out_addr, vec![want])
+    finish(
+        "Fig.5 scalar tree sum",
+        a,
+        data,
+        input_addr,
+        out_addr,
+        vec![want],
+    )
 }
 
 /// Fig. 6: the same sum as one *linear* vector instruction — a fully
@@ -111,7 +125,14 @@ pub fn linear_vector_sum() -> Kernel {
     a.fscalar(FpOp::Add, r(17), r(17), r(17));
     a.fst(r(16), base, (out_addr - input_addr) as i32);
     a.halt();
-    finish("Fig.6 linear vector sum", a, data, input_addr, out_addr, vec![want])
+    finish(
+        "Fig.6 linear vector sum",
+        a,
+        data,
+        input_addr,
+        out_addr,
+        vec![want],
+    )
 }
 
 /// Fig. 7: the sum as a *tree of vector operations* — 3 transfers, the CPU
@@ -137,7 +158,14 @@ pub fn vector_tree_sum() -> Kernel {
     a.fvector(FpOp::Add, r(14), r(12), r(13), 1).unwrap();
     a.fst(r(14), base, (out_addr - input_addr) as i32);
     a.halt();
-    finish("Fig.7 vector tree sum", a, data, input_addr, out_addr, vec![want])
+    finish(
+        "Fig.7 vector tree sum",
+        a,
+        data,
+        input_addr,
+        out_addr,
+        vec![want],
+    )
 }
 
 /// Fig. 8: the first `2 + VL` Fibonacci numbers with one vector add.

@@ -1,0 +1,94 @@
+//! Decoded program view and control-flow successors.
+
+use mt_isa::Instr;
+use mt_sim::Program;
+
+/// One text word: raw encoding plus its decoding, when valid.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// The raw instruction word.
+    pub word: u32,
+    /// The decoded instruction (`None` when the word does not decode).
+    pub instr: Option<Instr>,
+}
+
+/// A program decoded for analysis.
+#[derive(Debug, Clone)]
+pub struct ProgramView {
+    /// Base address of the text section.
+    pub base: u32,
+    /// One slot per text word.
+    pub slots: Vec<Slot>,
+}
+
+impl ProgramView {
+    /// Decodes every word of `program`'s text section.
+    pub fn decode(program: &Program) -> ProgramView {
+        ProgramView {
+            base: program.base,
+            slots: program
+                .words
+                .iter()
+                .map(|&word| Slot {
+                    word,
+                    instr: Instr::decode(word).ok(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Absolute address of instruction `idx`.
+    pub fn pc(&self, idx: usize) -> u32 {
+        self.base + 4 * idx as u32
+    }
+
+    /// Control-flow successors of instruction `idx`, restricted to indices
+    /// inside the text section. `halt`, `jr` (indirect target), and
+    /// undecodable slots end analysis.
+    pub fn successors(&self, idx: usize) -> Vec<usize> {
+        let Some(instr) = self.slots[idx].instr else {
+            return Vec::new();
+        };
+        let in_range = |i: i64| -> Option<usize> {
+            (0..self.slots.len() as i64)
+                .contains(&i)
+                .then_some(i as usize)
+        };
+        let mut next = Vec::new();
+        match instr {
+            Instr::Halt | Instr::Jr { .. } => {}
+            Instr::Jump { target } | Instr::Jal { target } => {
+                next.extend(in_range(target as i64 - (self.base / 4) as i64));
+            }
+            Instr::Branch { offset, .. } => {
+                next.extend(in_range(idx as i64 + 1));
+                next.extend(in_range(idx as i64 + 1 + offset as i64));
+            }
+            _ => next.extend(in_range(idx as i64 + 1)),
+        }
+        next.dedup();
+        next
+    }
+
+    /// Indices reachable from the entry (index 0), in discovery order.
+    pub fn reachable(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.slots.len()];
+        let mut order = Vec::new();
+        let mut work = Vec::new();
+        if !self.slots.is_empty() {
+            seen[0] = true;
+            work.push(0);
+        }
+        while let Some(idx) = work.pop() {
+            order.push(idx);
+            for s in self.successors(idx) {
+                if !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        order.sort_unstable();
+        order
+    }
+}

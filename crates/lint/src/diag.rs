@@ -1,0 +1,113 @@
+//! Diagnostic model: lint identities, severities, findings.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; the program is correct but could be improved.
+    Note,
+    /// Possible hazard that cannot be proven safe statically.
+    Warning,
+    /// Statically provable violation; the program is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The individual rules the analyzer can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// §2.3.2: a load/store provably executes while a later element of an
+    /// in-flight vector still references the touched register.
+    OrderingViolation,
+    /// §2.3.2: a load/store may overlap later elements of a vector that
+    /// could still be in flight on some path/timing.
+    PossibleOrderingHazard,
+    /// A register is read before any instruction writes it.
+    UninitializedRead,
+    /// A register write is never read before being overwritten.
+    DeadStore,
+    /// Overlapping destination ranges of two vector ops clobber each other.
+    VectorWawClobber,
+    /// A vector register range runs past R51.
+    RangeOverflow,
+    /// Rr strides into a live source range mid-vector (unannotated).
+    RecurrenceAlias,
+    /// A reciprocal-start op is not followed by the 6-op Newton–Raphson
+    /// division macro.
+    MalformedDivision,
+    /// A store issues in the 2-cycle shadow of a preceding store.
+    StoreShadow,
+}
+
+impl Lint {
+    /// Stable kebab-case name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::OrderingViolation => "ordering-violation",
+            Lint::PossibleOrderingHazard => "possible-ordering-hazard",
+            Lint::UninitializedRead => "uninitialized-read",
+            Lint::DeadStore => "dead-store",
+            Lint::VectorWawClobber => "vector-waw-clobber",
+            Lint::RangeOverflow => "range-overflow",
+            Lint::RecurrenceAlias => "recurrence-alias",
+            Lint::MalformedDivision => "malformed-division",
+            Lint::StoreShadow => "store-shadow",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::OrderingViolation | Lint::RangeOverflow => Severity::Error,
+            Lint::PossibleOrderingHazard
+            | Lint::DeadStore
+            | Lint::VectorWawClobber
+            | Lint::RecurrenceAlias => Severity::Warning,
+            Lint::UninitializedRead | Lint::MalformedDivision | Lint::StoreShadow => Severity::Note,
+        }
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub lint: Lint,
+    /// Index of the offending instruction in the program's text section.
+    pub instr_index: usize,
+    /// Absolute address of the offending instruction.
+    pub pc: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The finding's severity (delegates to the lint rule).
+    pub fn severity(&self) -> Severity {
+        self.lint.severity()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: instr #{} (pc {:#x}): {}",
+            self.severity(),
+            self.lint.name(),
+            self.instr_index,
+            self.pc,
+            self.message
+        )
+    }
+}

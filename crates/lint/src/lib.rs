@@ -1,0 +1,137 @@
+//! Static analysis for MultiTitan programs.
+//!
+//! `mt-lint` checks assembled programs ([`mt_sim::Program`]) against the
+//! software contracts the hardware does not enforce:
+//!
+//! * the **§2.3.2 ordering rule** — an FPU load/store must not bypass a
+//!   not-yet-issued element of an in-flight vector instruction it depends
+//!   on. Two tiers: *provable* violations (errors) from an exact
+//!   warm-cache timing replay, and *possible* hazards (warnings) from a
+//!   timing-insensitive control-flow analysis that over-approximates the
+//!   simulator's dynamic checked mode;
+//! * **register dataflow** over the 52-register file and PSW —
+//!   possibly-uninitialized reads, dead stores, and write-after-write
+//!   clobbers inside overlapping vector register ranges;
+//! * **structural rules** — register runs past R51, stride/VL
+//!   combinations that alias the destination into a live source range
+//!   mid-vector (with an allowlist for intentional Fig. 8 recurrences),
+//!   `frecip` launches that do not match the 6-op Newton–Raphson division
+//!   macro, and store-shadow scheduling opportunities.
+//!
+//! Findings carry the text-section instruction index and absolute PC;
+//! `mtasm lint` joins them with assembler source spans for rustc-style
+//! diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use mt_isa::{FReg, FpuAluInstr, Instr};
+//! use mt_fparith::FpOp;
+//! use mt_sim::Program;
+//!
+//! // A VL-4 add followed immediately by a load into its pending source:
+//! // the load executes while elements of the vector are still waiting to
+//! // issue — a provable §2.3.2 violation.
+//! let v = FpuAluInstr::vector(FpOp::Add, FReg::new(8), FReg::new(0), FReg::new(4), 4).unwrap();
+//! let prog = Program::assemble(&[
+//!     Instr::Falu(v),
+//!     Instr::Fld { fr: FReg::new(2), base: mt_isa::IReg::ZERO, offset: 0 },
+//!     Instr::Halt,
+//! ]).unwrap();
+//!
+//! let findings = mt_lint::lint_program(&prog);
+//! assert!(findings.iter().any(|f| f.lint == mt_lint::Lint::PossibleOrderingHazard
+//!     || f.lint == mt_lint::Lint::OrderingViolation));
+//! ```
+
+use std::collections::HashSet;
+
+use mt_sim::{IssueTiming, Program};
+
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod ordering;
+pub mod structural;
+
+pub use cfg::{ProgramView, Slot};
+pub use diag::{Finding, Lint, Severity};
+
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Machine issue timing used by the provable ordering replay.
+    pub timing: IssueTiming,
+    /// Instruction indices allowed to alias their destination into a live
+    /// source range (intentional recurrences like Fig. 8's Fibonacci).
+    /// The assembler populates this from `lint: allow(recurrence)` comment
+    /// annotations.
+    pub allow_recurrence: HashSet<usize>,
+    /// Cycle cap for the straight-line timing replay (a safety net; any
+    /// real entry block finishes far sooner).
+    pub max_replay_cycles: u64,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            timing: IssueTiming::multititan(),
+            allow_recurrence: HashSet::new(),
+            max_replay_cycles: 100_000,
+        }
+    }
+}
+
+/// Lints `program` with default options.
+pub fn lint_program(program: &Program) -> Vec<Finding> {
+    lint_program_with(program, &LintOptions::default())
+}
+
+/// Lints `program` with explicit options.
+pub fn lint_program_with(program: &Program, opts: &LintOptions) -> Vec<Finding> {
+    lint_view(&ProgramView::decode(program), opts)
+}
+
+/// Runs every pass over an already-decoded view.
+pub fn lint_view(view: &ProgramView, opts: &LintOptions) -> Vec<Finding> {
+    let mut out = Vec::new();
+    structural::range_overflow(view, &mut out);
+    ordering::provable_violations(view, opts, &mut out);
+    ordering::possible_hazards(view, &mut out);
+    dataflow::uninitialized_reads(view, &mut out);
+    dataflow::dead_stores(view, &mut out);
+    structural::recurrence_alias(view, opts, &mut out);
+    structural::malformed_division(view, &mut out);
+    structural::store_shadow(view, &mut out);
+
+    // A proven violation subsumes the possible-hazard warning for the same
+    // load/store.
+    let proven: HashSet<usize> = out
+        .iter()
+        .filter(|f| f.lint == Lint::OrderingViolation)
+        .map(|f| f.instr_index)
+        .collect();
+    out.retain(|f| !(f.lint == Lint::PossibleOrderingHazard && proven.contains(&f.instr_index)));
+
+    out.sort_by_key(|f| {
+        (
+            f.instr_index,
+            std::cmp::Reverse(f.severity()),
+            f.lint.name(),
+        )
+    });
+    out
+}
+
+/// Number of error-severity findings.
+pub fn error_count(findings: &[Finding]) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.severity() == Severity::Error)
+        .count()
+}
+
+/// The highest severity present, if any findings exist.
+pub fn max_severity(findings: &[Finding]) -> Option<Severity> {
+    findings.iter().map(|f| f.severity()).max()
+}

@@ -1,0 +1,315 @@
+//! The §2.3.2 ordering analyzer.
+//!
+//! The hardware interlocks an FPU load/store only against the *current*
+//! (next-to-issue) element of an in-flight vector; dependencies on later
+//! elements are the compiler's responsibility ("the compiler must break the
+//! vector"). Two tiers of static analysis enforce that rule:
+//!
+//! * **Possible hazards** (warnings): a control-flow worklist tracks which
+//!   vector instructions *may* still be issuing when each load/store
+//!   executes, with no timing assumptions. Any overlap between the
+//!   load/store register and elements `1..VL` of a possibly-in-flight
+//!   vector is flagged. This tier is a sound over-approximation of the
+//!   simulator's dynamic checked mode: every dynamic `OrderingViolation`
+//!   is covered by one of these findings (a property the cross-crate
+//!   tests assert on random programs).
+//! * **Provable violations** (errors): an exact replay of the machine's
+//!   issue timing over the straight-line entry block, assuming warm caches
+//!   (the paper's kernel protocol) and no overflow aborts. A hazard that
+//!   fires under nominal timing is a definite program bug.
+
+use mt_isa::{FReg, FpuAluInstr, Instr};
+
+use crate::cfg::ProgramView;
+use crate::diag::{Finding, Lint};
+use crate::LintOptions;
+
+/// How a load/store overlaps a pending (not-yet-issued) vector element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Overlap {
+    LoadClobbersPendingSource,
+    LoadIntoPendingDest,
+    StoreReadsPendingDest,
+}
+
+impl Overlap {
+    fn describe(self, reg: FReg, vector: &FpuAluInstr, element: u8) -> String {
+        match self {
+            Overlap::LoadClobbersPendingSource => format!(
+                "load of {reg} clobbers a source of pending element {element} of `{vector}`"
+            ),
+            Overlap::LoadIntoPendingDest => {
+                format!("load of {reg} races the write of pending element {element} of `{vector}`")
+            }
+            Overlap::StoreReadsPendingDest => format!(
+                "store of {reg} reads the destination of pending element {element} of `{vector}`"
+            ),
+        }
+    }
+}
+
+/// Overlaps between a load/store of `fr` and elements `first..VL` of
+/// `vector` (the elements the hardware does not interlock).
+fn overlaps(vector: &FpuAluInstr, first: u8, fr: FReg, is_load: bool) -> Vec<(Overlap, u8)> {
+    let mut found = Vec::new();
+    for e in first..vector.vl {
+        let refs = vector.element(e);
+        if is_load {
+            if refs.ra == fr || (!vector.op.is_unary() && refs.rb == fr) {
+                found.push((Overlap::LoadClobbersPendingSource, e));
+            }
+            if refs.rr == fr {
+                found.push((Overlap::LoadIntoPendingDest, e));
+            }
+        } else if refs.rr == fr {
+            found.push((Overlap::StoreReadsPendingDest, e));
+        }
+    }
+    found
+}
+
+/// The possible-hazard tier: flow-sensitive, timing-insensitive.
+pub fn possible_hazards(prog: &ProgramView, out: &mut Vec<Finding>) {
+    let n = prog.slots.len();
+    // Per-instruction entry state: the set of vector instructions (by
+    // index) that may still occupy the ALU IR when control reaches it.
+    // Executing any Falu proves the IR was empty (transfers stall
+    // otherwise), so its out-state is itself alone; scalars (VL 1) have no
+    // uninterlocked elements and propagate the empty set.
+    let mut state: Vec<Option<Vec<usize>>> = vec![None; n];
+    if n == 0 {
+        return;
+    }
+    state[0] = Some(Vec::new());
+    let mut work = vec![0usize];
+    while let Some(idx) = work.pop() {
+        let inflow = state[idx].clone().unwrap_or_default();
+        let outflow = match prog.slots[idx].instr {
+            Some(Instr::Falu(f)) => {
+                if f.vl >= 2 {
+                    vec![idx]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => inflow,
+        };
+        for succ in prog.successors(idx) {
+            let merged = match &state[succ] {
+                None => Some(outflow.clone()),
+                Some(existing) => {
+                    let mut m = existing.clone();
+                    let mut grew = false;
+                    for &v in &outflow {
+                        if !m.contains(&v) {
+                            m.push(v);
+                            grew = true;
+                        }
+                    }
+                    grew.then_some(m)
+                }
+            };
+            if let Some(m) = merged {
+                state[succ] = Some(m);
+                work.push(succ);
+            }
+        }
+    }
+
+    for (idx, entry) in state.iter().enumerate() {
+        let Some(inflow) = entry else {
+            continue; // unreachable
+        };
+        let (fr, is_load) = match prog.slots[idx].instr {
+            Some(Instr::Fld { fr, .. }) => (fr, true),
+            Some(Instr::Fst { fr, .. }) => (fr, false),
+            _ => continue,
+        };
+        for &vec_idx in inflow {
+            let Some(Instr::Falu(vector)) = prog.slots[vec_idx].instr else {
+                continue;
+            };
+            // The hardware interlocks only the current element; with no
+            // timing information any element from 1 up may be pending.
+            for (overlap, element) in overlaps(&vector, 1, fr, is_load) {
+                out.push(Finding {
+                    lint: Lint::PossibleOrderingHazard,
+                    instr_index: idx,
+                    pc: prog.pc(idx),
+                    message: format!(
+                        "{} (transferred at instr #{vec_idx}); if the vector may still \
+                         be issuing here, break it (§2.3.2)",
+                        overlap.describe(fr, &vector, element)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The provable tier: exact no-miss timing replay of the straight-line
+/// entry block (up to the first control transfer, halt, or undecodable
+/// word). Mirrors `mt_sim::Machine` cycle phasing: CPU executes, then the
+/// ALU IR issues, within each cycle.
+pub fn provable_violations(prog: &ProgramView, opts: &LintOptions, out: &mut Vec<Finding>) {
+    // Cycle (exclusive) until which each FPU register is reserved by an
+    // in-flight write, matching the scoreboard: an op issued at cycle t
+    // with latency L is readable at t+L; a load driven at t is readable at
+    // t+1 (mt-core's LOAD_VISIBLE_AFTER).
+    let mut freg_reserved = [0u64; 52];
+    let mut int_ready = [0u64; 32];
+    let mut ir: Option<(usize, FpuAluInstr, u8)> = None; // (index, instr, next element)
+    let mut ls_free_at = 0u64;
+    let mut cycle = 0u64;
+    let mut idx = 0usize;
+    let t = &opts.timing;
+
+    let reserved = |map: &[u64; 52], cycle: u64, r: FReg| cycle < map[r.index() as usize];
+    let int_blocked =
+        |map: &[u64; 32], cycle: u64, r: mt_isa::IReg| cycle < map[r.index() as usize];
+
+    while idx < prog.slots.len() && cycle <= opts.max_replay_cycles {
+        let mut advance = true;
+        let mut check_ls: Option<(FReg, bool)> = None;
+        match prog.slots[idx].instr {
+            None
+            | Some(Instr::Halt)
+            | Some(Instr::Branch { .. })
+            | Some(Instr::Jump { .. })
+            | Some(Instr::Jal { .. })
+            | Some(Instr::Jr { .. }) => break,
+
+            Some(Instr::Falu(f)) => {
+                if ir.is_some() {
+                    advance = false; // transfer stalls while the IR issues
+                } else {
+                    ir = Some((idx, f, 0));
+                }
+            }
+
+            Some(Instr::Fld { fr, base, .. }) => {
+                if int_blocked(&int_ready, cycle, base)
+                    || cycle < ls_free_at
+                    || reserved(&freg_reserved, cycle, fr)
+                    || current_element_conflict(&ir, fr, true)
+                {
+                    advance = false;
+                } else {
+                    check_ls = Some((fr, true));
+                    freg_reserved[fr.index() as usize] = cycle + 1;
+                    ls_free_at = cycle + t.load_port_cycles;
+                }
+            }
+
+            Some(Instr::Fst { fr, base, .. }) => {
+                if int_blocked(&int_ready, cycle, base)
+                    || cycle < ls_free_at
+                    || reserved(&freg_reserved, cycle, fr)
+                    || current_element_conflict(&ir, fr, false)
+                {
+                    advance = false;
+                } else {
+                    check_ls = Some((fr, false));
+                    ls_free_at = cycle + t.store_port_cycles;
+                }
+            }
+
+            Some(Instr::Lw { rd, base, .. }) => {
+                if int_blocked(&int_ready, cycle, base) || cycle < ls_free_at {
+                    advance = false;
+                } else {
+                    int_ready[rd.index() as usize] = cycle + t.int_load_delay_cycles;
+                    ls_free_at = cycle + t.load_port_cycles;
+                }
+            }
+
+            Some(Instr::Sw { rs, base, .. }) => {
+                if int_blocked(&int_ready, cycle, base)
+                    || int_blocked(&int_ready, cycle, rs)
+                    || cycle < ls_free_at
+                {
+                    advance = false;
+                } else {
+                    ls_free_at = cycle + t.store_port_cycles;
+                }
+            }
+
+            Some(Instr::Alu { rs1, rs2, .. }) => {
+                if int_blocked(&int_ready, cycle, rs1) || int_blocked(&int_ready, cycle, rs2) {
+                    advance = false;
+                }
+            }
+
+            Some(Instr::Addi { rs1, .. }) => {
+                if int_blocked(&int_ready, cycle, rs1) {
+                    advance = false;
+                }
+            }
+
+            Some(Instr::Nop)
+            | Some(Instr::Lui { .. })
+            | Some(Instr::Mfpsw { .. })
+            | Some(Instr::ClrPsw) => {}
+        }
+
+        // A load/store that executed this cycle interacts with the pending
+        // elements beyond the hardware-interlocked current one — exactly
+        // the simulator's checked-mode probe, but under proven timing.
+        if let (Some((fr, is_load)), Some((vec_idx, vector, next))) = (check_ls, ir) {
+            for (overlap, element) in overlaps(&vector, next + 1, fr, is_load) {
+                out.push(Finding {
+                    lint: Lint::OrderingViolation,
+                    instr_index: idx,
+                    pc: prog.pc(idx),
+                    message: format!(
+                        "{} (transferred at instr #{vec_idx}) under nominal warm-cache \
+                         timing: break the vector (§2.3.2)",
+                        overlap.describe(fr, &vector, element)
+                    ),
+                });
+            }
+        }
+
+        if advance {
+            idx += 1;
+        }
+
+        // Issue phase: the ALU IR issues its current element when the
+        // scoreboard permits (both sources readable, destination free).
+        if let Some((vec_idx, f, next)) = ir {
+            let refs = f.element(next);
+            let blocked = reserved(&freg_reserved, cycle, refs.ra)
+                || (!f.op.is_unary() && reserved(&freg_reserved, cycle, refs.rb))
+                || reserved(&freg_reserved, cycle, refs.rr);
+            if !blocked {
+                freg_reserved[refs.rr.index() as usize] = cycle + t.fpu_latency;
+                if next + 1 == f.vl {
+                    ir = None;
+                } else {
+                    ir = Some((vec_idx, f, next + 1));
+                }
+            }
+        }
+
+        cycle += 1;
+    }
+}
+
+/// The hardware interlock: does the load/store conflict with the *current*
+/// element of the in-flight vector? (The machine stalls the memory
+/// operation in that case — no violation.)
+fn current_element_conflict(
+    ir: &Option<(usize, FpuAluInstr, u8)>,
+    fr: FReg,
+    is_load: bool,
+) -> bool {
+    let Some((_, f, next)) = ir else {
+        return false;
+    };
+    let refs = f.element(*next);
+    if is_load {
+        refs.rr == fr || refs.ra == fr || (!f.op.is_unary() && refs.rb == fr)
+    } else {
+        refs.rr == fr
+    }
+}

@@ -1,0 +1,68 @@
+//! Every shipped kernel lints with zero errors (the acceptance bar for
+//! `mtasm lint` on the in-tree programs). Warnings are permitted: the
+//! timing-free possible-hazard tier legitimately fires on loop kernels
+//! where only loop-overhead timing keeps the vector drained, and the
+//! Fibonacci kernel is an intentional recurrence.
+
+use mt_kernels::{gather, graphics, linpack, livermore, reductions, Kernel};
+use mt_lint::{error_count, lint_program, Severity};
+
+fn assert_error_free(kernel: &Kernel) {
+    let findings = lint_program(&kernel.routine.program);
+    let errors: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity() == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "{}: expected no lint errors, got {errors:#?}",
+        kernel.name
+    );
+}
+
+#[test]
+fn livermore_kernels_are_error_free() {
+    for kernel in livermore::all() {
+        assert_error_free(&kernel);
+    }
+}
+
+#[test]
+fn reduction_kernels_are_error_free() {
+    for kernel in [
+        reductions::scalar_tree_sum(),
+        reductions::linear_vector_sum(),
+        reductions::vector_tree_sum(),
+        reductions::fibonacci(8),
+    ] {
+        assert_error_free(&kernel);
+    }
+}
+
+#[test]
+fn gather_and_graphics_kernels_are_error_free() {
+    for kernel in [
+        gather::fixed_stride(3),
+        gather::linked_list(),
+        graphics::transform_points(16),
+    ] {
+        assert_error_free(&kernel);
+    }
+}
+
+#[test]
+fn linpack_is_error_free() {
+    for kernel in [linpack::linpack(10, false), linpack::linpack(10, true)] {
+        assert_error_free(&kernel);
+    }
+}
+
+#[test]
+fn a_kernel_program_actually_exercises_the_ordering_passes() {
+    // Sanity check that the zero-error assertions are not vacuous: the
+    // vectorized kernels contain vector instructions and memory traffic,
+    // so the analyzer has real work to do.
+    let kernel = reductions::linear_vector_sum();
+    let findings = lint_program(&kernel.routine.program);
+    assert_eq!(error_count(&findings), 0);
+}

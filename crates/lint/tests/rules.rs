@@ -1,0 +1,358 @@
+//! Per-rule exercises of every lint on small hand-built programs.
+
+use std::collections::HashSet;
+
+use mt_asm::Asm;
+use mt_fparith::FpOp;
+use mt_isa::{FReg, FpuAluInstr, IReg, Instr};
+use mt_lint::{lint_program, lint_program_with, Finding, Lint, LintOptions, Severity};
+use mt_sim::Program;
+
+fn r(i: u8) -> FReg {
+    FReg::new(i)
+}
+
+fn fld(fr: u8, offset: i32) -> Instr {
+    Instr::Fld {
+        fr: r(fr),
+        base: IReg::ZERO,
+        offset,
+    }
+}
+
+fn fst(fr: u8, offset: i32) -> Instr {
+    Instr::Fst {
+        fr: r(fr),
+        base: IReg::ZERO,
+        offset,
+    }
+}
+
+fn has(findings: &[Finding], lint: Lint, idx: usize) -> bool {
+    findings
+        .iter()
+        .any(|f| f.lint == lint && f.instr_index == idx)
+}
+
+/// The acceptance-criterion program: a VL-8 vector add immediately
+/// followed by a load that clobbers a pending source element. Under
+/// nominal warm-cache timing the load executes long before element 5
+/// issues, so the violation is statically provable.
+#[test]
+fn provable_ordering_violation_on_hazardous_program() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[
+        fld(0, 0),
+        Instr::Falu(v),
+        fld(5, 64), // element 5 still reads R5 — clobbered
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(
+        has(&findings, Lint::OrderingViolation, 2),
+        "expected a provable violation at the load: {findings:#?}"
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.lint == Lint::OrderingViolation)
+        .unwrap();
+    assert_eq!(f.severity(), Severity::Error);
+    assert_eq!(f.pc, prog.base + 8);
+    assert!(f.message.contains("§2.3.2"), "{}", f.message);
+}
+
+#[test]
+fn load_into_pending_dest_and_store_of_pending_dest() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[
+        Instr::Falu(v),
+        fld(20, 0), // element 4 will overwrite R20 after the load
+        fst(22, 8), // element 6 has not yet produced R22
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::OrderingViolation, 1), "{findings:#?}");
+    assert!(has(&findings, Lint::OrderingViolation, 2), "{findings:#?}");
+}
+
+#[test]
+fn disjoint_load_is_clean() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[
+        Instr::Falu(v),
+        fld(40, 0), // R40 is outside every range of the vector
+        fst(40, 8),
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(
+        !findings.iter().any(|f| matches!(
+            f.lint,
+            Lint::OrderingViolation | Lint::PossibleOrderingHazard
+        )),
+        "{findings:#?}"
+    );
+}
+
+/// When enough independent work separates the transfer from the load, the
+/// vector has provably drained — but without timing, the possible tier
+/// still warns (the warning tier is deliberately timing-free).
+#[test]
+fn drained_vector_is_not_a_provable_violation() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 4).unwrap();
+    let mut instrs = vec![Instr::Falu(v)];
+    for _ in 0..8 {
+        instrs.push(Instr::Nop);
+    }
+    instrs.push(fld(2, 0)); // element 2's source, but the vector is done
+    instrs.push(Instr::Halt);
+    let prog = Program::assemble(&instrs).unwrap();
+    let findings = lint_program(&prog);
+    assert!(
+        !findings.iter().any(|f| f.lint == Lint::OrderingViolation),
+        "{findings:#?}"
+    );
+    assert!(
+        has(&findings, Lint::PossibleOrderingHazard, 9),
+        "{findings:#?}"
+    );
+}
+
+/// A hazard that only materializes along one branch arm is reported as
+/// possible, not provable: the replay stops at the branch.
+#[test]
+fn hazard_behind_branch_is_possible_not_provable() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[
+        Instr::Falu(v),
+        Instr::Branch {
+            cond: mt_isa::cpu::BranchCond::Eq,
+            rs1: IReg::ZERO,
+            rs2: IReg::ZERO,
+            offset: 1,
+        },
+        Instr::Nop,
+        fld(5, 0),
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(!findings.iter().any(|f| f.lint == Lint::OrderingViolation));
+    assert!(
+        has(&findings, Lint::PossibleOrderingHazard, 3),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn uninitialized_read_noted_and_silenced_by_load() {
+    let add = FpuAluInstr::scalar(FpOp::Add, r(2), r(0), r(1));
+    let prog = Program::assemble(&[fld(0, 0), Instr::Falu(add), Instr::Halt]).unwrap();
+    let findings = lint_program(&prog);
+    // R0 was loaded; R1 was not written on any path.
+    assert!(has(&findings, Lint::UninitializedRead, 1), "{findings:#?}");
+    let notes: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::UninitializedRead)
+        .collect();
+    assert_eq!(notes.len(), 1);
+    assert!(notes[0].message.contains("R1"), "{}", notes[0].message);
+    assert_eq!(notes[0].severity(), Severity::Note);
+}
+
+#[test]
+fn dead_store_detected() {
+    let prog = Program::assemble(&[
+        fld(3, 0), // dead: overwritten below without a read
+        fld(3, 8),
+        fst(3, 16),
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::DeadStore, 0), "{findings:#?}");
+    assert!(!has(&findings, Lint::DeadStore, 1), "{findings:#?}");
+}
+
+#[test]
+fn live_at_exit_is_not_dead() {
+    // No read follows, but the host may inspect the register file.
+    let prog = Program::assemble(&[fld(3, 0), Instr::Halt]).unwrap();
+    assert!(!lint_program(&prog)
+        .iter()
+        .any(|f| f.lint == Lint::DeadStore),);
+}
+
+#[test]
+fn vector_waw_clobber_detected() {
+    let first = FpuAluInstr::vector(FpOp::Add, r(24), r(0), r(8), 4).unwrap();
+    let second = FpuAluInstr::vector(FpOp::Mul, r(24), r(16), r(32), 4).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(first), Instr::Falu(second), Instr::Halt]).unwrap();
+    let findings = lint_program(&prog);
+    let waw: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::VectorWawClobber && f.instr_index == 0)
+        .collect();
+    assert_eq!(waw.len(), 4, "all four elements clobbered: {findings:#?}");
+    assert_eq!(waw[0].severity(), Severity::Warning);
+}
+
+#[test]
+fn recurrence_alias_warns_and_allowlist_silences() {
+    // Fig. 8's Fibonacci: R2..R9 := R1..R8 + R0..R7 — destination overlaps
+    // both live source ranges mid-vector.
+    let fib = FpuAluInstr::vector(FpOp::Add, r(2), r(1), r(0), 8).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(fib), fst(9, 0), Instr::Halt]).unwrap();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::RecurrenceAlias, 0), "{findings:#?}");
+
+    let opts = LintOptions {
+        allow_recurrence: HashSet::from([0usize]),
+        ..LintOptions::default()
+    };
+    let silenced = lint_program_with(&prog, &opts);
+    assert!(!silenced.iter().any(|f| f.lint == Lint::RecurrenceAlias));
+}
+
+#[test]
+fn broadcast_source_alias_detected() {
+    // R8..R11 := R9 + R0..R3 (Rb broadcast): element 1 overwrites R9 while
+    // elements 2 and 3 still read it.
+    let v = FpuAluInstr::new(FpOp::Add, r(8), r(0), r(9), 4, true, false).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(v), Instr::Halt]).unwrap();
+    assert!(lint_program(&prog)
+        .iter()
+        .any(|f| f.lint == Lint::RecurrenceAlias),);
+}
+
+#[test]
+fn disjoint_vector_has_no_recurrence_alias() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(v), Instr::Halt]).unwrap();
+    assert!(!lint_program(&prog)
+        .iter()
+        .any(|f| f.lint == Lint::RecurrenceAlias),);
+}
+
+#[test]
+fn well_formed_division_macro_is_clean() {
+    let mut asm = Asm::new();
+    asm.fdiv(r(4), r(0), r(1), r(2), r(3)).unwrap();
+    asm.halt();
+    let prog = asm.assemble(0x1_0000).unwrap();
+    assert!(!lint_program(&prog)
+        .iter()
+        .any(|f| f.lint == Lint::MalformedDivision),);
+}
+
+#[test]
+fn truncated_division_macro_noted() {
+    let recip = FpuAluInstr::scalar(FpOp::Recip, r(2), r(1), r(0));
+    let prog = Program::assemble(&[fld(1, 0), Instr::Falu(recip), Instr::Halt]).unwrap();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::MalformedDivision, 1), "{findings:#?}");
+}
+
+#[test]
+fn division_macro_with_wrong_binding_noted() {
+    // Assemble a correct sequence, then retarget step 2's destination so
+    // the role unification fails.
+    let mut asm = Asm::new();
+    asm.fdiv(r(4), r(0), r(1), r(2), r(3)).unwrap();
+    asm.halt();
+    let mut prog = asm.assemble(0x1_0000).unwrap();
+    let mut step2 = match Instr::decode(prog.words[2]).unwrap() {
+        Instr::Falu(f) => f,
+        other => panic!("expected falu, got {other}"),
+    };
+    step2.rr = r(30);
+    prog.words[2] = step2.encode();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::MalformedDivision, 0), "{findings:#?}");
+}
+
+#[test]
+fn store_shadow_noted_for_hoistable_op() {
+    let prog = Program::assemble(&[
+        fst(0, 0),
+        fst(1, 8),
+        Instr::Addi {
+            rd: IReg::new(5),
+            rs1: IReg::new(5),
+            imm: 16,
+        },
+        Instr::Halt,
+    ])
+    .unwrap();
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::StoreShadow, 1), "{findings:#?}");
+}
+
+#[test]
+fn store_shadow_silent_when_op_feeds_the_store() {
+    // The addi writes the second store's base register: hoisting it would
+    // change the address, so there is nothing the scheduler can do.
+    let prog = Program::assemble(&[
+        Instr::Fst {
+            fr: r(0),
+            base: IReg::new(5),
+            offset: 0,
+        },
+        Instr::Fst {
+            fr: r(1),
+            base: IReg::new(5),
+            offset: 8,
+        },
+        Instr::Addi {
+            rd: IReg::new(5),
+            rs1: IReg::new(5),
+            imm: 16,
+        },
+        Instr::Halt,
+    ])
+    .unwrap();
+    assert!(!lint_program(&prog)
+        .iter()
+        .any(|f| f.lint == Lint::StoreShadow),);
+}
+
+#[test]
+fn range_overflow_on_hand_encoded_word() {
+    // fadd R40, R0, R1 is fine as a scalar; patching the VL field to 16
+    // makes the destination run R40..R55 walk past R51.
+    let scalar = FpuAluInstr::scalar(FpOp::Add, r(40), r(0), r(1));
+    let bad_word = scalar.encode() | (15 << 2);
+    let prog = Program {
+        words: vec![bad_word, Instr::Halt.encode().unwrap()],
+        base: 0x1_0000,
+        segments: Vec::new(),
+    };
+    let findings = lint_program(&prog);
+    assert!(has(&findings, Lint::RangeOverflow, 0), "{findings:#?}");
+    assert_eq!(findings[0].severity(), Severity::Error);
+}
+
+#[test]
+fn findings_render_with_index_pc_and_severity() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[Instr::Falu(v), fld(5, 0), Instr::Halt]).unwrap();
+    let findings = lint_program(&prog);
+    let text = findings
+        .iter()
+        .find(|f| f.lint == Lint::OrderingViolation)
+        .unwrap()
+        .to_string();
+    assert!(text.starts_with("error[ordering-violation]"), "{text}");
+    assert!(text.contains("instr #1"), "{text}");
+    assert!(text.contains("0x10004"), "{text}");
+}
+
+#[test]
+fn clean_program_has_no_errors() {
+    let v = FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap();
+    let prog = Program::assemble(&[fld(0, 0), Instr::Falu(v), Instr::Halt]).unwrap();
+    assert_eq!(mt_lint::error_count(&lint_program(&prog)), 0);
+}

@@ -362,7 +362,9 @@ mod tests {
             .bin(FpOp::Sub, ld());
         assert_eq!(chain.temps_needed(), 2);
         // A balanced tree of 4 loads needs 3.
-        let balanced = ld().bin(FpOp::Add, ld()).bin(FpOp::Mul, ld().bin(FpOp::Add, ld()));
+        let balanced = ld()
+            .bin(FpOp::Add, ld())
+            .bin(FpOp::Mul, ld().bin(FpOp::Add, ld()));
         assert_eq!(balanced.temps_needed(), 3);
     }
 
@@ -378,10 +380,7 @@ mod tests {
         m.set_i(px, 0x4000);
         let expr = VExpr::load(pz, 80, 8)
             .bin_const(FpOp::Mul, r)
-            .bin(
-                FpOp::Add,
-                VExpr::load(pz, 88, 8).bin_const(FpOp::Mul, t),
-            )
+            .bin(FpOp::Add, VExpr::load(pz, 88, 8).bin_const(FpOp::Mul, t))
             .bin(FpOp::Mul, VExpr::load(py, 0, 8))
             .bin_const(FpOp::Add, q);
         m.assign(dst, &expr).unwrap();
@@ -401,10 +400,7 @@ mod tests {
             let z11 = 0.1 * (k + 11) as f64;
             let want = (z10 * r + z11 * t) * y + q;
             let got = machine.mem.memory.read_f64(0x4000 + 8 * k as u32);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "x[{k}] = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "x[{k}] = {got}, want {want}");
         }
     }
 
@@ -416,7 +412,9 @@ mod tests {
         let p = m.ivar().unwrap();
         m.set_i(p, 0x2000);
         m.load(y, p, 0, 8).unwrap();
-        let expr = VExpr::var(y).bin(FpOp::Mul, VExpr::var(y)).bin(FpOp::Add, VExpr::var(y));
+        let expr = VExpr::var(y)
+            .bin(FpOp::Mul, VExpr::var(y))
+            .bin(FpOp::Add, VExpr::var(y));
         m.assign(y, &expr).unwrap();
         m.store(y, p, 64, 8).unwrap();
         let machine = run(m, |mm| {
@@ -465,7 +463,9 @@ mod tests {
         m.set_i(p, 0x2000);
         let before = m.fpu_registers_left();
         let ld = || VExpr::load(p, 0, 8);
-        let expr = ld().bin(FpOp::Add, ld()).bin(FpOp::Mul, ld().bin(FpOp::Add, ld()));
+        let expr = ld()
+            .bin(FpOp::Add, ld())
+            .bin(FpOp::Mul, ld().bin(FpOp::Add, ld()));
         assert_eq!(expr.temps_needed(), 3);
         m.assign(dst, &expr).unwrap();
         let used = before - m.fpu_registers_left();

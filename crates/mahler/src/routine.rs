@@ -126,7 +126,10 @@ pub enum MahlerError {
 impl fmt::Display for MahlerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MahlerError::OutOfFpuRegisters { requested, available } => write!(
+            MahlerError::OutOfFpuRegisters {
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of FPU registers: requested {requested}, {available} available"
             ),
@@ -366,7 +369,8 @@ impl Mahler {
         let offset = match self.consts.iter().position(|&(_, b)| b == bits) {
             Some(i) => i,
             None => {
-                self.consts.push((CONST_POOL_BASE + 8 * self.consts.len() as u32, bits));
+                self.consts
+                    .push((CONST_POOL_BASE + 8 * self.consts.len() as u32, bits));
                 self.consts.len() - 1
             }
         };
@@ -486,10 +490,16 @@ impl Mahler {
     /// [`MahlerError::LengthMismatch`] when lengths differ.
     pub fn vop(&mut self, op: FpOp, dst: Vect, a: Vect, b: Vect) -> Result<(), MahlerError> {
         if a.len != dst.len {
-            return Err(MahlerError::LengthMismatch { dst: dst.len, src: a.len });
+            return Err(MahlerError::LengthMismatch {
+                dst: dst.len,
+                src: a.len,
+            });
         }
         if b.len != dst.len {
-            return Err(MahlerError::LengthMismatch { dst: dst.len, src: b.len });
+            return Err(MahlerError::LengthMismatch {
+                dst: dst.len,
+                src: b.len,
+            });
         }
         self.asm
             .fvector(op, dst.first, a.first, b.first, dst.len)
@@ -503,22 +513,25 @@ impl Mahler {
     /// # Errors
     ///
     /// [`MahlerError::LengthMismatch`] when lengths differ.
-    pub fn vop_scalar(
-        &mut self,
-        op: FpOp,
-        dst: Vect,
-        a: Vect,
-        s: Scal,
-    ) -> Result<(), MahlerError> {
+    pub fn vop_scalar(&mut self, op: FpOp, dst: Vect, a: Vect, s: Scal) -> Result<(), MahlerError> {
         if a.len != dst.len {
-            return Err(MahlerError::LengthMismatch { dst: dst.len, src: a.len });
+            return Err(MahlerError::LengthMismatch {
+                dst: dst.len,
+                src: a.len,
+            });
         }
         self.asm
             .fvector_scalar(op, dst.first, a.first, s.reg, dst.len)
             .map_err(|e| MahlerError::Asm(e.message))?;
         self.note_vector(
             dst,
-            &[a, Vect { first: s.reg, len: 1 }],
+            &[
+                a,
+                Vect {
+                    first: s.reg,
+                    len: 1,
+                },
+            ],
         );
         Ok(())
     }
@@ -574,12 +587,23 @@ impl Mahler {
     ) -> Result<(), MahlerError> {
         for v in [a, b, t0, t1] {
             if v.len != dst.len {
-                return Err(MahlerError::LengthMismatch { dst: dst.len, src: v.len });
+                return Err(MahlerError::LengthMismatch {
+                    dst: dst.len,
+                    src: v.len,
+                });
             }
         }
         // r = recip(b): unary — Ra strides, Rb ignored.
         self.asm
-            .fvector_general(FpOp::Recip, t0.first, b.first, b.first, dst.len, true, false)
+            .fvector_general(
+                FpOp::Recip,
+                t0.first,
+                b.first,
+                b.first,
+                dst.len,
+                true,
+                false,
+            )
             .map_err(|e| MahlerError::Asm(e.message))?;
         self.note_vector(t0, &[b]);
         self.vop(FpOp::IterStep, t1, b, t0)?;
@@ -606,12 +630,8 @@ impl Mahler {
             if half >= 1 {
                 if len == 2 {
                     // Final addition writes the destination directly.
-                    self.asm.fscalar(
-                        FpOp::Add,
-                        dst.reg,
-                        FReg::new(first),
-                        FReg::new(first + 1),
-                    );
+                    self.asm
+                        .fscalar(FpOp::Add, dst.reg, FReg::new(first), FReg::new(first + 1));
                     return Ok(());
                 }
                 self.asm
@@ -898,7 +918,10 @@ mod tests {
         assert_eq!(m.fpu_registers_left(), 0);
         assert!(matches!(
             m.vector(8),
-            Err(MahlerError::OutOfFpuRegisters { requested: 8, available: 0 })
+            Err(MahlerError::OutOfFpuRegisters {
+                requested: 8,
+                available: 0
+            })
         ));
     }
 

@@ -31,10 +31,16 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
     let leaf = prop_oneof![Just(Recipe::LoadA), Just(Recipe::LoadB)];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (arb_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Recipe::Bin(op, Box::new(l), Box::new(r))),
-            (arb_op(), inner, -4.0f64..4.0)
-                .prop_map(|(op, l, c)| Recipe::BinConst(op, Box::new(l), c)),
+            (arb_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Recipe::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (arb_op(), inner, -4.0f64..4.0).prop_map(|(op, l, c)| Recipe::BinConst(
+                op,
+                Box::new(l),
+                c
+            )),
         ]
     })
 }

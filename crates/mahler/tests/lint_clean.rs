@@ -1,0 +1,130 @@
+//! Every routine mini-Mahler emits must be lint-clean: zero error-severity
+//! findings from the `mt-lint` static analyzer. The generator's fencing
+//! discipline (fence before a conflicting load, in-order-store fast path
+//! after a vector op) exists precisely to satisfy the §2.3.2 ordering rule,
+//! so the provable-violation tier must never fire on its output.
+//!
+//! Warning- and note-tier findings are allowed: the timing-free hazard
+//! tier cannot see that loop overhead drains a vector across a back edge,
+//! and the harness legitimately preloads registers the dataflow pass
+//! cannot see written.
+
+use mt_fparith::FpOp;
+use mt_lint::{error_count, lint_program, Severity};
+use mt_mahler::{CompiledRoutine, Mahler};
+
+fn assert_lint_clean(name: &str, routine: &CompiledRoutine) {
+    let findings = lint_program(&routine.program);
+    let errors: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity() == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "mahler routine `{name}` has {} lint error(s):\n{}",
+        errors.len(),
+        errors
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(error_count(&findings), 0);
+}
+
+#[test]
+fn vector_add_with_loads_and_stores_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let a = m.vector(8).unwrap();
+    let b = m.vector(8).unwrap();
+    m.load(a, p, 0, 8).unwrap();
+    m.load(b, p, 64, 8).unwrap();
+    m.vop(FpOp::Add, a, a, b).unwrap();
+    m.store(a, p, 128, 8).unwrap();
+    let routine = m.finish().unwrap();
+    assert_lint_clean("vector_add", &routine);
+}
+
+#[test]
+fn scalar_division_macro_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let x = m.scalar().unwrap();
+    let y = m.scalar().unwrap();
+    let q = m.scalar().unwrap();
+    m.load_scalar(x, p, 0).unwrap();
+    m.load_scalar(y, p, 8).unwrap();
+    m.sdiv(q, x, y).unwrap();
+    m.store_scalar(q, p, 16).unwrap();
+    let routine = m.finish().unwrap();
+    assert_lint_clean("sdiv", &routine);
+}
+
+#[test]
+fn vector_division_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let a = m.vector(4).unwrap();
+    let b = m.vector(4).unwrap();
+    let q = m.vector(4).unwrap();
+    let t0 = m.vector(4).unwrap();
+    let t1 = m.vector(4).unwrap();
+    m.load(a, p, 0, 8).unwrap();
+    m.load(b, p, 32, 8).unwrap();
+    m.vdiv(q, a, b, t0, t1).unwrap();
+    m.store(q, p, 64, 8).unwrap();
+    let routine = m.finish().unwrap();
+    assert_lint_clean("vdiv", &routine);
+}
+
+#[test]
+fn vector_sum_reduction_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let v = m.vector(8).unwrap();
+    let s = m.scalar().unwrap();
+    m.load(v, p, 0, 8).unwrap();
+    m.vsum(s, v).unwrap();
+    m.store_scalar(s, p, 64).unwrap();
+    let routine = m.finish().unwrap();
+    assert_lint_clean("vsum", &routine);
+}
+
+#[test]
+fn counted_loop_over_vectors_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    let i = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let a = m.vector(4).unwrap();
+    let b = m.vector(4).unwrap();
+    m.counted_loop(i, 0, 4, 1, |m| {
+        m.load(a, p, 0, 8).unwrap();
+        m.load(b, p, 32, 8).unwrap();
+        m.vop(FpOp::Mul, a, a, b).unwrap();
+        m.store(a, p, 64, 8).unwrap();
+        m.iadd_imm(p, p, 96);
+    });
+    let routine = m.finish().unwrap();
+    assert_lint_clean("counted_loop", &routine);
+}
+
+#[test]
+fn mixed_scalar_vector_routine_is_lint_clean() {
+    let mut m = Mahler::new();
+    let p = m.ivar().unwrap();
+    m.set_i(p, 0x20_0000);
+    let v = m.vector(6).unwrap();
+    let k = m.scalar().unwrap();
+    m.load_const(k, 2.5).unwrap();
+    m.load(v, p, 0, 8).unwrap();
+    m.vop_scalar(FpOp::Mul, v, v, k).unwrap();
+    m.store(v, p, 48, 8).unwrap();
+    let routine = m.finish().unwrap();
+    assert_lint_clean("mixed", &routine);
+}

@@ -136,7 +136,10 @@ impl Cache {
     ///
     /// Panics if the geometry is not a power-of-two line count.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size power of two"
+        );
         assert!(
             config.size_bytes.is_multiple_of(config.line_bytes),
             "size multiple of line size"

@@ -1,0 +1,390 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+
+/// A generator of values for property tests.
+///
+/// Unlike the real proptest `Strategy` there is no value tree and no
+/// shrinking — `sample` draws a value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, resampling others.
+    fn prop_filter_map<O, F>(self, label: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            label,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for
+    /// smaller instances and returns one for larger instances. `depth`
+    /// bounds the nesting; the size/branch hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for arbitrary values of `T` (see [`crate::any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    label: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "filter_map `{}` rejected 10000 consecutive samples",
+            self.label
+        );
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A weighted choice among strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from weighted arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Integer/float types samplable from a range strategy.
+pub trait SampleRange: Copy {
+    /// Uniform value in `[lo, hi)`.
+    fn in_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform value in `[lo, hi]`.
+    fn in_range_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn in_range(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128) - (lo as i128);
+                assert!(span > 0, "empty range strategy");
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+            fn in_range_inclusive(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128) - (lo as i128) + 1;
+                assert!(span > 0, "empty range strategy");
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn in_range(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+    fn in_range_inclusive(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl<T: SampleRange> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::in_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleRange> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::in_range_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// A pattern string used as a strategy generates character soup. Only the
+/// trailing `{m,n}` repetition count is honoured; the class itself is
+/// approximated by a printable-heavy mix with some control and non-ASCII
+/// characters (sufficient for parser never-panics fuzzing).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_repetition(self).unwrap_or((0, 64));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(20) {
+                0 => '\n',
+                1 => '\t',
+                2 => ';',
+                3 => '#',
+                4 => ',',
+                5 => ':',
+                6 => char::from_u32(0x80 + rng.below(0x700) as u32).unwrap_or('¿'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (min, max) = body[brace + 1..].split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u8..7).sample(&mut r);
+            assert!((3..7).contains(&v));
+            let w = (-5i32..=5).sample(&mut r);
+            assert!((-5..=5).contains(&w));
+            let f = (-2.0f64..2.0).sample(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_and_union_compose() {
+        let mut r = rng();
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r) % 2, 0);
+        }
+        let odd = (0u32..100).prop_filter_map("odd", |v| (v % 2 == 1).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(odd.sample(&mut r) % 2, 1);
+        }
+        let u = Union::new(vec![(1, Just(1u8).boxed()), (3, Just(2u8).boxed())]);
+        let twos = (0..1000).filter(|_| u.sample(&mut r) == 2).count();
+        assert!(twos > 500, "weighted arm dominates: {twos}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let s = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn string_pattern_honours_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "\\PC{0,200}".sample(&mut r);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn any_produces_extremes_eventually() {
+        let mut r = rng();
+        let mut saw_max = false;
+        for _ in 0..1000 {
+            if any::<u64>().sample(&mut r) == u64::MAX {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max);
+    }
+}

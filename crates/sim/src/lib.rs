@@ -52,8 +52,10 @@ pub mod machine;
 pub mod program;
 pub mod stats;
 pub mod timeline;
+pub mod timing;
 
 pub use machine::{Machine, RunError, SimConfig};
 pub use program::{DataSegment, Program};
 pub use stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 pub use timeline::Timeline;
+pub use timing::IssueTiming;

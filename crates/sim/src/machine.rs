@@ -9,6 +9,7 @@ use mt_mem::{MemConfig, MemorySystem};
 use crate::program::Program;
 use crate::stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 use crate::timeline::Timeline;
+use crate::timing::IssueTiming;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +52,18 @@ impl Default for SimConfig {
             serialized_issue: false,
             full_range_interlock: false,
             trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The issue-timing parameters this configuration implies — the same
+    /// model `mt-lint` replays to prove §2.3.2 violations statically.
+    pub fn issue_timing(&self) -> IssueTiming {
+        IssueTiming {
+            fpu_latency: self.fpu_latency,
+            branch_penalty: self.branch_penalty,
+            ..IssueTiming::multititan()
         }
     }
 }
@@ -101,6 +114,7 @@ pub struct Machine {
     /// The memory hierarchy (public for workload setup).
     pub mem: MemorySystem,
     config: SimConfig,
+    timing: IssueTiming,
     iregs: [i32; 32],
     /// Cycle at which each integer register's pending load completes.
     int_ready: [u64; 32],
@@ -129,9 +143,11 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine with cold caches and no program loaded.
     pub fn new(config: SimConfig) -> Machine {
+        let timing = config.issue_timing();
         Machine {
             fpu: Fpu::with_latency(config.fpu_latency),
             mem: MemorySystem::new(config.mem),
+            timing,
             config,
             iregs: [0; 32],
             int_ready: [0; 32],
@@ -199,6 +215,11 @@ impl Machine {
     /// The collected trace (populated when `config.trace` is set).
     pub fn trace_log(&self) -> &[String] {
         &self.trace_log
+    }
+
+    /// The issue-timing parameters this machine runs with.
+    pub fn issue_timing(&self) -> IssueTiming {
+        self.timing
     }
 
     /// The collected per-cycle timeline (populated when `config.trace` is
@@ -390,9 +411,7 @@ impl Machine {
                     self.trace_log
                         .push(format!("{:>8}  {:#07x}  {instr}", self.cycle, self.pc));
                     match instr {
-                        Instr::Falu(f) => self
-                            .timeline
-                            .event(self.cycle, 'T', format!("xfer {f}")),
+                        Instr::Falu(f) => self.timeline.event(self.cycle, 'T', format!("xfer {f}")),
                         Instr::Fld { fr, .. } => {
                             self.timeline.load(self.cycle, format!("fld {fr}"))
                         }
@@ -493,8 +512,9 @@ impl Machine {
                 let (value, penalty) = self.mem.load_u32(addr);
                 self.set_ireg(rd, value as i32);
                 // One load delay slot beyond any miss stall.
-                self.int_ready[rd.index() as usize] = self.cycle + penalty + 2;
-                self.ls_free_at = self.cycle + penalty + 1;
+                self.int_ready[rd.index() as usize] =
+                    self.cycle + penalty + self.timing.int_load_delay_cycles;
+                self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
                 self.apply_miss(penalty);
                 Exec::Done(None)
             }
@@ -510,7 +530,8 @@ impl Machine {
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let penalty = self.mem.store_u32(addr, self.ireg(rs) as u32);
-                self.ls_free_at = self.cycle + penalty + 2; // stores take two cycles
+                // Stores take two cycles (§2.4).
+                self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
                 self.apply_miss(penalty);
                 Exec::Done(None)
             }
@@ -534,7 +555,7 @@ impl Machine {
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let (bits, penalty) = self.mem.load_f64(addr);
                 self.fpu.load_write(fr, bits, self.cycle + penalty);
-                self.ls_free_at = self.cycle + penalty + 1;
+                self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
                 self.apply_miss(penalty);
                 Exec::Done(None)
             }
@@ -558,7 +579,8 @@ impl Machine {
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let bits = self.fpu.read_reg_for_store(fr);
                 let penalty = self.mem.store_f64(addr, bits);
-                self.ls_free_at = self.cycle + penalty + 2; // stores take two cycles
+                // Stores take two cycles (§2.4).
+                self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
                 self.apply_miss(penalty);
                 Exec::Done(None)
             }
@@ -680,11 +702,8 @@ impl Machine {
             }
         }
         for (kind, reg) in found {
-            self.violations.push(OrderingViolation {
-                cycle: self.cycle,
-                kind,
-                reg,
-            });
+            let v = self.violation(kind, reg);
+            self.violations.push(v);
         }
     }
 
@@ -701,11 +720,19 @@ impl Machine {
             }
         }
         for reg in found {
-            self.violations.push(OrderingViolation {
-                cycle: self.cycle,
-                kind: ViolationKind::StoreReadsPendingDest,
-                reg,
-            });
+            let v = self.violation(ViolationKind::StoreReadsPendingDest, reg);
+            self.violations.push(v);
+        }
+    }
+
+    /// Builds a checked-mode diagnostic anchored to the current PC.
+    fn violation(&self, kind: ViolationKind, reg: FReg) -> OrderingViolation {
+        OrderingViolation {
+            cycle: self.cycle,
+            kind,
+            reg,
+            pc: self.pc,
+            instr_index: (self.pc.wrapping_sub(self.entry) / 4) as usize,
         }
     }
 }

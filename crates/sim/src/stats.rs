@@ -64,14 +64,19 @@ pub struct OrderingViolation {
     pub kind: ViolationKind,
     /// The register involved.
     pub reg: FReg,
+    /// Program counter of the offending load/store.
+    pub pc: u32,
+    /// Index of the offending load/store in the program's text section
+    /// (`(pc - entry) / 4`), matching `mt-lint` finding indices.
+    pub instr_index: usize,
 }
 
 impl fmt::Display for OrderingViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cycle {}: {:?} on {} (compiler must break the vector, §2.3.2)",
-            self.cycle, self.kind, self.reg
+            "instr #{} (pc {:#x}), cycle {}: {:?} on {} (compiler must break the vector, §2.3.2)",
+            self.instr_index, self.pc, self.cycle, self.kind, self.reg
         )
     }
 }

@@ -152,23 +152,55 @@ fn figure_13_graphics_transform_timing() {
     let result_base = 0x8100u32;
     let (mut m, _) = machine_with(&[
         // Load and multiply the initial vector.
-        Instr::Fld { fr: r(32), base: ir(1), offset: 0 },
+        Instr::Fld {
+            fr: r(32),
+            base: ir(1),
+            offset: 0,
+        },
         fmul_vs(16, 0, 32),
-        Instr::Fld { fr: r(33), base: ir(1), offset: 8 },
+        Instr::Fld {
+            fr: r(33),
+            base: ir(1),
+            offset: 8,
+        },
         fmul_vs(20, 4, 33),
-        Instr::Fld { fr: r(34), base: ir(1), offset: 16 },
+        Instr::Fld {
+            fr: r(34),
+            base: ir(1),
+            offset: 16,
+        },
         fmul_vs(24, 8, 34),
-        Instr::Fld { fr: r(35), base: ir(1), offset: 24 },
+        Instr::Fld {
+            fr: r(35),
+            base: ir(1),
+            offset: 24,
+        },
         fmul_vs(28, 12, 35),
         // Sum products in parallel binary trees.
         fadd_v(16, 16, 20),
         fadd_v(24, 24, 28),
         fadd_v(36, 16, 24),
         // Store the result vector.
-        Instr::Fst { fr: r(36), base: ir(2), offset: 0 },
-        Instr::Fst { fr: r(37), base: ir(2), offset: 8 },
-        Instr::Fst { fr: r(38), base: ir(2), offset: 16 },
-        Instr::Fst { fr: r(39), base: ir(2), offset: 24 },
+        Instr::Fst {
+            fr: r(36),
+            base: ir(2),
+            offset: 0,
+        },
+        Instr::Fst {
+            fr: r(37),
+            base: ir(2),
+            offset: 8,
+        },
+        Instr::Fst {
+            fr: r(38),
+            base: ir(2),
+            offset: 16,
+        },
+        Instr::Fst {
+            fr: r(39),
+            base: ir(2),
+            offset: 24,
+        },
         Instr::Halt,
     ]);
 

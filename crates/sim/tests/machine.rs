@@ -28,13 +28,39 @@ fn machine_with(instrs: &[Instr]) -> Machine {
 fn cpu_counted_loop() {
     // r1 = counter, r2 = sum, r3 = limit.
     let m = &mut machine_with(&[
-        Instr::Addi { rd: ir(1), rs1: ir(0), imm: 1 },
-        Instr::Addi { rd: ir(2), rs1: ir(0), imm: 0 },
-        Instr::Addi { rd: ir(3), rs1: ir(0), imm: 10 },
+        Instr::Addi {
+            rd: ir(1),
+            rs1: ir(0),
+            imm: 1,
+        },
+        Instr::Addi {
+            rd: ir(2),
+            rs1: ir(0),
+            imm: 0,
+        },
+        Instr::Addi {
+            rd: ir(3),
+            rs1: ir(0),
+            imm: 10,
+        },
         // loop:
-        Instr::Alu { op: mt_isa::cpu::AluOp::Add, rd: ir(2), rs1: ir(2), rs2: ir(1) },
-        Instr::Addi { rd: ir(1), rs1: ir(1), imm: 1 },
-        Instr::Branch { cond: BranchCond::Ge, rs1: ir(3), rs2: ir(1), offset: -3 },
+        Instr::Alu {
+            op: mt_isa::cpu::AluOp::Add,
+            rd: ir(2),
+            rs1: ir(2),
+            rs2: ir(1),
+        },
+        Instr::Addi {
+            rd: ir(1),
+            rs1: ir(1),
+            imm: 1,
+        },
+        Instr::Branch {
+            cond: BranchCond::Ge,
+            rs1: ir(3),
+            rs2: ir(1),
+            offset: -3,
+        },
         Instr::Halt,
     ]);
     let stats = m.run().unwrap();
@@ -48,10 +74,22 @@ fn cpu_counted_loop() {
 #[test]
 fn integer_load_store_and_delay_slot() {
     let m = &mut machine_with(&[
-        Instr::Lw { rd: ir(1), base: ir(0), offset: 0x2000 },
+        Instr::Lw {
+            rd: ir(1),
+            base: ir(0),
+            offset: 0x2000,
+        },
         // Immediate use: must stall one cycle on the load interlock.
-        Instr::Addi { rd: ir(2), rs1: ir(1), imm: 1 },
-        Instr::Sw { rs: ir(2), base: ir(0), offset: 0x2004 },
+        Instr::Addi {
+            rd: ir(2),
+            rs1: ir(1),
+            imm: 1,
+        },
+        Instr::Sw {
+            rs: ir(2),
+            base: ir(0),
+            offset: 0x2004,
+        },
         Instr::Halt,
     ]);
     m.mem.memory.write_u32(0x2000, 41);
@@ -64,9 +102,21 @@ fn integer_load_store_and_delay_slot() {
 #[test]
 fn store_port_is_busy_for_two_cycles() {
     let m = &mut machine_with(&[
-        Instr::Fst { fr: r(0), base: ir(0), offset: 0x2000 },
-        Instr::Fst { fr: r(1), base: ir(0), offset: 0x2008 },
-        Instr::Fst { fr: r(2), base: ir(0), offset: 0x2010 },
+        Instr::Fst {
+            fr: r(0),
+            base: ir(0),
+            offset: 0x2000,
+        },
+        Instr::Fst {
+            fr: r(1),
+            base: ir(0),
+            offset: 0x2008,
+        },
+        Instr::Fst {
+            fr: r(2),
+            base: ir(0),
+            offset: 0x2010,
+        },
         Instr::Halt,
     ]);
     m.mem.load_f64(0x2000);
@@ -82,9 +132,21 @@ fn store_port_is_busy_for_two_cycles() {
 #[test]
 fn cold_cache_misses_freeze_issue() {
     let instrs = [
-        Instr::Fld { fr: r(0), base: ir(0), offset: 0x2000 },
-        Instr::Fld { fr: r(1), base: ir(0), offset: 0x2008 }, // same line: hit
-        Instr::Fld { fr: r(2), base: ir(0), offset: 0x2010 }, // next line: miss
+        Instr::Fld {
+            fr: r(0),
+            base: ir(0),
+            offset: 0x2000,
+        },
+        Instr::Fld {
+            fr: r(1),
+            base: ir(0),
+            offset: 0x2008,
+        }, // same line: hit
+        Instr::Fld {
+            fr: r(2),
+            base: ir(0),
+            offset: 0x2010,
+        }, // next line: miss
         Instr::Halt,
     ];
     let m = &mut machine_with(&instrs);
@@ -101,8 +163,16 @@ fn cold_cache_misses_freeze_issue() {
 #[test]
 fn warm_rerun_protocol_eliminates_data_misses() {
     let instrs = [
-        Instr::Fld { fr: r(0), base: ir(0), offset: 0x2000 },
-        Instr::Fld { fr: r(1), base: ir(0), offset: 0x2100 },
+        Instr::Fld {
+            fr: r(0),
+            base: ir(0),
+            offset: 0x2000,
+        },
+        Instr::Fld {
+            fr: r(1),
+            base: ir(0),
+            offset: 0x2100,
+        },
         Instr::Halt,
     ];
     let prog = Program::assemble(&instrs).unwrap();
@@ -175,7 +245,11 @@ fn checked_mode_flags_store_before_element_issue() {
     // issuing — the §2.3.2 case the compiler must break.
     let instrs = [
         Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap()),
-        Instr::Fst { fr: r(23), base: ir(0), offset: 0x2000 }, // element 7's dest
+        Instr::Fst {
+            fr: r(23),
+            base: ir(0),
+            offset: 0x2000,
+        }, // element 7's dest
         Instr::Halt,
     ];
     let prog = Program::assemble(&instrs).unwrap();
@@ -201,7 +275,11 @@ fn checked_mode_flags_store_before_element_issue() {
 fn checked_mode_flags_load_clobbering_pending_source() {
     let instrs = [
         Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap()),
-        Instr::Fld { fr: r(7), base: ir(0), offset: 0x2000 }, // element 7 reads R7
+        Instr::Fld {
+            fr: r(7),
+            base: ir(0),
+            offset: 0x2000,
+        }, // element 7 reads R7
         Instr::Halt,
     ];
     let prog = Program::assemble(&instrs).unwrap();
@@ -217,6 +295,60 @@ fn checked_mode_flags_load_clobbering_pending_source() {
         .violations
         .iter()
         .any(|v| v.kind == ViolationKind::LoadClobbersPendingSource && v.reg == r(7)));
+}
+
+#[test]
+fn checked_mode_flags_load_into_pending_dest() {
+    let instrs = [
+        Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap()),
+        Instr::Fld {
+            fr: r(23),
+            base: ir(0),
+            offset: 0x2000,
+        }, // element 7 writes R23
+        Instr::Halt,
+    ];
+    let prog = Program::assemble(&instrs).unwrap();
+    let mut m = Machine::new(SimConfig {
+        checked_ordering: true,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    m.mem.load_f64(0x2000);
+    let stats = m.run().unwrap();
+    assert!(stats
+        .violations
+        .iter()
+        .any(|v| v.kind == ViolationKind::LoadIntoPendingDest && v.reg == r(23)));
+}
+
+#[test]
+fn ordering_violation_display_carries_instr_index_and_pc() {
+    let instrs = [
+        Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap()),
+        Instr::Fld {
+            fr: r(7),
+            base: ir(0),
+            offset: 0x2000,
+        },
+        Instr::Halt,
+    ];
+    let prog = Program::assemble(&instrs).unwrap();
+    let mut m = Machine::new(SimConfig {
+        checked_ordering: true,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    m.warm_instructions(&prog);
+    m.mem.load_f64(0x2000);
+    let stats = m.run().unwrap();
+    let v = stats.violations.first().expect("violation fires");
+    assert_eq!(v.instr_index, 1);
+    assert_eq!(v.pc, prog.base + 4);
+    let text = v.to_string();
+    assert!(text.contains("instr #1"), "{text}");
+    assert!(text.contains(&format!("{:#x}", v.pc)), "{text}");
 }
 
 #[test]
@@ -283,7 +415,11 @@ fn bad_instruction_error() {
 #[test]
 fn trace_records_completed_instructions() {
     let prog = Program::assemble(&[
-        Instr::Addi { rd: ir(1), rs1: ir(0), imm: 7 },
+        Instr::Addi {
+            rd: ir(1),
+            rs1: ir(0),
+            imm: 7,
+        },
         Instr::Halt,
     ])
     .unwrap();
@@ -303,11 +439,21 @@ fn trace_records_completed_instructions() {
 fn jal_and_jr_implement_calls() {
     let base = mt_sim::program::DEFAULT_TEXT_BASE;
     let m = &mut machine_with(&[
-        Instr::Jal { target: base / 4 + 3 },       // call subroutine
-        Instr::Addi { rd: ir(2), rs1: ir(1), imm: 1 }, // after return
+        Instr::Jal {
+            target: base / 4 + 3,
+        }, // call subroutine
+        Instr::Addi {
+            rd: ir(2),
+            rs1: ir(1),
+            imm: 1,
+        }, // after return
         Instr::Halt,
         // Subroutine: r1 = 41; return.
-        Instr::Addi { rd: ir(1), rs1: ir(0), imm: 41 },
+        Instr::Addi {
+            rd: ir(1),
+            rs1: ir(0),
+            imm: 41,
+        },
         Instr::Jr { rs: ir(31) },
     ]);
     m.run().unwrap();
@@ -335,7 +481,11 @@ fn full_range_interlock_makes_out_of_order_stores_correct() {
     // so the §2.3.2 software rule becomes unnecessary.
     let instrs = [
         Instr::Falu(FpuAluInstr::vector(FpOp::Add, r(16), r(0), r(8), 8).unwrap()),
-        Instr::Fst { fr: r(23), base: ir(1), offset: 0 }, // element 7's dest
+        Instr::Fst {
+            fr: r(23),
+            base: ir(1),
+            offset: 0,
+        }, // element 7's dest
         Instr::Halt,
     ];
     let run = |full_range: bool| -> f64 {

@@ -7,7 +7,7 @@
     li   r1, 0x2000
     fld  R0, 0(r1)
     fld  R1, 8(r1)
-    fadd R2..R17, R1..R16, R0..R15   ; sixteen chained elements
+    fadd R2..R17, R1..R16, R0..R15   ; sixteen chained elements; lint: allow(recurrence)
     fadd R20, R20, R20               ; fence: let the chain finish issuing
     fst  R17, 16(r1)                 ; Fib(17)
     halt

@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // temporaries (Sethi–Ullman label: 2).
             let expr = VExpr::load(src, -8, 8)
                 .bin(FpOp::Add, VExpr::load(src, 8, 8))
-                .bin(
-                    FpOp::Sub,
-                    VExpr::load(src, 0, 8).bin_const(FpOp::Mul, 2.0),
-                )
+                .bin(FpOp::Sub, VExpr::load(src, 0, 8).bin_const(FpOp::Mul, 2.0))
                 .bin_const(FpOp::Mul, ALPHA)
                 .bin(FpOp::Add, VExpr::load(src, 0, 8));
             m.assign(dst, &expr).unwrap();
@@ -69,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut u = vec![0.0f64; N + 2];
     u[N / 2] = 100.0;
     machine.mem.memory.write_f64_slice(ua - 8, &u);
-    machine.mem.memory.write_f64_slice(ub - 8, &vec![0.0; N + 2]);
+    machine
+        .mem
+        .memory
+        .write_f64_slice(ub - 8, &vec![0.0; N + 2]);
 
     let stats = machine.run()?;
 

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         too_big.scalar()?; // …and four scalars use all 52 registers
     }
     match too_big.vector(8) {
-        Err(MahlerError::OutOfFpuRegisters { requested, available }) => println!(
+        Err(MahlerError::OutOfFpuRegisters {
+            requested,
+            available,
+        }) => println!(
             "\ncompile error, as in §3: requested {requested} registers, {available} available"
         ),
         other => panic!("expected the register-file compile error, got {other:?}"),

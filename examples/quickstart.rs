@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.mem.memory.write_f64(0x4000, 3.0);
     for i in 0..8u32 {
         machine.mem.memory.write_f64(0x2000 + 8 * i, i as f64);
-        machine.mem.memory.write_f64(0x3000 + 8 * i, 100.0 + i as f64);
+        machine
+            .mem
+            .memory
+            .write_f64(0x3000 + 8 * i, 100.0 + i as f64);
     }
 
     let stats = machine.run()?;

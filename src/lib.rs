@@ -29,7 +29,11 @@
 //! * [`baseline`] — the Fig. 11 analytic model, a classical vector-machine
 //!   comparator, and the paper's published numbers;
 //! * [`kernels`] — the Livermore Loops, Linpack, and the figure kernels,
-//!   each verified against a Rust reference.
+//!   each verified against a Rust reference;
+//! * [`lint`] — the ahead-of-time static analyzer: the §2.3.2 ordering
+//!   rule (provable violations and possible hazards), register dataflow
+//!   over the 52-register file + PSW, and structural checks, surfaced as
+//!   `mtasm lint`.
 //!
 //! # Quickstart
 //!
@@ -70,6 +74,7 @@ pub use mt_core as core;
 pub use mt_fparith as fparith;
 pub use mt_isa as isa;
 pub use mt_kernels as kernels;
+pub use mt_lint as lint;
 pub use mt_mahler as mahler;
 pub use mt_mem as mem;
 pub use mt_sim as sim;

@@ -36,10 +36,16 @@ fn figure_14_shape_holds() {
     // §3.2: the warm MultiTitan is about half the Cray-1S and a third the
     // X-MP overall.
     let cray_1s = harmonic_mean(
-        &PUBLISHED_LIVERMORE.iter().map(|r| r.cray_1s).collect::<Vec<_>>(),
+        &PUBLISHED_LIVERMORE
+            .iter()
+            .map(|r| r.cray_1s)
+            .collect::<Vec<_>>(),
     );
     let xmp = harmonic_mean(
-        &PUBLISHED_LIVERMORE.iter().map(|r| r.cray_xmp).collect::<Vec<_>>(),
+        &PUBLISHED_LIVERMORE
+            .iter()
+            .map(|r| r.cray_xmp)
+            .collect::<Vec<_>>(),
     );
     let r1 = warm_hm / cray_1s;
     let r2 = warm_hm / xmp;

@@ -29,8 +29,7 @@ fn vectorized_livermore_loops_are_ordering_clean() {
 
 #[test]
 fn vector_linpack_is_ordering_clean() {
-    let report =
-        harness::run_kernel_with(&linpack::linpack(24, true), checked()).unwrap();
+    let report = harness::run_kernel_with(&linpack::linpack(24, true), checked()).unwrap();
     assert!(
         report.warm.violations.is_empty(),
         "violations: {:?}",

@@ -25,7 +25,9 @@ fn s(rr: u8, ra: u8, rb: u8) -> Instr {
 }
 
 fn v(rr: u8, ra: u8, rb: u8, vl: u8) -> Instr {
-    Instr::Falu(FpuAluInstr::vector(FpOp::Add, FReg::new(rr), FReg::new(ra), FReg::new(rb), vl).unwrap())
+    Instr::Falu(
+        FpuAluInstr::vector(FpOp::Add, FReg::new(rr), FReg::new(ra), FReg::new(rb), vl).unwrap(),
+    )
 }
 
 fn eight(m: &mut Machine) {
@@ -61,7 +63,12 @@ fn figure_6_twenty_four_cycles() {
 fn figure_7_twelve_cycles() {
     assert_eq!(
         run_anchored(
-            &[v(8, 0, 4, 4), v(12, 8, 10, 2), v(14, 12, 13, 1), Instr::Halt],
+            &[
+                v(8, 0, 4, 4),
+                v(12, 8, 10, 2),
+                v(14, 12, 13, 1),
+                Instr::Halt
+            ],
             eight
         ),
         12
@@ -76,7 +83,12 @@ fn figure_8_twenty_four_cycles() {
 #[test]
 fn division_eighteen_cycles_720ns() {
     let d = |op: FpOp, rr: u8, ra: u8, rb: u8| {
-        Instr::Falu(FpuAluInstr::scalar(op, FReg::new(rr), FReg::new(ra), FReg::new(rb)))
+        Instr::Falu(FpuAluInstr::scalar(
+            op,
+            FReg::new(rr),
+            FReg::new(ra),
+            FReg::new(rb),
+        ))
     };
     let cycles = run_anchored(
         &[
@@ -102,7 +114,7 @@ fn division_eighteen_cycles_720ns() {
 
 #[test]
 fn latency_table_matches_figure_10() {
-    use multititan::fparith::latency::{FIGURE_10, OP_LATENCY_CYCLES, CYCLE_NS};
+    use multititan::fparith::latency::{CYCLE_NS, FIGURE_10, OP_LATENCY_CYCLES};
     assert_eq!(OP_LATENCY_CYCLES as f64 * CYCLE_NS, FIGURE_10[0].fpu_ns);
     assert_eq!(FIGURE_10[0].fpu_ns, 120.0);
     assert_eq!(FIGURE_10[2].fpu_ns, 720.0);

@@ -54,10 +54,7 @@ fn arb_valid_vector() -> impl Strategy<Value = FpuAluInstr> {
 /// Doubles that keep every operation finite-ish but still exercise
 /// rounding (subnormal/infinity corners are covered by the fparith props).
 fn arb_regs() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(
-        (-1.0e3f64..1.0e3).prop_map(|v| v.to_bits()),
-        52,
-    )
+    prop::collection::vec((-1.0e3f64..1.0e3).prop_map(|v| v.to_bits()), 52)
 }
 
 proptest! {
