@@ -1,17 +1,28 @@
-//! `mtasm` — assemble, lint, disassemble, and run MultiTitan programs.
+//! `mtasm` — assemble, lint, disassemble, run, and profile MultiTitan
+//! programs.
 //!
 //! ```text
 //! mtasm asm  <file.s> [--base <hex>] [--lint]  assemble; print words as hex
 //! mtasm dis  <file.hex> [--base <hex>]         disassemble hex words
 //! mtasm lint <file.s> [--base <hex>]           static analysis only
-//! mtasm run  <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]
+//! mtasm run  <file.s> [--base <hex>] [--lint] [--trace] [--timeline]
+//!            [--cold] [--profile] [--top <n>] [--trace-out <file.json>]
 //!                                              assemble and simulate to halt
+//! mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]
+//!            [--trace-out <file.json>]         simulate; hot-spot report
 //! ```
 //!
 //! `run` starts with warm instruction fetch unless `--cold` is given, and
 //! prints the run statistics (cycles, MFLOPS, stall breakdown) on exit.
 //! Initialize memory with `.data <addr>` / `.double` / `.word` directives
 //! in the source (see `examples/asm/*.s`); everything else starts zeroed.
+//!
+//! `profile` (or `--profile` alongside `run`) folds the run's event
+//! stream into the per-PC cycle-attribution profiler and prints a
+//! hot-spot table with source locations; `--top` limits the rows
+//! (default 10, 0 = all). `--trace-out` writes the stream as Chrome
+//! trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`, with one track per functional unit.
 //!
 //! `lint` (or `--lint` alongside `asm`/`run`) runs the `mt-lint` static
 //! analyzer — the §2.3.2 ordering rule, register dataflow, and structural
@@ -25,11 +36,12 @@ use std::process::ExitCode;
 use mt_asm::{parse_with_source_map, SourceMap};
 use mt_isa::Instr;
 use mt_lint::{lint_program_with, LintOptions, Severity};
-use mt_sim::{Machine, Program, SimConfig};
+use mt_sim::{Machine, Program, SimConfig, Timeline};
+use mt_trace::{chrome, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +53,9 @@ struct Options {
     timeline: bool,
     cold: bool,
     lint: bool,
+    profile: bool,
+    top: usize,
+    trace_out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -50,6 +65,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut timeline = false;
     let mut cold = false;
     let mut lint = false;
+    let mut profile = false;
+    let mut top = 10;
+    let mut trace_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -62,6 +80,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--timeline" => timeline = true,
             "--cold" => cold = true,
             "--lint" => lint = true,
+            "--profile" => profile = true,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file name")?;
+                trace_out = Some(v.to_string());
+            }
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -75,6 +102,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         timeline,
         cold,
         lint,
+        profile,
+        top,
+        trace_out,
     })
 }
 
@@ -106,6 +136,65 @@ fn lint(program: &Program, map: &SourceMap, path: &str) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// Assembles and simulates `src`, honouring the tracing, timeline,
+/// profiling, and export options. `force_profile` is the `profile`
+/// subcommand (profiling on regardless of `--profile`).
+fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), String> {
+    let (program, map) = parse_with_source_map(src, opts.base).map_err(|e| e.to_string())?;
+    if opts.lint {
+        lint(&program, &map, &opts.path)?;
+    }
+    let profile = force_profile || opts.profile;
+    let recording = opts.trace || opts.timeline || profile || opts.trace_out.is_some();
+    let mut m = Machine::new(SimConfig {
+        trace: opts.trace,
+        ..SimConfig::default()
+    });
+    m.load_program(&program);
+    if !opts.cold {
+        m.warm_instructions(&program);
+    }
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let stats = if recording {
+        m.run_with_sink(&mut events)
+    } else {
+        m.run()
+    }
+    .map_err(|e| e.to_string())?;
+
+    if opts.trace {
+        for line in m.trace_log() {
+            println!("{line}");
+        }
+    }
+    if opts.timeline {
+        let annotate = |idx: u32| {
+            map.span(idx as usize)
+                .map(|s| format!("{}:{}", opts.path, s.line))
+        };
+        print!("{}", Timeline::from_events(&events, annotate).render(120));
+    }
+    if profile {
+        let p = Profiler::from_events(&events);
+        let resolve = |idx: u32| {
+            let span = map.span(idx as usize)?;
+            let text = map.line_text(span.line)?.trim().to_string();
+            Some((format!("{}:{}", opts.path, span.line), text))
+        };
+        print!("{}", p.report(&opts.path, opts.top, &resolve));
+        println!();
+    }
+    if let Some(out) = &opts.trace_out {
+        std::fs::write(out, chrome::trace_string(&events)).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!(
+            "wrote {} events to {out} (Chrome trace-event JSON)",
+            events.len()
+        );
+    }
+    println!("{stats}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -156,32 +245,8 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
-        "run" => read(&opts.path).and_then(|src| {
-            let (program, map) =
-                parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
-            if opts.lint {
-                lint(&program, &map, &opts.path)?;
-            }
-            let mut m = Machine::new(SimConfig {
-                trace: opts.trace || opts.timeline,
-                ..SimConfig::default()
-            });
-            m.load_program(&program);
-            if !opts.cold {
-                m.warm_instructions(&program);
-            }
-            let stats = m.run().map_err(|e| e.to_string())?;
-            if opts.trace {
-                for line in m.trace_log() {
-                    println!("{line}");
-                }
-            }
-            if opts.timeline {
-                print!("{}", m.timeline().render(120));
-            }
-            println!("{stats}");
-            Ok(())
-        }),
+        "run" => read(&opts.path).and_then(|src| run_program(&src, &opts, false)),
+        "profile" => read(&opts.path).and_then(|src| run_program(&src, &opts, true)),
         _ => return usage(),
     };
 

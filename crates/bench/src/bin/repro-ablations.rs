@@ -5,7 +5,9 @@
 //! * serialized issue — the two-ops-per-cycle overlap disabled (§2.4);
 //! * the Cray-class comparator model: long-vector rates vs short vectors.
 //!
-//! Run with `cargo run --release -p mt-bench --bin repro-ablations`.
+//! Run with `cargo run --release -p mt-bench --bin repro-ablations`;
+//! `--json` emits the subset reports plus the sweep harmonic means as an
+//! `mt-bench-v1` document.
 
 use mt_asm::Asm;
 use mt_baseline::published::harmonic_mean;
@@ -35,7 +37,45 @@ fn subset_hm(config: &SimConfig, warm: bool) -> f64 {
     harmonic_mean(&rates)
 }
 
+/// `--json`: subset reports at the paper configuration, plus the latency
+/// sweep and the serialized-issue ablation as extra sections.
+fn json_report() {
+    use mt_trace::Json;
+    let reports: Vec<_> = SUBSET
+        .iter()
+        .map(|&n| mt_bench::run(&livermore::by_number(n)))
+        .collect();
+    let mut doc = mt_bench::json::bench_json("ablations", &reports);
+    let sweep: Vec<Json> = [1u64, 2, 3, 4, 6, 8]
+        .iter()
+        .map(|&latency| {
+            let cfg = SimConfig {
+                fpu_latency: latency,
+                ..SimConfig::default()
+            };
+            Json::obj([
+                ("fpu_latency", Json::U64(latency)),
+                ("warm_hm_mflops", Json::F64(subset_hm(&cfg, true))),
+            ])
+        })
+        .collect();
+    doc.push("fpu_latency_sweep", Json::Arr(sweep));
+    let serialized = SimConfig {
+        serialized_issue: true,
+        ..SimConfig::default()
+    };
+    doc.push(
+        "serialized_issue_warm_hm_mflops",
+        Json::F64(subset_hm(&serialized, true)),
+    );
+    println!("{}", doc.pretty());
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
     println!("Ablations (harmonic-mean MFLOPS over Livermore loops {SUBSET:?})\n");
 
     println!("FPU latency sweep (the machine is 3; §2.2 argues low latency):");

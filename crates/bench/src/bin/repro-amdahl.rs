@@ -4,7 +4,10 @@
 //! with the MultiTitan (ratio 2) and Cray-1S (ratio ~10) marked, plus the
 //! effective-vectorization fits for the measured Livermore subsets.
 //!
-//! Run with `cargo run --release -p mt-bench --bin repro-amdahl`.
+//! Run with `cargo run --release -p mt-bench --bin repro-amdahl`;
+//! `--json` emits the serialized-issue measurements, the Fig. 11 model
+//! curves, and the effective-vectorization fits as an `mt-bench-v1`
+//! document.
 
 use mt_baseline::amdahl::{
     effective_vectorization, figure_11_curves, overall_speedup, CRAY_PEAK_RATIO,
@@ -13,6 +16,10 @@ use mt_baseline::amdahl::{
 use mt_baseline::published::harmonic_mean;
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
     println!("Figure 11 — overall performance vs peak/scalar ratio\n");
     println!("  ratio:   1.0   2.0   4.0   6.0   8.0  10.0");
     for curve in figure_11_curves() {
@@ -74,4 +81,57 @@ fn main() {
             f * 100.0
         );
     }
+}
+
+/// `--json`: the serialized-issue Livermore measurements as `mt-bench-v1`
+/// kernel reports, plus the Fig. 11 model curves and the
+/// effective-vectorization fits as extra sections.
+fn json_report() {
+    use mt_trace::Json;
+    let cfg = mt_sim::SimConfig {
+        serialized_issue: true,
+        ..mt_sim::SimConfig::default()
+    };
+    let mut serialized = Vec::new();
+    for n in 1..=24u8 {
+        let mut r = mt_bench::run_with(&mt_kernels::livermore::by_number(n), cfg.clone());
+        r.name.push_str(" [serialized issue]");
+        serialized.push(r);
+    }
+    let mut doc = mt_bench::json::bench_json("amdahl", &serialized);
+
+    let curves: Vec<Json> = figure_11_curves()
+        .iter()
+        .map(|c| {
+            let samples: Vec<Json> = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+                .iter()
+                .map(|&r| Json::F64(overall_speedup(c.vectorized_percent as f64 / 100.0, r)))
+                .collect();
+            Json::obj([
+                ("vectorized_percent", Json::U64(c.vectorized_percent as u64)),
+                ("speedup_at_ratio_1_2_4_6_8_10", Json::Arr(samples)),
+            ])
+        })
+        .collect();
+    doc.push("figure_11_curves", Json::Arr(curves));
+
+    let warm: Vec<f64> = mt_bench::livermore_mflops()
+        .iter()
+        .map(|&(_, _, w)| w)
+        .collect();
+    let hm_s: Vec<f64> = serialized.iter().map(|r| r.mflops_warm()).collect();
+    let fit = |range: std::ops::Range<usize>| {
+        let speedup =
+            (harmonic_mean(&warm[range.clone()]) / harmonic_mean(&hm_s[range])).clamp(1.0, 1.999);
+        Json::F64(effective_vectorization(speedup, 2.0).unwrap_or(0.0))
+    };
+    doc.push(
+        "effective_vectorization",
+        Json::obj([
+            ("loops_1_12", fit(0..12)),
+            ("loops_13_24", fit(12..24)),
+            ("loops_1_24", fit(0..24)),
+        ]),
+    );
+    println!("{}", doc.pretty());
 }

@@ -2,7 +2,8 @@
 //! codings), Fig. 10 (latency table), Fig. 13 (graphics transform), and
 //! the §2.2.1 vector half-performance length n½ ≈ 4.
 //!
-//! Run with `cargo run --release -p mt-bench --bin repro-figures`.
+//! Run with `cargo run --release -p mt-bench --bin repro-figures`;
+//! `--json` emits the figure kernels as an `mt-bench-v1` document.
 
 use mt_baseline::{ClassicalVectorMachine, CrayConfig, VectorOp};
 use mt_fparith::latency::FIGURE_10;
@@ -12,12 +13,34 @@ use mt_kernels::{gather, graphics, reductions};
 use mt_sim::{Machine, Program, SimConfig};
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
     figures_5_to_8();
     timelines();
     figure_9();
     figure_10();
     figure_13();
     n_half();
+}
+
+/// `--json`: the kernels behind Figs. 5–9 and 13 as one `mt-bench-v1`
+/// document.
+fn json_report() {
+    let reports = [
+        mt_bench::run(&reductions::scalar_tree_sum()),
+        mt_bench::run(&reductions::linear_vector_sum()),
+        mt_bench::run(&reductions::vector_tree_sum()),
+        mt_bench::run(&reductions::fibonacci(8)),
+        mt_bench::run(&gather::fixed_stride(2)),
+        mt_bench::run(&gather::linked_list()),
+        mt_bench::run(&graphics::transform_points(256)),
+    ];
+    println!(
+        "{}",
+        mt_bench::json::bench_json("figures", &reports).pretty()
+    );
 }
 
 /// Renders Figs. 5 and 7 as actual timing diagrams from the simulator's

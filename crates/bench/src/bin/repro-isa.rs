@@ -2,20 +2,65 @@
 //! unit/func operation table, straight from the implementation (so the
 //! printout cannot drift from the encoder).
 //!
-//! Run with `cargo run --release -p mt-bench --bin repro-isa`.
+//! Run with `cargo run --release -p mt-bench --bin repro-isa`;
+//! `--json` emits the same facts as an `mt-bench-v1` document (its
+//! `kernels` array is empty — these figures are static).
 
 use mt_fparith::op::{FpOp, ALL_OPS};
 use mt_fparith::FuncUnit;
 use mt_isa::{FReg, FpuAluInstr};
 
+/// The concrete instruction both output modes decode field by field.
+fn demo_instr() -> FpuAluInstr {
+    FpuAluInstr::vector_scalar(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(32), 4).unwrap()
+}
+
+/// `--json`: encoding demo plus the operation table.
+fn json_report() {
+    use mt_trace::Json;
+    let demo = demo_instr();
+    let w = demo.encode();
+    let mut doc = mt_bench::json::bench_json("isa", &[]);
+    doc.push(
+        "encoding_demo",
+        Json::obj([
+            ("instr", Json::Str(demo.to_string())),
+            ("word", Json::Str(format!("{w:#010x}"))),
+            ("op", Json::U64((w >> 28) as u64)),
+            ("rr", Json::U64(((w >> 22) & 0x3F) as u64)),
+            ("ra", Json::U64(((w >> 16) & 0x3F) as u64)),
+            ("rb", Json::U64(((w >> 10) & 0x3F) as u64)),
+            ("unit", Json::U64(((w >> 8) & 3) as u64)),
+            ("func", Json::U64(((w >> 6) & 3) as u64)),
+            ("vl_minus_1", Json::U64(((w >> 2) & 0xF) as u64)),
+            ("sra", Json::U64(((w >> 1) & 1) as u64)),
+            ("srb", Json::U64((w & 1) as u64)),
+        ]),
+    );
+    let ops: Vec<Json> = ALL_OPS
+        .iter()
+        .map(|op| {
+            Json::obj([
+                ("mnemonic", Json::Str(op.mnemonic().to_string())),
+                ("unary", Json::Bool(op.is_unary())),
+            ])
+        })
+        .collect();
+    doc.push("operations", Json::Arr(ops));
+    println!("{}", doc.pretty());
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
     println!("Figure 3 — FPU ALU instruction format (32 bits)\n");
     println!("  |< 4 >|<  6  >|<  6  >|<  6  >|<2>|<2>|< 4 >|1|1|");
     println!("  |  op |  Rr   |  Ra   |  Rb   |unit|fnc|VL-1 |SRa|SRb|");
 
     // Demonstrate the fields on a concrete instruction.
-    let demo = FpuAluInstr::vector_scalar(FpOp::Mul, FReg::new(16), FReg::new(0), FReg::new(32), 4)
-        .unwrap();
+    let demo = demo_instr();
     let w = demo.encode();
     println!("\n  {demo}  encodes as {w:#010x}:");
     println!("    op    = {}", w >> 28);

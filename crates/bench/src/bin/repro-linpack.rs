@@ -1,15 +1,22 @@
 //! Regenerates §3.3: Linpack MFLOPS, scalar vs vector coding, against the
 //! paper's published numbers and ratios.
 //!
-//! Run with `cargo run --release -p mt-bench --bin repro-linpack`.
+//! Run with `cargo run --release -p mt-bench --bin repro-linpack`;
+//! `--json` emits the `mt-bench-v1` document instead of the table.
 
 use mt_baseline::published::linpack as paper;
 use mt_kernels::linpack::linpack;
 
 fn main() {
-    println!("§3.3 — Linpack (100×100, DAXPY inner loops)\n");
     let scalar = mt_bench::run(&linpack(100, false));
     let vector = mt_bench::run(&linpack(100, true));
+    if std::env::args().any(|a| a == "--json") {
+        let doc = mt_bench::json::bench_json("linpack", &[scalar, vector]);
+        println!("{}", doc.pretty());
+        return;
+    }
+
+    println!("§3.3 — Linpack (100×100, DAXPY inner loops)\n");
 
     println!("  coding    measured MFLOPS   paper MFLOPS");
     println!(

@@ -3,7 +3,8 @@
 //! Prints the simulated MultiTitan cold/warm-cache MFLOPS for all 24 loops
 //! next to the paper's published MultiTitan and Cray columns, with the
 //! harmonic means the paper reports. Run with `cargo run --release -p
-//! mt-bench --bin repro-livermore`.
+//! mt-bench --bin repro-livermore`. With `--json`, emits the full
+//! `mt-bench-v1` document instead (CI commits it as `BENCH_sim.json`).
 
 use mt_baseline::published::{
     harmonic_mean, PUBLISHED_HARMONIC_13_24, PUBLISHED_HARMONIC_1_12, PUBLISHED_HARMONIC_1_24,
@@ -12,6 +13,10 @@ use mt_baseline::published::{
 use mt_bench::{f1, livermore_mflops, row};
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_report();
+        return;
+    }
     if std::env::args().any(|a| a == "--stalls") {
         stall_attribution();
         return;
@@ -97,6 +102,31 @@ fn main() {
         warm_hm / PUBLISHED_HARMONIC_1_24[2],
         warm_hm / PUBLISHED_HARMONIC_1_24[3],
     );
+}
+
+/// `--json`: the deterministic `mt-bench-v1` document over all 24 loops,
+/// plus a `harmonic_mean_mflops` section matching the printed table's
+/// summary rows.
+fn json_report() {
+    let reports: Vec<_> = (1..=24u8)
+        .map(|n| mt_bench::run(&mt_kernels::livermore::by_number(n)))
+        .collect();
+    let mut doc = mt_bench::json::bench_json("livermore", &reports);
+    let warm: Vec<f64> = reports.iter().map(|r| r.mflops_warm()).collect();
+    let cold: Vec<f64> = reports.iter().map(|r| r.mflops_cold()).collect();
+    doc.push(
+        "harmonic_mean_mflops",
+        mt_trace::Json::obj([
+            ("cold_1_24", mt_trace::Json::F64(harmonic_mean(&cold))),
+            ("warm_1_24", mt_trace::Json::F64(harmonic_mean(&warm))),
+            ("warm_1_12", mt_trace::Json::F64(harmonic_mean(&warm[..12]))),
+            (
+                "warm_13_24",
+                mt_trace::Json::F64(harmonic_mean(&warm[12..])),
+            ),
+        ]),
+    );
+    println!("{}", doc.pretty());
 }
 
 /// `--stalls`: where each loop's warm cycles go — the §3.2 bottleneck

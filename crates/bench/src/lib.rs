@@ -8,6 +8,8 @@
 //! 3-cycle FPU, 64 KB caches); the claim being reproduced is *shape* —
 //! who wins, by roughly what factor, and where the crossovers sit.
 
+pub mod json;
+
 use mt_kernels::{harness, livermore, Kernel, KernelReport};
 use mt_sim::SimConfig;
 

@@ -21,6 +21,7 @@
 
 use mt_fparith::{execute, Exceptions, FpOp, OP_LATENCY_CYCLES};
 use mt_isa::{FReg, FpuAluInstr};
+use mt_trace::{EventKind, EventSink, NullSink, TraceEvent};
 
 use crate::alu_ir::AluIr;
 use crate::pipeline::{InFlight, Pipeline, WriteSource};
@@ -43,6 +44,8 @@ pub enum IssueOutcome {
         dest: FReg,
         /// The element's full register references (for tracing).
         refs: mt_isa::fpu::ElementRefs,
+        /// Which element of the vector issued (0 for scalars).
+        element: u8,
     },
     /// The IR holds an element but a scoreboard reservation blocked it.
     Stalled,
@@ -125,14 +128,51 @@ impl Fpu {
     /// Phase 1: retires every write that becomes visible at `cycle`,
     /// accumulating PSW flags and applying the overflow-abort rule.
     pub fn begin_cycle(&mut self, cycle: u64) {
+        self.begin_cycle_with(cycle, &mut NullSink);
+    }
+
+    /// [`Fpu::begin_cycle`] with an event sink: each retiring write emits
+    /// an [`EventKind::ElementRetire`] or [`EventKind::LoadRetire`], and
+    /// an overflow abort emits [`EventKind::OverflowAbort`] carrying the
+    /// number of squashed elements.
+    pub fn begin_cycle_with<S: EventSink>(&mut self, cycle: u64, sink: &mut S) {
         for retired in self.pipeline.take_ready(cycle) {
             self.regs.write(retired.dest, retired.value);
             self.scoreboard.clear(retired.dest);
             self.psw.accumulate(retired.flags);
 
-            if retired.flags.contains(Exceptions::OVERFLOW) {
-                if let WriteSource::AluElement { instr_id, element } = retired.source {
-                    self.overflow_abort(instr_id, element, retired.dest);
+            match retired.source {
+                WriteSource::AluElement { instr_id, element } => {
+                    if sink.enabled() {
+                        sink.event(&TraceEvent {
+                            cycle,
+                            kind: EventKind::ElementRetire {
+                                instr_id,
+                                element,
+                                dest: retired.dest,
+                            },
+                        });
+                    }
+                    if retired.flags.contains(Exceptions::OVERFLOW) {
+                        let squashed = self.overflow_abort(instr_id, element, retired.dest);
+                        if sink.enabled() {
+                            sink.event(&TraceEvent {
+                                cycle,
+                                kind: EventKind::OverflowAbort {
+                                    dest: retired.dest,
+                                    squashed,
+                                },
+                            });
+                        }
+                    }
+                }
+                WriteSource::Load => {
+                    if sink.enabled() {
+                        sink.event(&TraceEvent {
+                            cycle,
+                            kind: EventKind::LoadRetire { dest: retired.dest },
+                        });
+                    }
                 }
             }
         }
@@ -140,20 +180,24 @@ impl Fpu {
 
     /// §2.3.1: discard all remaining elements of the overflowing vector
     /// instruction — both unissued (clear the IR) and in flight (squash) —
-    /// and record the first overflowing destination in the PSW.
-    fn overflow_abort(&mut self, instr_id: u64, element: u8, dest: FReg) {
+    /// and record the first overflowing destination in the PSW. Returns
+    /// the number of elements discarded.
+    fn overflow_abort(&mut self, instr_id: u64, element: u8, dest: FReg) -> u64 {
         self.psw.record_overflow(dest);
         self.stats.overflow_aborts += 1;
+        let mut squashed = 0u64;
         for squashed_dest in self.pipeline.squash_after(instr_id, element) {
             self.scoreboard.clear(squashed_dest);
-            self.stats.elements_squashed += 1;
+            squashed += 1;
         }
         if let Some(active) = self.ir.active() {
             if active.id == instr_id {
-                self.stats.elements_squashed += active.remaining() as u64;
+                squashed += active.remaining() as u64;
                 self.ir.squash();
             }
         }
+        self.stats.elements_squashed += squashed;
+        squashed
     }
 
     /// Phase 2 (CPU): attempts to transfer an ALU instruction into the IR.
@@ -211,6 +255,7 @@ impl Fpu {
             op,
             dest: refs.rr,
             refs,
+            element,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use mt_mahler::CompiledRoutine;
 use mt_sim::{Machine, RunStats, SimConfig};
+use mt_trace::TraceEvent;
 
 /// Closure type writing a machine's input arrays.
 pub type InitFn = Box<dyn Fn(&mut Machine) + Send + Sync>;
@@ -89,6 +90,54 @@ pub fn run_kernel_with(kernel: &Kernel, config: SimConfig) -> Result<KernelRepor
 /// See [`run_kernel_with`].
 pub fn run_kernel(kernel: &Kernel) -> Result<KernelReport, String> {
     run_kernel_with(kernel, SimConfig::default())
+}
+
+/// A kernel report plus the full event stream of each measured pass —
+/// input for profilers, Chrome-trace exporters, and timeline rendering.
+#[derive(Debug, Clone)]
+pub struct TracedReport {
+    /// The cold/warm statistics, as from [`run_kernel_with`].
+    pub report: KernelReport,
+    /// Every event of the cold pass, in emission order.
+    pub cold_events: Vec<TraceEvent>,
+    /// Every event of the warm pass.
+    pub warm_events: Vec<TraceEvent>,
+}
+
+/// Runs a kernel with the §3.2 protocol, recording the complete event
+/// stream of both passes.
+///
+/// # Errors
+///
+/// See [`run_kernel_with`].
+pub fn run_kernel_recorded(kernel: &Kernel, config: SimConfig) -> Result<TracedReport, String> {
+    let tag = |e: String| format!("{}: {e}", kernel.name);
+    let mut m = Machine::new(config);
+    kernel.routine.install(&mut m);
+    (kernel.init)(&mut m);
+    let mut cold_events: Vec<TraceEvent> = Vec::new();
+    let cold = m
+        .run_with_sink(&mut cold_events)
+        .map_err(|e| tag(e.to_string()))?;
+    (kernel.verify)(&m).map_err(tag)?;
+
+    (kernel.init)(&mut m);
+    m.reset_for_rerun();
+    let mut warm_events: Vec<TraceEvent> = Vec::new();
+    let warm = m
+        .run_with_sink(&mut warm_events)
+        .map_err(|e| tag(e.to_string()))?;
+    (kernel.verify)(&m).map_err(tag)?;
+
+    Ok(TracedReport {
+        report: KernelReport {
+            name: kernel.name.clone(),
+            cold,
+            warm,
+        },
+        cold_events,
+        warm_events,
+    })
 }
 
 #[cfg(test)]

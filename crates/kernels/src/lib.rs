@@ -30,5 +30,5 @@ pub mod livermore;
 pub mod mathlib;
 pub mod reductions;
 
-pub use harness::{run_kernel, Kernel, KernelReport};
+pub use harness::{run_kernel, run_kernel_recorded, Kernel, KernelReport, TracedReport};
 pub use layout::DataLayout;

@@ -5,6 +5,7 @@ use mt_fparith::OP_LATENCY_CYCLES;
 use mt_isa::cpu::AluOp;
 use mt_isa::{FReg, IReg, Instr};
 use mt_mem::{MemConfig, MemorySystem};
+use mt_trace::{EventKind, EventSink, NullSink, StallCause, TraceEvent};
 
 use crate::program::Program;
 use crate::stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
@@ -135,9 +136,27 @@ pub struct Machine {
     interrupt_at: Option<u64>,
     instructions: u64,
     stalls: StallBreakdown,
+    /// Cycles spent draining the FPU after halt (accumulates across runs;
+    /// per-run deltas land in [`RunStats::drain_cycles`]).
+    drain_cycles: u64,
+    /// PC of the ALU instruction currently (or last) occupying the IR —
+    /// FPU-side events (element issues, scoreboard stalls, drain cycles)
+    /// are attributed to it.
+    ir_pc: u32,
+    ir_index: u32,
     violations: Vec<OrderingViolation>,
     trace_log: Vec<String>,
-    timeline: Timeline,
+    trace_events: Vec<TraceEvent>,
+}
+
+/// Forwards one event when the sink wants it. With [`NullSink`] the whole
+/// call monomorphizes away, so emission sites cost nothing when tracing
+/// is off.
+#[inline(always)]
+fn emit<S: EventSink>(sink: &mut S, cycle: u64, kind: EventKind) {
+    if sink.enabled() {
+        sink.event(&TraceEvent { cycle, kind });
+    }
 }
 
 impl Machine {
@@ -163,9 +182,12 @@ impl Machine {
             interrupt_at: None,
             instructions: 0,
             stalls: StallBreakdown::default(),
+            drain_cycles: 0,
+            ir_pc: 0,
+            ir_index: 0,
             violations: Vec::new(),
             trace_log: Vec::new(),
-            timeline: Timeline::new(),
+            trace_events: Vec::new(),
         }
     }
 
@@ -222,11 +244,23 @@ impl Machine {
         self.timing
     }
 
-    /// The collected per-cycle timeline (populated when `config.trace` is
-    /// set) — render with [`Timeline::render`] for diagrams in the style
-    /// of the paper's Figs. 5–8.
-    pub fn timeline(&self) -> &Timeline {
-        &self.timeline
+    /// The per-cycle timeline, folded on demand from the recorded event
+    /// stream (populated when `config.trace` is set) — render with
+    /// [`Timeline::render`] for diagrams in the style of the paper's
+    /// Figs. 5–8. For rows annotated with source locations, call
+    /// [`Timeline::from_events`] directly with a resolver.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_events(&self.trace_events, |_| None)
+    }
+
+    /// The recorded event stream (populated when `config.trace` is set).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace_events
+    }
+
+    /// Takes ownership of the recorded event stream, leaving it empty.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace_events)
     }
 
     /// Schedules an external interrupt: `cycles` from now the CPU stops
@@ -258,14 +292,35 @@ impl Machine {
     /// Runs from the current PC until `halt`, returning the statistics of
     /// this run (deltas — safe to call repeatedly for warm re-runs).
     ///
+    /// With `config.trace` set, every cycle's typed events are appended to
+    /// the internal buffer ([`Machine::trace_events`]); otherwise the run
+    /// loop monomorphizes over [`NullSink`] and emission costs nothing.
+    ///
     /// # Errors
     ///
     /// [`RunError::CycleLimit`] if the program does not halt, or
     /// [`RunError::BadInstruction`] on an undecodable word.
     pub fn run(&mut self) -> Result<RunStats, RunError> {
+        if self.config.trace {
+            // Move the buffer out so the borrow of `self` stays single.
+            let mut buf = std::mem::take(&mut self.trace_events);
+            let result = self.run_with_sink(&mut buf);
+            self.trace_events = buf;
+            result
+        } else {
+            self.run_with_sink(&mut NullSink)
+        }
+    }
+
+    /// [`Machine::run`] with a caller-supplied event sink. The run loop is
+    /// generic over the sink, so a no-op sink compiles to the untraced
+    /// loop while a recording or folding sink sees every typed event
+    /// as it happens.
+    pub fn run_with_sink<S: EventSink>(&mut self, sink: &mut S) -> Result<RunStats, RunError> {
         let start_cycle = self.cycle;
         let start_instructions = self.instructions;
         let start_stalls = self.stalls;
+        let start_drain = self.drain_cycles;
         let start_fpu = *self.fpu.stats();
         let start_violations = self.violations.len();
         let dcache0 = self.mem.dcache_stats();
@@ -283,17 +338,27 @@ impl Machine {
             if self.cycle - start_cycle > self.config.max_cycles {
                 return Err(RunError::CycleLimit(self.config.max_cycles));
             }
-            self.step()?;
+            self.step(sink)?;
         }
         // Drain the FPU: a vector may continue issuing and retiring long
         // after the CPU halts (§2.3.1's "vector ALU instructions may
-        // continue long after an interrupt").
+        // continue long after an interrupt"). Drain cycles are attributed
+        // to the transferring ALU instruction.
         loop {
-            self.fpu.begin_cycle(self.cycle);
+            self.fpu.begin_cycle_with(self.cycle, sink);
             if !self.fpu.busy() {
                 break;
             }
-            self.issue_and_record();
+            emit(
+                sink,
+                self.cycle,
+                EventKind::Drain {
+                    pc: self.ir_pc,
+                    instr_index: self.ir_index,
+                },
+            );
+            self.drain_cycles += 1;
+            self.issue_and_record(sink);
             self.cycle += 1;
         }
 
@@ -306,6 +371,7 @@ impl Machine {
         Ok(RunStats {
             cycles: self.cycle - start_cycle,
             instructions: self.instructions - start_instructions,
+            drain_cycles: self.drain_cycles - start_drain,
             fpu: mt_core::FpuStats {
                 instructions_transferred: f.instructions_transferred
                     - start_fpu.instructions_transferred,
@@ -335,45 +401,54 @@ impl Machine {
     }
 
     /// Advances the machine by one cycle.
-    fn step(&mut self) -> Result<(), RunError> {
-        self.fpu.begin_cycle(self.cycle);
+    fn step<S: EventSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
+        self.fpu.begin_cycle_with(self.cycle, sink);
         if self.cycle >= self.freeze_until {
-            self.cpu_step()?;
-            self.issue_and_record();
+            self.cpu_step(sink)?;
+            self.issue_and_record(sink);
         }
         self.cycle += 1;
         Ok(())
     }
 
-    /// Lets the ALU IR issue its current element, recording it on the
-    /// timeline when tracing.
-    fn issue_and_record(&mut self) {
-        let outcome = self.fpu.issue(self.cycle);
-        if self.config.trace {
-            if let mt_core::IssueOutcome::Issued { op, refs, .. } = outcome {
-                // Paper-style operator symbols for the timeline labels.
-                let sym = match op {
-                    mt_fparith::FpOp::Add => "+",
-                    mt_fparith::FpOp::Sub => "-",
-                    mt_fparith::FpOp::Mul => "*",
-                    mt_fparith::FpOp::IntMul => "i*",
-                    mt_fparith::FpOp::IterStep => "istep",
-                    mt_fparith::FpOp::Float => "float",
-                    mt_fparith::FpOp::Truncate => "trunc",
-                    mt_fparith::FpOp::Recip => "1/~",
-                };
-                let label = if op.is_unary() {
-                    format!("{} := {sym} {}", refs.rr, refs.ra)
-                } else {
-                    format!("{} := {} {sym} {}", refs.rr, refs.ra, refs.rb)
-                };
-                self.timeline.element(self.cycle, self.fpu.latency(), label);
-            }
+    /// Index of the current PC in the program text, matching `mt-lint`
+    /// finding indices and assembler source spans.
+    fn instr_index(&self) -> u32 {
+        self.pc.wrapping_sub(self.entry) / 4
+    }
+
+    /// Lets the ALU IR issue its current element, emitting the issue (or
+    /// scoreboard stall) attributed to the transferring instruction.
+    fn issue_and_record<S: EventSink>(&mut self, sink: &mut S) {
+        match self.fpu.issue(self.cycle) {
+            mt_core::IssueOutcome::Issued {
+                op, refs, element, ..
+            } => emit(
+                sink,
+                self.cycle,
+                EventKind::ElementIssue {
+                    pc: self.ir_pc,
+                    instr_index: self.ir_index,
+                    op,
+                    element,
+                    refs,
+                    latency: self.fpu.latency(),
+                },
+            ),
+            mt_core::IssueOutcome::Stalled => emit(
+                sink,
+                self.cycle,
+                EventKind::ScoreboardStall {
+                    pc: self.ir_pc,
+                    instr_index: self.ir_index,
+                },
+            ),
+            mt_core::IssueOutcome::Idle => {}
         }
     }
 
     /// The CPU's slice of the cycle: fetch if needed, then try to execute.
-    fn cpu_step(&mut self) -> Result<(), RunError> {
+    fn cpu_step<S: EventSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         if self.pending.is_none() {
             if self.cycle < self.fetch_ready_at {
                 return Ok(()); // branch bubble (accounted at the branch)
@@ -387,6 +462,16 @@ impl Machine {
             self.pending_ready_at = self.cycle + penalty;
             if penalty > 0 {
                 self.stalls.fetch += penalty;
+                emit(
+                    sink,
+                    self.cycle,
+                    EventKind::Stall {
+                        pc: self.pc,
+                        instr_index: self.instr_index(),
+                        cause: StallCause::Fetch,
+                        cycles: penalty,
+                    },
+                );
                 return Ok(());
             }
         }
@@ -399,10 +484,11 @@ impl Machine {
         // while the ALU IR is still issuing a vector.
         if self.config.serialized_issue && self.fpu.ir_busy() {
             self.stalls.ir_busy += 1;
+            self.emit_stall(sink, StallCause::IrBusy);
             return Ok(());
         }
 
-        match self.execute(instr) {
+        match self.execute(instr, sink) {
             Exec::Stall => Ok(()),
             Exec::Done(redirect) => {
                 self.instructions += 1;
@@ -410,17 +496,16 @@ impl Machine {
                 if self.config.trace {
                     self.trace_log
                         .push(format!("{:>8}  {:#07x}  {instr}", self.cycle, self.pc));
-                    match instr {
-                        Instr::Falu(f) => self.timeline.event(self.cycle, 'T', format!("xfer {f}")),
-                        Instr::Fld { fr, .. } => {
-                            self.timeline.load(self.cycle, format!("fld {fr}"))
-                        }
-                        Instr::Fst { fr, .. } => {
-                            self.timeline.store(self.cycle, format!("fst {fr}"))
-                        }
-                        other => self.timeline.event(self.cycle, 'c', other.to_string()),
-                    }
                 }
+                emit(
+                    sink,
+                    self.cycle,
+                    EventKind::CpuComplete {
+                        pc: self.pc,
+                        instr_index: self.instr_index(),
+                        instr,
+                    },
+                );
                 self.pc = redirect.unwrap_or(self.pc + 4);
                 Ok(())
             }
@@ -432,9 +517,32 @@ impl Machine {
                     self.trace_log
                         .push(format!("{:>8}  {:#07x}  halt", self.cycle, self.pc));
                 }
+                emit(
+                    sink,
+                    self.cycle,
+                    EventKind::CpuComplete {
+                        pc: self.pc,
+                        instr_index: self.instr_index(),
+                        instr,
+                    },
+                );
                 Ok(())
             }
         }
+    }
+
+    /// Emits a one-cycle CPU stall at the current PC.
+    fn emit_stall<S: EventSink>(&mut self, sink: &mut S, cause: StallCause) {
+        emit(
+            sink,
+            self.cycle,
+            EventKind::Stall {
+                pc: self.pc,
+                instr_index: self.instr_index(),
+                cause,
+                cycles: 1,
+            },
+        );
     }
 
     /// `true` when `r` has a load in its delay slot (interlock).
@@ -442,7 +550,7 @@ impl Machine {
         self.cycle < self.int_ready[r.index() as usize]
     }
 
-    fn execute(&mut self, instr: Instr) -> Exec {
+    fn execute<S: EventSink>(&mut self, instr: Instr, sink: &mut S) -> Exec {
         match instr {
             Instr::Nop => Exec::Done(None),
             Instr::Halt => Exec::Halted,
@@ -465,6 +573,7 @@ impl Machine {
             Instr::Alu { op, rd, rs1, rs2 } => {
                 if self.int_blocked(rs1) || self.int_blocked(rs2) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 let a = self.ireg(rs1);
@@ -488,6 +597,7 @@ impl Machine {
             Instr::Addi { rd, rs1, imm } => {
                 if self.int_blocked(rs1) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 self.set_ireg(rd, self.ireg(rs1).wrapping_add(imm));
@@ -502,10 +612,12 @@ impl Machine {
             Instr::Lw { rd, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
+                    self.emit_stall(sink, StallCause::LsPortBusy);
                     return Exec::Stall;
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
@@ -515,38 +627,45 @@ impl Machine {
                 self.int_ready[rd.index() as usize] =
                     self.cycle + penalty + self.timing.int_load_delay_cycles;
                 self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
-                self.apply_miss(penalty);
+                self.emit_dcache(sink, false, penalty);
+                self.apply_miss(penalty, sink);
                 Exec::Done(None)
             }
 
             Instr::Sw { rs, base, offset } => {
                 if self.int_blocked(base) || self.int_blocked(rs) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
+                    self.emit_stall(sink, StallCause::LsPortBusy);
                     return Exec::Stall;
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let penalty = self.mem.store_u32(addr, self.ireg(rs) as u32);
                 // Stores take two cycles (§2.4).
                 self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
-                self.apply_miss(penalty);
+                self.emit_dcache(sink, true, penalty);
+                self.apply_miss(penalty, sink);
                 Exec::Done(None)
             }
 
             Instr::Fld { fr, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
+                    self.emit_stall(sink, StallCause::LsPortBusy);
                     return Exec::Stall;
                 }
                 if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, true) {
                     self.stalls.fpu_reg_hazard += 1;
+                    self.emit_stall(sink, StallCause::FpuRegHazard);
                     return Exec::Stall;
                 }
                 if self.config.checked_ordering {
@@ -556,21 +675,25 @@ impl Machine {
                 let (bits, penalty) = self.mem.load_f64(addr);
                 self.fpu.load_write(fr, bits, self.cycle + penalty);
                 self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
-                self.apply_miss(penalty);
+                self.emit_dcache(sink, false, penalty);
+                self.apply_miss(penalty, sink);
                 Exec::Done(None)
             }
 
             Instr::Fst { fr, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
+                    self.emit_stall(sink, StallCause::LsPortBusy);
                     return Exec::Stall;
                 }
                 if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, false) {
                     self.stalls.fpu_reg_hazard += 1;
+                    self.emit_stall(sink, StallCause::FpuRegHazard);
                     return Exec::Stall;
                 }
                 if self.config.checked_ordering {
@@ -581,7 +704,8 @@ impl Machine {
                 let penalty = self.mem.store_f64(addr, bits);
                 // Stores take two cycles (§2.4).
                 self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
-                self.apply_miss(penalty);
+                self.emit_dcache(sink, true, penalty);
+                self.apply_miss(penalty, sink);
                 Exec::Done(None)
             }
 
@@ -593,10 +717,11 @@ impl Machine {
             } => {
                 if self.int_blocked(rs1) || self.int_blocked(rs2) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
                 if cond.eval(self.ireg(rs1), self.ireg(rs2)) {
-                    self.take_branch_bubble();
+                    self.take_branch_bubble(sink);
                     let target = (self.pc / 4).wrapping_add(1).wrapping_add(offset as u32);
                     Exec::Done(Some(target * 4))
                 } else {
@@ -605,47 +730,99 @@ impl Machine {
             }
 
             Instr::Jump { target } => {
-                self.take_branch_bubble();
+                self.take_branch_bubble(sink);
                 Exec::Done(Some(target * 4))
             }
 
             Instr::Jal { target } => {
                 self.set_ireg(IReg::new(31), (self.pc + 4) as i32);
-                self.take_branch_bubble();
+                self.take_branch_bubble(sink);
                 Exec::Done(Some(target * 4))
             }
 
             Instr::Jr { rs } => {
                 if self.int_blocked(rs) {
                     self.stalls.int_load_hazard += 1;
+                    self.emit_stall(sink, StallCause::IntLoadHazard);
                     return Exec::Stall;
                 }
-                self.take_branch_bubble();
+                self.take_branch_bubble(sink);
                 Exec::Done(Some(self.ireg(rs) as u32))
             }
 
             Instr::Falu(f) => {
                 if self.fpu.try_transfer(f) {
+                    // Subsequent FPU-side events (element issues, scoreboard
+                    // stalls, drain) belong to this instruction.
+                    self.ir_pc = self.pc;
+                    self.ir_index = self.instr_index();
+                    emit(
+                        sink,
+                        self.cycle,
+                        EventKind::Transfer {
+                            pc: self.pc,
+                            instr_index: self.ir_index,
+                            instr: f,
+                        },
+                    );
                     Exec::Done(None)
                 } else {
                     self.stalls.ir_busy += 1;
+                    self.emit_stall(sink, StallCause::IrBusy);
                     Exec::Stall
                 }
             }
         }
     }
 
-    fn take_branch_bubble(&mut self) {
+    fn take_branch_bubble<S: EventSink>(&mut self, sink: &mut S) {
         self.stalls.branch += self.config.branch_penalty;
         self.fetch_ready_at = self.cycle + 1 + self.config.branch_penalty;
+        if self.config.branch_penalty > 0 {
+            emit(
+                sink,
+                self.cycle,
+                EventKind::Stall {
+                    pc: self.pc,
+                    instr_index: self.instr_index(),
+                    cause: StallCause::Branch,
+                    cycles: self.config.branch_penalty,
+                },
+            );
+        }
+    }
+
+    /// Emits the data-port access of the instruction at the current PC.
+    fn emit_dcache<S: EventSink>(&mut self, sink: &mut S, store: bool, penalty: u64) {
+        emit(
+            sink,
+            self.cycle,
+            EventKind::DcacheAccess {
+                pc: self.pc,
+                instr_index: self.instr_index(),
+                store,
+                miss: penalty > 0,
+                penalty,
+            },
+        );
     }
 
     /// A data-cache miss freezes instruction issue for the penalty (the
     /// lock-step pipeline), while in-flight FPU results keep draining.
-    fn apply_miss(&mut self, penalty: u64) {
+    fn apply_miss<S: EventSink>(&mut self, penalty: u64, sink: &mut S) {
         if penalty > 0 {
             self.freeze_until = self.cycle + 1 + penalty;
             self.stalls.data_miss += penalty;
+            emit(
+                sink,
+                self.cycle,
+                EventKind::Stall {
+                    pc: self.pc,
+                    instr_index: self.instr_index(),
+                    cause: StallCause::DataMiss,
+                    cycles: penalty,
+                },
+            );
         }
     }
 

@@ -88,6 +88,9 @@ pub struct RunStats {
     pub cycles: u64,
     /// CPU instructions completed.
     pub instructions: u64,
+    /// Cycles spent draining the FPU after the CPU halted (§2.3.1: vector
+    /// ALU instructions continue long after the CPU stops).
+    pub drain_cycles: u64,
     /// FPU counters (elements, FLOPs, loads, stores, …).
     pub fpu: FpuStats,
     /// CPU stall breakdown.
@@ -127,6 +130,16 @@ impl RunStats {
             (self.instructions + self.fpu.elements_issued) as f64 / self.cycles as f64
         }
     }
+
+    /// Cycles explained by the accounting model: every cycle either
+    /// completes a CPU instruction, is charged to exactly one stall cause,
+    /// or drains the FPU after halt. For a plain run-to-halt (no external
+    /// interrupt, no cycle-limit abort) this equals [`RunStats::cycles`] —
+    /// the invariant `tests/observability.rs` asserts over every shipped
+    /// kernel.
+    pub fn accounted_cycles(&self) -> u64 {
+        self.instructions + self.stalls.total() + self.drain_cycles
+    }
 }
 
 impl fmt::Display for RunStats {
@@ -151,6 +164,9 @@ impl fmt::Display for RunStats {
             self.stalls.data_miss,
             self.stalls.branch
         )?;
+        if self.drain_cycles > 0 {
+            writeln!(f, "fpu drain after halt: {} cycles", self.drain_cycles)?;
+        }
         write!(f, "dcache: {} | ibuffer: {}", self.dcache, self.ibuffer)
     }
 }

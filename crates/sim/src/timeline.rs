@@ -2,8 +2,11 @@
 //! timing diagrams: one row per instruction transfer, FPU ALU element,
 //! load, or store, with a bar from issue to completion.
 //!
-//! Collected by the machine when [`crate::SimConfig::trace`] is on;
-//! rendered by [`Timeline::render`]. Legend:
+//! The timeline is one *consumer* of the machine's typed event stream:
+//! [`Timeline::from_events`] folds a recorded run
+//! ([`crate::Machine::trace_events`]) into rows, optionally annotating
+//! each with its source location. Rendered by [`Timeline::render`].
+//! Legend:
 //!
 //! ```text
 //! T    FPU ALU instruction transfer from the CPU (the address-bus cycle)
@@ -14,6 +17,9 @@
 //! ```
 
 use std::fmt::Write as _;
+
+use mt_isa::Instr;
+use mt_trace::{EventKind, TraceEvent};
 
 /// One rendered row.
 #[derive(Debug, Clone)]
@@ -36,6 +42,85 @@ impl Timeline {
     /// Creates an empty timeline.
     pub fn new() -> Timeline {
         Timeline::default()
+    }
+
+    /// Folds a recorded event stream into timeline rows. `resolve` maps an
+    /// instruction index to a source annotation (for example
+    /// `daxpy.s:7`); rows whose instruction resolves gain an ` @ location`
+    /// suffix, so an assembler-produced source map makes the diagram
+    /// span-aware. Pass `|_| None` for bare rows.
+    ///
+    /// Transfers become `T` rows, element issues become `i══R` bars
+    /// labelled with their register dataflow, FPU loads and stores become
+    /// port rows, and every other completing CPU instruction becomes a
+    /// `c` row (`halt` is omitted, as is the `Falu` completion its `T`
+    /// row already shows).
+    pub fn from_events(events: &[TraceEvent], resolve: impl Fn(u32) -> Option<String>) -> Timeline {
+        let suffix = |idx: u32| match resolve(idx) {
+            Some(loc) => format!(" @ {loc}"),
+            None => String::new(),
+        };
+        let mut t = Timeline::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Transfer {
+                    instr_index, instr, ..
+                } => {
+                    t.event(
+                        ev.cycle,
+                        'T',
+                        format!("xfer {instr}{}", suffix(instr_index)),
+                    );
+                }
+                EventKind::ElementIssue {
+                    instr_index,
+                    op,
+                    refs,
+                    latency,
+                    ..
+                } => {
+                    // Paper-style operator symbols for the dataflow labels.
+                    let sym = match op {
+                        mt_fparith::FpOp::Add => "+",
+                        mt_fparith::FpOp::Sub => "-",
+                        mt_fparith::FpOp::Mul => "*",
+                        mt_fparith::FpOp::IntMul => "i*",
+                        mt_fparith::FpOp::IterStep => "istep",
+                        mt_fparith::FpOp::Float => "float",
+                        mt_fparith::FpOp::Truncate => "trunc",
+                        mt_fparith::FpOp::Recip => "1/~",
+                    };
+                    let label = if op.is_unary() {
+                        format!("{} := {sym} {}{}", refs.rr, refs.ra, suffix(instr_index))
+                    } else {
+                        format!(
+                            "{} := {} {sym} {}{}",
+                            refs.rr,
+                            refs.ra,
+                            refs.rb,
+                            suffix(instr_index)
+                        )
+                    };
+                    t.element(ev.cycle, latency, label);
+                }
+                EventKind::CpuComplete {
+                    instr_index, instr, ..
+                } => match instr {
+                    // The transfer event already made the `T` row; halt has
+                    // no row at all.
+                    Instr::Falu(_) | Instr::Halt => {}
+                    Instr::Fld { fr, .. } => {
+                        t.load(ev.cycle, format!("fld {fr}{}", suffix(instr_index)));
+                    }
+                    Instr::Fst { fr, .. } => {
+                        t.store(ev.cycle, format!("fst {fr}{}", suffix(instr_index)));
+                    }
+                    other => t.event(ev.cycle, 'c', format!("{other}{}", suffix(instr_index))),
+                },
+                _ => {}
+            }
+        }
+        t
     }
 
     /// Adds a single-glyph event row (CPU instruction, transfer).

@@ -1,0 +1,201 @@
+//! A cross-kernel registry of named counters and histograms.
+//!
+//! The bench harness records one sample per kernel (cycles, MFLOPS,
+//! stall fractions, …) and the registry aggregates them into the
+//! `BENCH_*.json` perf trajectory: count/sum/min/max plus a log2 bucket
+//! histogram per metric. `BTreeMap` keys keep every rendering stable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// A power-of-two bucket histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `buckets[i]` counts samples with `i` significant bits, i.e. in
+    /// `[2^(i-1), 2^i)`; bucket 0 counts zeros.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 || sample < self.min {
+            self.min = sample;
+        }
+        self.max = self.max.max(sample);
+        self.count += 1;
+        self.sum += sample;
+        self.buckets[(64 - sample.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// JSON summary (buckets compressed to the occupied range).
+    pub fn to_json(&self) -> Json {
+        let hi = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("min", Json::U64(self.min)),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean())),
+            (
+                "log2_buckets",
+                Json::Arr(self.buckets[..hi].iter().map(|&n| Json::U64(n)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds to a named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_default() += delta;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into a named histogram (creating it empty).
+    pub fn record(&mut self, name: &str, sample: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All metrics as one JSON object: `{"counters": {...},
+    /// "histograms": {...}}` in name order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A compact text rendering, one metric per line, name order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}: n={} mean={:.1} min={} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut h = Histogram::default();
+        for s in [0, 1, 2, 3, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1, "one zero");
+        assert_eq!(h.buckets[1], 1, "one sample in [1,2)");
+        assert_eq!(h.buckets[2], 2, "two samples in [2,4)");
+        assert_eq!(h.buckets[10], 1, "1000 has 10 significant bits");
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_renders_deterministically() {
+        let mut m = MetricsRegistry::new();
+        m.add("zeta", 1);
+        m.add("alpha", 2);
+        m.add("alpha", 3);
+        m.record("cycles", 100);
+        assert_eq!(m.counter("alpha"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let text = m.render();
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
+        let json = m.to_json().to_string();
+        assert!(crate::json::validate(&json).is_ok());
+        assert_eq!(json, m.to_json().to_string());
+    }
+}

@@ -1,0 +1,436 @@
+//! The cycle-attribution profiler: folds an event stream into per-PC
+//! histograms and renders a "hot spots" report.
+//!
+//! Attribution is exact, not sampled: the simulator emits one event for
+//! every productive cycle (a `CpuComplete`), every CPU stall cycle (a
+//! `Stall` with its cause), and every post-halt drain cycle, each tagged
+//! with the instruction it belongs to. The profiler's per-PC totals
+//! therefore sum *exactly* to the aggregate `RunStats` counters — no
+//! double-count, no leak — which the accounting-invariant tests assert
+//! for every shipped kernel.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mt_isa::Instr;
+
+use crate::event::{EventKind, StallCause, TraceEvent};
+use crate::sink::EventSink;
+
+/// Everything attributed to one program counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcStats {
+    /// Text-section instruction index (`(pc - entry) / 4`).
+    pub instr_index: u32,
+    /// The instruction, captured from its first completion (disassembly
+    /// fallback when no source map is available).
+    pub instr: Option<Instr>,
+    /// Cycles in which this instruction completed (productive cycles).
+    pub completions: u64,
+    /// FPU ALU transfers initiated here.
+    pub transfers: u64,
+    /// CPU stall cycles charged here, by cause (index via
+    /// [`StallCause::index`]).
+    pub stalls: [u64; StallCause::ALL.len()],
+    /// FPU scoreboard stall cycles while this instruction held the IR
+    /// (overlapped with CPU progress; not part of the cycle identity).
+    pub scoreboard_stalls: u64,
+    /// Vector/scalar elements issued on behalf of this instruction.
+    pub elements: u64,
+    /// Elements that count as floating-point operations.
+    pub flops: u64,
+    /// Data-cache accesses made by this instruction.
+    pub dcache_accesses: u64,
+    /// Data-cache misses among them.
+    pub dcache_misses: u64,
+    /// Post-halt drain cycles charged to this instruction (§2.3.1
+    /// vectors that outlive the CPU).
+    pub drain: u64,
+}
+
+impl PcStats {
+    /// Total CPU stall cycles charged here.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Stall cycles of one cause.
+    pub fn stalls_by(&self, cause: StallCause) -> u64 {
+        self.stalls[cause.index()]
+    }
+
+    /// All cycles attributed to this PC: productive completions plus CPU
+    /// stalls plus drain. Summed over all PCs this equals the run's total
+    /// cycle count.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.completions + self.stall_cycles() + self.drain
+    }
+
+    /// The dominant stall cause, if any stall was charged.
+    pub fn hottest_cause(&self) -> Option<(StallCause, u64)> {
+        StallCause::ALL
+            .iter()
+            .map(|&c| (c, self.stalls_by(c)))
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(c, n)| (n, std::cmp::Reverse(c.index())))
+    }
+}
+
+/// Resolves an instruction index to a source location: `(location,
+/// text)`, e.g. `("daxpy.s:19", "fldv R0..R7, 0(r1), 8")`. Return `None`
+/// for instructions without a span; the report falls back to
+/// disassembly.
+pub type SourceResolver<'a> = &'a dyn Fn(u32) -> Option<(String, String)>;
+
+/// The profiler: an [`EventSink`] that folds the stream into per-PC
+/// rows. Rows live in a `BTreeMap`, so iteration — and every report —
+/// is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    rows: BTreeMap<u32, PcStats>,
+    element_retires: u64,
+    load_retires: u64,
+    overflow_aborts: u64,
+    elements_squashed: u64,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Folds a recorded stream.
+    pub fn from_events(events: &[TraceEvent]) -> Profiler {
+        let mut p = Profiler::new();
+        crate::sink::replay(events, &mut p);
+        p
+    }
+
+    fn row(&mut self, pc: u32, instr_index: u32) -> &mut PcStats {
+        let row = self.rows.entry(pc).or_default();
+        row.instr_index = instr_index;
+        row
+    }
+
+    /// The per-PC rows, in PC order.
+    pub fn rows(&self) -> impl Iterator<Item = (u32, &PcStats)> {
+        self.rows.iter().map(|(&pc, row)| (pc, row))
+    }
+
+    /// The row of one PC.
+    pub fn pc(&self, pc: u32) -> Option<&PcStats> {
+        self.rows.get(&pc)
+    }
+
+    /// Rows sorted hottest-first (attributed cycles descending, PC
+    /// ascending on ties — deterministic).
+    pub fn hot_spots(&self) -> Vec<(u32, &PcStats)> {
+        let mut rows: Vec<(u32, &PcStats)> = self.rows().collect();
+        rows.sort_by_key(|&(pc, row)| (std::cmp::Reverse(row.attributed_cycles()), pc));
+        rows
+    }
+
+    /// Sum of attributed cycles over all PCs (== the run's cycle count).
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.values().map(PcStats::attributed_cycles).sum()
+    }
+
+    /// Sum of completions over all PCs (== `RunStats::instructions`).
+    pub fn total_completions(&self) -> u64 {
+        self.rows.values().map(|r| r.completions).sum()
+    }
+
+    /// Sum of stall cycles of one cause over all PCs.
+    pub fn total_stalls(&self, cause: StallCause) -> u64 {
+        self.rows.values().map(|r| r.stalls_by(cause)).sum()
+    }
+
+    /// Sum of issued elements (== `FpuStats::elements_issued`).
+    pub fn total_elements(&self) -> u64 {
+        self.rows.values().map(|r| r.elements).sum()
+    }
+
+    /// Sum of FLOP elements (== `FpuStats::flops`).
+    pub fn total_flops(&self) -> u64 {
+        self.rows.values().map(|r| r.flops).sum()
+    }
+
+    /// Sum of FPU ALU transfers (== `FpuStats::instructions_transferred`).
+    pub fn total_transfers(&self) -> u64 {
+        self.rows.values().map(|r| r.transfers).sum()
+    }
+
+    /// Sum of data-cache misses (== the run's `dcache.misses`).
+    pub fn total_dcache_misses(&self) -> u64 {
+        self.rows.values().map(|r| r.dcache_misses).sum()
+    }
+
+    /// Sum of data-cache accesses (== the run's `dcache.accesses()`).
+    pub fn total_dcache_accesses(&self) -> u64 {
+        self.rows.values().map(|r| r.dcache_accesses).sum()
+    }
+
+    /// Sum of FPU scoreboard stall cycles (==
+    /// `FpuStats::scoreboard_stall_cycles`).
+    pub fn total_scoreboard_stalls(&self) -> u64 {
+        self.rows.values().map(|r| r.scoreboard_stalls).sum()
+    }
+
+    /// Sum of post-halt drain cycles (== `RunStats::drain_cycles`).
+    pub fn total_drain(&self) -> u64 {
+        self.rows.values().map(|r| r.drain).sum()
+    }
+
+    /// Element retirements observed (each issue retires unless squashed).
+    pub fn element_retires(&self) -> u64 {
+        self.element_retires
+    }
+
+    /// Load retirements observed.
+    pub fn load_retires(&self) -> u64 {
+        self.load_retires
+    }
+
+    /// Elements discarded by overflow aborts.
+    pub fn elements_squashed(&self) -> u64 {
+        self.elements_squashed
+    }
+
+    /// Renders the hot-spot report: one row per PC, hottest first, with
+    /// source locations from `resolve` (falling back to disassembly),
+    /// plus a stall-cause summary. `top` limits the table (0 = all).
+    pub fn report(&self, title: &str, top: usize, resolve: SourceResolver<'_>) -> String {
+        let total = self.total_cycles();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hot spots — {title}: {total} cycles over {} PCs",
+            self.rows.len()
+        );
+        let _ = writeln!(
+            out,
+            "(cycles = completions + CPU stalls + drain; elems = FPU elements issued)\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6}  {:>6} {:>6} {:>6} {:>5}  {:<18} {:<9} source",
+            "cycles", "%", "compl", "stall", "elems", "miss", "hottest-stall", "pc"
+        );
+        let rows = self.hot_spots();
+        let shown = if top == 0 {
+            rows.len()
+        } else {
+            top.min(rows.len())
+        };
+        for &(pc, row) in &rows[..shown] {
+            let cycles = row.attributed_cycles();
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * cycles as f64 / total as f64
+            };
+            let cause = match row.hottest_cause() {
+                Some((c, n)) => format!("{} ({n})", c.name()),
+                None => "-".to_string(),
+            };
+            let source = resolve(row.instr_index)
+                .map(|(loc, text)| format!("{loc}: {text}"))
+                .unwrap_or_else(|| match row.instr {
+                    Some(i) => format!("<instr #{}> {i}", row.instr_index),
+                    None => format!("<instr #{}>", row.instr_index),
+                });
+            let _ = writeln!(
+                out,
+                "{cycles:>8} {pct:>5.1}%  {:>6} {:>6} {:>6} {:>5}  {cause:<18} {pc:#09x} {source}",
+                row.completions,
+                row.stall_cycles(),
+                row.elements,
+                row.dcache_misses,
+            );
+        }
+        if shown < rows.len() {
+            let _ = writeln!(out, "     ... {} more PCs", rows.len() - shown);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "stall cycles by cause:");
+        let mut any = false;
+        for &cause in &StallCause::ALL {
+            let n = self.total_stalls(cause);
+            if n > 0 {
+                let _ = write!(out, " {} {n}", cause.name());
+                any = true;
+            }
+        }
+        if !any {
+            let _ = write!(out, " none");
+        }
+        let _ = writeln!(out);
+        let (sb, drain) = (self.total_scoreboard_stalls(), self.total_drain());
+        let _ = writeln!(
+            out,
+            "fpu: {} elements ({} flops), {} scoreboard stall cycles, {} drain cycles",
+            self.total_elements(),
+            self.total_flops(),
+            sb,
+            drain
+        );
+        out
+    }
+}
+
+impl EventSink for Profiler {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev.kind {
+            EventKind::Transfer {
+                pc, instr_index, ..
+            } => self.row(pc, instr_index).transfers += 1,
+            EventKind::ElementIssue {
+                pc,
+                instr_index,
+                op,
+                ..
+            } => {
+                let row = self.row(pc, instr_index);
+                row.elements += 1;
+                if op.is_flop() {
+                    row.flops += 1;
+                }
+            }
+            EventKind::ElementRetire { .. } => self.element_retires += 1,
+            EventKind::LoadRetire { .. } => self.load_retires += 1,
+            EventKind::OverflowAbort { squashed, .. } => {
+                self.overflow_aborts += 1;
+                self.elements_squashed += squashed;
+            }
+            EventKind::DcacheAccess {
+                pc,
+                instr_index,
+                miss,
+                ..
+            } => {
+                let row = self.row(pc, instr_index);
+                row.dcache_accesses += 1;
+                row.dcache_misses += miss as u64;
+            }
+            EventKind::CpuComplete {
+                pc,
+                instr_index,
+                instr,
+            } => {
+                let row = self.row(pc, instr_index);
+                row.completions += 1;
+                row.instr.get_or_insert(instr);
+            }
+            EventKind::Stall {
+                pc,
+                instr_index,
+                cause,
+                cycles,
+            } => self.row(pc, instr_index).stalls[cause.index()] += cycles,
+            EventKind::ScoreboardStall { pc, instr_index } => {
+                self.row(pc, instr_index).scoreboard_stalls += 1
+            }
+            EventKind::Drain { pc, instr_index } => self.row(pc, instr_index).drain += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_fparith::FpOp;
+    use mt_isa::fpu::ElementRefs;
+    use mt_isa::FReg;
+
+    fn refs() -> ElementRefs {
+        ElementRefs {
+            rr: FReg::new(2),
+            ra: FReg::new(0),
+            rb: FReg::new(1),
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 0,
+                kind: EventKind::CpuComplete {
+                    pc: 0x1_0000,
+                    instr_index: 0,
+                    instr: Instr::Nop,
+                },
+            },
+            TraceEvent {
+                cycle: 1,
+                kind: EventKind::Stall {
+                    pc: 0x1_0004,
+                    instr_index: 1,
+                    cause: StallCause::LsPortBusy,
+                    cycles: 2,
+                },
+            },
+            TraceEvent {
+                cycle: 3,
+                kind: EventKind::ElementIssue {
+                    pc: 0x1_0004,
+                    instr_index: 1,
+                    op: FpOp::Add,
+                    element: 0,
+                    refs: refs(),
+                    latency: 3,
+                },
+            },
+            TraceEvent {
+                cycle: 4,
+                kind: EventKind::CpuComplete {
+                    pc: 0x1_0004,
+                    instr_index: 1,
+                    instr: Instr::Halt,
+                },
+            },
+            TraceEvent {
+                cycle: 5,
+                kind: EventKind::Drain {
+                    pc: 0x1_0004,
+                    instr_index: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_events_into_rows() {
+        let p = Profiler::from_events(&sample_events());
+        assert_eq!(p.total_cycles(), 5, "2 completions + 2 stall + 1 drain");
+        assert_eq!(p.total_completions(), 2);
+        assert_eq!(p.total_stalls(StallCause::LsPortBusy), 2);
+        assert_eq!(p.total_elements(), 1);
+        assert_eq!(p.total_flops(), 1);
+        let hot = p.hot_spots();
+        assert_eq!(hot[0].0, 0x1_0004, "the stalled PC is hottest");
+        assert_eq!(hot[0].1.attributed_cycles(), 4);
+        assert_eq!(hot[0].1.hottest_cause(), Some((StallCause::LsPortBusy, 2)));
+    }
+
+    #[test]
+    fn report_is_deterministic_and_resolves_spans() {
+        let p = Profiler::from_events(&sample_events());
+        let resolve =
+            |idx: u32| (idx == 1).then(|| ("k.s:7".to_string(), "fadd R2, R0, R1".to_string()));
+        let a = p.report("k.s", 0, &resolve);
+        let b = p.report("k.s", 0, &resolve);
+        assert_eq!(a, b);
+        assert!(a.contains("hot spots — k.s: 5 cycles"));
+        assert!(a.contains("k.s:7: fadd R2, R0, R1"));
+        assert!(a.contains("ls-port 2"));
+        assert!(a.contains("<instr #0> nop"), "fallback disassembly: {a}");
+    }
+
+    #[test]
+    fn top_truncates_but_notes_the_rest() {
+        let p = Profiler::from_events(&sample_events());
+        let r = p.report("k.s", 1, &|_| None);
+        assert!(r.contains("... 1 more PCs"));
+    }
+}

@@ -33,7 +33,12 @@
 //! * [`lint`] — the ahead-of-time static analyzer: the §2.3.2 ordering
 //!   rule (provable violations and possible hazards), register dataflow
 //!   over the 52-register file + PSW, and structural checks, surfaced as
-//!   `mtasm lint`.
+//!   `mtasm lint`;
+//! * [`trace`] — the observability layer: the typed per-cycle event
+//!   stream ([`trace::EventSink`]), the per-PC cycle-attribution
+//!   profiler, the cross-kernel metrics registry, and the Chrome
+//!   trace-event / JSON exporters behind `mtasm profile` and the
+//!   `repro-*` binaries' `--json` flags.
 //!
 //! # Quickstart
 //!
@@ -78,3 +83,4 @@ pub use mt_lint as lint;
 pub use mt_mahler as mahler;
 pub use mt_mem as mem;
 pub use mt_sim as sim;
+pub use mt_trace as trace;

@@ -1,0 +1,233 @@
+//! Observability invariants over every shipped workload.
+//!
+//! Three promises the tracing layer makes are asserted here end to end:
+//!
+//! 1. **Cycle accounting** — for a plain run-to-halt, every cycle either
+//!    completes a CPU instruction, is charged to exactly one stall cause,
+//!    or drains the FPU: `instructions + stalls.total() + drain_cycles ==
+//!    cycles`, for every kernel and shipped assembly example, cold and
+//!    warm.
+//! 2. **Profiler/aggregate agreement** — folding the event stream into
+//!    the per-PC profiler and summing back reproduces the aggregate
+//!    `RunStats` counters exactly: same cycles, same per-cause stalls,
+//!    same element/flop/transfer counts.
+//! 3. **Determinism** — two identical runs produce byte-identical event
+//!    streams, profiler reports, and Chrome trace exports, and the
+//!    Chrome export is valid JSON with monotonically non-decreasing
+//!    timestamps.
+
+use multititan::asm::parse;
+use multititan::kernels::{
+    gather, graphics, linpack, livermore, reductions, run_kernel_recorded, Kernel,
+};
+use multititan::sim::{Machine, RunStats, SimConfig};
+use multititan::trace::{chrome, json, Profiler, StallCause, TraceEvent};
+
+/// Every kernel the repo ships: the 24 Livermore loops, Linpack (small n
+/// to keep the debug-build run fast; the protocol is what matters), and
+/// the figure kernels.
+fn shipped_kernels() -> Vec<Kernel> {
+    let mut ks = livermore::all();
+    ks.push(linpack::linpack(10, false));
+    ks.push(linpack::linpack(10, true));
+    ks.push(reductions::scalar_tree_sum());
+    ks.push(reductions::linear_vector_sum());
+    ks.push(reductions::vector_tree_sum());
+    ks.push(reductions::fibonacci(8));
+    ks.push(gather::fixed_stride(2));
+    ks.push(gather::linked_list());
+    ks.push(graphics::transform_points(64));
+    ks
+}
+
+/// Asserts both invariants for one measured pass.
+fn check_pass(what: &str, stats: &RunStats, events: &[TraceEvent]) {
+    assert_eq!(
+        stats.accounted_cycles(),
+        stats.cycles,
+        "{what}: accounting — {} instructions + {} stalls + {} drain != {} cycles",
+        stats.instructions,
+        stats.stalls.total(),
+        stats.drain_cycles,
+        stats.cycles
+    );
+
+    let p = Profiler::from_events(events);
+    assert_eq!(p.total_cycles(), stats.cycles, "{what}: profiler cycles");
+    assert_eq!(
+        p.total_completions(),
+        stats.instructions,
+        "{what}: profiler completions"
+    );
+    let by_cause = [
+        (StallCause::IrBusy, stats.stalls.ir_busy),
+        (StallCause::LsPortBusy, stats.stalls.ls_port_busy),
+        (StallCause::FpuRegHazard, stats.stalls.fpu_reg_hazard),
+        (StallCause::IntLoadHazard, stats.stalls.int_load_hazard),
+        (StallCause::Fetch, stats.stalls.fetch),
+        (StallCause::DataMiss, stats.stalls.data_miss),
+        (StallCause::Branch, stats.stalls.branch),
+    ];
+    for (cause, want) in by_cause {
+        assert_eq!(p.total_stalls(cause), want, "{what}: stalls[{cause}]");
+    }
+    assert_eq!(
+        p.total_elements(),
+        stats.fpu.elements_issued,
+        "{what}: elements"
+    );
+    assert_eq!(p.total_flops(), stats.fpu.flops, "{what}: flops");
+    assert_eq!(
+        p.total_transfers(),
+        stats.fpu.instructions_transferred,
+        "{what}: transfers"
+    );
+    assert_eq!(
+        p.total_scoreboard_stalls(),
+        stats.fpu.scoreboard_stall_cycles,
+        "{what}: scoreboard stalls"
+    );
+    assert_eq!(p.total_drain(), stats.drain_cycles, "{what}: drain");
+    assert_eq!(
+        p.total_dcache_misses(),
+        stats.dcache.misses,
+        "{what}: dcache misses"
+    );
+    assert_eq!(
+        p.total_dcache_accesses(),
+        stats.dcache.hits + stats.dcache.misses,
+        "{what}: dcache accesses"
+    );
+    assert_eq!(
+        p.elements_squashed(),
+        stats.fpu.elements_squashed,
+        "{what}: squashed elements"
+    );
+}
+
+#[test]
+fn accounting_and_profiler_agree_on_every_shipped_kernel() {
+    for kernel in shipped_kernels() {
+        let t = run_kernel_recorded(&kernel, SimConfig::default()).unwrap();
+        check_pass(
+            &format!("{} (cold)", t.report.name),
+            &t.report.cold,
+            &t.cold_events,
+        );
+        check_pass(
+            &format!("{} (warm)", t.report.name),
+            &t.report.warm,
+            &t.warm_events,
+        );
+    }
+}
+
+/// Runs one shipped `.s` example, recording the event stream.
+fn run_example(path: &str) -> (RunStats, Vec<TraceEvent>) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let program = parse(&src, 0x1_0000).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&program);
+    m.warm_instructions(&program);
+    let mut events = Vec::new();
+    let stats = m
+        .run_with_sink(&mut events)
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
+    (stats, events)
+}
+
+#[test]
+fn accounting_and_profiler_agree_on_every_shipped_example() {
+    for entry in std::fs::read_dir("examples/asm").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("s") {
+            continue;
+        }
+        let path = path.display().to_string();
+        let (stats, events) = run_example(&path);
+        check_pass(&path, &stats, &events);
+    }
+}
+
+#[test]
+fn trace_profile_and_export_are_deterministic() {
+    let kernel = || livermore::by_number(3); // inner product: vectors + reduction
+    let a = run_kernel_recorded(&kernel(), SimConfig::default()).unwrap();
+    let b = run_kernel_recorded(&kernel(), SimConfig::default()).unwrap();
+    assert_eq!(a.cold_events, b.cold_events, "cold event streams differ");
+    assert_eq!(a.warm_events, b.warm_events, "warm event streams differ");
+
+    let resolve = |_: u32| -> Option<(String, String)> { None };
+    let report_a = Profiler::from_events(&a.warm_events).report("golden", 0, &resolve);
+    let report_b = Profiler::from_events(&b.warm_events).report("golden", 0, &resolve);
+    assert_eq!(report_a, report_b, "profiler reports differ byte-for-byte");
+
+    assert_eq!(
+        chrome::trace_string(&a.warm_events),
+        chrome::trace_string(&b.warm_events),
+        "chrome exports differ byte-for-byte"
+    );
+}
+
+#[test]
+fn chrome_export_of_a_real_kernel_is_well_formed() {
+    let t = run_kernel_recorded(&livermore::by_number(7), SimConfig::default()).unwrap();
+    let text = chrome::trace_string(&t.warm_events);
+    let doc = json::parse(&text).expect("chrome export parses as JSON");
+    let events = doc.get("traceEvents").expect("traceEvents array").items();
+    assert!(!events.is_empty(), "export has events");
+    let mut last_ts = 0.0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(
+            matches!(ph, "X" | "M" | "i"),
+            "unexpected phase {ph:?} in export"
+        );
+        assert!(ev.get("name").is_some(), "every event is named");
+        if ph == "M" {
+            continue; // metadata records carry no timestamp
+        }
+        let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts >= last_ts, "timestamps are monotone: {ts} < {last_ts}");
+        last_ts = ts;
+    }
+}
+
+#[test]
+fn rate_metrics_handle_edge_cases() {
+    // A zero-cycle run reports zero rates rather than dividing by zero.
+    let zero = RunStats::default();
+    assert_eq!(zero.mflops(), 0.0);
+    assert_eq!(zero.ipc(), 0.0);
+    assert_eq!(zero.ops_per_cycle(), 0.0);
+
+    // A cycle count without FPU work: IPC counts CPU completions only,
+    // ops/cycle adds FPU elements, MFLOPS only counts arithmetic.
+    let mut stats = RunStats {
+        cycles: 100,
+        instructions: 50,
+        ..RunStats::default()
+    };
+    assert_eq!(stats.mflops(), 0.0, "loads/stores are not FLOPs");
+    assert!((stats.ipc() - 0.5).abs() < 1e-12);
+    assert!((stats.ops_per_cycle() - 0.5).abs() < 1e-12);
+
+    stats.fpu.elements_issued = 100;
+    stats.fpu.flops = 100;
+    assert!((stats.ops_per_cycle() - 1.5).abs() < 1e-12);
+    // 100 flops over 100 cycles at 40 ns = 25 MFLOPS.
+    assert!((stats.mflops() - 25.0).abs() < 1e-9);
+
+    // The paper's peak: two operations per cycle.
+    let peak = RunStats {
+        cycles: 100,
+        instructions: 100,
+        fpu: multititan::core::FpuStats {
+            elements_issued: 100,
+            flops: 100,
+            ..Default::default()
+        },
+        ..RunStats::default()
+    };
+    assert!((peak.ops_per_cycle() - 2.0).abs() < 1e-12);
+}
