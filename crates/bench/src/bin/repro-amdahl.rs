@@ -57,15 +57,14 @@ fn main() {
     // Fig. 11 model at the MultiTitan's ratio of 2.
     println!("Effective vectorization fits (measured warm MFLOPS, ratio-2 model):");
     let full = mt_bench::livermore_mflops();
-    let serialized: Vec<f64> = (1..=24)
-        .map(|n| {
-            let cfg = mt_sim::SimConfig {
-                serialized_issue: true,
-                ..mt_sim::SimConfig::default()
-            };
-            mt_bench::run_with(&mt_kernels::livermore::by_number(n), cfg).mflops_warm()
-        })
-        .collect();
+    let loops: Vec<u8> = (1..=24).collect();
+    let serialized = mt_bench::sweep::sweep(&loops, |&n| {
+        let cfg = mt_sim::SimConfig {
+            serialized_issue: true,
+            ..mt_sim::SimConfig::default()
+        };
+        mt_bench::run_with(&mt_kernels::livermore::by_number(n), cfg).mflops_warm()
+    });
     let warm: Vec<f64> = full.iter().map(|&(_, _, w)| w).collect();
     for (label, range) in [
         ("loops 1-12 ", 0..12),
@@ -92,12 +91,12 @@ fn json_report() {
         serialized_issue: true,
         ..mt_sim::SimConfig::default()
     };
-    let mut serialized = Vec::new();
-    for n in 1..=24u8 {
+    let loops: Vec<u8> = (1..=24).collect();
+    let serialized = mt_bench::sweep::sweep(&loops, |&n| {
         let mut r = mt_bench::run_with(&mt_kernels::livermore::by_number(n), cfg.clone());
         r.name.push_str(" [serialized issue]");
-        serialized.push(r);
-    }
+        r
+    });
     let mut doc = mt_bench::json::bench_json("amdahl", &serialized);
 
     let curves: Vec<Json> = figure_11_curves()

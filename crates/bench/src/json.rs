@@ -20,6 +20,9 @@ fn cache_json(c: &CacheStats) -> Json {
         ("hits", Json::U64(c.hits)),
         ("misses", Json::U64(c.misses)),
         ("writebacks", Json::U64(c.writebacks)),
+        // `null` for a cache that served no accesses: an untouched cache
+        // has no hit ratio (it used to read as a perfect 1.0).
+        ("hit_ratio", c.hit_ratio().map_or(Json::Null, Json::F64)),
     ])
 }
 
@@ -113,5 +116,23 @@ mod tests {
         assert!(warm.get("cycles").unwrap().as_f64().unwrap() > 0.0);
         let stalls = warm.get("stalls").unwrap();
         assert!(stalls.get("total").is_some());
+    }
+
+    #[test]
+    fn untouched_cache_reports_null_hit_ratio() {
+        let untouched = cache_json(&CacheStats::default());
+        assert!(
+            untouched.pretty().contains("\"hit_ratio\": null"),
+            "no accesses → null, not a perfect 1.0: {}",
+            untouched.pretty()
+        );
+        let touched = cache_json(&CacheStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        });
+        let parsed = mt_trace::json::parse(&touched.pretty()).unwrap();
+        let ratio = parsed.get("hit_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 0.75).abs() < 1e-12);
     }
 }

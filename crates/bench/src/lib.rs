@@ -9,6 +9,7 @@
 //! who wins, by roughly what factor, and where the crossovers sit.
 
 pub mod json;
+pub mod sweep;
 
 use mt_kernels::{harness, livermore, Kernel, KernelReport};
 use mt_sim::SimConfig;
@@ -24,14 +25,22 @@ pub fn run_with(kernel: &Kernel, config: SimConfig) -> KernelReport {
     harness::run_kernel_with(kernel, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Measured cold/warm MFLOPS for all 24 Livermore loops, in order.
+/// Measured cold/warm MFLOPS for all 24 Livermore loops, in order
+/// (simulated in parallel across cores; results are deterministic).
 pub fn livermore_mflops() -> Vec<(u8, f64, f64)> {
-    (1..=24)
-        .map(|n| {
-            let report = run(&livermore::by_number(n));
-            (n, report.mflops_cold(), report.mflops_warm())
-        })
-        .collect()
+    let loops: Vec<u8> = (1..=24).collect();
+    sweep::sweep(&loops, |&n| {
+        let report = run(&livermore::by_number(n));
+        (n, report.mflops_cold(), report.mflops_warm())
+    })
+}
+
+/// All 24 Livermore loop reports under the default configuration,
+/// simulated in parallel (deterministic input order, as [`sweep::sweep`]
+/// guarantees — `BENCH_sim.json` is built from this).
+pub fn livermore_reports() -> Vec<KernelReport> {
+    let loops: Vec<u8> = (1..=24).collect();
+    sweep::sweep(&loops, |&n| run(&livermore::by_number(n)))
 }
 
 /// Formats one row of a fixed-width table.

@@ -25,12 +25,17 @@ pub struct ActiveVector {
     /// Identifier tying issued elements back to this instruction (used by
     /// the overflow-abort squash).
     pub id: u64,
+    /// Registers of the next element, precomputed at load/advance — this
+    /// is the "incremented register fields" the IR literally holds, and
+    /// the issue stage and hazard checks read it several times per cycle.
+    refs: ElementRefs,
 }
 
 impl ActiveVector {
     /// Registers of the next element to issue.
+    #[inline]
     pub fn current_refs(&self) -> ElementRefs {
-        self.instr.element(self.next_element)
+        self.refs
     }
 
     /// Elements not yet issued (including the current one).
@@ -54,11 +59,13 @@ impl AluIr {
 
     /// Returns `true` while an instruction occupies the IR (the CPU must
     /// stall any new FPU ALU transfer).
+    #[inline]
     pub fn occupied(&self) -> bool {
         self.active.is_some()
     }
 
     /// The instruction currently in the IR, if any.
+    #[inline]
     pub fn active(&self) -> Option<&ActiveVector> {
         self.active.as_ref()
     }
@@ -77,6 +84,7 @@ impl AluIr {
             instr,
             next_element: 0,
             id,
+            refs: instr.element(0),
         });
         id
     }
@@ -88,12 +96,15 @@ impl AluIr {
     /// # Panics
     ///
     /// Panics if the IR is empty.
+    #[inline]
     pub fn advance(&mut self) -> u8 {
         let a = self.active.as_mut().expect("advance on empty ALU IR");
         let issued = a.next_element;
         a.next_element += 1;
         if a.next_element == a.instr.vl {
             self.active = None;
+        } else {
+            a.refs = a.instr.element(a.next_element);
         }
         issued
     }

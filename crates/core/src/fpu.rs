@@ -136,7 +136,7 @@ impl Fpu {
     /// an overflow abort emits [`EventKind::OverflowAbort`] carrying the
     /// number of squashed elements.
     pub fn begin_cycle_with<S: EventSink>(&mut self, cycle: u64, sink: &mut S) {
-        for retired in self.pipeline.take_ready(cycle) {
+        while let Some(retired) = self.pipeline.pop_ready(cycle) {
             self.regs.write(retired.dest, retired.value);
             self.scoreboard.clear(retired.dest);
             self.psw.accumulate(retired.flags);
@@ -261,6 +261,7 @@ impl Fpu {
 
     /// Returns `true` if an outstanding operation will write `r` — the
     /// memory-port scoreboard check ("1 read for loads and stores").
+    #[inline]
     pub fn reg_reserved(&self, r: FReg) -> bool {
         self.scoreboard.is_reserved(r)
     }
@@ -338,6 +339,7 @@ impl Fpu {
     }
 
     /// Returns `true` while the ALU IR is occupied (a transfer would stall).
+    #[inline]
     pub fn ir_busy(&self) -> bool {
         self.ir.occupied()
     }
@@ -362,6 +364,42 @@ impl Fpu {
     /// Number of operations in the functional-unit pipelines.
     pub fn in_flight(&self) -> usize {
         self.pipeline.len()
+    }
+
+    /// The earliest cycle at which an in-flight write will retire, if any —
+    /// the FPU-side event horizon the simulator's quiescent fast-forward
+    /// must not jump past (retirement order and PSW accumulation depend on
+    /// [`Fpu::begin_cycle`] running at exactly that cycle).
+    #[inline]
+    pub fn next_retire_at(&self) -> Option<u64> {
+        self.pipeline.next_ready_at()
+    }
+
+    /// Whether the IR's current element would be scoreboard-blocked if it
+    /// tried to issue this cycle; `None` when the IR is empty. A
+    /// side-effect-free probe of exactly the interlock [`Fpu::issue`]
+    /// applies — the simulator's quiescent fast-forward uses it to decide
+    /// whether the issue stage pins the simulation to per-cycle stepping.
+    #[inline]
+    pub fn issue_blocked(&self) -> Option<bool> {
+        let active = self.ir.active()?;
+        let refs = active.current_refs();
+        let op = active.instr.op;
+        Some(
+            self.scoreboard.is_reserved(refs.ra)
+                || (!op.is_unary() && self.scoreboard.is_reserved(refs.rb))
+                || self.scoreboard.is_reserved(refs.rr),
+        )
+    }
+
+    /// Adds `n` synthesized scoreboard-stall cycles: the quiescent
+    /// fast-forward's accounting for skipped cycles in which the IR would
+    /// have retried its blocked element and stalled again. The reservations
+    /// that block it clear only at a retirement, so the caller must have
+    /// clamped the skipped span to [`Fpu::next_retire_at`].
+    #[inline]
+    pub fn add_scoreboard_stalls(&mut self, n: u64) {
+        self.stats.scoreboard_stall_cycles += n;
     }
 }
 

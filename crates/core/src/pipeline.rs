@@ -43,10 +43,13 @@ pub struct InFlight {
 /// A retirement delivered by [`Pipeline::take_ready`].
 pub type Retired = InFlight;
 
-/// The in-flight write queue.
+/// The in-flight write queue, kept sorted by `(ready_at, issue order)`:
+/// pushes insert in place (almost always at the back — a newly issued
+/// operation usually completes last), so the per-cycle retire check is a
+/// single compare against the front and retirement is a pop.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
-    in_flight: Vec<InFlight>,
+    in_flight: std::collections::VecDeque<InFlight>,
 }
 
 impl Pipeline {
@@ -55,25 +58,44 @@ impl Pipeline {
         Pipeline::default()
     }
 
-    /// Inserts a newly issued operation.
+    /// Inserts a newly issued operation, keeping the queue sorted by
+    /// `ready_at` with ties in issue order (insertion after every earlier
+    /// operation with the same `ready_at`).
+    #[inline]
     pub fn push(&mut self, op: InFlight) {
-        self.in_flight.push(op);
+        let pos = self
+            .in_flight
+            .iter()
+            .rposition(|q| q.ready_at <= op.ready_at)
+            .map_or(0, |i| i + 1);
+        if pos == self.in_flight.len() {
+            self.in_flight.push_back(op);
+        } else {
+            self.in_flight.insert(pos, op);
+        }
     }
 
     /// Removes and returns every operation whose result is visible at
     /// `cycle`, in issue order.
     pub fn take_ready(&mut self, cycle: u64) -> Vec<Retired> {
         let mut ready: Vec<InFlight> = Vec::new();
-        self.in_flight.retain(|op| {
-            if op.ready_at <= cycle {
-                ready.push(*op);
-                false
-            } else {
-                true
-            }
-        });
-        ready.sort_by_key(|op| op.ready_at);
+        while let Some(op) = self.pop_ready(cycle) {
+            ready.push(op);
+        }
         ready
+    }
+
+    /// Removes and returns the next operation whose result is visible at
+    /// `cycle`: the earliest `ready_at`, ties broken by issue order — the
+    /// front of the sorted queue. The simulator's per-cycle retire loop
+    /// uses this directly so the common cycles (zero or one retirement)
+    /// cost one compare and never touch the allocator.
+    #[inline]
+    pub fn pop_ready(&mut self, cycle: u64) -> Option<Retired> {
+        if self.in_flight.front()?.ready_at > cycle {
+            return None;
+        }
+        self.in_flight.pop_front()
     }
 
     /// Squashes in-flight ALU elements of instruction `instr_id` with
@@ -109,8 +131,9 @@ impl Pipeline {
 
     /// The earliest cycle at which something will retire, if anything is in
     /// flight (used by the simulator to fast-forward drain periods).
+    #[inline]
     pub fn next_ready_at(&self) -> Option<u64> {
-        self.in_flight.iter().map(|op| op.ready_at).min()
+        self.in_flight.front().map(|op| op.ready_at)
     }
 }
 

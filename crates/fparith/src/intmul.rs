@@ -17,14 +17,17 @@ use crate::mul::significand_product;
 /// assert!(exc.is_empty());
 /// ```
 pub fn int_multiply(a: u64, b: u64) -> (u64, Exceptions) {
-    let full = significand_product(a, b);
-    let low = full as u64;
+    // The compressor tree ([`significand_product`]) is property-tested
+    // bit-equal to the plain product; the hot path takes the plain one.
+    debug_assert_eq!(
+        significand_product(a, b) as u64,
+        a.wrapping_mul(b),
+        "tree product must match low bits"
+    );
 
-    // Signed interpretation: the unsigned tree product differs from the
-    // signed product by correction terms for negative operands.
     let (sa, sb) = (a as i64, b as i64);
     let wide = (sa as i128) * (sb as i128);
-    debug_assert_eq!(wide as u64, low, "tree product must match low bits");
+    let low = wide as u64;
     let overflows = wide != (wide as i64) as i128;
     let flags = if overflows {
         Exceptions::OVERFLOW

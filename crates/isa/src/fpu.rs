@@ -160,6 +160,7 @@ impl FpuAluInstr {
     /// # Panics
     ///
     /// Panics if `i >= vl`.
+    #[inline]
     pub fn element(&self, i: u8) -> ElementRefs {
         assert!(
             i < self.vl,

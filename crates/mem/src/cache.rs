@@ -84,25 +84,28 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Hit ratio in `[0, 1]`; 1.0 for an untouched cache.
-    pub fn hit_ratio(&self) -> f64 {
+    /// Hit ratio in `[0, 1]`, or `None` for an untouched cache — a cache
+    /// that served no accesses has no ratio, and reporting `1.0` let a
+    /// kernel that never touched the dcache claim a perfect hit rate.
+    pub fn hit_ratio(&self) -> Option<f64> {
         if self.accesses() == 0 {
-            1.0
+            None
         } else {
-            self.hits as f64 / self.accesses() as f64
+            Some(self.hits as f64 / self.accesses() as f64)
         }
     }
 }
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ratio = match self.hit_ratio() {
+            Some(r) => format!("{:.1}% hit", r * 100.0),
+            None => "- hit".to_string(),
+        };
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit), {} writebacks",
-            self.hits,
-            self.misses,
-            self.hit_ratio() * 100.0,
-            self.writebacks
+            "{} hits / {} misses ({ratio}), {} writebacks",
+            self.hits, self.misses, self.writebacks
         )
     }
 }
@@ -127,6 +130,12 @@ pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,
     stats: CacheStats,
+    /// `log2(line_bytes)` — the model is on the simulator's per-access hot
+    /// path, so index/tag extraction uses shifts and masks, not divisions.
+    line_shift: u32,
+    /// `log2(lines)` when the line count is a power of two (always, for
+    /// the paper's geometries); odd line counts fall back to div/mod.
+    index_shift: Option<u32>,
 }
 
 impl Cache {
@@ -148,6 +157,24 @@ impl Cache {
             config,
             lines: vec![Line::default(); config.lines() as usize],
             stats: CacheStats::default(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            index_shift: config
+                .lines()
+                .is_power_of_two()
+                .then(|| config.lines().trailing_zeros()),
+        }
+    }
+
+    /// Splits an address into (line index, tag).
+    #[inline]
+    fn index_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line_addr = addr >> self.line_shift;
+        match self.index_shift {
+            Some(s) => ((line_addr & ((1 << s) - 1)) as usize, line_addr >> s),
+            None => (
+                (line_addr % self.config.lines()) as usize,
+                line_addr / self.config.lines(),
+            ),
         }
     }
 
@@ -163,10 +190,9 @@ impl Cache {
 
     /// Performs one access and returns the stall penalty in cycles
     /// (0 on hit, `miss_penalty` on miss).
+    #[inline]
     pub fn access(&mut self, addr: u32, kind: AccessKind) -> u64 {
-        let line_addr = addr / self.config.line_bytes;
-        let index = (line_addr % self.config.lines()) as usize;
-        let tag = line_addr / self.config.lines();
+        let (index, tag) = self.index_and_tag(addr);
         let line = &mut self.lines[index];
 
         if line.valid && line.tag == tag {
@@ -191,9 +217,7 @@ impl Cache {
 
     /// Returns `true` if the line containing `addr` is resident.
     pub fn probe(&self, addr: u32) -> bool {
-        let line_addr = addr / self.config.line_bytes;
-        let index = (line_addr % self.config.lines()) as usize;
-        let tag = line_addr / self.config.lines();
+        let (index, tag) = self.index_and_tag(addr);
         self.lines[index].valid && self.lines[index].tag == tag
     }
 
@@ -295,12 +319,18 @@ mod tests {
     #[test]
     fn hit_ratio() {
         let mut c = small();
-        assert_eq!(c.stats().hit_ratio(), 1.0);
+        assert_eq!(c.stats().hit_ratio(), None, "untouched cache has no ratio");
+        assert!(
+            c.stats().to_string().contains("(- hit)"),
+            "untouched cache displays '-': {}",
+            c.stats()
+        );
         c.access(0, AccessKind::Read);
         c.access(0, AccessKind::Read);
         c.access(0, AccessKind::Read);
         c.access(0, AccessKind::Read);
-        assert_eq!(c.stats().hit_ratio(), 0.75);
+        assert_eq!(c.stats().hit_ratio(), Some(0.75));
+        assert!(c.stats().to_string().contains("(75.0% hit)"));
     }
 
     #[test]

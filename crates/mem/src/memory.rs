@@ -16,20 +16,49 @@ use std::fmt;
 /// ```
 #[derive(Clone)]
 pub struct Memory {
+    /// Physical backing, grown lazily on first write: a fresh `Memory` is
+    /// all zeros, so pages never written need no storage. Simulations
+    /// create many short-lived machines (one per kernel per sweep point),
+    /// and eagerly zeroing megabytes per machine dominated their setup.
     bytes: Vec<u8>,
+    /// Logical size in bytes — the address-space bound accesses are
+    /// checked against, independent of how much backing exists.
+    size: usize,
+    /// Watched range `[start, end)` and the count of writes that touched
+    /// it — lets the simulator prove its program text unmodified (any
+    /// write path, including direct workload pokes, lands here).
+    watch: (u32, u32),
+    watch_writes: u64,
 }
 
 impl Memory {
-    /// Allocates `size` bytes of zeroed memory.
+    /// Creates `size` bytes of zeroed memory (backing allocated on first
+    /// write).
     pub fn new(size: usize) -> Memory {
         Memory {
-            bytes: vec![0; size],
+            bytes: Vec::new(),
+            size,
+            watch: (0, 0),
+            watch_writes: 0,
         }
+    }
+
+    /// Starts counting writes that overlap `[start, end)` (replacing any
+    /// previous watch). The simulator watches its text segment so fetches
+    /// can trust the predecoded table outright until a write lands there.
+    pub fn watch_range(&mut self, start: u32, end: u32) {
+        self.watch = (start, end);
+        self.watch_writes = 0;
+    }
+
+    /// Number of writes that have touched the watched range.
+    pub fn watch_writes(&self) -> u64 {
+        self.watch_writes
     }
 
     /// Memory size in bytes.
     pub fn size(&self) -> usize {
-        self.bytes.len()
+        self.size
     }
 
     #[track_caller]
@@ -39,10 +68,44 @@ impl Memory {
             "misaligned {len}-byte access at {addr:#010x}"
         );
         assert!(
-            (addr as usize + len as usize) <= self.bytes.len(),
+            (addr as usize + len as usize) <= self.size,
             "access at {addr:#010x} beyond memory size {:#x}",
-            self.bytes.len()
+            self.size
         );
+    }
+
+    /// Reads `N` bytes at `addr`; bytes beyond the written extent are the
+    /// zeros they have always been.
+    #[track_caller]
+    #[inline]
+    fn read_n<const N: usize>(&self, addr: u32) -> [u8; N] {
+        self.check(addr, N as u32);
+        let a = addr as usize;
+        if a + N <= self.bytes.len() {
+            self.bytes[a..a + N].try_into().unwrap()
+        } else {
+            let mut out = [0u8; N];
+            if a < self.bytes.len() {
+                let have = self.bytes.len() - a;
+                out[..have].copy_from_slice(&self.bytes[a..]);
+            }
+            out
+        }
+    }
+
+    /// Writes `N` bytes at `addr`, zero-extending the backing to cover it.
+    #[track_caller]
+    #[inline]
+    fn write_n<const N: usize>(&mut self, addr: u32, data: [u8; N]) {
+        self.check(addr, N as u32);
+        if addr < self.watch.1 && addr + N as u32 > self.watch.0 {
+            self.watch_writes += 1;
+        }
+        let a = addr as usize;
+        if a + N > self.bytes.len() {
+            self.bytes.resize(a + N, 0);
+        }
+        self.bytes[a..a + N].copy_from_slice(&data);
     }
 
     /// Reads a 32-bit word.
@@ -51,10 +114,9 @@ impl Memory {
     ///
     /// Panics on misaligned or out-of-bounds access.
     #[track_caller]
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
-        self.check(addr, 4);
-        let a = addr as usize;
-        u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap())
+        u32::from_le_bytes(self.read_n(addr))
     }
 
     /// Writes a 32-bit word.
@@ -63,10 +125,9 @@ impl Memory {
     ///
     /// Panics on misaligned or out-of-bounds access.
     #[track_caller]
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        self.check(addr, 4);
-        let a = addr as usize;
-        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        self.write_n(addr, value.to_le_bytes());
     }
 
     /// Reads a 64-bit word.
@@ -75,10 +136,9 @@ impl Memory {
     ///
     /// Panics on misaligned or out-of-bounds access.
     #[track_caller]
+    #[inline]
     pub fn read_u64(&self, addr: u32) -> u64 {
-        self.check(addr, 8);
-        let a = addr as usize;
-        u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap())
+        u64::from_le_bytes(self.read_n(addr))
     }
 
     /// Writes a 64-bit word.
@@ -87,10 +147,9 @@ impl Memory {
     ///
     /// Panics on misaligned or out-of-bounds access.
     #[track_caller]
+    #[inline]
     pub fn write_u64(&mut self, addr: u32, value: u64) {
-        self.check(addr, 8);
-        let a = addr as usize;
-        self.bytes[a..a + 8].copy_from_slice(&value.to_le_bytes());
+        self.write_n(addr, value.to_le_bytes());
     }
 
     /// Reads a double (bit pattern of [`Memory::read_u64`]).
@@ -125,7 +184,7 @@ impl Memory {
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Memory({} bytes)", self.bytes.len())
+        write!(f, "Memory({} bytes)", self.size)
     }
 }
 

@@ -66,12 +66,14 @@ impl MemorySystem {
     }
 
     /// Data read of a 64-bit double for the FPU; returns `(bits, penalty)`.
+    #[inline]
     pub fn load_f64(&mut self, addr: u32) -> (u64, u64) {
         let penalty = self.dcache.access(addr, AccessKind::Read);
         (self.memory.read_u64(addr), penalty)
     }
 
     /// Data write of a 64-bit double from the FPU; returns the penalty.
+    #[inline]
     pub fn store_f64(&mut self, addr: u32, bits: u64) -> u64 {
         let penalty = self.dcache.access(addr, AccessKind::Write);
         self.memory.write_u64(addr, bits);
@@ -79,12 +81,14 @@ impl MemorySystem {
     }
 
     /// Data read of a 32-bit integer word for the CPU.
+    #[inline]
     pub fn load_u32(&mut self, addr: u32) -> (u32, u64) {
         let penalty = self.dcache.access(addr, AccessKind::Read);
         (self.memory.read_u32(addr), penalty)
     }
 
     /// Data write of a 32-bit integer word from the CPU.
+    #[inline]
     pub fn store_u32(&mut self, addr: u32, value: u32) -> u64 {
         let penalty = self.dcache.access(addr, AccessKind::Write);
         self.memory.write_u32(addr, value);
@@ -95,11 +99,20 @@ impl MemorySystem {
     /// instruction cache. Returns `(word, penalty)` where the penalty
     /// accumulates both levels' misses.
     pub fn fetch(&mut self, addr: u32) -> (u32, u64) {
+        let penalty = self.fetch_timing(addr);
+        (self.memory.read_u32(addr), penalty)
+    }
+
+    /// The cache-path side effects and penalty of [`MemorySystem::fetch`]
+    /// without reading the word — for callers that can prove they already
+    /// hold the text at `addr` (the simulator's predecoded fast path).
+    #[inline]
+    pub fn fetch_timing(&mut self, addr: u32) -> u64 {
         let mut penalty = self.ibuffer.access(addr, AccessKind::Read);
         if penalty > 0 {
             penalty += self.icache.access(addr, AccessKind::Read);
         }
-        (self.memory.read_u32(addr), penalty)
+        penalty
     }
 
     /// Cold-start: invalidates all three caches (statistics survive; use

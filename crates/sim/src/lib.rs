@@ -55,7 +55,7 @@ pub mod timeline;
 pub mod timing;
 
 pub use machine::{Machine, RunError, SimConfig};
-pub use program::{DataSegment, Program};
+pub use program::{DataSegment, Program, DEFAULT_TEXT_BASE};
 pub use stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 pub use timeline::Timeline;
 pub use timing::IssueTiming;

@@ -40,6 +40,15 @@ pub struct SimConfig {
     pub full_range_interlock: bool,
     /// Record a per-cycle trace (expensive; debugging only).
     pub trace: bool,
+    /// Quiescent fast-forward: when the CPU is provably idle until a known
+    /// future cycle and the FPU has no event before it, jump straight to
+    /// that horizon instead of ticking through the gap. Cycle counts, stall
+    /// accounting, and architectural state are bit-identical either way
+    /// (`tests/hot_loop_equivalence.rs` proves it); the jump is skipped
+    /// automatically while an event sink is attached or
+    /// [`SimConfig::checked_ordering`] is on, so traces and lint replay are
+    /// unchanged. Disable only to measure the tick-by-tick loop itself.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -53,6 +62,7 @@ impl Default for SimConfig {
             serialized_issue: false,
             full_range_interlock: false,
             trace: false,
+            fast_forward: true,
         }
     }
 }
@@ -107,6 +117,18 @@ enum Exec {
     Halted,
 }
 
+/// Which CPU stall counter a fast-forwarded span charges per skipped
+/// cycle — the same counter the tick loop would have bumped.
+#[derive(Clone, Copy)]
+enum FfStall {
+    None,
+    Fetch,
+    IrBusy,
+    LsPortBusy,
+    IntLoadHazard,
+    FpuRegHazard,
+}
+
 /// One MultiTitan processor.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -147,6 +169,19 @@ pub struct Machine {
     violations: Vec<OrderingViolation>,
     trace_log: Vec<String>,
     trace_events: Vec<TraceEvent>,
+    /// Predecoded text side table, indexed by `(pc - text_base) / 4`: each
+    /// entry pairs the encoded word with its decoding, so a fetch whose
+    /// word still matches skips `Instr::decode`. Self-modifying text is
+    /// caught by the word comparison and falls back to the slow path.
+    decoded: Vec<Option<(u32, Instr)>>,
+    text_base: u32,
+    predecode_enabled: bool,
+    /// `true` while the CPU made no progress last cycle — the only state
+    /// in which a fast-forwardable span can be underway, so the run loop
+    /// probes [`Machine::fast_forward`] only then. Purely a probe gate:
+    /// skipping a probe just means stepping a cycle the jump would have
+    /// skipped, never a behavior change.
+    cpu_waiting: bool,
 }
 
 /// Forwards one event when the sink wants it. With [`NullSink`] the whole
@@ -188,6 +223,10 @@ impl Machine {
             violations: Vec::new(),
             trace_log: Vec::new(),
             trace_events: Vec::new(),
+            decoded: Vec::new(),
+            text_base: 0,
+            predecode_enabled: true,
+            cpu_waiting: true,
         }
     }
 
@@ -211,6 +250,27 @@ impl Machine {
         self.pc = program.base;
         self.entry = program.base;
         self.halted = false;
+        self.text_base = program.base;
+        self.decoded = if self.predecode_enabled {
+            program.predecode()
+        } else {
+            Vec::new()
+        };
+        // Watch the installed text: while no write has landed on it (by
+        // any path, including direct workload pokes at `mem.memory`), a
+        // fetch may trust the predecoded table without re-reading the
+        // word.
+        let text_end = program.base + 4 * program.words.len() as u32;
+        self.mem.memory.watch_range(program.base, text_end);
+    }
+
+    /// Disables the predecoded-text side table, forcing `Instr::decode` on
+    /// every dynamic fetch (the pre-PR-3 slow path). Only useful for
+    /// differential testing and for measuring the predecode win; results
+    /// are bit-identical either way.
+    pub fn disable_predecode(&mut self) {
+        self.predecode_enabled = false;
+        self.decoded = Vec::new();
     }
 
     /// Touches every text line through the instruction buffer and cache so
@@ -234,7 +294,8 @@ impl Machine {
         }
     }
 
-    /// The collected trace (populated when `config.trace` is set).
+    /// The collected trace of the most recent run (populated when
+    /// `config.trace` is set; cleared at the start of each run).
     pub fn trace_log(&self) -> &[String] {
         &self.trace_log
     }
@@ -253,7 +314,8 @@ impl Machine {
         Timeline::from_events(&self.trace_events, |_| None)
     }
 
-    /// The recorded event stream (populated when `config.trace` is set).
+    /// The recorded event stream of the most recent run (populated when
+    /// `config.trace` is set; cleared at the start of each run).
     pub fn trace_events(&self) -> &[TraceEvent] {
         &self.trace_events
     }
@@ -287,14 +349,18 @@ impl Machine {
         self.freeze_until = self.cycle;
         self.fetch_ready_at = self.cycle;
         self.int_ready = [0; 32];
+        self.cpu_waiting = true;
     }
 
     /// Runs from the current PC until `halt`, returning the statistics of
     /// this run (deltas — safe to call repeatedly for warm re-runs).
     ///
-    /// With `config.trace` set, every cycle's typed events are appended to
-    /// the internal buffer ([`Machine::trace_events`]); otherwise the run
-    /// loop monomorphizes over [`NullSink`] and emission costs nothing.
+    /// With `config.trace` set, every cycle's typed events are recorded in
+    /// the internal buffer ([`Machine::trace_events`]); the buffer and the
+    /// textual [`Machine::trace_log`] hold the *most recent* run only —
+    /// both are cleared at the start of each run, so a long-lived machine
+    /// neither grows without bound nor mixes runs. Otherwise the run loop
+    /// monomorphizes over [`NullSink`] and emission costs nothing.
     ///
     /// # Errors
     ///
@@ -304,6 +370,7 @@ impl Machine {
         if self.config.trace {
             // Move the buffer out so the borrow of `self` stays single.
             let mut buf = std::mem::take(&mut self.trace_events);
+            buf.clear();
             let result = self.run_with_sink(&mut buf);
             self.trace_events = buf;
             result
@@ -326,6 +393,16 @@ impl Machine {
         let dcache0 = self.mem.dcache_stats();
         let icache0 = self.mem.icache_stats();
         let ibuffer0 = self.mem.ibuffer_stats();
+        self.trace_log.clear();
+
+        // Fast-forward must not disturb the event stream (retire events
+        // land on exact cycles) or checked-mode diagnostics, so it arms
+        // only on untraced, unchecked runs.
+        let fast_forward =
+            self.config.fast_forward && !sink.enabled() && !self.config.checked_ordering;
+        // First cycle at which the tick loop would report CycleLimit; a
+        // jump may land there but never beyond.
+        let limit_cycle = start_cycle + self.config.max_cycles + 1;
 
         while !self.halted {
             if let Some(at) = self.interrupt_at {
@@ -337,6 +414,17 @@ impl Machine {
             }
             if self.cycle - start_cycle > self.config.max_cycles {
                 return Err(RunError::CycleLimit(self.config.max_cycles));
+            }
+            // Probe for a jump only while frozen or after a cycle the CPU
+            // made no progress — the only states a skippable span can be
+            // underway — so executing cycles never pay for the probe.
+            if fast_forward
+                && (self.cpu_waiting || self.cycle < self.freeze_until)
+                && self.fast_forward(limit_cycle)
+            {
+                // Jumped: re-run the interrupt and cycle-limit checks at
+                // the new cycle, exactly as the tick loop would have.
+                continue;
             }
             self.step(sink)?;
         }
@@ -400,6 +488,174 @@ impl Machine {
         })
     }
 
+    /// Quiescent fast-forward: if every cycle from now until a known
+    /// horizon would tick through without changing any architectural or
+    /// accounting state, jump `self.cycle` to the horizon directly,
+    /// synthesizing the per-cycle stall accounting the skipped ticks would
+    /// have accrued. Returns `true` if the cycle advanced.
+    ///
+    /// Four waits qualify:
+    ///
+    /// * **data-miss freeze** (`cycle < freeze_until`): the CPU and the
+    ///   issue stage are both gated off, so only FPU retirements can
+    ///   happen — and the jump is clamped to the next one;
+    /// * **branch bubble** (no pending instruction, fetch not ready): the
+    ///   bubble was charged in bulk at the branch; nothing accrues on the
+    ///   CPU side while it elapses;
+    /// * **fetch penalty** (pending instruction not ready): each elapsed
+    ///   cycle charges one fetch-stall cycle, synthesized here for the
+    ///   skipped span;
+    /// * **interlocked instruction** (pending instruction ready but
+    ///   blocked): the pending instruction retries and re-stalls every
+    ///   cycle on the same hazard until an event fast-forward never skips
+    ///   — an FPU retirement, `int_ready`, or `ls_free_at` — lifts it.
+    ///   [`Machine::pending_stall_horizon`] identifies the hazard by
+    ///   mirroring [`Machine::execute`]'s guard order and charges the
+    ///   matching stall counter once per skipped cycle.
+    ///
+    /// In the three non-frozen waits the issue stage also runs every
+    /// cycle: an IR that *would issue* pins the simulation to per-cycle
+    /// stepping (each issue is a scoreboard write), but a
+    /// scoreboard-*blocked* IR merely retries, so its per-cycle stall is
+    /// synthesized too. The reservations blocking it clear only at a
+    /// retirement, which the jump never skips.
+    ///
+    /// The jump is clamped to the pending external interrupt, the first
+    /// cycle at which the tick loop would abort with `CycleLimit`, and —
+    /// only when the wait itself can lapse at a retirement (a
+    /// scoreboard-blocked IR or an FPU register hazard) — the next FPU
+    /// retirement. Waits that are indifferent to retirements skip across
+    /// them: `begin_cycle` at the target retires the whole span's writes
+    /// in the same readiness order the tick loop would have.
+    fn fast_forward(&mut self, limit_cycle: u64) -> bool {
+        let mut cpu_stall = FfStall::None;
+        let mut ir_stalled = false;
+        let horizon = if self.cycle < self.freeze_until {
+            self.freeze_until
+        } else {
+            let h = match self.pending {
+                None if self.cycle < self.fetch_ready_at => self.fetch_ready_at,
+                None => return false,
+                Some(_) if self.cycle < self.pending_ready_at => {
+                    cpu_stall = FfStall::Fetch;
+                    self.pending_ready_at
+                }
+                Some(instr) => match self.pending_stall_horizon(instr) {
+                    Some((stall, h)) => {
+                        cpu_stall = stall;
+                        h
+                    }
+                    None => return false, // would execute this cycle
+                },
+            };
+            match self.fpu.issue_blocked() {
+                // A non-frozen cycle offers the IR an issue slot; each
+                // issue reserves a register, so it cannot be skipped.
+                Some(false) => return false,
+                Some(true) => ir_stalled = true,
+                None => {}
+            }
+            h
+        };
+        let mut target = horizon;
+        if ir_stalled || horizon == u64::MAX {
+            // The hazard waits on the scoreboard, so it can lapse at the
+            // next retirement: jump no further. (A scoreboard hazard also
+            // implies an in-flight write, so a retirement exists — and if
+            // one is already due this cycle, before `begin_cycle` has
+            // processed it, the clamp forces `target <= cycle` below and
+            // the tick loop re-evaluates with a fresh scoreboard.)
+            //
+            // All other waits are indifferent to retirements: the CPU and
+            // the issue stage observe nothing mid-span, and `pop_ready`
+            // retires strictly in readiness order, so processing the
+            // span's retirements in one `begin_cycle` at the target
+            // produces the same registers, scoreboard, and PSW as
+            // processing them cycle by cycle.
+            if let Some(retire) = self.fpu.next_retire_at() {
+                target = target.min(retire);
+            }
+        }
+        if let Some(at) = self.interrupt_at {
+            target = target.min(at);
+        }
+        target = target.min(limit_cycle);
+        if target <= self.cycle {
+            return false;
+        }
+        debug_assert!(target < u64::MAX, "unbounded jump must clamp to a retire");
+        let skipped = target - self.cycle;
+        // The tick loop charges one stall cycle per elapsed wait cycle;
+        // the skipped span accrues identically.
+        match cpu_stall {
+            FfStall::None => {}
+            FfStall::Fetch => self.stalls.fetch += skipped,
+            FfStall::IrBusy => self.stalls.ir_busy += skipped,
+            FfStall::LsPortBusy => self.stalls.ls_port_busy += skipped,
+            FfStall::IntLoadHazard => self.stalls.int_load_hazard += skipped,
+            FfStall::FpuRegHazard => self.stalls.fpu_reg_hazard += skipped,
+        }
+        if ir_stalled {
+            self.fpu.add_scoreboard_stalls(skipped);
+        }
+        self.cycle = target;
+        true
+    }
+
+    /// If the pending, fetch-complete instruction would stall this cycle,
+    /// returns the stall counter it charges and the first cycle at which
+    /// the blocking condition could lapse (`u64::MAX` when only an FPU
+    /// retirement can lift it — the caller clamps to the next one, which
+    /// the hazard guarantees exists). `None` means the instruction would
+    /// execute, so the cycle cannot be skipped.
+    ///
+    /// Mirrors the guard order of [`Machine::cpu_step`] and
+    /// [`Machine::execute`] exactly: serialized-issue IR gate, then per
+    /// instruction the integer load interlock, the load/store port, and
+    /// the FPU register hazard. The horizons are exact because nothing
+    /// that feeds the guards (`int_ready`, `ls_free_at`, the IR, the
+    /// scoreboard) changes while both the CPU and the issue stage stall.
+    fn pending_stall_horizon(&self, instr: Instr) -> Option<(FfStall, u64)> {
+        if self.config.serialized_issue && self.fpu.ir_busy() {
+            return Some((FfStall::IrBusy, u64::MAX));
+        }
+        // `int_blocked(r)` for any checked register; blocked until the
+        // last checked register is ready (free ones are ready already).
+        let int_hazard = |regs: &[IReg]| -> Option<(FfStall, u64)> {
+            regs.iter().any(|&r| self.int_blocked(r)).then(|| {
+                let ready = regs
+                    .iter()
+                    .map(|r| self.int_ready[r.index() as usize])
+                    .max()
+                    .expect("at least one register checked");
+                (FfStall::IntLoadHazard, ready)
+            })
+        };
+        let ls_port = || -> Option<(FfStall, u64)> {
+            (self.cycle < self.ls_free_at).then_some((FfStall::LsPortBusy, self.ls_free_at))
+        };
+        let fpu_reg = |fr: FReg, is_load: bool| -> Option<(FfStall, u64)> {
+            (self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, is_load))
+                .then_some((FfStall::FpuRegHazard, u64::MAX))
+        };
+        match instr {
+            Instr::Alu { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => int_hazard(&[rs1, rs2]),
+            Instr::Addi { rs1, .. } => int_hazard(&[rs1]),
+            Instr::Jr { rs } => int_hazard(&[rs]),
+            Instr::Lw { base, .. } => int_hazard(&[base]).or_else(ls_port),
+            Instr::Sw { rs, base, .. } => int_hazard(&[base, rs]).or_else(ls_port),
+            Instr::Fld { fr, base, .. } => int_hazard(&[base])
+                .or_else(ls_port)
+                .or_else(|| fpu_reg(fr, true)),
+            Instr::Fst { fr, base, .. } => int_hazard(&[base])
+                .or_else(ls_port)
+                .or_else(|| fpu_reg(fr, false)),
+            Instr::Falu(_) => self.fpu.ir_busy().then_some((FfStall::IrBusy, u64::MAX)),
+            // Nop, Halt, Mfpsw, ClrPsw, Lui, Jump, Jal never stall.
+            _ => None,
+        }
+    }
+
     /// Advances the machine by one cycle.
     fn step<S: EventSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         self.fpu.begin_cycle_with(self.cycle, sink);
@@ -415,6 +671,31 @@ impl Machine {
     /// finding indices and assembler source spans.
     fn instr_index(&self) -> u32 {
         self.pc.wrapping_sub(self.entry) / 4
+    }
+
+    /// Decodes the word just fetched at the current PC, through the
+    /// predecoded side table when the stored word still matches (the
+    /// common case: text unmodified since [`Machine::load_program`]).
+    /// A mismatch — self-modifying text, or a PC outside the loaded
+    /// program — decodes the fetched word directly and re-caches it.
+    #[inline]
+    fn decode_fetched(&mut self, word: u32) -> Result<Instr, RunError> {
+        let idx = (self.pc.wrapping_sub(self.text_base) / 4) as usize;
+        if let Some(Some((cached_word, instr))) = self.decoded.get(idx) {
+            if *cached_word == word {
+                return Ok(*instr);
+            }
+        }
+        let instr = Instr::decode(word).map_err(|e| RunError::BadInstruction {
+            pc: self.pc,
+            message: e.to_string(),
+        })?;
+        if self.predecode_enabled {
+            if let Some(slot) = self.decoded.get_mut(idx) {
+                *slot = Some((word, instr));
+            }
+        }
+        Ok(instr)
     }
 
     /// Lets the ALU IR issue its current element, emitting the issue (or
@@ -449,19 +730,39 @@ impl Machine {
 
     /// The CPU's slice of the cycle: fetch if needed, then try to execute.
     fn cpu_step<S: EventSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
+        // Assume a wait; the instruction-completed paths below clear it.
+        self.cpu_waiting = true;
         if self.pending.is_none() {
             if self.cycle < self.fetch_ready_at {
                 return Ok(()); // branch bubble (accounted at the branch)
             }
-            let (word, penalty) = self.mem.fetch(self.pc);
-            let instr = Instr::decode(word).map_err(|e| RunError::BadInstruction {
-                pc: self.pc,
-                message: e.to_string(),
-            })?;
+            // While the text is provably unmodified since load, the
+            // predecoded entry IS the word at this PC: skip the memory
+            // read and the word compare. Any write to the text range
+            // (self-modification by any path) drops fetches back to the
+            // read-and-compare slow path for the rest of the machine's
+            // life.
+            let idx = (self.pc.wrapping_sub(self.text_base) / 4) as usize;
+            let predecoded = if self.mem.memory.watch_writes() == 0 {
+                self.decoded.get(idx).copied().flatten()
+            } else {
+                None
+            };
+            let (instr, penalty) = match predecoded {
+                Some((_, instr)) => (instr, self.mem.fetch_timing(self.pc)),
+                None => {
+                    let (word, penalty) = self.mem.fetch(self.pc);
+                    (self.decode_fetched(word)?, penalty)
+                }
+            };
             self.pending = Some(instr);
             self.pending_ready_at = self.cycle + penalty;
             if penalty > 0 {
-                self.stalls.fetch += penalty;
+                // Fetch stalls accrue one cycle at a time as the penalty
+                // elapses (this cycle is the first), so a run that ends
+                // mid-penalty has charged exactly the elapsed cycles. The
+                // event still reports the whole penalty up front.
+                self.stalls.fetch += 1;
                 emit(
                     sink,
                     self.cycle,
@@ -476,6 +777,7 @@ impl Machine {
             }
         }
         if self.cycle < self.pending_ready_at {
+            self.stalls.fetch += 1;
             return Ok(()); // fetch penalty elapsing
         }
         let instr = self.pending.expect("pending instruction present");
@@ -491,6 +793,7 @@ impl Machine {
         match self.execute(instr, sink) {
             Exec::Stall => Ok(()),
             Exec::Done(redirect) => {
+                self.cpu_waiting = false;
                 self.instructions += 1;
                 self.pending = None;
                 if self.config.trace {
@@ -837,14 +1140,19 @@ impl Machine {
         let Some(active) = self.fpu.ir_active() else {
             return false;
         };
-        let elements: Box<dyn Iterator<Item = u8>> = if self.config.full_range_interlock {
-            // Ardent-Titan-style hardware: check every unissued element's
-            // register ranges (§2.3.2's first approach).
-            Box::new(active.next_element..active.instr.vl)
-        } else {
-            Box::new(std::iter::once(active.next_element))
-        };
-        for e in elements {
+        if !self.config.full_range_interlock {
+            // Interlock against the current element only (the hardware the
+            // paper builds; §2.3.2): its refs sit precomputed in the IR.
+            let refs = active.current_refs();
+            return if is_load {
+                refs.rr == fr || refs.ra == fr || (!active.instr.op.is_unary() && refs.rb == fr)
+            } else {
+                refs.rr == fr
+            };
+        }
+        // Ardent-Titan-style hardware: check every unissued element's
+        // register ranges (§2.3.2's first approach).
+        for e in active.next_element..active.instr.vl {
             let refs = active.instr.element(e);
             let conflict = if is_load {
                 // A load may neither clobber an operand the element has yet

@@ -82,7 +82,7 @@ impl fmt::Display for OrderingViolation {
 }
 
 /// Statistics of one run (or the delta of a warm re-run).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total cycles from entry to halt.
     pub cycles: u64,

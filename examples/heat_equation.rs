@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n  {} cycles, {:.2} MFLOPS, {:.1}% data-cache hits — bit-identical to the reference",
         stats.cycles,
         stats.mflops(),
-        stats.dcache.hit_ratio() * 100.0
+        stats.dcache.hit_ratio().unwrap_or(0.0) * 100.0
     );
     Ok(())
 }

@@ -20,7 +20,7 @@ fn main() {
             "{name:<30} {:>6.1}  {:>6.1}   {:>6.1}",
             r.mflops_cold(),
             r.mflops_warm(),
-            r.warm.dcache.hit_ratio() * 100.0
+            r.warm.dcache.hit_ratio().unwrap_or(0.0) * 100.0
         );
     }
     println!(

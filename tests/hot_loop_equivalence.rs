@@ -1,0 +1,236 @@
+//! Property: the hot-loop optimizations of the simulator are invisible.
+//!
+//! PR 3 added two fast paths to `Machine::run`: a predecoded-text side
+//! table (skip `Instr::decode` on warm fetches) and quiescent fast-forward
+//! (jump `self.cycle` over provably idle spans, synthesizing the same
+//! per-cycle stall accounting the tick loop would have produced). Both are
+//! pure optimizations — this file proves it over random programs that
+//! exercise every wait class the fast-forward handles: cold-fetch
+//! penalties, data-cache freezes, load/store port conflicts, FPU register
+//! interlocks, IR-busy vector transfers, and branch bubbles.
+
+use multititan::fparith::op::ALL_OPS;
+use multititan::isa::cpu::{AluOp, BranchCond};
+use multititan::isa::{FReg, FpuAluInstr, IReg, Instr};
+use multititan::sim::{Machine, Program, RunStats, SimConfig};
+use multititan::trace::TraceEvent;
+use proptest::prelude::*;
+
+/// Base address of the data area the random loads/stores hit (well clear
+/// of the text at the default load address).
+const DATA_BASE: i32 = 0x2000;
+
+/// Everything architecturally observable after a run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    stats: RunStats,
+    fregs: Vec<u64>,
+    iregs: Vec<i32>,
+    psw: String,
+    fpu_stats: String,
+}
+
+/// Assembles and runs `instrs` with the given fast paths enabled,
+/// optionally recording the event stream.
+fn run_one(
+    instrs: &[Instr],
+    regs: &[u64],
+    fast_forward: bool,
+    predecode: bool,
+    record: bool,
+) -> (Observed, Vec<TraceEvent>) {
+    let prog = Program::assemble(instrs).unwrap();
+    let mut m = Machine::new(SimConfig {
+        fast_forward,
+        max_cycles: 1_000_000,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    if !predecode {
+        m.disable_predecode();
+    }
+    // Deliberately cold caches: the first trip through the text pays
+    // instruction-buffer misses, the loads pay data misses — the spans
+    // fast-forward must reproduce cycle-for-cycle.
+    for (i, &bits) in regs.iter().enumerate() {
+        m.fpu.write_reg_direct(FReg::new(i as u8), bits);
+    }
+    m.set_ireg(IReg::new(1), DATA_BASE);
+    let mut events = Vec::new();
+    let stats = if record {
+        m.run_with_sink(&mut events).unwrap()
+    } else {
+        m.run().unwrap()
+    };
+    let observed = Observed {
+        stats,
+        fregs: (0..52).map(|i| m.fpu.read_reg(FReg::new(i))).collect(),
+        iregs: (0..32).map(|i| m.ireg(IReg::new(i))).collect(),
+        psw: format!("{:?}", m.fpu.psw()),
+        fpu_stats: format!("{:?}", m.fpu.stats()),
+    };
+    (observed, events)
+}
+
+/// One random body instruction. Loads/stores use `r1` (preloaded with
+/// `DATA_BASE`) so every access is in range and naturally aligned.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        // FPU vector/scalar arithmetic, the IR-busy + interlock source.
+        (0usize..ALL_OPS.len(), 0u8..52, 0u8..52, 0u8..52, 1u8..=8).prop_filter_map(
+            "in range",
+            |(op, rr, ra, rb, vl)| {
+                FpuAluInstr::new(
+                    ALL_OPS[op],
+                    FReg::new(rr),
+                    FReg::new(ra),
+                    FReg::new(rb),
+                    vl,
+                    true,
+                    true,
+                )
+                .ok()
+                .map(Instr::Falu)
+            }
+        ),
+        // FPU loads/stores: data misses, port conflicts, load interlocks.
+        (0u8..52, 0i32..32).prop_map(|(fr, k)| Instr::Fld {
+            fr: FReg::new(fr),
+            base: IReg::new(1),
+            offset: 8 * k,
+        }),
+        (0u8..52, 0i32..32).prop_map(|(fr, k)| Instr::Fst {
+            fr: FReg::new(fr),
+            base: IReg::new(1),
+            offset: 8 * k,
+        }),
+        // Integer loads/stores and ALU traffic.
+        (3u8..8, 0i32..32).prop_map(|(rd, k)| Instr::Lw {
+            rd: IReg::new(rd),
+            base: IReg::new(1),
+            offset: 4 * k,
+        }),
+        (3u8..8, 0i32..32).prop_map(|(rs, k)| Instr::Sw {
+            rs: IReg::new(rs),
+            base: IReg::new(1),
+            offset: 4 * k,
+        }),
+        (3u8..8, 3u8..8, 3u8..8).prop_map(|(rd, rs1, rs2)| Instr::Alu {
+            op: AluOp::Add,
+            rd: IReg::new(rd),
+            rs1: IReg::new(rs1),
+            rs2: IReg::new(rs2),
+        }),
+        (3u8..8, -64i32..64).prop_map(|(rd, imm)| Instr::Addi {
+            rd: IReg::new(rd),
+            rs1: IReg::new(rd),
+            imm,
+        }),
+        Just(Instr::Nop),
+        (3u8..8).prop_map(|rd| Instr::Mfpsw { rd: IReg::new(rd) }),
+        Just(Instr::ClrPsw),
+    ]
+}
+
+/// A program: setup, a random body, then a 3-trip countdown loop over the
+/// body (branch bubbles + the warm-text re-fetch path), then halt.
+fn arb_program() -> impl Strategy<Value = Vec<Instr>> {
+    prop::collection::vec(arb_instr(), 1..16).prop_map(|body| {
+        let mut instrs = vec![Instr::Addi {
+            rd: IReg::new(2),
+            rs1: IReg::new(0),
+            imm: 3,
+        }];
+        let loop_len = body.len() as i32;
+        instrs.extend(body);
+        instrs.push(Instr::Addi {
+            rd: IReg::new(2),
+            rs1: IReg::new(2),
+            imm: -1,
+        });
+        // Target = pc + 1 + offset: jump back over the decrement and body.
+        instrs.push(Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: IReg::new(2),
+            rs2: IReg::new(0),
+            offset: -(loop_len + 2),
+        });
+        instrs.push(Instr::Halt);
+        instrs
+    })
+}
+
+fn arb_regs() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((-1.0e3f64..1.0e3).prop_map(|v| v.to_bits()), 52)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast-forward jumps are invisible: statistics, stall accounting,
+    /// both register files, and the PSW match the tick-by-tick loop.
+    #[test]
+    fn fast_forward_equals_tick_by_tick(instrs in arb_program(), regs in arb_regs()) {
+        let (fast, _) = run_one(&instrs, &regs, true, true, false);
+        let (slow, _) = run_one(&instrs, &regs, false, true, false);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(
+            fast.stats.accounted_cycles(), fast.stats.cycles,
+            "every fast-forwarded cycle must be attributed to a stall cause"
+        );
+    }
+
+    /// The predecoded side table is invisible, including to the event
+    /// stream (predecode stays active under a sink, so the recorded
+    /// per-cycle events must match the decode-every-fetch path exactly).
+    #[test]
+    fn predecode_equals_decode_per_fetch(instrs in arb_program(), regs in arb_regs()) {
+        let (pre, pre_events) = run_one(&instrs, &regs, true, true, true);
+        let (slow, slow_events) = run_one(&instrs, &regs, true, false, true);
+        prop_assert_eq!(pre, slow);
+        prop_assert_eq!(pre_events, slow_events);
+    }
+
+    /// All four paths (predecode × fast-forward) agree on statistics.
+    #[test]
+    fn all_paths_agree(instrs in arb_program(), regs in arb_regs()) {
+        let (a, _) = run_one(&instrs, &regs, true, true, false);
+        let (b, _) = run_one(&instrs, &regs, false, false, false);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A write into the text segment invalidates the predecode fast path: the
+/// fetch falls back to decoding the current memory word.
+#[test]
+fn self_modifying_text_falls_back_to_slow_decode() {
+    use multititan::sim::DEFAULT_TEXT_BASE;
+    // Word 2 is a jump-to-self; the store ahead of it patches it to Halt.
+    // A fetch that trusted the stale predecoded table would spin to the
+    // cycle limit; the fallback decodes the patched word and halts.
+    let halt_word = Instr::Halt.encode().unwrap();
+    let prog = Program::assemble(&[
+        Instr::Addi {
+            rd: IReg::new(3),
+            rs1: IReg::new(0),
+            imm: halt_word as i32,
+        },
+        Instr::Sw {
+            rs: IReg::new(3),
+            base: IReg::new(1), // r1 = text base (set below)
+            offset: 8,          // word 2: the instruction after this store
+        },
+        Instr::Jump {
+            target: DEFAULT_TEXT_BASE / 4 + 2, // self-loop until patched
+        },
+    ])
+    .unwrap();
+    let mut m = Machine::new(SimConfig {
+        max_cycles: 100_000,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    m.set_ireg(IReg::new(1), DEFAULT_TEXT_BASE as i32);
+    let stats = m.run().expect("patched text must halt");
+    assert!(stats.instructions >= 3);
+}
