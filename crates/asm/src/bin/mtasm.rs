@@ -10,6 +10,8 @@
 //!                                              assemble and simulate to halt
 //! mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]
 //!            [--trace-out <file.json>]         simulate; hot-spot report
+//! mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>]
+//!            [--json]                          fault-injection campaign
 //! ```
 //!
 //! `run` starts with warm instruction fetch unless `--cold` is given, and
@@ -24,6 +26,14 @@
 //! trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
 //! `chrome://tracing`, with one track per functional unit.
 //!
+//! `fault` runs the deterministic fault-injection campaign (`mt-fault`)
+//! over the assembled program: seeded single-bit upsets are replayed
+//! against a golden run and classified as masked / detected / SDC /
+//! crash / hang. With no numeric oracle for a bare program, the golden
+//! run's final architectural state (integer registers, FPU registers,
+//! PSW) is the reference; memory is not diffed. `--json` emits the
+//! `mt-bench-v1` campaign document.
+//!
 //! `lint` (or `--lint` alongside `asm`/`run`) runs the `mt-lint` static
 //! analyzer — the §2.3.2 ordering rule, register dataflow, and structural
 //! checks — and prints rustc-style diagnostics with source spans. Errors
@@ -34,6 +44,7 @@
 use std::process::ExitCode;
 
 use mt_asm::{parse_with_source_map, SourceMap};
+use mt_fault::{run_program_campaign, CampaignConfig};
 use mt_isa::Instr;
 use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::{Machine, Program, SimConfig, Timeline};
@@ -41,7 +52,7 @@ use mt_trace::{chrome, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -56,6 +67,9 @@ struct Options {
     profile: bool,
     top: usize,
     trace_out: Option<String>,
+    seed: u64,
+    injections: usize,
+    json: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +82,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut profile = false;
     let mut top = 10;
     let mut trace_out = None;
+    let mut seed = 0xA5;
+    let mut injections = 200;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -89,6 +106,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--trace-out needs a file name")?;
                 trace_out = Some(v.to_string());
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                }
+                .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--injections" => {
+                let v = it.next().ok_or("--injections needs a value")?;
+                injections = v.parse().map_err(|e| format!("bad --injections: {e}"))?;
+            }
+            "--json" => json = true,
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -105,7 +135,40 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         profile,
         top,
         trace_out,
+        seed,
+        injections,
+        json,
     })
+}
+
+/// Assembles `src` and runs the seeded fault-injection campaign on it.
+fn fault_campaign(src: &str, opts: &Options) -> Result<(), String> {
+    let (program, _map) = parse_with_source_map(src, opts.base).map_err(|e| e.to_string())?;
+    let cfg = CampaignConfig {
+        seed: opts.seed,
+        injections: opts.injections,
+        ..CampaignConfig::default()
+    };
+    let result = run_program_campaign(&program, &opts.path, &cfg)?;
+    if opts.json {
+        println!("{}", result.to_json().pretty());
+        return Ok(());
+    }
+    let c = result.counts;
+    println!(
+        "{}: seed {:#x}, {} injections: {} masked, {} detected, {} sdc, {} crash, {} hang",
+        opts.path,
+        result.seed,
+        c.total(),
+        c.masked,
+        c.detected,
+        c.sdc,
+        c.crash,
+        c.hang
+    );
+    println!();
+    println!("{}", result.metrics.render());
+    Ok(())
 }
 
 /// Lints an assembled program, printing rustc-style diagnostics to
@@ -246,6 +309,7 @@ fn main() -> ExitCode {
             Ok(())
         }),
         "run" => read(&opts.path).and_then(|src| run_program(&src, &opts, false)),
+        "fault" => read(&opts.path).and_then(|src| fault_campaign(&src, &opts)),
         "profile" => read(&opts.path).and_then(|src| run_program(&src, &opts, true)),
         _ => return usage(),
     };

@@ -86,3 +86,45 @@ proptest! {
         prop_assert_eq!(parse(&isrc, 0).is_ok(), n < 32, "r{}", n);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The instruction decoder never panics on any 32-bit word — it
+    /// returns `Ok` or a decode error, nothing else.
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Instr::decode(word);
+    }
+
+    /// The whole simulator survives *executing* arbitrary words: any
+    /// 32-bit soup loaded as text must end in a typed result (`Ok`,
+    /// `BadInstruction`, `MemoryFault`, `CycleLimit`, `Watchdog`) —
+    /// never a panic — under both tick and fast-forward execution, with
+    /// arbitrary register contents steering wild loads, stores, and
+    /// jumps. This is the no-panic hardening contract the fault
+    /// campaign's crash classification rests on.
+    #[test]
+    fn machine_survives_arbitrary_text(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        regs in prop::collection::vec(any::<i32>(), 31),
+        ff in any::<bool>(),
+    ) {
+        let program = mt_sim::Program {
+            words,
+            base: 0x1_0000,
+            segments: Vec::new(),
+        };
+        let mut m = mt_sim::Machine::new(mt_sim::SimConfig {
+            max_cycles: 20_000,
+            watchdog_cycles: 2_000,
+            fast_forward: ff,
+            ..mt_sim::SimConfig::default()
+        });
+        m.load_program(&program);
+        for (i, &v) in regs.iter().enumerate() {
+            m.set_ireg(mt_isa::IReg::new(i as u8 + 1), v);
+        }
+        let _ = m.run();
+    }
+}

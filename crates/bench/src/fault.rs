@@ -1,0 +1,61 @@
+//! Kernel adapter for the `mt-fault` campaign engine.
+//!
+//! `mt-fault` itself is workload-agnostic (it cannot depend on
+//! `mt-kernels` without a crate cycle through `mt-asm`); this module
+//! closes the loop, turning verified kernels — whose numeric `verify`
+//! closures make SDC mean "the answer is wrong", not merely "some bit
+//! differs" — into campaign workloads.
+
+use mt_fault::{run_campaign, text_region, CampaignConfig, CampaignResult, Workload};
+use mt_kernels::{graphics, livermore, reductions, Kernel};
+use mt_sim::Machine;
+
+/// Region where the kernel harness places data arrays (see
+/// `mt_kernels::layout`): faults aimed at "memory data" sample from a
+/// 64 KB window starting here.
+const KERNEL_DATA_BASE: u32 = 0x10_0000;
+/// Words in the data-fault window (64 KB).
+const KERNEL_DATA_WORDS: u32 = 16 * 1024;
+
+/// The standard campaign workload mix: a scalar loop, two vector
+/// reductions, a 4×4-matrix graphics transform, and a Livermore loop —
+/// small enough that hundreds of differential replays finish in
+/// seconds, varied enough that every fault structure sees real traffic.
+pub fn standard_fault_kernels() -> Vec<Kernel> {
+    vec![
+        reductions::linear_vector_sum(),
+        reductions::fibonacci(8),
+        graphics::transform_points(8),
+        livermore::by_number(3),
+    ]
+}
+
+/// Runs a fault campaign over verified kernels.
+///
+/// # Errors
+///
+/// Fails if a golden (fault-free) run of any kernel fails or
+/// mis-verifies — that is a configuration error, not an outcome.
+pub fn run_kernel_campaign(
+    kernels: &[Kernel],
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, String> {
+    let mut workloads = Vec::with_capacity(kernels.len());
+    for kernel in kernels {
+        let mut m = Machine::new(cfg.sim_config());
+        kernel.routine.install(&mut m);
+        (kernel.init)(&mut m);
+        let regions = vec![
+            text_region(&kernel.routine.program),
+            (KERNEL_DATA_BASE, KERNEL_DATA_WORDS),
+        ];
+        let verify = &kernel.verify;
+        workloads.push(Workload::prepare(
+            kernel.name.clone(),
+            m,
+            regions,
+            Box::new(move |m| verify(m)),
+        )?);
+    }
+    run_campaign(&mut workloads, cfg)
+}

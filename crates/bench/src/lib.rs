@@ -8,6 +8,7 @@
 //! 3-cycle FPU, 64 KB caches); the claim being reproduced is *shape* —
 //! who wins, by roughly what factor, and where the crossovers sit.
 
+pub mod fault;
 pub mod json;
 pub mod sweep;
 

@@ -333,6 +333,29 @@ impl Fpu {
         self.psw.clear();
     }
 
+    /// Mutable PSW access (fault-injection hook).
+    pub fn psw_mut(&mut self) -> &mut Psw {
+        &mut self.psw
+    }
+
+    /// Fault-injection hook: flips `r`'s scoreboard reservation bit.
+    /// Setting a bit with no in-flight write models a stuck reservation —
+    /// the issue and load/store logic will wait forever for a retirement
+    /// that is not coming, which is exactly what the simulator's watchdog
+    /// exists to catch. The issue paths all check `is_reserved` before
+    /// acting, so a flipped bit stalls or misorders but never trips the
+    /// internal `debug_assert`s.
+    pub fn flip_scoreboard(&mut self, r: FReg) {
+        self.scoreboard.toggle(r);
+    }
+
+    /// Fault-injection hook: flips one bit of an in-flight result latch
+    /// (see [`Pipeline::flip_value_bit`]). Returns `false` when the
+    /// pipeline is empty — a masked fault by construction.
+    pub fn flip_in_flight_value(&mut self, slot: usize, bit: u32) -> bool {
+        self.pipeline.flip_value_bit(slot, bit)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &FpuStats {
         &self.stats

@@ -25,7 +25,7 @@ pub enum WriteSource {
 }
 
 /// One outstanding register write.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InFlight {
     /// Cycle at the start of which the write becomes architecturally
     /// visible (readable by operations issuing in that cycle).
@@ -47,7 +47,7 @@ pub type Retired = InFlight;
 /// pushes insert in place (almost always at the back — a newly issued
 /// operation usually completes last), so the per-cycle retire check is a
 /// single compare against the front and retirement is a pop.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Pipeline {
     in_flight: std::collections::VecDeque<InFlight>,
 }
@@ -117,6 +117,20 @@ impl Pipeline {
             _ => true,
         });
         squashed
+    }
+
+    /// Fault-injection hook: flips bit `bit % 64` of the `slot % len`-th
+    /// in-flight result latch. Returns `false` (a masked fault by
+    /// construction) when nothing is in flight. Only the *value* is
+    /// corrupted — destination and timing stay intact, modelling a particle
+    /// strike on a pipeline data latch rather than on control state.
+    pub fn flip_value_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if self.in_flight.is_empty() {
+            return false;
+        }
+        let index = slot % self.in_flight.len();
+        self.in_flight[index].value ^= 1 << (bit % 64);
+        true
     }
 
     /// Number of operations in flight.

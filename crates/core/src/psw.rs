@@ -10,7 +10,7 @@ use mt_fparith::Exceptions;
 use mt_isa::FReg;
 
 /// FPU program status word.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Psw {
     /// Sticky accumulated exception flags.
     pub flags: Exceptions,

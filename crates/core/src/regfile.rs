@@ -18,7 +18,7 @@ use mt_isa::{FReg, NUM_FPU_REGS};
 /// rf.write(FReg::new(7), 42);
 /// assert_eq!(rf.read(FReg::new(7)), 42);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterFile {
     regs: [u64; NUM_FPU_REGS as usize],
 }

@@ -18,7 +18,7 @@ use mt_isa::{FReg, NUM_FPU_REGS};
 /// sb.clear(FReg::new(4));
 /// assert!(!sb.is_reserved(FReg::new(4)));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Scoreboard {
     bits: u64,
 }
@@ -56,6 +56,15 @@ impl Scoreboard {
     #[inline]
     pub fn clear(&mut self, r: FReg) {
         self.bits &= !(1 << r.index());
+    }
+
+    /// Fault-injection hook: flips `r`'s reservation bit unconditionally.
+    /// A spuriously *set* bit models a stuck reservation (the issue logic
+    /// will wait forever on a write that is not coming — the watchdog's
+    /// canonical prey); a spuriously *cleared* bit lets a dependent read
+    /// see a stale value.
+    pub fn toggle(&mut self, r: FReg) {
+        self.bits ^= 1 << r.index();
     }
 
     /// Number of outstanding reservations.

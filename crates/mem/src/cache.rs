@@ -221,6 +221,27 @@ impl Cache {
         self.lines[index].valid && self.lines[index].tag == tag
     }
 
+    /// Number of lines (for fault-injection plans).
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Fault-injection hook: flips one bit of a line's state machine —
+    /// bit 0 the valid bit, bit 1 the dirty bit, higher bits the tag
+    /// (`bit - 2`, modulo 32). Since the caches model timing and residency
+    /// only (data lives in main memory), a flipped line perturbs hit/miss
+    /// behaviour and writeback counts but never corrupts data — exactly a
+    /// parity error in a real tag array.
+    pub fn flip_line_state(&mut self, line: usize, bit: u32) {
+        let index = line % self.lines.len();
+        let line = &mut self.lines[index];
+        match bit {
+            0 => line.valid = !line.valid,
+            1 => line.dirty = !line.dirty,
+            b => line.tag ^= 1 << ((b - 2) % 32),
+        }
+    }
+
     /// Invalidates every line (cold start) without clearing statistics.
     pub fn flush(&mut self) {
         self.lines.fill(Line::default());

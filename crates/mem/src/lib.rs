@@ -21,5 +21,5 @@ pub mod memory;
 pub mod system;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
-pub use memory::Memory;
+pub use memory::{MemError, Memory};
 pub use system::{MemConfig, MemorySystem};

@@ -2,6 +2,51 @@
 
 use std::fmt;
 
+/// A rejected memory access.
+///
+/// The simulator's run path uses the fallible `try_*` accessors so that a
+/// program computing a wild address (or fault-injected into one) terminates
+/// with a typed error instead of panicking the process; the infallible
+/// accessors remain for workload setup, where a bad address is a harness
+/// bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not naturally aligned for the access width.
+    Misaligned {
+        /// Offending address.
+        addr: u32,
+        /// Access width in bytes.
+        len: u32,
+    },
+    /// The access extends beyond the configured memory size.
+    OutOfBounds {
+        /// Offending address.
+        addr: u32,
+        /// Access width in bytes.
+        len: u32,
+        /// Configured memory size in bytes.
+        size: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Misaligned { addr, len } => {
+                write!(f, "misaligned {len}-byte access at {addr:#010x}")
+            }
+            MemError::OutOfBounds { addr, len, size } => {
+                write!(
+                    f,
+                    "{len}-byte access at {addr:#010x} beyond memory size {size:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// Main memory: a flat little-endian byte array.
 ///
 /// Addresses are 32-bit as on the MultiTitan (Fig. 1 shows a 32-bit address
@@ -61,17 +106,27 @@ impl Memory {
         self.size
     }
 
+    /// Validates alignment and bounds without touching the data.
+    #[inline]
+    pub fn try_check(&self, addr: u32, len: u32) -> Result<(), MemError> {
+        if !addr.is_multiple_of(len) {
+            return Err(MemError::Misaligned { addr, len });
+        }
+        if (addr as usize + len as usize) > self.size {
+            return Err(MemError::OutOfBounds {
+                addr,
+                len,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+
     #[track_caller]
     fn check(&self, addr: u32, len: u32) {
-        assert!(
-            addr.is_multiple_of(len),
-            "misaligned {len}-byte access at {addr:#010x}"
-        );
-        assert!(
-            (addr as usize + len as usize) <= self.size,
-            "access at {addr:#010x} beyond memory size {:#x}",
-            self.size
-        );
+        if let Err(e) = self.try_check(addr, len) {
+            panic!("{e}");
+        }
     }
 
     /// Reads `N` bytes at `addr`; bytes beyond the written extent are the
@@ -80,6 +135,12 @@ impl Memory {
     #[inline]
     fn read_n<const N: usize>(&self, addr: u32) -> [u8; N] {
         self.check(addr, N as u32);
+        self.read_n_unchecked(addr)
+    }
+
+    /// [`Memory::read_n`] after a successful [`Memory::try_check`].
+    #[inline]
+    fn read_n_unchecked<const N: usize>(&self, addr: u32) -> [u8; N] {
         let a = addr as usize;
         if a + N <= self.bytes.len() {
             self.bytes[a..a + N].try_into().unwrap()
@@ -98,6 +159,12 @@ impl Memory {
     #[inline]
     fn write_n<const N: usize>(&mut self, addr: u32, data: [u8; N]) {
         self.check(addr, N as u32);
+        self.write_n_unchecked(addr, data);
+    }
+
+    /// [`Memory::write_n`] after a successful [`Memory::try_check`].
+    #[inline]
+    fn write_n_unchecked<const N: usize>(&mut self, addr: u32, data: [u8; N]) {
         if addr < self.watch.1 && addr + N as u32 > self.watch.0 {
             self.watch_writes += 1;
         }
@@ -150,6 +217,37 @@ impl Memory {
     #[inline]
     pub fn write_u64(&mut self, addr: u32, value: u64) {
         self.write_n(addr, value.to_le_bytes());
+    }
+
+    /// Reads a 32-bit word, rejecting misaligned or out-of-bounds
+    /// addresses with a typed error (the simulator's run path).
+    #[inline]
+    pub fn try_read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        self.try_check(addr, 4)?;
+        Ok(u32::from_le_bytes(self.read_n_unchecked(addr)))
+    }
+
+    /// Writes a 32-bit word, rejecting bad addresses with a typed error.
+    #[inline]
+    pub fn try_write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        self.try_check(addr, 4)?;
+        self.write_n_unchecked(addr, value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a 64-bit word, rejecting bad addresses with a typed error.
+    #[inline]
+    pub fn try_read_u64(&self, addr: u32) -> Result<u64, MemError> {
+        self.try_check(addr, 8)?;
+        Ok(u64::from_le_bytes(self.read_n_unchecked(addr)))
+    }
+
+    /// Writes a 64-bit word, rejecting bad addresses with a typed error.
+    #[inline]
+    pub fn try_write_u64(&mut self, addr: u32, value: u64) -> Result<(), MemError> {
+        self.try_check(addr, 8)?;
+        self.write_n_unchecked(addr, value.to_le_bytes());
+        Ok(())
     }
 
     /// Reads a double (bit pattern of [`Memory::read_u64`]).
@@ -244,5 +342,45 @@ mod tests {
     #[should_panic(expected = "beyond memory size")]
     fn out_of_bounds_panics() {
         Memory::new(64).read_u32(64);
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors() {
+        let mut m = Memory::new(64);
+        assert_eq!(
+            m.try_read_u32(2),
+            Err(MemError::Misaligned { addr: 2, len: 4 })
+        );
+        assert_eq!(
+            m.try_read_u64(64),
+            Err(MemError::OutOfBounds {
+                addr: 64,
+                len: 8,
+                size: 64
+            })
+        );
+        assert_eq!(
+            m.try_write_u32(0xFFFF_FFFC, 1),
+            Err(MemError::OutOfBounds {
+                addr: 0xFFFF_FFFC,
+                len: 4,
+                size: 64
+            })
+        );
+        assert!(m.try_write_u64(8, 0xAB).is_ok());
+        assert_eq!(m.try_read_u64(8), Ok(0xAB));
+        let e = MemError::Misaligned { addr: 2, len: 4 };
+        assert!(e.to_string().contains("misaligned"));
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn try_write_respects_the_watch() {
+        let mut m = Memory::new(64);
+        m.watch_range(0, 16);
+        m.try_write_u32(4, 7).unwrap();
+        assert_eq!(m.watch_writes(), 1, "fallible writes count too");
+        m.try_write_u32(32, 7).unwrap();
+        assert_eq!(m.watch_writes(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The assembled memory hierarchy of one MultiTitan processor.
 
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
-use crate::memory::Memory;
+use crate::memory::{MemError, Memory};
 
 /// Configuration of the whole hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,12 +95,54 @@ impl MemorySystem {
         penalty
     }
 
+    /// Fallible [`MemorySystem::load_f64`]: validates the address *before*
+    /// touching the cache, so a faulting access leaves residency and
+    /// statistics exactly as they were (a rejected access never reached
+    /// the board-level cache on real hardware either).
+    #[inline]
+    pub fn try_load_f64(&mut self, addr: u32) -> Result<(u64, u64), MemError> {
+        self.memory.try_check(addr, 8)?;
+        Ok(self.load_f64(addr))
+    }
+
+    /// Fallible [`MemorySystem::store_f64`] (address validated before the
+    /// cache access).
+    #[inline]
+    pub fn try_store_f64(&mut self, addr: u32, bits: u64) -> Result<u64, MemError> {
+        self.memory.try_check(addr, 8)?;
+        Ok(self.store_f64(addr, bits))
+    }
+
+    /// Fallible [`MemorySystem::load_u32`] (address validated before the
+    /// cache access).
+    #[inline]
+    pub fn try_load_u32(&mut self, addr: u32) -> Result<(u32, u64), MemError> {
+        self.memory.try_check(addr, 4)?;
+        Ok(self.load_u32(addr))
+    }
+
+    /// Fallible [`MemorySystem::store_u32`] (address validated before the
+    /// cache access).
+    #[inline]
+    pub fn try_store_u32(&mut self, addr: u32, value: u32) -> Result<u64, MemError> {
+        self.memory.try_check(addr, 4)?;
+        Ok(self.store_u32(addr, value))
+    }
+
     /// Instruction fetch: first the on-chip buffer, then the external
     /// instruction cache. Returns `(word, penalty)` where the penalty
     /// accumulates both levels' misses.
     pub fn fetch(&mut self, addr: u32) -> (u32, u64) {
         let penalty = self.fetch_timing(addr);
         (self.memory.read_u32(addr), penalty)
+    }
+
+    /// Fallible [`MemorySystem::fetch`]: a wild PC (misaligned or beyond
+    /// memory) is rejected before it can disturb the instruction caches.
+    #[inline]
+    pub fn try_fetch(&mut self, addr: u32) -> Result<(u32, u64), MemError> {
+        self.memory.try_check(addr, 4)?;
+        Ok(self.fetch(addr))
     }
 
     /// The cache-path side effects and penalty of [`MemorySystem::fetch`]
@@ -143,6 +185,21 @@ impl MemorySystem {
     /// Instruction buffer statistics.
     pub fn ibuffer_stats(&self) -> CacheStats {
         self.ibuffer.stats()
+    }
+
+    /// Mutable data cache (fault-injection hook).
+    pub fn dcache_mut(&mut self) -> &mut Cache {
+        &mut self.dcache
+    }
+
+    /// Mutable external instruction cache (fault-injection hook).
+    pub fn icache_mut(&mut self) -> &mut Cache {
+        &mut self.icache
+    }
+
+    /// Mutable instruction buffer (fault-injection hook).
+    pub fn ibuffer_mut(&mut self) -> &mut Cache {
+        &mut self.ibuffer
     }
 }
 
@@ -188,6 +245,23 @@ mod tests {
         s.load_f64(0x200);
         s.flush_caches();
         assert_eq!(s.load_f64(0x200).1, 14);
+    }
+
+    #[test]
+    fn rejected_access_leaves_caches_untouched() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        s.load_f64(0x100);
+        let before = (s.dcache_stats(), s.ibuffer_stats(), s.icache_stats());
+        assert!(s.try_load_f64(0x104).is_err(), "misaligned");
+        assert!(s.try_store_u32(0xFFFF_FFF0, 1).is_err(), "out of bounds");
+        assert!(s.try_fetch(0x2).is_err(), "misaligned fetch");
+        assert_eq!(
+            (s.dcache_stats(), s.ibuffer_stats(), s.icache_stats()),
+            before,
+            "a faulting access must not perturb cache state or statistics"
+        );
+        let (bits, p) = s.try_load_f64(0x100).unwrap();
+        assert_eq!((bits, p), (0, 0), "resident line still hits");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod stats;
 pub mod timeline;
 pub mod timing;
 
-pub use machine::{Machine, RunError, SimConfig};
+pub use machine::{ArchState, Machine, RunError, SimConfig, Snapshot};
 pub use program::{DataSegment, Program, DEFAULT_TEXT_BASE};
 pub use stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 pub use timeline::Timeline;

@@ -1,10 +1,10 @@
 //! The machine: CPU substrate + FPU + memory hierarchy, stepped by cycle.
 
-use mt_core::Fpu;
+use mt_core::{Fpu, Psw};
 use mt_fparith::OP_LATENCY_CYCLES;
 use mt_isa::cpu::AluOp;
 use mt_isa::{FReg, IReg, Instr};
-use mt_mem::{MemConfig, MemorySystem};
+use mt_mem::{MemConfig, MemError, MemorySystem};
 use mt_trace::{EventKind, EventSink, NullSink, StallCause, TraceEvent};
 
 use crate::program::Program;
@@ -49,6 +49,17 @@ pub struct SimConfig {
     /// [`SimConfig::checked_ordering`] is on, so traces and lint replay are
     /// unchanged. Disable only to measure the tick-by-tick loop itself.
     pub fast_forward: bool,
+    /// No-progress watchdog: abort with [`RunError::Watchdog`] once this
+    /// many consecutive cycles elapse in which no CPU instruction completes
+    /// and no FPU element or load issues. `0` (the default) disables it.
+    /// Legitimate stall spans are bounded by a cache-miss penalty or a
+    /// scoreboard wait that retires within the FPU latency, so any
+    /// threshold of 1000+ only trips on genuinely wedged state — a
+    /// fault-injected stuck scoreboard bit, corrupted interlock timing —
+    /// that would otherwise spin to [`SimConfig::max_cycles`]. The
+    /// fast-forward path clamps its jumps so tick-by-tick and jumped runs
+    /// report the watchdog at the identical cycle.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -63,6 +74,7 @@ impl Default for SimConfig {
             full_range_interlock: false,
             trace: false,
             fast_forward: true,
+            watchdog_cycles: 0,
         }
     }
 }
@@ -92,6 +104,25 @@ pub enum RunError {
         /// Decoder message.
         message: String,
     },
+    /// A fetch, load, or store computed a misaligned or out-of-range
+    /// address (a wild PC from a corrupted `jr`, a load through a garbage
+    /// base register). The run terminates with a typed error instead of
+    /// panicking — the process survives arbitrary program words.
+    MemoryFault {
+        /// PC of the faulting instruction (or the faulting fetch address).
+        pc: u32,
+        /// The rejected access.
+        fault: MemError,
+    },
+    /// The no-progress watchdog fired ([`SimConfig::watchdog_cycles`]):
+    /// the machine is wedged — no instruction completed and no FPU element
+    /// issued for the configured span.
+    Watchdog {
+        /// PC the CPU was parked at when the watchdog fired.
+        pc: u32,
+        /// Consecutive cycles without progress.
+        idle_cycles: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -101,11 +132,56 @@ impl std::fmt::Display for RunError {
             RunError::BadInstruction { pc, message } => {
                 write!(f, "bad instruction at {pc:#x}: {message}")
             }
+            RunError::MemoryFault { pc, fault } => {
+                write!(f, "memory fault at pc {pc:#x}: {fault}")
+            }
+            RunError::Watchdog { pc, idle_cycles } => {
+                write!(
+                    f,
+                    "watchdog: no progress for {idle_cycles} cycles at pc {pc:#x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// A complete machine checkpoint, taken by [`Machine::snapshot`] and
+/// consumed by [`Machine::restore`]. Opaque by design: the only supported
+/// operations are restoring it and reading the cycle it was taken at —
+/// everything else (registers, caches, in-flight pipeline state, pending
+/// instruction, statistics) round-trips bit-identically through it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Boxed so a `Snapshot` on the stack stays pointer-sized; the fault
+    /// campaign holds one golden snapshot per kernel across hundreds of
+    /// restores.
+    machine: Box<Machine>,
+}
+
+impl Snapshot {
+    /// The cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.machine.cycle
+    }
+}
+
+/// The software-visible architectural state: integer registers, FPU
+/// registers (bit patterns), and the PSW. Comparable with `==`, so a
+/// differential harness (e.g. the fault campaign's bare-program oracle)
+/// can ask "did this run end in the same place as the golden run?"
+/// without enumerating fields. Memory is deliberately excluded — it is
+/// workload-defined which words are outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// CPU integer registers r0..r31 (r0 always 0).
+    pub iregs: [i32; 32],
+    /// FPU register bit patterns R0..R51.
+    pub fregs: [u64; mt_isa::NUM_FPU_REGS as usize],
+    /// The FPU program status word.
+    pub psw: Psw,
+}
 
 /// Outcome of attempting to execute the pending instruction this cycle.
 enum Exec {
@@ -182,6 +258,10 @@ pub struct Machine {
     /// skipping a probe just means stepping a cycle the jump would have
     /// skipped, never a behavior change.
     cpu_waiting: bool,
+    /// Last cycle at which the machine provably made progress (a CPU
+    /// instruction completed or an FPU element/load issued) — the
+    /// watchdog's reference point. Always `<= cycle`.
+    last_progress: u64,
 }
 
 /// Forwards one event when the sink wants it. With [`NullSink`] the whole
@@ -227,6 +307,7 @@ impl Machine {
             text_base: 0,
             predecode_enabled: true,
             cpu_waiting: true,
+            last_progress: 0,
         }
     }
 
@@ -250,6 +331,10 @@ impl Machine {
         self.pc = program.base;
         self.entry = program.base;
         self.halted = false;
+        // A freshly loaded program starts with a clear PSW: sticky flags
+        // and the §2.3.1 overflow destination are per-program supervisor
+        // state, not residue of whatever ran before.
+        self.fpu.clear_psw();
         self.text_base = program.base;
         self.decoded = if self.predecode_enabled {
             program.predecode()
@@ -350,6 +435,11 @@ impl Machine {
         self.fetch_ready_at = self.cycle;
         self.int_ready = [0; 32];
         self.cpu_waiting = true;
+        self.last_progress = self.cycle;
+        // The PSW is sticky across instructions, not across runs: a re-run
+        // must observe its *own* exception flags and overflow destination,
+        // exactly as if the program had been loaded fresh.
+        self.fpu.clear_psw();
     }
 
     /// Runs from the current PC until `halt`, returning the statistics of
@@ -384,6 +474,73 @@ impl Machine {
     /// loop while a recording or folding sink sees every typed event
     /// as it happens.
     pub fn run_with_sink<S: EventSink>(&mut self, sink: &mut S) -> Result<RunStats, RunError> {
+        self.run_inner(sink, None)
+            .map(|stats| stats.expect("a run without a stop point always completes"))
+    }
+
+    /// Runs until `halt` *or* until `self.cycle` reaches `stop_at`,
+    /// whichever comes first — the fault-injection campaign's way of
+    /// pausing a golden replay at an exact cycle to corrupt state, then
+    /// resuming with [`Machine::run`]. Returns `Ok(None)` when the run
+    /// paused at the stop point (resume later; statistics will cover the
+    /// remainder as its own delta) and `Ok(Some(stats))` when the program
+    /// halted before reaching it. Fast-forward jumps clamp to the stop
+    /// point, so a paused machine sits at exactly `stop_at` regardless of
+    /// the execution path. Once the CPU halts, the FPU drain runs to
+    /// completion even across `stop_at` — an injection cycle inside the
+    /// drain span classifies as completed-early.
+    pub fn run_until(&mut self, stop_at: u64) -> Result<Option<RunStats>, RunError> {
+        self.run_inner(&mut NullSink, Some(stop_at))
+    }
+
+    /// [`Machine::run_until`] with an event sink.
+    pub fn run_until_with_sink<S: EventSink>(
+        &mut self,
+        stop_at: u64,
+        sink: &mut S,
+    ) -> Result<Option<RunStats>, RunError> {
+        self.run_inner(sink, Some(stop_at))
+    }
+
+    /// Captures the complete machine state — architectural (registers,
+    /// PSW, memory) and microarchitectural (in-flight pipeline writes,
+    /// scoreboard, cache residency, pending instruction, every timing
+    /// horizon, accumulated statistics) — so a later
+    /// [`Machine::restore`] resumes bit-identically, under both
+    /// tick-by-tick and fast-forward execution.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            machine: Box::new(self.clone()),
+        }
+    }
+
+    /// Restores the state captured by [`Machine::snapshot`]. The machine
+    /// becomes indistinguishable from the one that took the snapshot:
+    /// resuming produces the same cycles, statistics, events, and
+    /// architectural results.
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        *self = (*snapshot.machine).clone();
+    }
+
+    /// Copies out the software-visible architectural state (see
+    /// [`ArchState`]).
+    pub fn arch_state(&self) -> ArchState {
+        let mut fregs = [0u64; mt_isa::NUM_FPU_REGS as usize];
+        for (i, slot) in fregs.iter_mut().enumerate() {
+            *slot = self.fpu.regs().read(FReg::new(i as u8));
+        }
+        ArchState {
+            iregs: self.iregs,
+            fregs,
+            psw: self.fpu.psw().clone(),
+        }
+    }
+
+    fn run_inner<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        stop_at: Option<u64>,
+    ) -> Result<Option<RunStats>, RunError> {
         let start_cycle = self.cycle;
         let start_instructions = self.instructions;
         let start_stalls = self.stalls;
@@ -403,8 +560,14 @@ impl Machine {
         // First cycle at which the tick loop would report CycleLimit; a
         // jump may land there but never beyond.
         let limit_cycle = start_cycle + self.config.max_cycles + 1;
+        let watchdog = self.config.watchdog_cycles;
 
         while !self.halted {
+            if let Some(stop) = stop_at {
+                if self.cycle >= stop {
+                    return Ok(None);
+                }
+            }
             if let Some(at) = self.interrupt_at {
                 if self.cycle >= at {
                     self.halted = true;
@@ -415,15 +578,22 @@ impl Machine {
             if self.cycle - start_cycle > self.config.max_cycles {
                 return Err(RunError::CycleLimit(self.config.max_cycles));
             }
+            if watchdog > 0 && self.cycle - self.last_progress > watchdog {
+                return Err(RunError::Watchdog {
+                    pc: self.pc,
+                    idle_cycles: self.cycle - self.last_progress,
+                });
+            }
             // Probe for a jump only while frozen or after a cycle the CPU
             // made no progress — the only states a skippable span can be
             // underway — so executing cycles never pay for the probe.
             if fast_forward
                 && (self.cpu_waiting || self.cycle < self.freeze_until)
-                && self.fast_forward(limit_cycle)
+                && self.fast_forward(limit_cycle, stop_at)
             {
-                // Jumped: re-run the interrupt and cycle-limit checks at
-                // the new cycle, exactly as the tick loop would have.
+                // Jumped: re-run the stop, interrupt, cycle-limit, and
+                // watchdog checks at the new cycle, exactly as the tick
+                // loop would have.
                 continue;
             }
             self.step(sink)?;
@@ -436,6 +606,16 @@ impl Machine {
             self.fpu.begin_cycle_with(self.cycle, sink);
             if !self.fpu.busy() {
                 break;
+            }
+            // A healthy drain is bounded (every reservation retires within
+            // the FPU latency), but a fault-injected stuck scoreboard bit
+            // can block the IR forever with nothing left in flight — the
+            // watchdog catches that here too.
+            if watchdog > 0 && self.cycle - self.last_progress > watchdog {
+                return Err(RunError::Watchdog {
+                    pc: self.ir_pc,
+                    idle_cycles: self.cycle - self.last_progress,
+                });
             }
             emit(
                 sink,
@@ -456,7 +636,7 @@ impl Machine {
             writebacks: a.writebacks - b.writebacks,
         };
         let f = self.fpu.stats();
-        Ok(RunStats {
+        Ok(Some(RunStats {
             cycles: self.cycle - start_cycle,
             instructions: self.instructions - start_instructions,
             drain_cycles: self.drain_cycles - start_drain,
@@ -485,7 +665,7 @@ impl Machine {
             icache: delta(self.mem.icache_stats(), icache0),
             ibuffer: delta(self.mem.ibuffer_stats(), ibuffer0),
             violations: self.violations[start_violations..].to_vec(),
-        })
+        }))
     }
 
     /// Quiescent fast-forward: if every cycle from now until a known
@@ -527,7 +707,7 @@ impl Machine {
     /// retirement. Waits that are indifferent to retirements skip across
     /// them: `begin_cycle` at the target retires the whole span's writes
     /// in the same readiness order the tick loop would have.
-    fn fast_forward(&mut self, limit_cycle: u64) -> bool {
+    fn fast_forward(&mut self, limit_cycle: u64, stop_at: Option<u64>) -> bool {
         let mut cpu_stall = FfStall::None;
         let mut ir_stalled = false;
         let horizon = if self.cycle < self.freeze_until {
@@ -578,6 +758,17 @@ impl Machine {
         }
         if let Some(at) = self.interrupt_at {
             target = target.min(at);
+        }
+        // A pending injection point auto-disarms the jump at that cycle:
+        // the run pauses at exactly `stop_at`, never beyond it.
+        if let Some(stop) = stop_at {
+            target = target.min(stop);
+        }
+        // Never jump past the first cycle at which the watchdog would
+        // fire, so tick-by-tick and fast-forwarded runs report it at the
+        // identical cycle.
+        if self.config.watchdog_cycles > 0 {
+            target = target.min(self.last_progress + self.config.watchdog_cycles + 1);
         }
         target = target.min(limit_cycle);
         if target <= self.cycle {
@@ -704,18 +895,21 @@ impl Machine {
         match self.fpu.issue(self.cycle) {
             mt_core::IssueOutcome::Issued {
                 op, refs, element, ..
-            } => emit(
-                sink,
-                self.cycle,
-                EventKind::ElementIssue {
-                    pc: self.ir_pc,
-                    instr_index: self.ir_index,
-                    op,
-                    element,
-                    refs,
-                    latency: self.fpu.latency(),
-                },
-            ),
+            } => {
+                self.last_progress = self.cycle;
+                emit(
+                    sink,
+                    self.cycle,
+                    EventKind::ElementIssue {
+                        pc: self.ir_pc,
+                        instr_index: self.ir_index,
+                        op,
+                        element,
+                        refs,
+                        latency: self.fpu.latency(),
+                    },
+                )
+            }
             mt_core::IssueOutcome::Stalled => emit(
                 sink,
                 self.cycle,
@@ -741,17 +935,21 @@ impl Machine {
             // read and the word compare. Any write to the text range
             // (self-modification by any path) drops fetches back to the
             // read-and-compare slow path for the rest of the machine's
-            // life.
-            let idx = (self.pc.wrapping_sub(self.text_base) / 4) as usize;
-            let predecoded = if self.mem.memory.watch_writes() == 0 {
-                self.decoded.get(idx).copied().flatten()
+            // life. A misaligned PC (corrupted `jr`) never matches the
+            // table — it goes through the fallible fetch and faults.
+            let off = self.pc.wrapping_sub(self.text_base);
+            let predecoded = if self.mem.memory.watch_writes() == 0 && off & 3 == 0 {
+                self.decoded.get((off / 4) as usize).copied().flatten()
             } else {
                 None
             };
             let (instr, penalty) = match predecoded {
                 Some((_, instr)) => (instr, self.mem.fetch_timing(self.pc)),
                 None => {
-                    let (word, penalty) = self.mem.fetch(self.pc);
+                    let (word, penalty) = self
+                        .mem
+                        .try_fetch(self.pc)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                     (self.decode_fetched(word)?, penalty)
                 }
             };
@@ -790,11 +988,12 @@ impl Machine {
             return Ok(());
         }
 
-        match self.execute(instr, sink) {
+        match self.execute(instr, sink)? {
             Exec::Stall => Ok(()),
             Exec::Done(redirect) => {
                 self.cpu_waiting = false;
                 self.instructions += 1;
+                self.last_progress = self.cycle;
                 self.pending = None;
                 if self.config.trace {
                     self.trace_log
@@ -809,11 +1008,12 @@ impl Machine {
                         instr,
                     },
                 );
-                self.pc = redirect.unwrap_or(self.pc + 4);
+                self.pc = redirect.unwrap_or_else(|| self.pc.wrapping_add(4));
                 Ok(())
             }
             Exec::Halted => {
                 self.instructions += 1;
+                self.last_progress = self.cycle;
                 self.pending = None;
                 self.halted = true;
                 if self.config.trace {
@@ -853,10 +1053,10 @@ impl Machine {
         self.cycle < self.int_ready[r.index() as usize]
     }
 
-    fn execute<S: EventSink>(&mut self, instr: Instr, sink: &mut S) -> Exec {
+    fn execute<S: EventSink>(&mut self, instr: Instr, sink: &mut S) -> Result<Exec, RunError> {
         match instr {
-            Instr::Nop => Exec::Done(None),
-            Instr::Halt => Exec::Halted,
+            Instr::Nop => Ok(Exec::Done(None)),
+            Instr::Halt => Ok(Exec::Halted),
 
             Instr::Mfpsw { rd } => {
                 let psw = self.fpu.psw();
@@ -865,19 +1065,19 @@ impl Machine {
                     v |= (dest.index() as i32) << 8 | 1 << 15;
                 }
                 self.set_ireg(rd, v);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::ClrPsw => {
                 self.fpu.clear_psw();
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Alu { op, rd, rs1, rs2 } => {
                 if self.int_blocked(rs1) || self.int_blocked(rs2) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 let a = self.ireg(rs1);
                 let b = self.ireg(rs2);
@@ -894,37 +1094,40 @@ impl Machine {
                     AluOp::Mul => a.wrapping_mul(b),
                 };
                 self.set_ireg(rd, v);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Addi { rd, rs1, imm } => {
                 if self.int_blocked(rs1) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 self.set_ireg(rd, self.ireg(rs1).wrapping_add(imm));
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Lui { rd, imm } => {
                 self.set_ireg(rd, ((imm << 14) & 0xFFFF_C000) as i32);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Lw { rd, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
                     self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
-                let (value, penalty) = self.mem.load_u32(addr);
+                let (value, penalty) = self
+                    .mem
+                    .try_load_u32(addr)
+                    .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                 self.set_ireg(rd, value as i32);
                 // One load delay slot beyond any miss stall.
                 self.int_ready[rd.index() as usize] =
@@ -932,84 +1135,97 @@ impl Machine {
                 self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
                 self.emit_dcache(sink, false, penalty);
                 self.apply_miss(penalty, sink);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Sw { rs, base, offset } => {
                 if self.int_blocked(base) || self.int_blocked(rs) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
                     self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
-                let penalty = self.mem.store_u32(addr, self.ireg(rs) as u32);
+                let penalty = self
+                    .mem
+                    .try_store_u32(addr, self.ireg(rs) as u32)
+                    .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                 // Stores take two cycles (§2.4).
                 self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
                 self.emit_dcache(sink, true, penalty);
                 self.apply_miss(penalty, sink);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Fld { fr, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
                     self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, true) {
                     self.stalls.fpu_reg_hazard += 1;
                     self.emit_stall(sink, StallCause::FpuRegHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.config.checked_ordering {
                     self.check_ordering_load(fr);
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
-                let (bits, penalty) = self.mem.load_f64(addr);
+                let (bits, penalty) = self
+                    .mem
+                    .try_load_f64(addr)
+                    .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                 self.fpu.load_write(fr, bits, self.cycle + penalty);
                 self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
                 self.emit_dcache(sink, false, penalty);
                 self.apply_miss(penalty, sink);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Fst { fr, base, offset } => {
                 if self.int_blocked(base) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.cycle < self.ls_free_at {
                     self.stalls.ls_port_busy += 1;
                     self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, false) {
                     self.stalls.fpu_reg_hazard += 1;
                     self.emit_stall(sink, StallCause::FpuRegHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if self.config.checked_ordering {
                     self.check_ordering_store(fr);
                 }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                self.mem
+                    .memory
+                    .try_check(addr, 8)
+                    .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                 let bits = self.fpu.read_reg_for_store(fr);
-                let penalty = self.mem.store_f64(addr, bits);
+                let penalty = self
+                    .mem
+                    .try_store_f64(addr, bits)
+                    .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
                 // Stores take two cycles (§2.4).
                 self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
                 self.emit_dcache(sink, true, penalty);
                 self.apply_miss(penalty, sink);
-                Exec::Done(None)
+                Ok(Exec::Done(None))
             }
 
             Instr::Branch {
@@ -1021,36 +1237,36 @@ impl Machine {
                 if self.int_blocked(rs1) || self.int_blocked(rs2) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 if cond.eval(self.ireg(rs1), self.ireg(rs2)) {
                     self.take_branch_bubble(sink);
                     let target = (self.pc / 4).wrapping_add(1).wrapping_add(offset as u32);
-                    Exec::Done(Some(target * 4))
+                    Ok(Exec::Done(Some(target.wrapping_mul(4))))
                 } else {
-                    Exec::Done(None)
+                    Ok(Exec::Done(None))
                 }
             }
 
             Instr::Jump { target } => {
                 self.take_branch_bubble(sink);
-                Exec::Done(Some(target * 4))
+                Ok(Exec::Done(Some(target.wrapping_mul(4))))
             }
 
             Instr::Jal { target } => {
-                self.set_ireg(IReg::new(31), (self.pc + 4) as i32);
+                self.set_ireg(IReg::new(31), self.pc.wrapping_add(4) as i32);
                 self.take_branch_bubble(sink);
-                Exec::Done(Some(target * 4))
+                Ok(Exec::Done(Some(target.wrapping_mul(4))))
             }
 
             Instr::Jr { rs } => {
                 if self.int_blocked(rs) {
                     self.stalls.int_load_hazard += 1;
                     self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Exec::Stall;
+                    return Ok(Exec::Stall);
                 }
                 self.take_branch_bubble(sink);
-                Exec::Done(Some(self.ireg(rs) as u32))
+                Ok(Exec::Done(Some(self.ireg(rs) as u32)))
             }
 
             Instr::Falu(f) => {
@@ -1068,11 +1284,11 @@ impl Machine {
                             instr: f,
                         },
                     );
-                    Exec::Done(None)
+                    Ok(Exec::Done(None))
                 } else {
                     self.stalls.ir_busy += 1;
                     self.emit_stall(sink, StallCause::IrBusy);
-                    Exec::Stall
+                    Ok(Exec::Stall)
                 }
             }
         }

@@ -665,3 +665,97 @@ fn trace_buffers_hold_most_recent_run_only() {
     }
     assert_eq!(m.trace_events().len(), first_events);
 }
+
+/// Regression (PR 4): the PSW is per-run supervisor state. Before the
+/// fix, `reset_for_rerun` (and `load_program`) left the sticky exception
+/// flags and the §2.3.1 overflow destination from the previous run in
+/// place, so a warm re-run of an overflowing program observed stale
+/// abort state instead of recording its own.
+#[test]
+fn rerun_starts_with_a_clean_psw() {
+    let overflowing = [
+        Instr::Falu(FpuAluInstr::vector(FpOp::Mul, r(8), r(0), r(4), 4).unwrap()),
+        Instr::Halt,
+    ];
+    let m = &mut machine_with(&overflowing);
+    let init = |m: &mut Machine| {
+        m.fpu
+            .regs_mut()
+            .write_vector(r(0), &[1.0, 2.0, f64::MAX, 4.0]);
+        m.fpu
+            .regs_mut()
+            .write_vector(r(4), &[1.0, 2.0, f64::MAX, 4.0]);
+    };
+    init(m);
+    m.run().unwrap();
+    assert_eq!(m.fpu.psw().overflow_dest, Some(r(10)));
+    assert!(m.fpu.psw().flags.contains(mt_fparith::Exceptions::OVERFLOW));
+
+    // The re-run must start clean and then record its *own* abort.
+    init(m);
+    m.reset_for_rerun();
+    assert_eq!(m.fpu.psw().overflow_dest, None, "stale overflow_dest");
+    assert!(m.fpu.psw().flags.is_empty(), "stale sticky flags");
+    m.run().unwrap();
+    assert_eq!(m.fpu.psw().overflow_dest, Some(r(10)));
+
+    // Loading a fresh program wipes it too.
+    let prog = Program::assemble(&[Instr::Halt]).unwrap();
+    m.load_program(&prog);
+    assert_eq!(m.fpu.psw().overflow_dest, None);
+    assert!(m.fpu.psw().flags.is_empty());
+}
+
+/// A stuck scoreboard reservation (the canonical injected fault) wedges
+/// the register interlock; the no-retire watchdog converts the infinite
+/// stall into a typed error instead of spinning to the cycle limit —
+/// and reports it at the identical cycle under tick and fast-forward
+/// execution, since fast-forward clamps its jumps to the watchdog
+/// horizon.
+#[test]
+fn watchdog_catches_stuck_scoreboard_under_tick_and_fast_forward() {
+    let run_wedged = |fast_forward: bool| {
+        let prog = Program::assemble(&[
+            Instr::Falu(FpuAluInstr::scalar(FpOp::Add, r(2), r(0), r(1))),
+            Instr::Halt,
+        ])
+        .unwrap();
+        let mut m = Machine::new(SimConfig {
+            fast_forward,
+            watchdog_cycles: 100,
+            ..SimConfig::default()
+        });
+        m.load_program(&prog);
+        m.warm_instructions(&prog);
+        // The injected fault: a reservation on a source register that
+        // nothing in flight will ever clear.
+        m.fpu.flip_scoreboard(r(0));
+        let err = m.run().unwrap_err();
+        (err, format!("{:?}", m.fpu.stats()))
+    };
+    let (tick_err, tick_stats) = run_wedged(false);
+    let (ff_err, ff_stats) = run_wedged(true);
+    match &tick_err {
+        RunError::Watchdog { idle_cycles, .. } => assert!(*idle_cycles > 100),
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+    assert_eq!(tick_err, ff_err, "watchdog must fire at the same point");
+    assert_eq!(tick_stats, ff_stats);
+}
+
+/// `RunError` is a real error type: `Display` renders actionable
+/// messages and `std::error::Error` lets it flow through `?` into
+/// boxed-error contexts (the campaign driver relies on both).
+#[test]
+fn run_error_implements_display_and_error() {
+    let err: Box<dyn std::error::Error> = Box::new(RunError::Watchdog {
+        pc: 0x1_0040,
+        idle_cycles: 500,
+    });
+    assert_eq!(
+        err.to_string(),
+        "watchdog: no progress for 500 cycles at pc 0x10040"
+    );
+    let limit = RunError::CycleLimit(42);
+    assert_eq!(limit.to_string(), "no halt within 42 cycles");
+}

@@ -76,6 +76,7 @@
 pub use mt_asm as asm;
 pub use mt_baseline as baseline;
 pub use mt_core as core;
+pub use mt_fault as fault;
 pub use mt_fparith as fparith;
 pub use mt_isa as isa;
 pub use mt_kernels as kernels;
