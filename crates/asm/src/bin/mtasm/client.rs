@@ -1,0 +1,316 @@
+//! `mtasm client` — a load generator for `mt-serve`.
+//!
+//! Posts one source file to a running server `--requests` times from
+//! `--concurrency` threads (each with its own `X-Client-Id`, exercising
+//! the server's per-client fairness), retries `429` rejections with a
+//! short backoff, and prints a stable `mt-serve-bench-v1` summary.
+//!
+//! The summary is flat on purpose: every key renders on its own line,
+//! so CI can byte-diff the deterministic lines (`requests`, `ok`,
+//! `distinct_bodies`, `body_fnv64`, …) while filtering the wall-clock
+//! and cache-luck ones (`elapsed_ms`, `requests_per_second`,
+//! `cache_hits`, `cache_misses`, `retries_429`) with a plain `grep -v`.
+//!
+//! The HTTP client is hand-rolled over `TcpStream` for the same reason
+//! the server is: the workspace takes no dependencies, and the subset
+//! needed (one POST, one response, `Connection: close`) is tiny.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mt_trace::Json;
+
+/// FNV-1a 64 (private copy: `mtasm` cannot depend on `mt-serve`, which
+/// depends on this crate).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct ClientOptions {
+    url: String,
+    path: String,
+    endpoint: String,
+    concurrency: usize,
+    requests: usize,
+    query: Vec<(String, String)>,
+    print_body: bool,
+}
+
+fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
+    let mut url = "http://127.0.0.1:8315".to_string();
+    let mut path = None;
+    let mut endpoint = "run".to_string();
+    let mut concurrency = 4;
+    let mut requests = 16;
+    let mut query = Vec::new();
+    let mut print_body = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--url" => url = value("--url")?.to_string(),
+            "--endpoint" => {
+                endpoint = value("--endpoint")?.to_string();
+                if endpoint != "run" && endpoint != "assemble" {
+                    return Err(format!("bad --endpoint `{endpoint}` (run|assemble)"));
+                }
+            }
+            "--concurrency" => {
+                concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("bad --concurrency: {e}"))?;
+            }
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--base" => query.push(("base".to_string(), value("--base")?.to_string())),
+            "--cycles" => query.push(("cycles".to_string(), value("--cycles")?.to_string())),
+            "--watchdog" => query.push(("watchdog".to_string(), value("--watchdog")?.to_string())),
+            "--cold" => query.push(("cold".to_string(), "1".to_string())),
+            "--lint" => query.push(("lint".to_string(), "1".to_string())),
+            "--profile" => query.push(("profile".to_string(), "1".to_string())),
+            "--trace" => query.push(("trace".to_string(), "1".to_string())),
+            "--print-body" => print_body = true,
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if concurrency == 0 || requests == 0 {
+        return Err("--concurrency and --requests must be at least 1".to_string());
+    }
+    Ok(ClientOptions {
+        url,
+        path: path.ok_or("missing input file")?,
+        endpoint,
+        concurrency,
+        requests,
+        query,
+        print_body,
+    })
+}
+
+/// `http://host:port` → `host:port`.
+fn host_port(url: &str) -> Result<&str, String> {
+    url.strip_prefix("http://")
+        .ok_or_else(|| format!("bad --url `{url}` (need http://host:port)"))
+        .map(|rest| rest.trim_end_matches('/'))
+}
+
+/// One response: status, `X-Cache` header value, body.
+struct HttpReply {
+    status: u16,
+    cache: Option<String>,
+    body: String,
+}
+
+/// Sends one POST over a fresh connection and reads the full reply.
+fn post(addr: &str, target: &str, client_id: &str, body: &[u8]) -> Result<HttpReply, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    write!(
+        writer,
+        "POST {target} HTTP/1.1\r\nHost: {addr}\r\nX-Client-Id: {client_id}\r\n\
+         Content-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .map_err(|e| e.to_string())?;
+    writer.write_all(body).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", status_line.trim_end()))?;
+    let mut cache = None;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "x-cache" => cache = Some(value.trim().to_string()),
+                "content-length" => {
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad content-length: {e}"))?,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+        }
+        None => {
+            reader.read_to_end(&mut body).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(HttpReply {
+        status,
+        cache,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    errors: usize,
+    retries_429: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    statuses: BTreeSet<u16>,
+    body_hashes: BTreeSet<u64>,
+    failures: Vec<String>,
+}
+
+/// Entry point for `mtasm client <file.s> [flags]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_client_options(args)?;
+    let source = std::fs::read_to_string(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
+    let addr = host_port(&opts.url)?.to_string();
+    let query = opts
+        .query
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join("&");
+    let target = if query.is_empty() {
+        format!("/{}", opts.endpoint)
+    } else {
+        format!("/{}?{query}", opts.endpoint)
+    };
+
+    let tally = Mutex::new(Tally::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..opts.concurrency {
+            // Spread the request count across threads (first threads take
+            // the remainder).
+            let share = opts.requests / opts.concurrency
+                + usize::from(worker < opts.requests % opts.concurrency);
+            let (addr, target, source, tally) = (&addr, &target, &source, &tally);
+            scope.spawn(move || {
+                let client_id = format!("client-{worker}");
+                for _ in 0..share {
+                    let mut retries = 0;
+                    let reply = loop {
+                        match post(addr, target, &client_id, source.as_bytes()) {
+                            Ok(r) if r.status == 429 && retries < 200 => {
+                                retries += 1;
+                                std::thread::sleep(Duration::from_millis(25));
+                            }
+                            other => break other,
+                        }
+                    };
+                    let mut t = tally.lock().unwrap();
+                    t.retries_429 += retries;
+                    match reply {
+                        Ok(r) => {
+                            t.statuses.insert(r.status);
+                            t.body_hashes.insert(fnv1a64(r.body.as_bytes()));
+                            match r.cache.as_deref() {
+                                Some("hit") => t.cache_hits += 1,
+                                Some("miss") => t.cache_misses += 1,
+                                _ => {}
+                            }
+                            if (200..300).contains(&r.status) {
+                                t.ok += 1;
+                            } else {
+                                t.errors += 1;
+                            }
+                        }
+                        Err(e) => {
+                            t.errors += 1;
+                            if t.failures.len() < 8 {
+                                t.failures.push(e);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let t = tally.into_inner().unwrap();
+
+    if opts.print_body {
+        // Replay one request for the body (a cache hit on any healthy
+        // server) so scripts can capture the canonical response.
+        let reply = post(&addr, &target, "client-body", source.as_bytes())?;
+        print!("{}", reply.body);
+        if !reply.body.ends_with('\n') {
+            println!();
+        }
+        return Ok(());
+    }
+
+    let body_fnv64 = if t.body_hashes.len() == 1 {
+        Json::Str(format!("{:#018x}", t.body_hashes.iter().next().unwrap()))
+    } else {
+        Json::Null
+    };
+    let statuses = Json::Arr(t.statuses.iter().map(|&s| Json::U64(s as u64)).collect());
+    let summary = Json::obj([
+        ("schema", Json::Str("mt-serve-bench-v1".to_string())),
+        ("endpoint", Json::Str(opts.endpoint.clone())),
+        ("requests", Json::U64(opts.requests as u64)),
+        ("concurrency", Json::U64(opts.concurrency as u64)),
+        ("ok", Json::U64(t.ok as u64)),
+        ("errors", Json::U64(t.errors as u64)),
+        ("statuses", statuses),
+        ("distinct_bodies", Json::U64(t.body_hashes.len() as u64)),
+        ("body_fnv64", body_fnv64),
+        ("cache_hits", Json::U64(t.cache_hits as u64)),
+        ("cache_misses", Json::U64(t.cache_misses as u64)),
+        ("retries_429", Json::U64(t.retries_429 as u64)),
+        ("elapsed_ms", Json::U64(elapsed.as_millis() as u64)),
+        (
+            "requests_per_second",
+            Json::F64(opts.requests as f64 / elapsed.as_secs_f64().max(1e-9)),
+        ),
+    ]);
+    println!("{}", summary.pretty());
+    for f in &t.failures {
+        eprintln!("mtasm client: {f}");
+    }
+    if t.errors > 0 {
+        return Err(format!("{} request(s) failed", t.errors));
+    }
+    Ok(())
+}

@@ -39,11 +39,26 @@
 //! checks — and prints rustc-style diagnostics with source spans. Errors
 //! make the command fail (and stop `run` before simulation); warnings and
 //! notes do not. Silence an intentional Fig. 8 recurrence by annotating
-//! its line with `; lint: allow(recurrence)`.
+//! its line with `; lint: allow(recurrence)`. `--plain` switches the
+//! diagnostics to one-line `file:line:col: severity[code]: message`
+//! records (no gutters, no carets) for editors and scripts.
+//!
+//! `client` drives a running `mt-serve` instance as a load generator:
+//!
+//! ```text
+//! mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]
+//!              [--concurrency <n>] [--requests <m>] [--lint] [--profile]
+//!              [--trace] [--cold] [--base <hex>] [--cycles <n>]
+//!              [--watchdog <n>] [--print-body]
+//! ```
+//!
+//! and prints a stable `mt-serve-bench-v1` JSON summary.
+
+mod client;
 
 use std::process::ExitCode;
 
-use mt_asm::{parse_with_source_map, SourceMap};
+use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
 use mt_fault::{run_program_campaign, CampaignConfig};
 use mt_isa::Instr;
 use mt_lint::{lint_program_with, LintOptions, Severity};
@@ -52,7 +67,7 @@ use mt_trace::{chrome, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +79,7 @@ struct Options {
     timeline: bool,
     cold: bool,
     lint: bool,
+    plain: bool,
     profile: bool,
     top: usize,
     trace_out: Option<String>,
@@ -79,6 +95,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut timeline = false;
     let mut cold = false;
     let mut lint = false;
+    let mut plain = false;
     let mut profile = false;
     let mut top = 10;
     let mut trace_out = None;
@@ -97,6 +114,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--timeline" => timeline = true,
             "--cold" => cold = true,
             "--lint" => lint = true,
+            "--plain" => plain = true,
             "--profile" => profile = true,
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
@@ -132,6 +150,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         timeline,
         cold,
         lint,
+        plain,
         profile,
         top,
         trace_out,
@@ -171,16 +190,21 @@ fn fault_campaign(src: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Lints an assembled program, printing rustc-style diagnostics to
-/// stderr. Returns an error when any error-severity finding exists.
-fn lint(program: &Program, map: &SourceMap, path: &str) -> Result<(), String> {
+/// Lints an assembled program, printing diagnostics to stderr —
+/// rustc-style spans by default, one-line plain records with `--plain`.
+/// Returns an error when any error-severity finding exists.
+fn lint(program: &Program, map: &SourceMap, path: &str, plain: bool) -> Result<(), String> {
     let opts = LintOptions {
         allow_recurrence: map.allowed_indices("recurrence"),
         ..LintOptions::default()
     };
     let findings = lint_program_with(program, &opts);
     for finding in &findings {
-        eprintln!("{}", map.render(finding, path));
+        if plain {
+            eprintln!("{}", PlainDiagnostic::from_finding(finding, map, path));
+        } else {
+            eprintln!("{}", map.render(finding, path));
+        }
     }
     let errors = mt_lint::error_count(&findings);
     let warnings = findings
@@ -207,7 +231,7 @@ fn lint(program: &Program, map: &SourceMap, path: &str) -> Result<(), String> {
 fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), String> {
     let (program, map) = parse_with_source_map(src, opts.base).map_err(|e| e.to_string())?;
     if opts.lint {
-        lint(&program, &map, &opts.path)?;
+        lint(&program, &map, &opts.path, opts.plain)?;
     }
     let profile = force_profile || opts.profile;
     let recording = opts.trace || opts.timeline || profile || opts.trace_out.is_some();
@@ -265,6 +289,17 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    // `client` has its own flag set (URL, concurrency, …), parsed by the
+    // module itself.
+    if cmd == "client" {
+        return match client::run(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("mtasm: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_options(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -279,7 +314,7 @@ fn main() -> ExitCode {
             let (program, map) =
                 parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
             if opts.lint {
-                lint(&program, &map, &opts.path)?;
+                lint(&program, &map, &opts.path, opts.plain)?;
             }
             for w in &program.words {
                 println!("{w:08x}");
@@ -289,7 +324,7 @@ fn main() -> ExitCode {
         "lint" => read(&opts.path).and_then(|src| {
             let (program, map) =
                 parse_with_source_map(&src, opts.base).map_err(|e| e.to_string())?;
-            lint(&program, &map, &opts.path)
+            lint(&program, &map, &opts.path, opts.plain)
         }),
         "dis" => read(&opts.path).and_then(|text| {
             let mut addr = opts.base;

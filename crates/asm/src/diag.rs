@@ -1,0 +1,157 @@
+//! Plain structured diagnostics: file/line/col/message with no styling.
+//!
+//! [`SourceMap::render`] produces rustc-style output — gutters, carets,
+//! the quoted source line — which is right for a terminal and wrong for
+//! everything else: an HTTP response, a JSON document, an editor that
+//! wants `file:line:col` to jump to. [`PlainDiagnostic`] is the
+//! machine-face of the same information: one flat record per finding,
+//! rendered either as a single `file:line:col: severity[code]: message`
+//! line or as a JSON object, with nothing to strip on the consumer side.
+
+use std::fmt;
+
+use mt_lint::Finding;
+use mt_trace::Json;
+
+use crate::error::AsmError;
+use crate::span::SourceMap;
+
+/// One diagnostic as a flat record. `line`/`col` are 1-based; both are 0
+/// when the location is unknown (builder-level assembly errors, findings
+/// on instructions with no source span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainDiagnostic {
+    /// Source file name as given by the caller (often a virtual name like
+    /// `<request>` for text that never lived on disk).
+    pub file: String,
+    /// 1-based source line, or 0 when unknown.
+    pub line: usize,
+    /// 1-based column, or 0 when unknown.
+    pub col: usize,
+    /// `error`, `warning`, or `note`.
+    pub severity: String,
+    /// Stable machine-readable code (`asm-error`, or the lint rule name).
+    pub code: String,
+    /// Human-readable message, single line, no styling.
+    pub message: String,
+}
+
+impl PlainDiagnostic {
+    /// An assembler error, located at its source line when the parser
+    /// recorded one.
+    pub fn from_asm_error(err: &AsmError, file: &str) -> PlainDiagnostic {
+        PlainDiagnostic {
+            file: file.to_string(),
+            line: err.line,
+            col: if err.line == 0 { 0 } else { 1 },
+            severity: "error".to_string(),
+            code: "asm-error".to_string(),
+            message: err.message.clone(),
+        }
+    }
+
+    /// A lint finding, located through the program's source map. Findings
+    /// on instructions without a span (builder-generated code) keep
+    /// line 0 / col 0 but still carry the instruction index in the
+    /// message's `instr #N, pc 0xAAAA` suffix.
+    pub fn from_finding(finding: &Finding, map: &SourceMap, file: &str) -> PlainDiagnostic {
+        let span = map.span(finding.instr_index);
+        PlainDiagnostic {
+            file: file.to_string(),
+            line: span.map_or(0, |s| s.line),
+            col: span.map_or(0, |s| s.col),
+            severity: finding.severity().to_string(),
+            code: finding.lint.name().to_string(),
+            message: format!(
+                "{} (instr #{}, pc {:#x})",
+                finding.message, finding.instr_index, finding.pc
+            ),
+        }
+    }
+
+    /// The JSON object form used by `mt-serve` responses and
+    /// `mtasm lint --plain --json`. Key order is fixed, so documents are
+    /// byte-stable.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::U64(self.line as u64)),
+            ("col", Json::U64(self.col as u64)),
+            ("severity", Json::Str(self.severity.clone())),
+            ("code", Json::Str(self.code.clone())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for PlainDiagnostic {
+    /// `file:line:col: severity[code]: message` — the classic compiler
+    /// one-liner; location fields are omitted when unknown.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: {}[{}]: {}",
+                self.file, self.severity, self.code, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}[{}]: {}",
+                self.file, self.line, self.col, self.severity, self.code, self.message
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_with_source_map;
+    use mt_lint::lint_program;
+
+    #[test]
+    fn asm_error_forms() {
+        let placed = PlainDiagnostic::from_asm_error(&AsmError::at(7, "unknown mnemonic"), "k.s");
+        assert_eq!(
+            placed.to_string(),
+            "k.s:7:1: error[asm-error]: unknown mnemonic"
+        );
+        let builder = PlainDiagnostic::from_asm_error(&AsmError::new("too far"), "<builder>");
+        assert_eq!(builder.to_string(), "<builder>: error[asm-error]: too far");
+    }
+
+    #[test]
+    fn finding_carries_location_and_code() {
+        // The §2.3.2 ordering rule: the load of R5 clobbers a source
+        // element of the VL-8 vector still in flight (provable under
+        // nominal warm timing).
+        let src =
+            "li r1, 0x2000\nfld R0, 0(r1)\nfadd R16..R23, R0..R7, R8..R15\nfld R5, 64(r1)\nhalt\n";
+        let (program, map) = parse_with_source_map(src, 0x1_0000).unwrap();
+        let findings = lint_program(&program);
+        let ordering = findings
+            .iter()
+            .find(|f| f.lint.name() == "ordering-violation")
+            .expect("ordering rule fires");
+        let d = PlainDiagnostic::from_finding(ordering, &map, "req.s");
+        assert_eq!((d.line, d.col), (4, 1));
+        assert_eq!(d.severity, "error");
+        assert_eq!(d.code, "ordering-violation");
+        assert!(d.message.contains("instr #"), "{}", d.message);
+        assert!(
+            !d.to_string().contains('\x1b') && !d.to_string().contains('\n'),
+            "single plain line"
+        );
+    }
+
+    #[test]
+    fn json_form_is_flat_and_stable() {
+        let d = PlainDiagnostic::from_asm_error(&AsmError::at(3, "bad operand"), "a.s");
+        let text = d.to_json().pretty();
+        let parsed = mt_trace::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("line").unwrap().as_f64(), Some(3.0));
+        assert_eq!(parsed.get("code").unwrap().as_str(), Some("asm-error"));
+        assert_eq!(text, d.to_json().pretty(), "byte-stable");
+    }
+}

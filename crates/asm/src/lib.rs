@@ -29,11 +29,13 @@
 //! ```
 
 pub mod builder;
+pub mod diag;
 pub mod error;
 pub mod parser;
 pub mod span;
 
 pub use builder::{Asm, Label};
+pub use diag::PlainDiagnostic;
 pub use error::AsmError;
 pub use parser::{parse, parse_with_source_map};
 pub use span::{SourceMap, SourceSpan};

@@ -101,6 +101,17 @@ impl Memory {
         self.watch_writes
     }
 
+    /// Returns the memory to its freshly-created all-zeros state — and
+    /// clears any watch — while keeping the backing allocation, so a
+    /// long-lived worker (one `mt-serve` worker thread per core, each
+    /// recycling its machine across arbitrary jobs) never leaks one job's
+    /// data into the next and never re-allocates per job.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.watch = (0, 0);
+        self.watch_writes = 0;
+    }
+
     /// Memory size in bytes.
     pub fn size(&self) -> usize {
         self.size

@@ -165,6 +165,17 @@ impl MemorySystem {
         self.ibuffer.flush();
     }
 
+    /// Full reset to the just-built state: memory back to all zeros (the
+    /// backing allocation survives), all three caches cold, all statistics
+    /// zero. Equivalent to `MemorySystem::new` with the same config, minus
+    /// the allocations — the recycling path for a worker that runs
+    /// arbitrary programs back to back.
+    pub fn reset(&mut self) {
+        self.memory.clear();
+        self.flush_caches();
+        self.reset_stats();
+    }
+
     /// Clears all cache statistics without touching residency.
     pub fn reset_stats(&mut self) {
         self.dcache.reset_stats();
@@ -262,6 +273,27 @@ mod tests {
         );
         let (bits, p) = s.try_load_f64(0x100).unwrap();
         assert_eq!((bits, p), (0, 0), "resident line still hits");
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_new() {
+        let mut s = MemorySystem::new(MemConfig::multititan());
+        s.memory.write_f64(0x200, 3.25);
+        s.memory.watch_range(0x200, 0x210);
+        s.memory.write_f64(0x208, 1.0);
+        s.load_f64(0x200);
+        s.store_u32(0x300, 7);
+        s.fetch(0x40);
+        s.reset();
+        let fresh = MemorySystem::new(MemConfig::multititan());
+        assert_eq!(s.memory.read_f64(0x200), 0.0, "contents cleared");
+        assert_eq!(s.memory.watch_writes(), 0, "watch cleared");
+        assert_eq!(s.dcache_stats(), fresh.dcache_stats());
+        assert_eq!(s.icache_stats(), fresh.icache_stats());
+        assert_eq!(s.ibuffer_stats(), fresh.ibuffer_stats());
+        // Residency gone too: the first access misses cold again.
+        assert_eq!(s.load_f64(0x200).1, 14);
+        assert_eq!(s.fetch(0x40).1, 16);
     }
 
     #[test]

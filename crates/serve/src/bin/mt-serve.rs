@@ -1,0 +1,71 @@
+//! The `mt-serve` binary: bind, print the address, serve until killed.
+//!
+//! ```text
+//! mt-serve [--addr 127.0.0.1:0] [--workers <n>] [--queue <n>] [--cache <n>]
+//! ```
+//!
+//! The first stdout line is `mt-serve listening on http://<addr>` —
+//! scripts bind port 0 and scrape the real port from it.
+
+use std::process::ExitCode;
+
+use mt_serve::{serve, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mt-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8315".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match a.as_str() {
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("bad --workers: {e}"))
+            }),
+            "--queue" => take("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_depth = n)
+                    .map_err(|e| format!("bad --queue: {e}"))
+            }),
+            "--cache" => take("--cache").and_then(|v| {
+                v.parse()
+                    .map(|n| config.cache_entries = n)
+                    .map_err(|e| format!("bad --cache: {e}"))
+            }),
+            "--help" | "-h" => return usage(),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("mt-serve: {e}");
+            return usage();
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mt-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("mt-serve listening on http://{}", handle.addr());
+    // Serve until the process is killed; the handle's threads do all the
+    // work, so the main thread just parks.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,335 @@
+//! Minimal HTTP/1.1 framing — just enough protocol for a localhost
+//! tool server, with hard size limits so a confused client cannot make
+//! the process allocate unboundedly.
+//!
+//! The subset: request line + headers + `Content-Length` bodies, one
+//! request per connection (`Connection: close` on every response).
+//! No chunked encoding, no keep-alive, no percent-decoding beyond `%xx`
+//! in query values. That is all `mtasm client` and `curl` need.
+
+use std::io::{BufRead, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (assembly source is small).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/run`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A query flag: present and not `0`/`false`/empty.
+    pub fn query_flag(&self, key: &str) -> bool {
+        matches!(self.query_get(key), Some(v) if !v.is_empty() && v != "0" && v != "false")
+    }
+
+    /// First header value for lower-case `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one response
+/// status so handlers can reject without guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Connection closed before a full request arrived.
+    Closed,
+    /// Malformed request line or header.
+    Malformed(String),
+    /// Head or body over the hard limits (413).
+    TooLarge,
+    /// I/O failure (includes read timeouts).
+    Io(String),
+}
+
+impl HttpError {
+    /// The response status this error maps to (0 = no response possible).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => 0,
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge => 413,
+        }
+    }
+}
+
+/// Reads one request from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    // Read until the blank line, byte-limited.
+    loop {
+        let mut line = Vec::new();
+        let n = reader
+            .by_ref()
+            .take((MAX_HEAD_BYTES - head.len() + 1) as u64)
+            .read_until(b'\n', &mut line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(if head.is_empty() {
+                HttpError::Closed
+            } else {
+                HttpError::Malformed("truncated head".to_string())
+            });
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head =
+        String::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF-8 head".into()))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(HttpError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Decodes `%xx` escapes and `+` (space); invalid escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => match bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                Some(b) => {
+                    out.push(b);
+                    i += 2;
+                }
+                None => out.push(b'%'),
+            },
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a body and content type.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for the statuses this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes the response (one request per connection, so always
+    /// `Connection: close`).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(
+            "POST /run?profile=1&lint=0&name=a%20b HTTP/1.1\r\n\
+             Host: x\r\nX-Client-Id: alpha\r\nContent-Length: 5\r\n\r\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert!(req.query_flag("profile"));
+        assert!(!req.query_flag("lint"));
+        assert_eq!(req.query_get("name"), Some("a b"));
+        assert_eq!(req.header("x-client-id"), Some("alpha"));
+        assert_eq!(req.body, b"halt\n");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(parse("").unwrap_err(), HttpError::Closed);
+        assert_eq!(parse("ZZZ\r\n\r\n").unwrap_err().status(), 400);
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n").unwrap_err(),
+            HttpError::Malformed(_)
+        ));
+        // Truncated: head never ends.
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err(),
+            HttpError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(&huge_header).unwrap_err(), HttpError::TooLarge);
+        let huge_body = format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&huge_body).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("X-Cache", "hit")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,496 @@
+//! Job model and execution: the pure function each worker computes.
+//!
+//! A job is `(endpoint, source, options)`; executing it on a freshly
+//! recycled [`Machine`] is deterministic, which is what makes the
+//! content-addressed cache (`crate::cache`) legal. Everything here is
+//! careful to keep the response body a function of the job alone — no
+//! timestamps, no worker identity, no wall-clock — so two workers (or a
+//! cache replay) produce identical bytes.
+
+use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
+use mt_lint::{lint_program_with, LintOptions, Severity};
+use mt_sim::json::stats_json;
+use mt_sim::{Machine, Program, RunError, SimConfig};
+use mt_trace::{Json, Profiler, TraceEvent};
+
+/// Virtual file name diagnostics carry (request bodies never live on
+/// disk).
+pub const SOURCE_NAME: &str = "<request>";
+
+/// Schema marker embedded in every response document.
+pub const SCHEMA: &str = "mt-serve-v1";
+
+/// Trace lines included in a response before truncation.
+const TRACE_MAX_LINES: usize = 2000;
+
+/// Which service operation a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /assemble` — assemble only, return the words.
+    Assemble,
+    /// `POST /run` — assemble and simulate to halt.
+    Run,
+}
+
+impl Endpoint {
+    /// Stable name used in cache keys and documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Assemble => "assemble",
+            Endpoint::Run => "run",
+        }
+    }
+}
+
+/// Per-job options (the `?query` knobs of the HTTP API).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Text base address.
+    pub base: u32,
+    /// Start with cold instruction fetch instead of warmed text.
+    pub cold: bool,
+    /// Run the static analyzer; lint errors fail the job with 422.
+    pub lint: bool,
+    /// Include the per-PC profile in the response.
+    pub profile: bool,
+    /// Include the per-cycle trace log (truncated after
+    /// [`TRACE_MAX_LINES`] lines).
+    pub trace: bool,
+    /// Per-job cycle limit (0 = the simulator default).
+    pub max_cycles: u64,
+    /// Per-job no-progress watchdog (0 = off).
+    pub watchdog: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            base: 0x1_0000,
+            cold: false,
+            lint: false,
+            profile: false,
+            trace: false,
+            max_cycles: 0,
+            watchdog: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The simulator configuration this job runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        let default = SimConfig::default();
+        SimConfig {
+            trace: self.trace,
+            max_cycles: if self.max_cycles == 0 {
+                default.max_cycles
+            } else {
+                self.max_cycles
+            },
+            watchdog_cycles: self.watchdog,
+            ..default
+        }
+    }
+}
+
+/// One queued job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// The operation.
+    pub endpoint: Endpoint,
+    /// Assembly source text.
+    pub source: String,
+    /// The knobs.
+    pub options: RunOptions,
+}
+
+impl JobRequest {
+    /// Canonical cache-key material: every response-relevant input,
+    /// nothing else. Any field that can change the body must appear here
+    /// (`tests` assert sensitivity), and nothing request-incidental
+    /// (client id, connection) may.
+    pub fn key_material(&self) -> String {
+        let o = &self.options;
+        format!(
+            "{SCHEMA}|{}|base={:#x}|cold={}|lint={}|profile={}|trace={}|max_cycles={}|watchdog={}\n{}",
+            self.endpoint.name(),
+            o.base,
+            o.cold as u8,
+            o.lint as u8,
+            o.profile as u8,
+            o.trace as u8,
+            o.max_cycles,
+            o.watchdog,
+            self.source
+        )
+    }
+}
+
+/// A finished job: an HTTP status, a JSON body, and the service cycles
+/// when a simulation actually ran (for the latency metrics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// HTTP status the body pairs with.
+    pub status: u16,
+    /// Rendered JSON document.
+    pub body: String,
+    /// `RunStats::cycles` when the job simulated to completion.
+    pub cycles: Option<u64>,
+}
+
+impl JobResult {
+    fn new(status: u16, doc: Json) -> JobResult {
+        JobResult {
+            status,
+            body: doc.pretty(),
+            cycles: None,
+        }
+    }
+}
+
+fn error_doc(kind: &str, extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("status", Json::Str("error".to_string())),
+        ("kind", Json::Str(kind.to_string())),
+    ]);
+    for (k, v) in extra {
+        doc.push(k, v);
+    }
+    doc
+}
+
+/// Maps a [`RunError`] to its structured document (all fields are
+/// deterministic properties of the program).
+fn run_error_doc(err: &RunError) -> Json {
+    match err {
+        RunError::CycleLimit(limit) => error_doc(
+            "cycle-limit",
+            [
+                ("limit", Json::U64(*limit)),
+                ("message", Json::Str(err.to_string())),
+            ],
+        ),
+        RunError::BadInstruction { pc, .. } => error_doc(
+            "bad-instruction",
+            [
+                ("pc", Json::U64(*pc as u64)),
+                ("message", Json::Str(err.to_string())),
+            ],
+        ),
+        RunError::MemoryFault { pc, .. } => error_doc(
+            "memory-fault",
+            [
+                ("pc", Json::U64(*pc as u64)),
+                ("message", Json::Str(err.to_string())),
+            ],
+        ),
+        RunError::Watchdog { pc, idle_cycles } => error_doc(
+            "watchdog",
+            [
+                ("pc", Json::U64(*pc as u64)),
+                ("idle_cycles", Json::U64(*idle_cycles)),
+                ("message", Json::Str(err.to_string())),
+            ],
+        ),
+    }
+}
+
+/// Runs the analyzer; returns the findings as JSON diagnostics plus
+/// whether any error-severity finding exists.
+fn lint_diagnostics(program: &Program, map: &SourceMap) -> (Json, bool) {
+    let opts = LintOptions {
+        allow_recurrence: map.allowed_indices("recurrence"),
+        ..LintOptions::default()
+    };
+    let findings = lint_program_with(program, &opts);
+    let has_errors = findings.iter().any(|f| f.severity() == Severity::Error);
+    let diags = Json::Arr(
+        findings
+            .iter()
+            .map(|f| PlainDiagnostic::from_finding(f, map, SOURCE_NAME).to_json())
+            .collect(),
+    );
+    (diags, has_errors)
+}
+
+/// Per-PC profile rows (PC order, deterministic).
+fn profile_json(events: &[TraceEvent]) -> Json {
+    let profiler = Profiler::from_events(events);
+    Json::Arr(
+        profiler
+            .rows()
+            .map(|(pc, row)| {
+                Json::obj([
+                    ("pc", Json::U64(pc as u64)),
+                    ("instr_index", Json::U64(row.instr_index as u64)),
+                    ("completions", Json::U64(row.completions)),
+                    ("transfers", Json::U64(row.transfers)),
+                    ("elements", Json::U64(row.elements)),
+                    ("flops", Json::U64(row.flops)),
+                    ("stall_cycles", Json::U64(row.stall_cycles())),
+                    ("drain", Json::U64(row.drain)),
+                    ("attributed_cycles", Json::U64(row.attributed_cycles())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Executes one job on a worker's machine. The machine is recycled to
+/// the fresh state for the job's configuration first, so results are
+/// independent of whatever ran before (`tests/machine_reuse.rs` proves
+/// the recycling bit-identical).
+pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
+    let (program, map) = match parse_with_source_map(&job.source, job.options.base) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let diag = PlainDiagnostic::from_asm_error(&e, SOURCE_NAME);
+            return JobResult::new(
+                400,
+                error_doc(
+                    "assemble",
+                    [("diagnostics", Json::Arr(vec![diag.to_json()]))],
+                ),
+            );
+        }
+    };
+
+    let lint = if job.options.lint {
+        let (diags, has_errors) = lint_diagnostics(&program, &map);
+        if has_errors {
+            return JobResult::new(422, error_doc("lint", [("diagnostics", diags)]));
+        }
+        Some(diags)
+    } else {
+        None
+    };
+
+    let mut doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("status", Json::Str("ok".to_string())),
+        ("endpoint", Json::Str(job.endpoint.name().to_string())),
+    ]);
+
+    if job.endpoint == Endpoint::Assemble {
+        doc.push(
+            "words",
+            Json::Arr(
+                program
+                    .words
+                    .iter()
+                    .map(|w| Json::Str(format!("{w:08x}")))
+                    .collect(),
+            ),
+        );
+        if let Some(diags) = lint {
+            doc.push("lint", diags);
+        }
+        return JobResult::new(200, doc);
+    }
+
+    machine.reset_for_new_job(job.options.sim_config());
+    machine.load_program(&program);
+    if !job.options.cold {
+        machine.warm_instructions(&program);
+    }
+    let recording = job.options.profile || job.options.trace;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let outcome = if recording {
+        machine.run_with_sink(&mut events)
+    } else {
+        machine.run()
+    };
+    let stats = match outcome {
+        Ok(stats) => stats,
+        Err(e) => return JobResult::new(422, run_error_doc(&e)),
+    };
+
+    doc.push("stats", stats_json(&stats));
+    if let Some(diags) = lint {
+        doc.push("lint", diags);
+    }
+    if job.options.profile {
+        doc.push("profile", profile_json(&events));
+    }
+    if job.options.trace {
+        let log = machine.trace_log();
+        let lines: Vec<Json> = log
+            .iter()
+            .take(TRACE_MAX_LINES)
+            .map(|l| Json::Str(l.clone()))
+            .collect();
+        doc.push("trace_truncated", Json::Bool(log.len() > TRACE_MAX_LINES));
+        doc.push("trace", Json::Arr(lines));
+    }
+    JobResult {
+        status: 200,
+        body: doc.pretty(),
+        cycles: Some(stats.cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_job(source: &str, options: RunOptions) -> JobResult {
+        let mut m = Machine::new(SimConfig::default());
+        execute(
+            &JobRequest {
+                endpoint: Endpoint::Run,
+                source: source.to_string(),
+                options,
+            },
+            &mut m,
+        )
+    }
+
+    const FIB: &str = "\
+li   r1, 0x2000
+fld  R0, 0(r1)
+fld  R1, 8(r1)
+fadd R2..R9, R1..R8, R0..R7   ; lint: allow(recurrence)
+fadd R10, R10, R10
+fst  R9, 16(r1)
+halt
+";
+
+    #[test]
+    fn run_returns_stats_document() {
+        let r = run_job(FIB, RunOptions::default());
+        assert_eq!(r.status, 200);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        let cycles = doc.get("stats").unwrap().get("cycles").unwrap();
+        assert_eq!(cycles.as_f64().map(|c| c as u64), r.cycles);
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_machines() {
+        let opts = RunOptions {
+            lint: true,
+            profile: true,
+            ..RunOptions::default()
+        };
+        let a = run_job(FIB, opts.clone());
+        let b = run_job(FIB, opts);
+        assert_eq!(a, b, "same job, byte-identical response");
+    }
+
+    #[test]
+    fn assemble_returns_words_without_simulating() {
+        let mut m = Machine::new(SimConfig::default());
+        let r = execute(
+            &JobRequest {
+                endpoint: Endpoint::Assemble,
+                source: "fadd R2, R0, R1\nhalt\n".to_string(),
+                options: RunOptions::default(),
+            },
+            &mut m,
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(r.cycles, None);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("words").unwrap().items().len(), 2);
+    }
+
+    #[test]
+    fn assemble_error_is_a_structured_400() {
+        let r = run_job("not an instruction\n", RunOptions::default());
+        assert_eq!(r.status, 400);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("assemble"));
+        let diag = &doc.get("diagnostics").unwrap().items()[0];
+        assert_eq!(diag.get("line").unwrap().as_f64(), Some(1.0));
+        assert!(!r.body.contains('\x1b'), "no ANSI in responses");
+    }
+
+    #[test]
+    fn lint_errors_fail_with_422() {
+        // The §2.3.2 provable ordering violation.
+        let src =
+            "li r1, 0x2000\nfld R0, 0(r1)\nfadd R16..R23, R0..R7, R8..R15\nfld R5, 64(r1)\nhalt\n";
+        let r = run_job(
+            src,
+            RunOptions {
+                lint: true,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.status, 422);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("lint"));
+        assert!(!doc.get("diagnostics").unwrap().items().is_empty());
+    }
+
+    #[test]
+    fn divergent_program_hits_cycle_limit() {
+        let r = run_job(
+            "loop:\nbeq r0, r0, loop\nhalt\n",
+            RunOptions {
+                max_cycles: 10_000,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.status, 422);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("cycle-limit"));
+        assert_eq!(doc.get("limit").unwrap().as_f64(), Some(10_000.0));
+    }
+
+    #[test]
+    fn wedged_program_hits_watchdog() {
+        // Cold fetch with a 1-cycle watchdog: the very first instruction
+        // miss (14+ idle cycles) exceeds the no-progress bound.
+        let r = run_job(
+            "halt\n",
+            RunOptions {
+                cold: true,
+                watchdog: 1,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.status, 422);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("watchdog"));
+        assert!(doc.get("idle_cycles").unwrap().as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn key_material_is_sensitive_to_every_knob() {
+        let base = JobRequest {
+            endpoint: Endpoint::Run,
+            source: FIB.to_string(),
+            options: RunOptions::default(),
+        };
+        let mut variants = vec![
+            JobRequest {
+                endpoint: Endpoint::Assemble,
+                ..base.clone()
+            },
+            JobRequest {
+                source: format!("{FIB}\n"),
+                ..base.clone()
+            },
+        ];
+        for f in [
+            |o: &mut RunOptions| o.base = 0x2_0000,
+            |o: &mut RunOptions| o.cold = true,
+            |o: &mut RunOptions| o.lint = true,
+            |o: &mut RunOptions| o.profile = true,
+            |o: &mut RunOptions| o.trace = true,
+            |o: &mut RunOptions| o.max_cycles = 77,
+            |o: &mut RunOptions| o.watchdog = 9,
+        ] {
+            let mut v = base.clone();
+            f(&mut v.options);
+            variants.push(v);
+        }
+        let mut keys: Vec<String> = variants.iter().map(JobRequest::key_material).collect();
+        keys.push(base.key_material());
+        let distinct: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(distinct.len(), keys.len(), "every knob must change the key");
+    }
+}

@@ -1,0 +1,49 @@
+//! `mt-serve` — a concurrent simulation service over the MultiTitan
+//! toolchain.
+//!
+//! The repro binaries and `mtasm` run one program per process; this
+//! crate turns the same toolchain into a long-lived service so many
+//! clients (CI shards, sweeps, editors wanting lint-on-save) can share
+//! one warm process. A tiny std-only HTTP/1.1 server accepts
+//! assemble/run jobs and the pieces compose:
+//!
+//! * [`queue::JobQueue`] — bounded admission with per-client round-robin
+//!   fairness; a full queue answers `429 Retry-After` without ever
+//!   blocking the accept loop;
+//! * [`server`] — a worker pool sized by core count, each worker owning
+//!   one reusable [`mt_sim::Machine`] recycled per job
+//!   (`Machine::reset_for_new_job` — proven bit-identical to a fresh
+//!   machine by `tests/machine_reuse.rs`), with per-job cycle and
+//!   watchdog limits surfacing as structured `RunError` documents;
+//! * [`cache::ResultCache`] — content-addressed responses keyed by a
+//!   hash of `(source, options)` with LRU eviction; legal because a run
+//!   is a pure function of its job;
+//! * [`metrics::ServeMetrics`] — queue depth, worker utilization, cache
+//!   hit ratio, and p50/p99 service cycles behind `GET /metrics`.
+//!
+//! # Endpoints
+//!
+//! ```text
+//! POST /assemble            body: assembly source → {words: [hex]}
+//! POST /run?profile=1&lint=1&trace=1&cold=1&base=<hex>&cycles=<n>&watchdog=<n>
+//!                           body: assembly source → {stats, profile?, lint?, trace?}
+//! GET  /metrics             service metrics document
+//! GET  /healthz             liveness probe
+//! ```
+//!
+//! Responses carry `X-Cache: hit|miss`; bodies are byte-identical either
+//! way. Drive it with `mtasm client` (see the README's Serving section)
+//! or plain `curl`.
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use job::{Endpoint, JobRequest, JobResult, RunOptions};
+pub use metrics::ServeMetrics;
+pub use queue::JobQueue;
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,146 @@
+//! Service metrics: counters in the shared [`MetricsRegistry`] plus an
+//! exact sample buffer for the p50/p99 service-cycle quantiles (the
+//! registry's log2 histogram is too coarse for tail percentiles).
+//!
+//! The `GET /metrics` document is assembled here. Everything in it is a
+//! deterministic function of the request history except the gauges
+//! (queue depth, busy workers), which are instantaneous reads.
+
+use std::sync::Mutex;
+
+use mt_trace::{Json, MetricsRegistry};
+
+/// Nearest-rank percentile (`p` in [0, 100]) of `samples`; `None` when
+/// empty. Sorts a copy — metric reads are rare.
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+#[derive(Debug, Default)]
+struct State {
+    registry: MetricsRegistry,
+    /// Cycle counts of completed simulations, for exact percentiles.
+    service_cycles: Vec<u64>,
+}
+
+/// Thread-safe service metrics.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    state: Mutex<State>,
+}
+
+impl ServeMetrics {
+    /// An empty registry.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Bumps a named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.state.lock().unwrap().registry.add(name, delta);
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state.lock().unwrap().registry.counter(name)
+    }
+
+    /// Records one completed simulation's cycle count.
+    pub fn record_service_cycles(&self, cycles: u64) {
+        let mut s = self.state.lock().unwrap();
+        s.registry.record("service_cycles", cycles);
+        s.service_cycles.push(cycles);
+    }
+
+    /// The `GET /metrics` document. `queue_depth` and `busy_workers` are
+    /// gauges sampled by the caller at render time.
+    pub fn to_json(&self, queue_depth: usize, workers: usize, busy_workers: usize) -> Json {
+        let s = self.state.lock().unwrap();
+        let hits = s.registry.counter("cache_hits");
+        let misses = s.registry.counter("cache_misses");
+        let hit_ratio = if hits + misses == 0 {
+            Json::Null
+        } else {
+            Json::F64(hits as f64 / (hits + misses) as f64)
+        };
+        let utilization = if workers == 0 {
+            Json::Null
+        } else {
+            Json::F64(busy_workers as f64 / workers as f64)
+        };
+        let quantile = |p| percentile(&s.service_cycles, p).map_or(Json::Null, Json::U64);
+        Json::obj([
+            ("schema", Json::Str("mt-serve-metrics-v1".to_string())),
+            ("queue_depth", Json::U64(queue_depth as u64)),
+            ("workers", Json::U64(workers as u64)),
+            ("busy_workers", Json::U64(busy_workers as u64)),
+            ("worker_utilization", utilization),
+            ("cache_hit_ratio", hit_ratio),
+            (
+                "service_cycles",
+                Json::obj([
+                    ("count", Json::U64(s.service_cycles.len() as u64)),
+                    ("p50", quantile(50.0)),
+                    ("p99", quantile(99.0)),
+                ]),
+            ),
+            ("registry", s.registry.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7], 50.0), Some(7));
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), Some(50));
+        assert_eq!(percentile(&samples, 99.0), Some(99));
+        assert_eq!(percentile(&samples, 100.0), Some(100));
+        assert_eq!(percentile(&samples, 0.0), Some(1));
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[30, 10, 20], 50.0), Some(20));
+    }
+
+    #[test]
+    fn metrics_document_shape() {
+        let m = ServeMetrics::new();
+        m.add("requests_total", 3);
+        m.add("cache_hits", 1);
+        m.add("cache_misses", 1);
+        m.record_service_cycles(100);
+        m.record_service_cycles(300);
+        let doc = m.to_json(2, 4, 1);
+        let parsed = mt_trace::json::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed.get("queue_depth").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            parsed.get("worker_utilization").unwrap().as_f64(),
+            Some(0.25)
+        );
+        assert_eq!(parsed.get("cache_hit_ratio").unwrap().as_f64(), Some(0.5));
+        let sc = parsed.get("service_cycles").unwrap();
+        assert_eq!(sc.get("p50").unwrap().as_f64(), Some(100.0));
+        assert_eq!(sc.get("p99").unwrap().as_f64(), Some(300.0));
+        let counters = parsed.get("registry").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("requests_total").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_metrics_render_nulls() {
+        let m = ServeMetrics::new();
+        let text = m.to_json(0, 0, 0).pretty();
+        assert!(text.contains("\"cache_hit_ratio\": null"));
+        assert!(text.contains("\"worker_utilization\": null"));
+        assert!(text.contains("\"p50\": null"));
+    }
+}

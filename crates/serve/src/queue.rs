@@ -1,0 +1,161 @@
+//! A bounded job queue with per-client round-robin fairness.
+//!
+//! One client posting a thousand jobs must not starve another posting
+//! one: jobs are queued per client and workers drain clients in
+//! round-robin order, one job per turn. The total bound covers all
+//! clients together; a full queue rejects immediately (the server turns
+//! that into `429 Retry-After`) instead of blocking the accept path.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    /// Per-client FIFO lanes (`BTreeMap` for deterministic iteration).
+    lanes: BTreeMap<String, VecDeque<T>>,
+    /// Round-robin rotation of clients with queued jobs.
+    rotation: VecDeque<String>,
+    /// Total queued jobs across all lanes.
+    len: usize,
+    capacity: usize,
+    closed: bool,
+}
+
+/// The queue. `push` never blocks; `pop` blocks until a job or close.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue bounded at `capacity` jobs total.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                lanes: BTreeMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                capacity,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job for `client`. Returns the job back when the queue
+    /// is full or closed — the caller owes the client a `429`/`503`.
+    pub fn push(&self, client: &str, job: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed || q.len >= q.capacity {
+            return Err(job);
+        }
+        q.len += 1;
+        match q.lanes.get_mut(client) {
+            Some(lane) => lane.push_back(job),
+            None => {
+                q.lanes.insert(client.to_string(), VecDeque::from([job]));
+                q.rotation.push_back(client.to_string());
+            }
+        }
+        drop(q);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job in round-robin client order, blocking while
+    /// the queue is empty. Returns `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(client) = q.rotation.pop_front() {
+                let lane = q.lanes.get_mut(&client).expect("rotation tracks lanes");
+                let job = lane.pop_front().expect("lanes in rotation are non-empty");
+                if lane.is_empty() {
+                    q.lanes.remove(&client);
+                } else {
+                    q.rotation.push_back(client);
+                }
+                q.len -= 1;
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.available.wait(q).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// blocked `pop`s wake with `None` once empty.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (not counting those being executed).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_without_blocking() {
+        let q = JobQueue::new(2);
+        assert!(q.push("a", 1).is_ok());
+        assert!(q.push("a", 2).is_ok());
+        assert_eq!(q.push("a", 3), Err(3), "bounded: third job bounces");
+        assert_eq!(q.push("b", 4), Err(4), "bound is global, not per client");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let q = JobQueue::new(16);
+        // Client `a` floods first; `b` and `c` each queue one job.
+        for i in 0..4 {
+            q.push("a", format!("a{i}")).unwrap();
+        }
+        q.push("b", "b0".to_string()).unwrap();
+        q.push("c", "c0".to_string()).unwrap();
+        let order: Vec<String> =
+            std::iter::from_fn(|| if q.is_empty() { None } else { q.pop() }).collect();
+        assert_eq!(order, ["a0", "b0", "c0", "a1", "a2", "a3"]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pop() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert_eq!(q.push("a", 1), Err(1), "closed queue rejects");
+    }
+
+    #[test]
+    fn close_drains_pending_jobs_first() {
+        let q = JobQueue::new(4);
+        q.push("a", 1).unwrap();
+        q.push("a", 2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

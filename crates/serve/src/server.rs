@@ -1,0 +1,342 @@
+//! The TCP server: accept loop, connection handlers, and the worker
+//! pool.
+//!
+//! Threading model (std only — no async runtime):
+//!
+//! * one **accept thread** that only accepts and spawns; it never
+//!   parses, queues, or waits on a simulation, so a full queue or a
+//!   slow job cannot stall new connections;
+//! * one detached **handler thread** per connection: reads the request,
+//!   serves `GET`s directly, and for jobs either replays the cache or
+//!   enqueues and blocks on a rendezvous channel for the result;
+//! * `workers` long-lived **worker threads**, each owning one reusable
+//!   [`Machine`] recycled per job (`Machine::reset_for_new_job`), pulling
+//!   from the fair bounded [`JobQueue`].
+//!
+//! Backpressure: the queue bound is the only admission control. When it
+//! is full the handler answers `429 Too Many Requests` with
+//! `Retry-After: 1` immediately — no blocking, no buffering.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mt_sim::{Machine, SimConfig};
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, Request, Response};
+use crate::job::{execute, Endpoint, JobRequest, RunOptions, SCHEMA};
+use crate::metrics::ServeMetrics;
+use crate::queue::JobQueue;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = the machine's available parallelism).
+    pub workers: usize,
+    /// Total queued-job bound across all clients.
+    pub queue_depth: usize,
+    /// Result-cache capacity in responses (0 disables caching).
+    pub cache_entries: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_entries: 256,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A job traveling through the queue: the request plus the rendezvous
+/// channel its handler waits on.
+struct QueuedJob {
+    request: JobRequest,
+    reply: mpsc::SyncSender<(u16, String)>,
+}
+
+/// State shared by the accept thread, handlers, and workers.
+struct Shared {
+    queue: JobQueue<QueuedJob>,
+    cache: Mutex<ResultCache>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    busy_workers: AtomicUsize,
+    workers: usize,
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued jobs, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // The accept loop is parked in `accept()`; a throwaway connection
+        // wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the worker pool and accept thread, and returns.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth),
+        cache: Mutex::new(ResultCache::new(config.cache_entries)),
+        metrics: ServeMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        busy_workers: AtomicUsize::new(0),
+        workers,
+    });
+
+    let worker_threads = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("mt-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        let io_timeout = config.io_timeout;
+        std::thread::Builder::new()
+            .name("mt-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared, io_timeout))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duration) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        // Handlers are detached: each one either answers quickly (GETs,
+        // cache hits, 429s) or blocks on its own job's rendezvous — never
+        // on another connection.
+        let _ = std::thread::Builder::new()
+            .name("mt-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared, io_timeout));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // One machine per worker, recycled across jobs (`reset_for_new_job`
+    // inside `execute`); allocations for memory, caches, and decode
+    // tables are paid once.
+    let mut machine = Machine::new(SimConfig::default());
+    while let Some(job) = shared.queue.pop() {
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        let result = execute(&job.request, &mut machine);
+        if let Some(cycles) = result.cycles {
+            shared.metrics.record_service_cycles(cycles);
+        }
+        shared.metrics.add(status_counter(result.status), 1);
+        shared.cache.lock().unwrap().insert(
+            job.request.key_material(),
+            result.status,
+            result.body.clone(),
+        );
+        // A vanished handler (client hung up) is fine; the result is
+        // already cached for the retry.
+        let _ = job.reply.send((result.status, result.body));
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200 => "responses_200",
+        400 => "responses_400",
+        422 => "responses_422",
+        _ => "responses_other",
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => {
+            if e.status() != 0 {
+                let body = format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"http\"}}\n"
+                );
+                respond(reader.into_inner(), Response::json(e.status(), body));
+            }
+            return;
+        }
+    };
+    let response = route(&request, &peer, shared);
+    respond(reader.into_inner(), response);
+}
+
+fn respond(mut stream: TcpStream, response: Response) {
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn route(request: &Request, peer: &str, shared: &Shared) -> Response {
+    shared.metrics.add("requests_total", 1);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            let body = shared
+                .metrics
+                .to_json(
+                    shared.queue.len(),
+                    shared.workers,
+                    shared.busy_workers.load(Ordering::SeqCst),
+                )
+                .pretty();
+            Response::json(200, body)
+        }
+        ("POST", "/assemble") => job_response(request, peer, shared, Endpoint::Assemble),
+        ("POST", "/run") => job_response(request, peer, shared, Endpoint::Run),
+        ("GET", "/assemble" | "/run") | ("POST", "/healthz" | "/metrics") => Response::json(
+            405,
+            format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"method-not-allowed\"}}\n"),
+        ),
+        _ => Response::json(
+            404,
+            format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"not-found\"}}\n"),
+        ),
+    }
+}
+
+/// Builds the job from the request, replays the cache, or queues and
+/// waits.
+fn job_response(request: &Request, peer: &str, shared: &Shared, endpoint: Endpoint) -> Response {
+    let options = match parse_options(request) {
+        Ok(o) => o,
+        Err(message) => {
+            let doc = format!(
+                "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-query\", \"message\": {}}}\n",
+                mt_trace::Json::Str(message).pretty()
+            );
+            return Response::json(400, doc);
+        }
+    };
+    let source = match String::from_utf8(request.body.clone()) {
+        Ok(s) => s,
+        Err(_) => {
+            return Response::json(
+                400,
+                format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-body\"}}\n"
+                ),
+            )
+        }
+    };
+    let job = JobRequest {
+        endpoint,
+        source,
+        options,
+    };
+    let key = job.key_material();
+
+    if let Some((status, body)) = shared.cache.lock().unwrap().get(&key) {
+        shared.metrics.add("cache_hits", 1);
+        return Response::json(status, body).with_header("X-Cache", "hit");
+    }
+    shared.metrics.add("cache_misses", 1);
+
+    // Fairness lane: the client's declared identity, or its peer IP.
+    let client = request.header("x-client-id").unwrap_or(peer).to_string();
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let queued = QueuedJob {
+        request: job,
+        reply: reply_tx,
+    };
+    if shared.queue.push(&client, queued).is_err() {
+        shared.metrics.add("rejected_429", 1);
+        return Response::json(
+            429,
+            format!(
+                "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"queue-full\"}}\n"
+            ),
+        )
+        .with_header("Retry-After", "1");
+    }
+    match reply_rx.recv() {
+        Ok((status, body)) => Response::json(status, body).with_header("X-Cache", "miss"),
+        // The queue was closed (shutdown) before a worker took the job.
+        Err(_) => Response::json(
+            503,
+            format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"shutting-down\"}}\n"),
+        ),
+    }
+}
+
+fn parse_options(request: &Request) -> Result<RunOptions, String> {
+    let mut options = RunOptions::default();
+    if let Some(v) = request.query_get("base") {
+        options.base = u32::from_str_radix(v.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("bad base `{v}`: {e}"))?;
+    }
+    options.cold = request.query_flag("cold");
+    options.lint = request.query_flag("lint");
+    options.profile = request.query_flag("profile");
+    options.trace = request.query_flag("trace");
+    if let Some(v) = request.query_get("cycles") {
+        options.max_cycles = v.parse().map_err(|e| format!("bad cycles `{v}`: {e}"))?;
+    }
+    if let Some(v) = request.query_get("watchdog") {
+        options.watchdog = v.parse().map_err(|e| format!("bad watchdog `{v}`: {e}"))?;
+    }
+    Ok(options)
+}

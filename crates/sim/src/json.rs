@@ -1,0 +1,97 @@
+//! JSON renderers for run statistics — the per-run slice of the stable
+//! `mt-bench-v1` schema.
+//!
+//! These used to live in `mt_bench::json`, but the serving layer
+//! (`mt-serve`) needs the identical rendering without pulling the whole
+//! bench harness in — and `mt-bench` depends on `mt-asm`, which the
+//! service's toolchain side also feeds, so promoting the renderer *down*
+//! to the crate that owns [`RunStats`] breaks the cycle: both consumers
+//! see one formatter and the committed `BENCH_*.json` documents stay
+//! byte-identical.
+
+use mt_mem::CacheStats;
+use mt_trace::Json;
+
+use crate::stats::RunStats;
+
+/// One cache's counters as a JSON object.
+pub fn cache_json(c: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::U64(c.hits)),
+        ("misses", Json::U64(c.misses)),
+        ("writebacks", Json::U64(c.writebacks)),
+        // `null` for a cache that served no accesses: an untouched cache
+        // has no hit ratio (it used to read as a perfect 1.0).
+        ("hit_ratio", c.hit_ratio().map_or(Json::Null, Json::F64)),
+    ])
+}
+
+/// One run's statistics (a [`RunStats`]) as a JSON object.
+pub fn stats_json(s: &RunStats) -> Json {
+    Json::obj([
+        ("cycles", Json::U64(s.cycles)),
+        ("instructions", Json::U64(s.instructions)),
+        ("drain_cycles", Json::U64(s.drain_cycles)),
+        ("mflops", Json::F64(s.mflops())),
+        ("ipc", Json::F64(s.ipc())),
+        ("ops_per_cycle", Json::F64(s.ops_per_cycle())),
+        ("transfers", Json::U64(s.fpu.instructions_transferred)),
+        ("elements", Json::U64(s.fpu.elements_issued)),
+        ("flops", Json::U64(s.fpu.flops)),
+        ("fpu_loads", Json::U64(s.fpu.loads)),
+        ("fpu_stores", Json::U64(s.fpu.stores)),
+        (
+            "scoreboard_stalls",
+            Json::U64(s.fpu.scoreboard_stall_cycles),
+        ),
+        (
+            "stalls",
+            Json::obj([
+                ("ir_busy", Json::U64(s.stalls.ir_busy)),
+                ("ls_port_busy", Json::U64(s.stalls.ls_port_busy)),
+                ("fpu_reg_hazard", Json::U64(s.stalls.fpu_reg_hazard)),
+                ("int_load_hazard", Json::U64(s.stalls.int_load_hazard)),
+                ("fetch", Json::U64(s.stalls.fetch)),
+                ("data_miss", Json::U64(s.stalls.data_miss)),
+                ("branch", Json::U64(s.stalls.branch)),
+                ("total", Json::U64(s.stalls.total())),
+            ]),
+        ),
+        ("dcache", cache_json(&s.dcache)),
+        ("icache", cache_json(&s.icache)),
+        ("ibuffer", cache_json(&s.ibuffer)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_cache_reports_null_hit_ratio() {
+        let untouched = cache_json(&CacheStats::default());
+        assert!(
+            untouched.pretty().contains("\"hit_ratio\": null"),
+            "no accesses → null, not a perfect 1.0: {}",
+            untouched.pretty()
+        );
+        let touched = cache_json(&CacheStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        });
+        let parsed = mt_trace::json::parse(&touched.pretty()).unwrap();
+        let ratio = parsed.get("hit_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_document_is_wellformed_and_stable() {
+        let s = RunStats::default();
+        let text = stats_json(&s).pretty();
+        assert_eq!(text, stats_json(&s).pretty(), "byte-stable");
+        let parsed = mt_trace::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("cycles").unwrap().as_f64(), Some(0.0));
+        assert!(parsed.get("stalls").unwrap().get("total").is_some());
+    }
+}

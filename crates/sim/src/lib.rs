@@ -48,6 +48,7 @@
 //! assert!(stats.cycles < 10);
 //! ```
 
+pub mod json;
 pub mod machine;
 pub mod program;
 pub mod stats;

@@ -436,10 +436,65 @@ impl Machine {
         self.int_ready = [0; 32];
         self.cpu_waiting = true;
         self.last_progress = self.cycle;
+        // An interrupt armed for a cycle the previous run never reached
+        // must not ambush the re-run: `interrupt_after` is per-run state.
+        self.interrupt_at = None;
+        // FPU-side attribution (drain cycles, scoreboard stalls) must not
+        // point at the previous run's last transfer.
+        self.ir_pc = self.entry;
+        self.ir_index = 0;
         // The PSW is sticky across instructions, not across runs: a re-run
         // must observe its *own* exception flags and overflow destination,
         // exactly as if the program had been loaded fresh.
         self.fpu.clear_psw();
+    }
+
+    /// Resets the machine to the state [`Machine::new`]`(config)` would
+    /// build — fresh registers, zeroed memory, cold caches, cleared PSW,
+    /// no pending interrupt, zeroed statistics and diagnostics — while
+    /// keeping the large allocations (memory backing, trace buffers).
+    ///
+    /// This is the worker-recycling path: a long-lived service worker owns
+    /// one `Machine` and runs *arbitrary, unrelated* programs back to
+    /// back, so unlike [`Machine::reset_for_rerun`] (the §3.2 warm-rerun
+    /// protocol, which deliberately preserves memory, caches, and register
+    /// files) nothing at all may survive from the previous job: results
+    /// must be bit-identical to a freshly constructed machine, which
+    /// `tests/machine_reuse.rs` proves across random job pairs.
+    pub fn reset_for_new_job(&mut self, config: SimConfig) {
+        self.mem.reset();
+        if config.mem != self.config.mem {
+            self.mem = MemorySystem::new(config.mem);
+        }
+        self.fpu = Fpu::with_latency(config.fpu_latency);
+        self.timing = config.issue_timing();
+        self.config = config;
+        self.iregs = [0; 32];
+        self.int_ready = [0; 32];
+        self.pc = 0;
+        self.entry = 0;
+        self.cycle = 0;
+        self.ls_free_at = 0;
+        self.freeze_until = 0;
+        self.fetch_ready_at = 0;
+        self.pending = None;
+        self.pending_ready_at = 0;
+        self.halted = false;
+        self.interrupt_at = None;
+        self.instructions = 0;
+        self.stalls = StallBreakdown::default();
+        self.drain_cycles = 0;
+        self.ir_pc = 0;
+        self.ir_index = 0;
+        self.violations.clear();
+        self.trace_log.clear();
+        self.trace_events.clear();
+        self.decoded.clear();
+        self.text_base = 0;
+        // `predecode_enabled` survives deliberately: it is a measurement
+        // switch of the machine, not state of any job.
+        self.cpu_waiting = true;
+        self.last_progress = 0;
     }
 
     /// Runs from the current PC until `halt`, returning the statistics of

@@ -83,5 +83,6 @@ pub use mt_kernels as kernels;
 pub use mt_lint as lint;
 pub use mt_mahler as mahler;
 pub use mt_mem as mem;
+pub use mt_serve as serve;
 pub use mt_sim as sim;
 pub use mt_trace as trace;
