@@ -26,6 +26,14 @@
 //! trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
 //! `chrome://tracing`, with one track per functional unit.
 //!
+//! `mca` runs the static cycle/throughput analyzer (`mt-mca`) without
+//! simulating: the exact cache-warm prediction for straight-line
+//! programs, and per-loop steady-state cycles-per-iteration with the
+//! binding bottleneck resource. `--json` emits the `mt-mca-v1`
+//! document. `--mca` alongside `run`/`profile` appends a
+//! predicted-vs-measured table joining the static loop predictions with
+//! the run's measured profile.
+//!
 //! `fault` runs the deterministic fault-injection campaign (`mt-fault`)
 //! over the assembled program: seeded single-bit upsets are replayed
 //! against a golden run and classified as masked / detected / SDC /
@@ -60,14 +68,16 @@ use std::process::ExitCode;
 
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
 use mt_fault::{run_program_campaign, CampaignConfig};
+use mt_isa::cost::IssueTiming;
 use mt_isa::Instr;
+use mt_lint::cfg::ProgramView;
 use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::{Machine, Program, SimConfig, Timeline};
-use mt_trace::{chrome, Profiler, TraceEvent};
+use mt_trace::{chrome, Json, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
     );
     ExitCode::from(2)
 }
@@ -86,6 +96,7 @@ struct Options {
     seed: u64,
     injections: usize,
     json: bool,
+    mca: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -102,6 +113,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut seed = 0xA5;
     let mut injections = 200;
     let mut json = false;
+    let mut mca = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -137,6 +149,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 injections = v.parse().map_err(|e| format!("bad --injections: {e}"))?;
             }
             "--json" => json = true,
+            "--mca" => mca = true,
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -157,6 +170,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed,
         injections,
         json,
+        mca,
     })
 }
 
@@ -225,6 +239,52 @@ fn lint(program: &Program, map: &SourceMap, path: &str, plain: bool) -> Result<(
     }
 }
 
+/// Assembles `src` and runs the static cycle/throughput analyzer
+/// (`mt-mca`) without simulating: the exact straight-line prediction
+/// when the program is branch-free, and every natural loop's
+/// steady-state cycles-per-iteration with its binding bottleneck.
+/// `--json` emits the `mt-mca-v1` document instead.
+fn mca_analyze(src: &str, opts: &Options) -> Result<(), String> {
+    let (program, map) = parse_with_source_map(src, opts.base).map_err(|e| e.to_string())?;
+    if opts.lint {
+        lint(&program, &map, &opts.path, opts.plain)?;
+    }
+    let view = ProgramView::decode(&program);
+    let timing = IssueTiming::multititan();
+    let loops = mt_mca::loops(&view, timing);
+    if opts.json {
+        let mut doc = Json::obj([("schema", Json::Str(mt_mca::json::SCHEMA.to_string()))]);
+        doc.push(
+            "program",
+            mt_mca::json::program_json(&opts.path, &view, &loops, None),
+        );
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+    let resolve = |pc: u32| {
+        let idx = pc.checked_sub(program.base)? / 4;
+        let span = map.span(idx as usize)?;
+        let text = map.line_text(span.line)?.trim().to_string();
+        Some((format!("{}:{}", opts.path, span.line), text))
+    };
+    match mt_mca::straight_line(&view, timing) {
+        Ok(pred) => {
+            print!(
+                "{}",
+                mt_mca::report::straight_line_report(&view, &pred, &resolve)
+            );
+        }
+        Err(skip) => println!("whole-program prediction unavailable: {skip}"),
+    }
+    if !loops.is_empty() {
+        println!();
+        for l in &loops {
+            print!("{}", mt_mca::report::loop_report(&view, l, &resolve));
+        }
+    }
+    Ok(())
+}
+
 /// Assembles and simulates `src`, honouring the tracing, timeline,
 /// profiling, and export options. `force_profile` is the `profile`
 /// subcommand (profiling on regardless of `--profile`).
@@ -234,7 +294,7 @@ fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), Str
         lint(&program, &map, &opts.path, opts.plain)?;
     }
     let profile = force_profile || opts.profile;
-    let recording = opts.trace || opts.timeline || profile || opts.trace_out.is_some();
+    let recording = opts.trace || opts.timeline || profile || opts.mca || opts.trace_out.is_some();
     let mut m = Machine::new(SimConfig {
         trace: opts.trace,
         ..SimConfig::default()
@@ -271,6 +331,26 @@ fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), Str
             Some((format!("{}:{}", opts.path, span.line), text))
         };
         print!("{}", p.report(&opts.path, opts.top, &resolve));
+        println!();
+    }
+    if opts.mca {
+        let view = ProgramView::decode(&program);
+        let loops = mt_mca::loops(&view, IssueTiming::multititan());
+        let p = Profiler::from_events(&events);
+        let resolve = |pc: u32| {
+            let idx = pc.checked_sub(program.base)? / 4;
+            let span = map.span(idx as usize)?;
+            let text = map.line_text(span.line)?.trim().to_string();
+            Some((format!("{}:{}", opts.path, span.line), text))
+        };
+        if loops.is_empty() {
+            println!("mca: no loops detected");
+        } else {
+            print!(
+                "{}",
+                mt_mca::report::compare_report(&view, &loops, &p, &resolve)
+            );
+        }
         println!();
     }
     if let Some(out) = &opts.trace_out {
@@ -346,6 +426,7 @@ fn main() -> ExitCode {
         "run" => read(&opts.path).and_then(|src| run_program(&src, &opts, false)),
         "fault" => read(&opts.path).and_then(|src| fault_campaign(&src, &opts)),
         "profile" => read(&opts.path).and_then(|src| run_program(&src, &opts, true)),
+        "mca" => read(&opts.path).and_then(|src| mca_analyze(&src, &opts)),
         _ => return usage(),
     };
 

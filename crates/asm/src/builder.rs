@@ -82,6 +82,24 @@ impl Asm {
         self.items.is_empty()
     }
 
+    /// Whether execution can reach the current (end) position: `false`
+    /// after `halt`, `jr`, and unconditional (non-linking) jumps, `true`
+    /// otherwise (including when nothing has been emitted) — and always
+    /// `true` while a label is bound right here, since a branch or jump
+    /// elsewhere targets whatever gets emitted next. Lets callers append
+    /// a trailing safety `halt` only when it is actually reachable.
+    pub fn falls_through(&self) -> bool {
+        if self.labels.contains(&Some(self.items.len())) {
+            return true;
+        }
+        !matches!(
+            self.items.last(),
+            Some(Item::Fixed(
+                Instr::Halt | Instr::Jr { .. } | Instr::Jump { .. }
+            )) | Some(Item::Jump { link: false, .. })
+        )
+    }
+
     fn push(&mut self, item: Item) {
         self.items.push(item);
         self.spans.push(self.current_span);

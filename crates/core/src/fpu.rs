@@ -31,7 +31,7 @@ use crate::scoreboard::Scoreboard;
 
 /// Cycles between an FPU load's issue and its data being readable by an ALU
 /// element ("single-cycle load/store latency from the cache", §2.2.1).
-pub const LOAD_VISIBLE_AFTER: u64 = 1;
+pub const LOAD_VISIBLE_AFTER: u64 = mt_isa::cost::FPU_LOAD_VISIBLE_AFTER;
 
 /// Result of one issue attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

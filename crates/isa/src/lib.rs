@@ -32,11 +32,13 @@
 //! ```
 
 pub mod cop;
+pub mod cost;
 pub mod cpu;
 pub mod fpu;
 pub mod reg;
 
 pub use cop::CopOp;
+pub use cost::{InstrCost, IssueTiming};
 pub use cpu::{DecodeError, Instr};
 pub use fpu::FpuAluInstr;
 pub use reg::{FReg, IReg, NUM_CPU_REGS, NUM_FPU_REGS};

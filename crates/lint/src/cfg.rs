@@ -1,6 +1,8 @@
-//! Decoded program view and control-flow successors.
+//! Decoded program view, control-flow successors, and the basic-block
+//! partition the flow-sensitive analyses (and `mt-mca`'s loop timing)
+//! are built on.
 
-use mt_isa::Instr;
+use mt_isa::{IReg, Instr};
 use mt_sim::Program;
 
 /// One text word: raw encoding plus its decoding, when valid.
@@ -42,9 +44,59 @@ impl ProgramView {
         self.base + 4 * idx as u32
     }
 
+    /// Return points established by `jal` call sites, when every value
+    /// `r31` can ever hold is provably a `jal` return address.
+    ///
+    /// The proof obligation is whole-program: if **no** decoded
+    /// instruction other than `jal` writes `r31` (undecodable words
+    /// cannot execute — the simulator faults on them — so they never
+    /// write anything), then the only values a `jr r31` can observe are
+    /// the `call site + 1` addresses the `jal`s established, and its
+    /// successor set is exactly those return points. Any other `r31`
+    /// write anywhere (a computed return address, a spill/reload through
+    /// memory would appear as `lw r31, ...`) voids the proof and this
+    /// returns `None`.
+    fn jal_return_points(&self) -> Option<Vec<usize>> {
+        let mut returns = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let Some(instr) = slot.instr else { continue };
+            match instr {
+                Instr::Jal { .. } if idx + 1 < self.slots.len() => {
+                    returns.push(idx + 1);
+                }
+                Instr::Alu { rd, .. }
+                | Instr::Addi { rd, .. }
+                | Instr::Lui { rd, .. }
+                | Instr::Lw { rd, .. }
+                | Instr::Mfpsw { rd }
+                    if rd == IReg::new(31) =>
+                {
+                    return None;
+                }
+                _ => {}
+            }
+        }
+        Some(returns)
+    }
+
     /// Control-flow successors of instruction `idx`, restricted to indices
-    /// inside the text section. `halt`, `jr` (indirect target), and
-    /// undecodable slots end analysis.
+    /// inside the text section.
+    ///
+    /// `halt` and undecodable slots end analysis. Indirect jumps are
+    /// resolved as far as is provable and end analysis otherwise:
+    ///
+    /// * `jr r31` where `r31` is written **only** by `jal` instructions
+    ///   (checked over the whole text section) flows to every `jal`
+    ///   return point — an over-approximation, since a specific `jr`
+    ///   dynamically returns only to the call sites that can actually
+    ///   reach it, but a sound one: every dynamic successor is in the
+    ///   set. See [`ProgramView::jal_return_points`].
+    /// * `jr r31` in a program with any other `r31` write, and `jr` of
+    ///   any other register, remain analysis-ending: the target is a
+    ///   runtime value the decoder cannot bound. Analyses treat such an
+    ///   instruction like `halt` — paths through it are simply not
+    ///   tracked, which keeps the ordering/dataflow passes sound for the
+    ///   code they do reach but blind past a computed jump.
     pub fn successors(&self, idx: usize) -> Vec<usize> {
         let Some(instr) = self.slots[idx].instr else {
             return Vec::new();
@@ -56,7 +108,13 @@ impl ProgramView {
         };
         let mut next = Vec::new();
         match instr {
-            Instr::Halt | Instr::Jr { .. } => {}
+            Instr::Halt => {}
+            Instr::Jr { rs } if rs == IReg::new(31) => {
+                if let Some(returns) = self.jal_return_points() {
+                    next.extend(returns);
+                }
+            }
+            Instr::Jr { .. } => {}
             Instr::Jump { target } | Instr::Jal { target } => {
                 next.extend(in_range(target as i64 - (self.base / 4) as i64));
             }
@@ -90,5 +148,233 @@ impl ProgramView {
         }
         order.sort_unstable();
         order
+    }
+
+    /// Whether the slot at `idx` ends a basic block: control flow, halt,
+    /// or a word that does not decode (analysis-ending).
+    pub fn is_terminator(&self, idx: usize) -> bool {
+        matches!(
+            self.slots[idx].instr,
+            None | Some(
+                Instr::Halt
+                    | Instr::Branch { .. }
+                    | Instr::Jump { .. }
+                    | Instr::Jal { .. }
+                    | Instr::Jr { .. }
+            )
+        )
+    }
+
+    /// Partitions the whole text section (reachable or not) into basic
+    /// blocks: maximal runs of slots with one entry (the leader) and one
+    /// exit (the last slot). Block edges follow
+    /// [`ProgramView::successors`] of each block's last slot, so they
+    /// inherit its `jal`/`jr` resolution and its conservatism.
+    pub fn basic_blocks(&self) -> Blocks {
+        let n = self.slots.len();
+        if n == 0 {
+            return Blocks {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        // Leaders: the entry, every successor of a terminator, and the
+        // slot after a terminator (a fall-through entry even when the
+        // terminator never falls through — the next block simply has no
+        // edge from it then).
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for idx in 0..n {
+            if self.is_terminator(idx) {
+                if idx + 1 < n {
+                    leader[idx + 1] = true;
+                }
+                for s in self.successors(idx) {
+                    leader[s] = true;
+                }
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for idx in 0..n {
+            block_of[idx] = blocks.len();
+            let ends = idx + 1 == n || leader[idx + 1];
+            if ends {
+                blocks.push(BasicBlock {
+                    start,
+                    end: idx + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = idx + 1;
+            }
+        }
+        // Edges: the last slot's successors, mapped to their blocks
+        // (every successor of a terminator is a leader; a non-terminator
+        // last slot falls through to the next leader).
+        let succ_lists: Vec<Vec<usize>> = blocks
+            .iter()
+            .map(|b| {
+                let mut succs: Vec<usize> = self
+                    .successors(b.end - 1)
+                    .into_iter()
+                    .map(|s| block_of[s])
+                    .collect();
+                succs.sort_unstable();
+                succs.dedup();
+                succs
+            })
+            .collect();
+        for (id, succs) in succ_lists.iter().enumerate() {
+            for &s in succs {
+                blocks[s].preds.push(id);
+            }
+            blocks[id].succs = succs.clone();
+        }
+        Blocks { blocks, block_of }
+    }
+}
+
+/// One basic block of [`ProgramView::basic_blocks`].
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of the first slot (the leader).
+    pub start: usize,
+    /// One past the last slot.
+    pub end: usize,
+    /// Successor block ids, sorted and deduplicated.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Number of slots in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never produced by the partition, but
+    /// the conventional pair to [`BasicBlock::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The slot indices of the block.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The basic-block partition of a program.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// The blocks, in text order (block 0 is the entry).
+    pub blocks: Vec<BasicBlock>,
+    /// Block id of every slot.
+    pub block_of: Vec<usize>,
+}
+
+impl Blocks {
+    /// `reachable[id]` ⟺ block `id` is reachable from the entry block.
+    pub fn reachable_blocks(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut work = Vec::new();
+        if !self.blocks.is_empty() {
+            seen[0] = true;
+            work.push(0);
+        }
+        while let Some(id) = work.pop() {
+            for &s in &self.blocks[id].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_isa::cpu::BranchCond;
+    use mt_isa::IReg;
+
+    fn assemble(instrs: &[Instr]) -> ProgramView {
+        ProgramView::decode(&Program::assemble(instrs).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let v = assemble(&[Instr::Nop, Instr::Nop, Instr::Halt]);
+        let blocks = v.basic_blocks();
+        assert_eq!(blocks.blocks.len(), 1);
+        assert_eq!(blocks.blocks[0].indices(), 0..3);
+        assert!(blocks.reachable_blocks()[0]);
+    }
+
+    #[test]
+    fn backward_branch_forms_a_loop_block() {
+        // 0: nop            <- header/latch target
+        // 1: blt r0,r1,-2   -> 0
+        // 2: halt
+        let v = assemble(&[
+            Instr::Nop,
+            Instr::Branch {
+                cond: BranchCond::Lt,
+                rs1: IReg::new(0),
+                rs2: IReg::new(1),
+                offset: -2,
+            },
+            Instr::Halt,
+        ]);
+        let blocks = v.basic_blocks();
+        assert_eq!(blocks.blocks.len(), 2, "{blocks:?}");
+        assert_eq!(blocks.blocks[0].indices(), 0..2);
+        assert_eq!(blocks.blocks[0].succs, vec![0, 1], "loop + exit");
+        assert_eq!(blocks.blocks[0].preds, vec![0]);
+    }
+
+    #[test]
+    fn jal_return_points_resolve_when_r31_is_call_only() {
+        // 0: jal 3 (sub)   1: nop (return point)   2: halt
+        // 3: nop (sub)     4: jr r31
+        let base = mt_sim::DEFAULT_TEXT_BASE / 4;
+        let v = assemble(&[
+            Instr::Jal { target: base + 3 },
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Nop,
+            Instr::Jr { rs: IReg::new(31) },
+        ]);
+        assert_eq!(v.successors(0), vec![3], "call edge");
+        assert_eq!(v.successors(4), vec![1], "resolved return edge");
+        assert_eq!(v.reachable(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn any_other_r31_write_voids_the_return_proof() {
+        let base = mt_sim::DEFAULT_TEXT_BASE / 4;
+        let v = assemble(&[
+            Instr::Jal { target: base + 3 },
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Addi {
+                rd: IReg::new(31),
+                rs1: IReg::new(0),
+                imm: 8,
+            },
+            Instr::Jr { rs: IReg::new(31) },
+        ]);
+        assert_eq!(v.successors(4), Vec::<usize>::new(), "analysis-ending");
+    }
+
+    #[test]
+    fn non_r31_jr_stays_analysis_ending() {
+        let v = assemble(&[Instr::Jr { rs: IReg::new(5) }, Instr::Halt]);
+        assert_eq!(v.successors(0), Vec::<usize>::new());
     }
 }

@@ -47,6 +47,8 @@ pub enum Lint {
     MalformedDivision,
     /// A store issues in the 2-cycle shadow of a preceding store.
     StoreShadow,
+    /// A basic block no control-flow path from the entry reaches.
+    UnreachableCode,
 }
 
 impl Lint {
@@ -62,6 +64,7 @@ impl Lint {
             Lint::RecurrenceAlias => "recurrence-alias",
             Lint::MalformedDivision => "malformed-division",
             Lint::StoreShadow => "store-shadow",
+            Lint::UnreachableCode => "unreachable-code",
         }
     }
 
@@ -72,7 +75,8 @@ impl Lint {
             Lint::PossibleOrderingHazard
             | Lint::DeadStore
             | Lint::VectorWawClobber
-            | Lint::RecurrenceAlias => Severity::Warning,
+            | Lint::RecurrenceAlias
+            | Lint::UnreachableCode => Severity::Warning,
             Lint::UninitializedRead | Lint::MalformedDivision | Lint::StoreShadow => Severity::Note,
         }
     }

@@ -16,7 +16,8 @@
 //!   combinations that alias the destination into a live source range
 //!   mid-vector (with an allowlist for intentional Fig. 8 recurrences),
 //!   `frecip` launches that do not match the 6-op Newton–Raphson division
-//!   macro, and store-shadow scheduling opportunities.
+//!   macro, store-shadow scheduling opportunities, and basic blocks no
+//!   path from the entry reaches (unreachable code).
 //!
 //! Findings carry the text-section instruction index and absolute PC;
 //! `mtasm lint` joins them with assembler source spans for rustc-style
@@ -103,6 +104,7 @@ pub fn lint_view(view: &ProgramView, opts: &LintOptions) -> Vec<Finding> {
     structural::recurrence_alias(view, opts, &mut out);
     structural::malformed_division(view, &mut out);
     structural::store_shadow(view, &mut out);
+    structural::unreachable_code(view, &mut out);
 
     // A proven violation subsumes the possible-hazard warning for the same
     // load/store.

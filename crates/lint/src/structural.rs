@@ -204,3 +204,30 @@ pub fn store_shadow(prog: &ProgramView, out: &mut Vec<Finding>) {
 fn is_store(instr: &Option<Instr>) -> bool {
     matches!(instr, Some(Instr::Fst { .. }) | Some(Instr::Sw { .. }))
 }
+
+/// Basic blocks no control-flow path from the entry reaches. One finding
+/// per unreachable block, anchored at its leader. Blocks whose leader does
+/// not decode are skipped — data words interleaved with text are not
+/// "code" — and the reachability itself inherits the `jal`/`jr` return
+/// resolution of [`ProgramView::successors`], so post-call code counts as
+/// reachable whenever the return edge is provable.
+pub fn unreachable_code(prog: &ProgramView, out: &mut Vec<Finding>) {
+    let blocks = prog.basic_blocks();
+    let reachable = blocks.reachable_blocks();
+    for (id, block) in blocks.blocks.iter().enumerate() {
+        if reachable[id] || prog.slots[block.start].instr.is_none() {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::UnreachableCode,
+            instr_index: block.start,
+            pc: prog.pc(block.start),
+            message: format!(
+                "no control-flow path from the entry reaches this block \
+                 ({} instruction{})",
+                block.len(),
+                if block.len() == 1 { "" } else { "s" }
+            ),
+        });
+    }
+}

@@ -4,8 +4,8 @@
 //! where only loop-overhead timing keeps the vector drained, and the
 //! Fibonacci kernel is an intentional recurrence.
 
-use mt_kernels::{gather, graphics, linpack, livermore, reductions, Kernel};
-use mt_lint::{error_count, lint_program, Severity};
+use mt_kernels::{gather, graphics, linpack, livermore, mathlib, reductions, Kernel};
+use mt_lint::{error_count, lint_program, Lint, Severity};
 
 fn assert_error_free(kernel: &Kernel) {
     let findings = lint_program(&kernel.routine.program);
@@ -16,6 +16,17 @@ fn assert_error_free(kernel: &Kernel) {
     assert!(
         errors.is_empty(),
         "{}: expected no lint errors, got {errors:#?}",
+        kernel.name
+    );
+    // Every instruction a kernel ships is meant to run: with `jal` return
+    // points resolved, the CFG must find no unreachable blocks.
+    let unreachable: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::UnreachableCode)
+        .collect();
+    assert!(
+        unreachable.is_empty(),
+        "{}: expected no unreachable code, got {unreachable:#?}",
         kernel.name
     );
 }
@@ -54,6 +65,35 @@ fn gather_and_graphics_kernels_are_error_free() {
 fn linpack_is_error_free() {
     for kernel in [linpack::linpack(10, false), linpack::linpack(10, true)] {
         assert_error_free(&kernel);
+    }
+}
+
+#[test]
+fn mathlib_call_structure_is_error_free_and_fully_reachable() {
+    // `jal`/`jr r31` call structure: the post-call code (store + halt) is
+    // reachable only through the resolved return edge, so this asserts the
+    // CFG actually proves it.
+    use mt_asm::Asm;
+    use mt_isa::IReg;
+
+    for emit in [mathlib::emit_exp, mathlib::emit_sqrt] {
+        let mut a = Asm::new();
+        let entry = a.label();
+        let rb = IReg::new(1);
+        a.li(rb, 0xE808);
+        a.fld(mathlib::EXP_ARG, rb, 0);
+        a.jal(entry);
+        a.li(rb, 0xE810);
+        a.fst(mathlib::EXP_RESULT, rb, 0);
+        a.halt();
+        emit(&mut a, entry, 0xE000, 0xE800);
+        let program = a.assemble(0x1_0000).unwrap();
+        let findings = lint_program(&program);
+        let bad: Vec<_> = findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error || f.lint == Lint::UnreachableCode)
+            .collect();
+        assert!(bad.is_empty(), "mathlib routine: {bad:#?}");
     }
 }
 

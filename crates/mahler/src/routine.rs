@@ -874,7 +874,12 @@ impl Mahler {
     /// Propagates assembly errors (unbound labels cannot occur through this
     /// API; encoding errors can, e.g. huge offsets).
     pub fn finish(mut self) -> Result<CompiledRoutine, MahlerError> {
-        self.asm.halt();
+        // Safety-net halt, but only when execution can actually reach it —
+        // a routine whose text already ends in `halt`/`jr`/`jump` (e.g. a
+        // trailing subroutine) would otherwise grow an unreachable word.
+        if self.asm.falls_through() {
+            self.asm.halt();
+        }
         let program = self
             .asm
             .assemble(TEXT_BASE)

@@ -2,6 +2,7 @@
 
 use mt_core::{Fpu, Psw};
 use mt_fparith::OP_LATENCY_CYCLES;
+use mt_isa::cost::InstrCost;
 use mt_isa::cpu::AluOp;
 use mt_isa::{FReg, IReg, Instr};
 use mt_mem::{MemConfig, MemError, MemorySystem};
@@ -858,48 +859,39 @@ impl Machine {
     /// Mirrors the guard order of [`Machine::cpu_step`] and
     /// [`Machine::execute`] exactly: serialized-issue IR gate, then per
     /// instruction the integer load interlock, the load/store port, and
-    /// the FPU register hazard. The horizons are exact because nothing
-    /// that feeds the guards (`int_ready`, `ls_free_at`, the IR, the
-    /// scoreboard) changes while both the CPU and the issue stage stall.
+    /// the FPU register hazard — all read from the shared
+    /// [`mt_isa::cost::InstrCost`] table, the same table the execute
+    /// stage and `mt-mca`'s static replay consume. The horizons are
+    /// exact because nothing that feeds the guards (`int_ready`,
+    /// `ls_free_at`, the IR, the scoreboard) changes while both the CPU
+    /// and the issue stage stall.
     fn pending_stall_horizon(&self, instr: Instr) -> Option<(FfStall, u64)> {
         if self.config.serialized_issue && self.fpu.ir_busy() {
             return Some((FfStall::IrBusy, u64::MAX));
         }
-        // `int_blocked(r)` for any checked register; blocked until the
-        // last checked register is ready (free ones are ready already).
-        let int_hazard = |regs: &[IReg]| -> Option<(FfStall, u64)> {
-            regs.iter().any(|&r| self.int_blocked(r)).then(|| {
-                let ready = regs
-                    .iter()
-                    .map(|r| self.int_ready[r.index() as usize])
-                    .max()
-                    .expect("at least one register checked");
-                (FfStall::IntLoadHazard, ready)
-            })
-        };
-        let ls_port = || -> Option<(FfStall, u64)> {
-            (self.cycle < self.ls_free_at).then_some((FfStall::LsPortBusy, self.ls_free_at))
-        };
-        let fpu_reg = |fr: FReg, is_load: bool| -> Option<(FfStall, u64)> {
-            (self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, is_load))
-                .then_some((FfStall::FpuRegHazard, u64::MAX))
-        };
-        match instr {
-            Instr::Alu { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => int_hazard(&[rs1, rs2]),
-            Instr::Addi { rs1, .. } => int_hazard(&[rs1]),
-            Instr::Jr { rs } => int_hazard(&[rs]),
-            Instr::Lw { base, .. } => int_hazard(&[base]).or_else(ls_port),
-            Instr::Sw { rs, base, .. } => int_hazard(&[base, rs]).or_else(ls_port),
-            Instr::Fld { fr, base, .. } => int_hazard(&[base])
-                .or_else(ls_port)
-                .or_else(|| fpu_reg(fr, true)),
-            Instr::Fst { fr, base, .. } => int_hazard(&[base])
-                .or_else(ls_port)
-                .or_else(|| fpu_reg(fr, false)),
-            Instr::Falu(_) => self.fpu.ir_busy().then_some((FfStall::IrBusy, u64::MAX)),
-            // Nop, Halt, Mfpsw, ClrPsw, Lui, Jump, Jal never stall.
-            _ => None,
+        let cost = InstrCost::of(&instr);
+        if cost.int_guard_regs().any(|r| self.int_blocked(r)) {
+            // Blocked until the last checked register is ready (free ones
+            // are ready already).
+            let ready = cost
+                .int_guard_regs()
+                .map(|r| self.int_ready[r.index() as usize])
+                .max()
+                .expect("a blocked guard set is nonempty");
+            return Some((FfStall::IntLoadHazard, ready));
         }
+        if cost.port.is_some() && self.cycle < self.ls_free_at {
+            return Some((FfStall::LsPortBusy, self.ls_free_at));
+        }
+        if let Some((fr, is_load)) = cost.fpu_mem {
+            if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, is_load) {
+                return Some((FfStall::FpuRegHazard, u64::MAX));
+            }
+        }
+        if cost.fpu_transfer && self.fpu.ir_busy() {
+            return Some((FfStall::IrBusy, u64::MAX));
+        }
+        None
     }
 
     /// Advances the machine by one cycle.
@@ -1109,6 +1101,29 @@ impl Machine {
     }
 
     fn execute<S: EventSink>(&mut self, instr: Instr, sink: &mut S) -> Result<Exec, RunError> {
+        // Hazard guards, in the hardware's order — integer load
+        // interlock, then the load/store port, then the FPU register
+        // hazard — driven by the shared [`mt_isa::cost::InstrCost`]
+        // table. `mt-mca` replays exactly these guards statically; a
+        // change to the table changes both in lock step.
+        let cost = InstrCost::of(&instr);
+        if cost.int_guard_regs().any(|r| self.int_blocked(r)) {
+            self.stalls.int_load_hazard += 1;
+            self.emit_stall(sink, StallCause::IntLoadHazard);
+            return Ok(Exec::Stall);
+        }
+        if cost.port.is_some() && self.cycle < self.ls_free_at {
+            self.stalls.ls_port_busy += 1;
+            self.emit_stall(sink, StallCause::LsPortBusy);
+            return Ok(Exec::Stall);
+        }
+        if let Some((fr, is_load)) = cost.fpu_mem {
+            if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, is_load) {
+                self.stalls.fpu_reg_hazard += 1;
+                self.emit_stall(sink, StallCause::FpuRegHazard);
+                return Ok(Exec::Stall);
+            }
+        }
         match instr {
             Instr::Nop => Ok(Exec::Done(None)),
             Instr::Halt => Ok(Exec::Halted),
@@ -1129,11 +1144,6 @@ impl Machine {
             }
 
             Instr::Alu { op, rd, rs1, rs2 } => {
-                if self.int_blocked(rs1) || self.int_blocked(rs2) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
                 let a = self.ireg(rs1);
                 let b = self.ireg(rs2);
                 let v = match op {
@@ -1153,11 +1163,6 @@ impl Machine {
             }
 
             Instr::Addi { rd, rs1, imm } => {
-                if self.int_blocked(rs1) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
                 self.set_ireg(rd, self.ireg(rs1).wrapping_add(imm));
                 Ok(Exec::Done(None))
             }
@@ -1168,16 +1173,6 @@ impl Machine {
             }
 
             Instr::Lw { rd, base, offset } => {
-                if self.int_blocked(base) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
-                if self.cycle < self.ls_free_at {
-                    self.stalls.ls_port_busy += 1;
-                    self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Ok(Exec::Stall);
-                }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let (value, penalty) = self
                     .mem
@@ -1194,16 +1189,6 @@ impl Machine {
             }
 
             Instr::Sw { rs, base, offset } => {
-                if self.int_blocked(base) || self.int_blocked(rs) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
-                if self.cycle < self.ls_free_at {
-                    self.stalls.ls_port_busy += 1;
-                    self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Ok(Exec::Stall);
-                }
                 let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
                 let penalty = self
                     .mem
@@ -1217,21 +1202,6 @@ impl Machine {
             }
 
             Instr::Fld { fr, base, offset } => {
-                if self.int_blocked(base) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
-                if self.cycle < self.ls_free_at {
-                    self.stalls.ls_port_busy += 1;
-                    self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Ok(Exec::Stall);
-                }
-                if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, true) {
-                    self.stalls.fpu_reg_hazard += 1;
-                    self.emit_stall(sink, StallCause::FpuRegHazard);
-                    return Ok(Exec::Stall);
-                }
                 if self.config.checked_ordering {
                     self.check_ordering_load(fr);
                 }
@@ -1248,21 +1218,6 @@ impl Machine {
             }
 
             Instr::Fst { fr, base, offset } => {
-                if self.int_blocked(base) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
-                if self.cycle < self.ls_free_at {
-                    self.stalls.ls_port_busy += 1;
-                    self.emit_stall(sink, StallCause::LsPortBusy);
-                    return Ok(Exec::Stall);
-                }
-                if self.fpu.reg_reserved(fr) || self.current_element_conflict(fr, false) {
-                    self.stalls.fpu_reg_hazard += 1;
-                    self.emit_stall(sink, StallCause::FpuRegHazard);
-                    return Ok(Exec::Stall);
-                }
                 if self.config.checked_ordering {
                     self.check_ordering_store(fr);
                 }
@@ -1289,11 +1244,6 @@ impl Machine {
                 rs2,
                 offset,
             } => {
-                if self.int_blocked(rs1) || self.int_blocked(rs2) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
                 if cond.eval(self.ireg(rs1), self.ireg(rs2)) {
                     self.take_branch_bubble(sink);
                     let target = (self.pc / 4).wrapping_add(1).wrapping_add(offset as u32);
@@ -1315,11 +1265,6 @@ impl Machine {
             }
 
             Instr::Jr { rs } => {
-                if self.int_blocked(rs) {
-                    self.stalls.int_load_hazard += 1;
-                    self.emit_stall(sink, StallCause::IntLoadHazard);
-                    return Ok(Exec::Stall);
-                }
                 self.take_branch_bubble(sink);
                 Ok(Exec::Done(Some(self.ireg(rs) as u32)))
             }

@@ -1,59 +1,8 @@
-//! Issue-timing parameters of the machine, exposed so ahead-of-time
-//! analysis (`mt-lint`) can replay the pipeline's exact no-miss schedule
-//! instead of duplicating magic constants.
+//! Issue-timing parameters of the machine.
+//!
+//! The definition lives in [`mt_isa::cost`] — the single-source-of-truth
+//! latency/resource table shared with the static analyzers (`mt-lint`'s
+//! exact replay and `mt-mca`'s abstract timing machine) — and is
+//! re-exported here for the simulator's public API.
 
-use mt_fparith::OP_LATENCY_CYCLES;
-
-/// Cycle costs of instruction issue on the MultiTitan substrate.
-///
-/// All values are *beyond* any cache-miss penalty; the paper's kernel
-/// figures (Figs. 5–8) assume warm caches, which is also the model the
-/// static analyzer uses to prove an ordering violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IssueTiming {
-    /// Cycles a store occupies the load/store port (§2.4: "stores take
-    /// two cycles").
-    pub store_port_cycles: u64,
-    /// Cycles a load occupies the load/store port.
-    pub load_port_cycles: u64,
-    /// Extra delay-slot cycles before an integer load's destination may be
-    /// used (one load delay slot beyond port occupancy).
-    pub int_load_delay_cycles: u64,
-    /// FPU functional-unit latency in cycles (3 on the real machine).
-    pub fpu_latency: u64,
-    /// Cycles a taken branch costs beyond the branch itself.
-    pub branch_penalty: u64,
-}
-
-impl IssueTiming {
-    /// The paper's machine: 2-cycle stores, 1-cycle loads, one integer
-    /// load delay slot, latency-3 FPU, 1-cycle branch bubble.
-    pub fn multititan() -> IssueTiming {
-        IssueTiming {
-            store_port_cycles: 2,
-            load_port_cycles: 1,
-            int_load_delay_cycles: 2,
-            fpu_latency: OP_LATENCY_CYCLES,
-            branch_penalty: 1,
-        }
-    }
-}
-
-impl Default for IssueTiming {
-    fn default() -> IssueTiming {
-        IssueTiming::multititan()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn multititan_matches_paper_constants() {
-        let t = IssueTiming::multititan();
-        assert_eq!(t.store_port_cycles, 2);
-        assert_eq!(t.load_port_cycles, 1);
-        assert_eq!(t.fpu_latency, 3);
-    }
-}
+pub use mt_isa::cost::IssueTiming;

@@ -44,5 +44,5 @@ pub mod sink;
 pub use event::{EventKind, StallCause, TraceEvent};
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use profile::{PcStats, Profiler};
+pub use profile::{PcStats, Profiler, SourceResolver};
 pub use sink::{replay, EventSink, NullSink};
