@@ -3,13 +3,23 @@
 //! Posts one source file to a running server `--requests` times from
 //! `--concurrency` threads (each with its own `X-Client-Id`, exercising
 //! the server's per-client fairness), retries `429` rejections with a
-//! short backoff, and prints a stable `mt-serve-bench-v1` summary.
+//! short backoff, and prints a stable `mt-serve-bench-v1` summary —
+//! including client-observed wall-clock latency percentiles from
+//! per-thread bounded HDR histograms merged losslessly at the end.
 //!
-//! The summary is flat on purpose: every key renders on its own line,
-//! so CI can byte-diff the deterministic lines (`requests`, `ok`,
-//! `distinct_bodies`, `body_fnv64`, …) while filtering the wall-clock
-//! and cache-luck ones (`elapsed_ms`, `requests_per_second`,
-//! `cache_hits`, `cache_misses`, `retries_429`) with a plain `grep -v`.
+//! Failure accounting is deliberately three-way: `retries_429` counts
+//! retry *attempts* absorbed by backoff, `rejected_429_final` counts
+//! requests that exhausted their retries and ended as `429`, and
+//! `failed_requests` counts transport-level failures (connect/read
+//! errors). `errors` remains the umbrella (any non-2xx outcome).
+//!
+//! The summary is flat on purpose: every key renders on its own line.
+//! CI diffs it with `repro-benchdiff --profile serve`, which enforces
+//! key presence everywhere and exactness on the deterministic fields
+//! (`requests`, `ok`, `distinct_bodies`, `body_fnv64`, …) while
+//! tolerating the wall-clock and cache-luck ones (`elapsed_ms`,
+//! `requests_per_second`, `cache_hits`, `cache_misses`, `retries_429`,
+//! `rejected_429_final`, `latency_us.*`).
 //!
 //! The HTTP client is hand-rolled over `TcpStream` for the same reason
 //! the server is: the workspace takes no dependencies, and the subset
@@ -21,6 +31,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use mt_obs::HdrHistogram;
 use mt_trace::Json;
 
 /// FNV-1a 64 (private copy: `mtasm` cannot depend on `mt-serve`, which
@@ -192,11 +203,15 @@ struct Tally {
     ok: usize,
     errors: usize,
     retries_429: usize,
+    rejected_429_final: usize,
+    failed_requests: usize,
     cache_hits: usize,
     cache_misses: usize,
     statuses: BTreeSet<u16>,
     body_hashes: BTreeSet<u64>,
     failures: Vec<String>,
+    /// Client-observed per-request wall clock (µs), retries included.
+    latency: HdrHistogram,
 }
 
 /// Entry point for `mtasm client <file.s> [flags]`.
@@ -227,7 +242,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
             let (addr, target, source, tally) = (&addr, &target, &source, &tally);
             scope.spawn(move || {
                 let client_id = format!("client-{worker}");
+                // Latency is recorded thread-locally and merged once at
+                // the end — mergeable histograms make the aggregate
+                // independent of thread interleaving.
+                let mut latency = HdrHistogram::default();
                 for _ in 0..share {
+                    let request_start = Instant::now();
                     let mut retries = 0;
                     let reply = loop {
                         match post(addr, target, &client_id, source.as_bytes()) {
@@ -238,6 +258,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                             other => break other,
                         }
                     };
+                    latency.record(request_start.elapsed().as_micros() as u64);
                     let mut t = tally.lock().unwrap();
                     t.retries_429 += retries;
                     match reply {
@@ -253,16 +274,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
                                 t.ok += 1;
                             } else {
                                 t.errors += 1;
+                                if r.status == 429 {
+                                    t.rejected_429_final += 1;
+                                }
                             }
                         }
                         Err(e) => {
                             t.errors += 1;
+                            t.failed_requests += 1;
                             if t.failures.len() < 8 {
                                 t.failures.push(e);
                             }
                         }
                     }
                 }
+                tally.lock().unwrap().latency.merge(&latency);
             });
         }
     });
@@ -299,6 +325,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("cache_hits", Json::U64(t.cache_hits as u64)),
         ("cache_misses", Json::U64(t.cache_misses as u64)),
         ("retries_429", Json::U64(t.retries_429 as u64)),
+        ("rejected_429_final", Json::U64(t.rejected_429_final as u64)),
+        ("failed_requests", Json::U64(t.failed_requests as u64)),
+        ("latency_us", t.latency.to_json()),
         ("elapsed_ms", Json::U64(elapsed.as_millis() as u64)),
         (
             "requests_per_second",

@@ -1,0 +1,137 @@
+//! `repro-benchdiff` — the bench-regression gate: diffs two committed
+//! `mt-*-v1` BENCH documents field-by-field under per-metric
+//! tolerances, and exits nonzero on any regression or schema break.
+//!
+//! ```text
+//! repro-benchdiff <old.json> <new.json> [--profile serve]
+//!                 [--rule <pattern>=<tolerance>]...
+//!
+//! tolerances:  exact            values must be equal (the default)
+//!              ignore           any value; key presence still required
+//!              rel:<pct>        ±pct% of the old value
+//!              rel:<pct>:higher only a drop beyond pct% fails
+//!              rel:<pct>:lower  only a rise beyond pct% fails
+//! ```
+//!
+//! Rules apply first-match-wins in command-line order, before the
+//! profile's rules. `--profile serve` loads the `mt-serve-bench-v1`
+//! rule set (wall-clock and cache-luck fields ignored, everything else
+//! exact) — this is what `./ci` runs against `BENCH_serve.json`, in
+//! place of the old `grep -v` field filtering.
+
+use std::process::ExitCode;
+
+use mt_obs::benchdiff::{diff, serve_profile, Rule, Tolerance};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro-benchdiff <old.json> <new.json> [--profile serve] \
+         [--rule <pattern>=<tolerance>]...\n\
+         tolerances: exact | ignore | rel:<pct> | rel:<pct>:higher | rel:<pct>:lower"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_tolerance(text: &str) -> Result<Tolerance, String> {
+    match text {
+        "exact" => return Ok(Tolerance::Exact),
+        "ignore" => return Ok(Tolerance::Ignore),
+        _ => {}
+    }
+    let rest = text
+        .strip_prefix("rel:")
+        .ok_or_else(|| format!("unknown tolerance `{text}`"))?;
+    let (pct_text, higher_is_better) = match rest.split_once(':') {
+        None => (rest, None),
+        Some((p, "higher")) => (p, Some(true)),
+        Some((p, "lower")) => (p, Some(false)),
+        Some((_, d)) => return Err(format!("unknown direction `{d}` (higher|lower)")),
+    };
+    let pct: f64 = pct_text
+        .parse()
+        .map_err(|e| format!("bad percentage `{pct_text}`: {e}"))?;
+    if !pct.is_finite() || pct < 0.0 {
+        return Err(format!("bad percentage `{pct_text}`: must be non-negative"));
+    }
+    Ok(Tolerance::Rel {
+        pct,
+        higher_is_better,
+    })
+}
+
+fn load(path: &str) -> Result<mt_trace::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    mt_trace::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut profile_rules: Vec<Rule> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => match it.next().map(String::as_str) {
+                Some("serve") => profile_rules = serve_profile(),
+                Some(other) => {
+                    eprintln!("repro-benchdiff: unknown profile `{other}` (serve)");
+                    return usage();
+                }
+                None => {
+                    eprintln!("repro-benchdiff: --profile needs a value");
+                    return usage();
+                }
+            },
+            "--rule" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("repro-benchdiff: --rule needs <pattern>=<tolerance>");
+                    return usage();
+                };
+                let Some((pattern, tol_text)) = spec.split_once('=') else {
+                    eprintln!("repro-benchdiff: bad --rule `{spec}` (need pattern=tolerance)");
+                    return usage();
+                };
+                match parse_tolerance(tol_text) {
+                    Ok(t) => rules.push(Rule::new(pattern, t)),
+                    Err(e) => {
+                        eprintln!("repro-benchdiff: {e}");
+                        return usage();
+                    }
+                }
+            }
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => {
+                eprintln!("repro-benchdiff: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("repro-benchdiff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Command-line rules take precedence over the profile's.
+    rules.extend(profile_rules);
+    let findings = diff(&old, &new, &rules);
+    if findings.is_empty() {
+        println!("repro-benchdiff: {old_path} vs {new_path}: OK (within tolerance)");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "repro-benchdiff: {old_path} vs {new_path}: {} regression(s)",
+        findings.len()
+    );
+    for f in &findings {
+        eprintln!("  {}: {}", f.path, f.message);
+    }
+    ExitCode::FAILURE
+}

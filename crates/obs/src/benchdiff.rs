@@ -1,0 +1,333 @@
+//! Field-by-field diffing of two `mt-*-v1` BENCH documents with
+//! per-metric tolerances — the engine behind `repro-benchdiff`.
+//!
+//! Both documents are flattened to `path → leaf` maps (dot paths,
+//! array elements as numeric components: `outcomes.detected`,
+//! `statuses.0`). The two key sets must match exactly — a metric that
+//! appears or disappears is a schema break, reported either way. Each
+//! shared numeric leaf is then compared under the first matching
+//! [`Rule`]:
+//!
+//! * [`Tolerance::Exact`] — byte-equal semantics (the default: most
+//!   BENCH fields are deterministic);
+//! * [`Tolerance::Ignore`] — presence checked, value free (wall-clock
+//!   fields);
+//! * [`Tolerance::Rel`] — relative tolerance in percent, optionally
+//!   directional: a `higher_is_better` metric only fails when the new
+//!   value drops below `old · (1 - pct/100)`, so improvements always
+//!   pass the gate.
+//!
+//! Non-numeric leaves (strings, bools, nulls) always compare exactly.
+
+use std::collections::BTreeMap;
+
+use mt_trace::Json;
+
+/// How a metric's values may differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Values must be equal.
+    Exact,
+    /// Value differences are accepted (key presence is still required).
+    Ignore,
+    /// Relative tolerance in percent of the old value.
+    Rel {
+        /// Allowed drift, e.g. `5.0` for ±5 %.
+        pct: f64,
+        /// `Some(true)`: only a *decrease* beyond `pct` fails
+        /// (throughput-like). `Some(false)`: only an *increase* fails
+        /// (latency-like). `None`: either direction fails.
+        higher_is_better: Option<bool>,
+    },
+}
+
+/// A tolerance attached to a path pattern.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Dot-path pattern; `*` matches any run of characters (so
+    /// `latency_us.*` covers the whole block).
+    pub pattern: String,
+    /// The comparison applied to matching paths.
+    pub tolerance: Tolerance,
+}
+
+impl Rule {
+    /// A rule from a pattern and tolerance.
+    pub fn new(pattern: &str, tolerance: Tolerance) -> Rule {
+        Rule {
+            pattern: pattern.to_string(),
+            tolerance,
+        }
+    }
+}
+
+/// Matches `path` against `pattern` where `*` matches any (possibly
+/// empty) run of characters.
+fn glob_match(pattern: &str, path: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == path,
+        Some((head, tail)) => {
+            path.starts_with(head)
+                && path.len() >= head.len()
+                && glob_suffix(tail, &path[head.len()..])
+        }
+    }
+}
+
+fn glob_suffix(pattern: &str, path: &str) -> bool {
+    match pattern.split_once('*') {
+        None => path.ends_with(pattern),
+        Some((mid, tail)) => match path.find(mid) {
+            Some(i) if !mid.is_empty() => glob_suffix(tail, &path[i + mid.len()..]),
+            Some(_) => glob_suffix(tail, path),
+            None => false,
+        },
+    }
+}
+
+/// One detected difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Dot path of the metric.
+    pub path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn flatten(doc: &Json, prefix: &str, out: &mut BTreeMap<String, Json>) {
+    match doc {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}.{i}"), out);
+            }
+            if items.is_empty() {
+                out.insert(format!("{prefix}.len"), Json::U64(0));
+            }
+        }
+        leaf => {
+            out.insert(prefix.to_string(), leaf.clone());
+        }
+    }
+}
+
+fn leaf_text(v: &Json) -> String {
+    v.to_string()
+}
+
+/// Diffs `old` vs `new` under `rules` (first match wins; unmatched
+/// paths are [`Tolerance::Exact`]). Empty result = no regression.
+pub fn diff(old: &Json, new: &Json, rules: &[Rule]) -> Vec<Finding> {
+    let (mut old_flat, mut new_flat) = (BTreeMap::new(), BTreeMap::new());
+    flatten(old, "", &mut old_flat);
+    flatten(new, "", &mut new_flat);
+
+    let mut findings = Vec::new();
+    for path in old_flat.keys() {
+        if !new_flat.contains_key(path) {
+            findings.push(Finding {
+                path: path.clone(),
+                message: "metric missing from new document".to_string(),
+            });
+        }
+    }
+    for path in new_flat.keys() {
+        if !old_flat.contains_key(path) {
+            findings.push(Finding {
+                path: path.clone(),
+                message: "metric not present in old document".to_string(),
+            });
+        }
+    }
+
+    for (path, old_v) in &old_flat {
+        let Some(new_v) = new_flat.get(path) else {
+            continue;
+        };
+        let tolerance = rules
+            .iter()
+            .find(|r| glob_match(&r.pattern, path))
+            .map_or(Tolerance::Exact, |r| r.tolerance);
+        if let Some(f) = compare_leaf(path, old_v, new_v, tolerance) {
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path));
+    findings
+}
+
+fn compare_leaf(path: &str, old: &Json, new: &Json, tolerance: Tolerance) -> Option<Finding> {
+    if tolerance == Tolerance::Ignore {
+        return None;
+    }
+    match (old.as_f64(), new.as_f64()) {
+        (Some(o), Some(n)) => {
+            let fail = match tolerance {
+                Tolerance::Exact => o != n,
+                Tolerance::Ignore => false,
+                Tolerance::Rel {
+                    pct,
+                    higher_is_better,
+                } => {
+                    let slack = o.abs() * pct / 100.0;
+                    match higher_is_better {
+                        Some(true) => n < o - slack,
+                        Some(false) => n > o + slack,
+                        None => (n - o).abs() > slack,
+                    }
+                }
+            };
+            fail.then(|| Finding {
+                path: path.to_string(),
+                message: format!("{o} -> {n} exceeds {tolerance:?}"),
+            })
+        }
+        // Null ↔ number and other type changes: exact compare.
+        _ => (old != new).then(|| Finding {
+            path: path.to_string(),
+            message: format!("{} -> {}", leaf_text(old), leaf_text(new)),
+        }),
+    }
+}
+
+/// The built-in rule set for `mt-serve-bench-v1` summaries: wall-clock
+/// and scheduling-luck fields are ignored (their *presence* is still
+/// required, so a vanished latency block fails), everything else is
+/// exact. This replaces the old `grep -v` filtering in `./ci`.
+pub fn serve_profile() -> Vec<Rule> {
+    [
+        "elapsed_ms",
+        "requests_per_second",
+        "cache_hits",
+        "cache_misses",
+        "retries_429",
+        "rejected_429_final",
+        "latency_us.*",
+    ]
+    .iter()
+    .map(|p| Rule::new(p, Tolerance::Ignore))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_trace::json::parse;
+
+    fn doc(text: &str) -> Json {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_have_no_findings() {
+        let a = doc(r#"{"x": 1, "y": {"z": [1, 2.5, "s"]}}"#);
+        assert!(diff(&a, &a, &[]).is_empty());
+    }
+
+    #[test]
+    fn exact_default_flags_any_numeric_drift() {
+        let a = doc(r#"{"cycles": 100}"#);
+        let b = doc(r#"{"cycles": 101}"#);
+        let f = diff(&a, &b, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, "cycles");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_schema_breaks() {
+        let a = doc(r#"{"x": 1, "gone": 2}"#);
+        let b = doc(r#"{"x": 1, "new": 3}"#);
+        let f = diff(&a, &b, &[Rule::new("*", Tolerance::Ignore)]);
+        let paths: Vec<&str> = f.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, ["gone", "new"], "ignore never waives presence");
+    }
+
+    #[test]
+    fn relative_tolerance_is_directional() {
+        let a = doc(r#"{"rps": 1000.0, "p99": 100}"#);
+        let throughput = [Rule::new(
+            "rps",
+            Tolerance::Rel {
+                pct: 10.0,
+                higher_is_better: Some(true),
+            },
+        )];
+        // 20% faster: fine. 5% slower: fine. 20% slower: regression.
+        assert!(diff(&a, &doc(r#"{"rps": 1200.0, "p99": 100}"#), &throughput).is_empty());
+        assert!(diff(&a, &doc(r#"{"rps": 950.0, "p99": 100}"#), &throughput).is_empty());
+        assert_eq!(
+            diff(&a, &doc(r#"{"rps": 800.0, "p99": 100}"#), &throughput).len(),
+            1
+        );
+        let latency = [
+            Rule::new(
+                "p99",
+                Tolerance::Rel {
+                    pct: 10.0,
+                    higher_is_better: Some(false),
+                },
+            ),
+            Rule::new("rps", Tolerance::Ignore),
+        ];
+        assert!(diff(&a, &doc(r#"{"rps": 1.0, "p99": 90}"#), &latency).is_empty());
+        assert_eq!(
+            diff(&a, &doc(r#"{"rps": 1.0, "p99": 120}"#), &latency).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn glob_patterns_cover_blocks() {
+        assert!(glob_match("latency_us.*", "latency_us.p99"));
+        assert!(glob_match("*", "anything.at.all"));
+        assert!(glob_match("a.*.c", "a.b.c"));
+        assert!(!glob_match("latency_us.*", "other.p99"));
+        assert!(!glob_match("a.*.c", "a.b.d"));
+    }
+
+    #[test]
+    fn arrays_flatten_elementwise() {
+        let a = doc(r#"{"statuses": [200, 429]}"#);
+        let b = doc(r#"{"statuses": [200, 500]}"#);
+        let f = diff(&a, &b, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].path, "statuses.1");
+        // Length changes surface as missing/extra element paths.
+        let c = doc(r#"{"statuses": [200]}"#);
+        assert!(!diff(&a, &c, &[]).is_empty());
+    }
+
+    #[test]
+    fn serve_profile_ignores_wallclock_but_requires_presence() {
+        let a = doc(r#"{"ok": 64, "elapsed_ms": 15, "latency_us": {"p50": 100, "p99": 300}}"#);
+        let b = doc(r#"{"ok": 64, "elapsed_ms": 900, "latency_us": {"p50": 888, "p99": 999}}"#);
+        assert!(diff(&a, &b, &serve_profile()).is_empty());
+        let broken = doc(r#"{"ok": 63, "elapsed_ms": 15, "latency_us": {"p50": 1, "p99": 2}}"#);
+        assert_eq!(diff(&a, &broken, &serve_profile())[0].path, "ok");
+        let schema_break = doc(r#"{"ok": 64, "elapsed_ms": 15}"#);
+        assert!(!diff(&a, &schema_break, &serve_profile()).is_empty());
+    }
+
+    #[test]
+    fn string_and_null_leaves_compare_exactly_even_under_rel() {
+        let a = doc(r#"{"schema": "mt-x-v1", "h": null}"#);
+        let b = doc(r#"{"schema": "mt-y-v1", "h": 3}"#);
+        let rules = [Rule::new(
+            "*",
+            Tolerance::Rel {
+                pct: 100.0,
+                higher_is_better: None,
+            },
+        )];
+        assert_eq!(diff(&a, &b, &rules).len(), 2);
+    }
+}

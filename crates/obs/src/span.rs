@@ -1,0 +1,177 @@
+//! Request-scoped spans: the life of one service request as a tree of
+//! named, monotonic wall-clock intervals.
+//!
+//! Every request gets an id and a [`SpanSet`]; each stage of the serving
+//! path — `read-request` → `parse` → `cache-lookup` → `queue-wait` →
+//! `worker-service` ⊃ `sim-run` → `respond` — records its interval as a
+//! microsecond offset from the request's start. The set exports as
+//! Chrome trace JSON (the same envelope the PR 2 simulator exporter
+//! emits, via [`mt_trace::chrome`]), so a single request's journey is
+//! loadable in Perfetto next to the cycle-level traces, and the server
+//! folds the same intervals into per-stage latency histograms.
+//!
+//! Timing uses [`Instant`] (monotonic) exclusively — never the wall
+//! clock — so spans are immune to clock steps; only *offsets* relative
+//! to the request's own start leave the process.
+
+use std::time::Instant;
+
+use mt_trace::chrome;
+use mt_trace::Json;
+
+/// One completed interval within a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (`queue-wait`, `sim-run`, …).
+    pub name: &'static str,
+    /// Start, microseconds after the request began.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// The spans of one request, anchored at its accept time.
+#[derive(Debug, Clone)]
+pub struct SpanSet {
+    /// Request id (assigned by the server; unique per process).
+    pub id: u64,
+    t0: Instant,
+    spans: Vec<Span>,
+}
+
+impl SpanSet {
+    /// Starts recording a request now.
+    pub fn begin(id: u64) -> SpanSet {
+        SpanSet {
+            id,
+            t0: Instant::now(),
+            spans: Vec::with_capacity(8),
+        }
+    }
+
+    /// The request's start instant — workers on other threads measure
+    /// against this same anchor, so their spans land on the same axis.
+    pub fn t0(&self) -> Instant {
+        self.t0
+    }
+
+    /// Microseconds from the request start to `t` (0 if `t` precedes it).
+    pub fn offset_us(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.t0).as_micros() as u64
+    }
+
+    /// Records a completed interval `[start, end]`.
+    pub fn record(&mut self, name: &'static str, start: Instant, end: Instant) {
+        let start_us = self.offset_us(start);
+        self.spans.push(Span {
+            name,
+            start_us,
+            dur_us: self.offset_us(end).saturating_sub(start_us),
+        });
+    }
+
+    /// Records an interval from explicit offsets (for spans measured on
+    /// another thread and shipped back as numbers).
+    pub fn record_offsets(&mut self, name: &'static str, start_us: u64, dur_us: u64) {
+        self.spans.push(Span {
+            name,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Duration of the named span, if recorded.
+    pub fn dur_us(&self, name: &str) -> Option<u64> {
+        self.spans.iter().find(|s| s.name == name).map(|s| s.dur_us)
+    }
+
+    /// Chrome trace-event export: one process, one track, one duration
+    /// event per span (1 trace µs = 1 real µs). Loadable in Perfetto.
+    pub fn to_chrome_json(&self) -> Json {
+        const TID: u64 = 1;
+        let mut events = vec![
+            chrome::entry(
+                "process_name".to_string(),
+                "M",
+                0,
+                TID,
+                vec![(
+                    "name".to_string(),
+                    Json::Str("mt-serve request".to_string()),
+                )],
+            ),
+            chrome::thread_name(TID, &format!("request {}", self.id)),
+        ];
+        let mut body: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|s| {
+                chrome::complete(
+                    s.name.to_string(),
+                    s.start_us,
+                    s.dur_us,
+                    TID,
+                    vec![("request_id".to_string(), Json::U64(self.id))],
+                )
+            })
+            .collect();
+        body.sort_by_key(|ev| match ev.get("ts") {
+            Some(Json::U64(ts)) => *ts,
+            _ => 0,
+        });
+        events.extend(body);
+        chrome::document(
+            events,
+            Json::obj([(
+                "note",
+                Json::Str("1 trace µs = 1 real µs (request wall clock)".to_string()),
+            )]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_exports_spans() {
+        let mut set = SpanSet::begin(42);
+        let t0 = set.t0();
+        set.record("read-request", t0, t0);
+        set.record_offsets("queue-wait", 10, 25);
+        set.record_offsets("worker-service", 35, 100);
+        set.record_offsets("sim-run", 40, 80);
+        assert_eq!(set.dur_us("queue-wait"), Some(25));
+        assert_eq!(set.dur_us("missing"), None);
+
+        let doc = set.to_chrome_json();
+        let text = doc.pretty();
+        assert!(mt_trace::json::validate(&text).is_ok());
+        let events = doc.get("traceEvents").unwrap().items();
+        // 2 metadata + 4 spans, timestamps non-decreasing.
+        assert_eq!(events.len(), 6);
+        let mut last = 0.0;
+        for ev in events {
+            let ts = ev.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= last);
+            last = ts;
+        }
+        assert!(text.contains("request 42"));
+        assert!(text.contains("queue-wait"));
+    }
+
+    #[test]
+    fn offsets_saturate_before_t0() {
+        let set = SpanSet::begin(1);
+        let early = Instant::now()
+            .checked_sub(std::time::Duration::from_secs(1))
+            .unwrap_or_else(Instant::now);
+        assert_eq!(set.offset_us(early), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Time-windowed counters: sliding-window rates over per-second slots.
+//!
+//! `GET /metrics` wants "requests per second *right now*", not the
+//! lifetime average a monotonic counter gives. A [`WindowedCounter`]
+//! keeps one slot per second in a fixed ring of `window` slots; each
+//! slot remembers the second it last belonged to, so stale slots are
+//! lazily zeroed on touch — no background thread, O(window) memory,
+//! O(1) add.
+//!
+//! Time is an explicit `now_s` argument (seconds from any monotonic
+//! origin, e.g. server start) rather than a hidden clock read: callers
+//! stay deterministic in tests and the edge cases — empty window, a
+//! clock that steps far forward, ring-index wraparound — are directly
+//! exercisable.
+
+/// A counter summed over the trailing `window` seconds.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    window: u64,
+    /// Per-second counts; slot `s % window` belongs to second `stamp[s % window]`.
+    slots: Vec<u64>,
+    stamps: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// A counter over a `window`-second sliding window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is 0.
+    pub fn new(window: u64) -> WindowedCounter {
+        assert!(window > 0, "window must be at least one second");
+        WindowedCounter {
+            window,
+            slots: vec![0; window as usize],
+            stamps: vec![u64::MAX; window as usize],
+        }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window
+    }
+
+    /// Adds `delta` at second `now_s`.
+    pub fn add(&mut self, now_s: u64, delta: u64) {
+        let i = (now_s % self.window) as usize;
+        if self.stamps[i] != now_s {
+            self.stamps[i] = now_s;
+            self.slots[i] = 0;
+        }
+        self.slots[i] += delta;
+    }
+
+    /// Total counted in `(now_s - window, now_s]`. A clock step past the
+    /// window naturally reads 0: every slot's stamp is then stale.
+    pub fn total(&self, now_s: u64) -> u64 {
+        let lo = now_s.saturating_sub(self.window - 1);
+        self.slots
+            .iter()
+            .zip(&self.stamps)
+            .filter(|&(_, &stamp)| stamp >= lo && stamp <= now_s)
+            .map(|(&n, _)| n)
+            .sum()
+    }
+
+    /// Average per-second rate over the window at `now_s`.
+    pub fn rate(&self, now_s: u64) -> f64 {
+        self.total(now_s) as f64 / self.window as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reads_zero() {
+        let w = WindowedCounter::new(10);
+        assert_eq!(w.total(0), 0);
+        assert_eq!(w.total(u64::MAX), 0);
+        assert_eq!(w.rate(5), 0.0);
+    }
+
+    #[test]
+    fn counts_slide_out_of_the_window() {
+        let mut w = WindowedCounter::new(3);
+        w.add(0, 5);
+        w.add(1, 1);
+        w.add(2, 1);
+        assert_eq!(w.total(2), 7, "all three seconds in window");
+        assert_eq!(w.total(3), 2, "second 0 slid out");
+        assert_eq!(w.total(4), 1);
+        assert_eq!(w.total(5), 0, "everything expired");
+    }
+
+    #[test]
+    fn ring_slot_reuse_resets_stale_counts() {
+        let mut w = WindowedCounter::new(2);
+        w.add(0, 100);
+        // Second 2 maps to the same slot as second 0; the stale count
+        // must not leak into the new second.
+        w.add(2, 1);
+        assert_eq!(w.total(2), 1);
+    }
+
+    #[test]
+    fn clock_step_far_forward_reads_zero_then_recovers() {
+        let mut w = WindowedCounter::new(60);
+        w.add(5, 10);
+        assert_eq!(w.total(5), 10);
+        // The process slept for an hour.
+        assert_eq!(w.total(3700), 0, "stale slots ignored after a step");
+        w.add(3700, 2);
+        assert_eq!(w.total(3700), 2);
+    }
+
+    #[test]
+    fn stamps_near_u64_max_do_not_underflow() {
+        let mut w = WindowedCounter::new(10);
+        w.add(u64::MAX - 1, 3);
+        w.add(u64::MAX, 4);
+        assert_eq!(w.total(u64::MAX), 7);
+        // `now` below the window length: the subtraction saturates.
+        let mut early = WindowedCounter::new(10);
+        early.add(0, 1);
+        assert_eq!(early.total(0), 1);
+    }
+
+    #[test]
+    fn rate_is_total_over_window() {
+        let mut w = WindowedCounter::new(4);
+        for s in 0..4 {
+            w.add(s, 6);
+        }
+        assert_eq!(w.rate(3), 6.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the telemetry primitives.
+//!
+//! * The HDR histogram's quantiles stay within the *documented*
+//!   relative-error bound of the exact nearest-rank oracle — on
+//!   adversarial distributions (constants, bucket edges, extremes,
+//!   full-range noise), at every interesting percentile.
+//! * `merge` is associative, commutative, and lossless with respect to
+//!   bucket counts (merged state is byte-identical to having recorded
+//!   every sample into one histogram).
+//! * The sliding-window counter matches a naive model on arbitrary
+//!   add/query schedules, including idle gaps longer than the window.
+
+use mt_obs::{HdrHistogram, WindowedCounter};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile — the accuracy oracle.
+fn exact_nearest_rank(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Adversarial sample values: zeros, extremes, exact powers of two
+/// (bucket lower edges), values one below an edge (bucket upper edges),
+/// small integers (the exact range), and full-width noise.
+fn sample_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        (0u32..64).prop_map(|b| 1u64 << b),
+        (1u32..64).prop_map(|b| (1u64 << b) - 1),
+        0u64..64,
+        any::<u64>(),
+    ]
+}
+
+fn histogram_of(samples: &[u64]) -> HdrHistogram {
+    let mut h = HdrHistogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound(
+        samples in prop::collection::vec(sample_value(), 1..400),
+    ) {
+        let h = histogram_of(&samples);
+        let bound = h.relative_error_bound();
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let e = exact_nearest_rank(&samples, p);
+            let got = h.quantile(p).expect("non-empty");
+            let rel = if e == 0 {
+                // Zero lives in an exact bucket: the estimate must be 0 too.
+                got as f64
+            } else {
+                (got as f64 - e as f64).abs() / e as f64
+            };
+            prop_assert!(
+                rel <= bound,
+                "p{p}: estimate {got} vs exact {e} (rel {rel:.6} > bound {bound:.6})"
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    #[test]
+    fn merge_is_commutative_associative_and_lossless(
+        a in prop::collection::vec(sample_value(), 0..120),
+        b in prop::collection::vec(sample_value(), 0..120),
+        c in prop::collection::vec(sample_value(), 0..120),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        // Commutative: a∪b == b∪a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a∪b)∪c == a∪(b∪c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Lossless: merging equals recording every sample into one
+        // histogram (bucket counts, count, sum, min, max — full
+        // structural equality).
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &histogram_of(&all));
+    }
+
+    #[test]
+    fn windowed_counter_matches_a_naive_model(
+        window in 1u64..12,
+        steps in prop::collection::vec((0u64..6, 0u64..100), 1..60),
+        // Occasionally jump far past the window (a stalled process).
+        big_gap_at in 0usize..60,
+    ) {
+        let mut w = WindowedCounter::new(window);
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        for (i, &(advance, delta)) in steps.iter().enumerate() {
+            now += advance;
+            if i == big_gap_at {
+                now += window * 3;
+            }
+            w.add(now, delta);
+            log.push((now, delta));
+
+            let naive: u64 = log
+                .iter()
+                .filter(|&&(s, _)| s + window > now && s <= now)
+                .map(|&(_, d)| d)
+                .sum();
+            prop_assert_eq!(w.total(now), naive, "at second {}", now);
+            prop_assert!((w.rate(now) - naive as f64 / window as f64).abs() < 1e-12);
+
+            // A query far in the future reads zero without mutating.
+            prop_assert_eq!(w.total(now + window * 2), 0);
+            prop_assert_eq!(w.total(now), naive, "query must not mutate");
+        }
+    }
+}

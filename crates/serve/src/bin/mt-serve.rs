@@ -1,7 +1,7 @@
 //! The `mt-serve` binary: bind, print the address, serve until killed.
 //!
 //! ```text
-//! mt-serve [--addr 127.0.0.1:0] [--workers <n>] [--queue <n>] [--cache <n>]
+//! mt-serve [--addr 127.0.0.1:0] [--workers <n>] [--queue <n>] [--cache <n>] [--access-log]
 //! ```
 //!
 //! The first stdout line is `mt-serve listening on http://<addr>` —
@@ -12,7 +12,9 @@ use std::process::ExitCode;
 use mt_serve::{serve, ServerConfig};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: mt-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>]");
+    eprintln!(
+        "usage: mt-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>] [--access-log]"
+    );
     ExitCode::from(2)
 }
 
@@ -46,6 +48,10 @@ fn main() -> ExitCode {
                     .map(|n| config.cache_entries = n)
                     .map_err(|e| format!("bad --cache: {e}"))
             }),
+            "--access-log" => {
+                config.access_log = true;
+                Ok(())
+            }
             "--help" | "-h" => return usage(),
             other => Err(format!("unknown argument `{other}`")),
         };

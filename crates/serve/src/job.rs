@@ -7,6 +7,8 @@
 //! timestamps, no worker identity, no wall-clock — so two workers (or a
 //! cache replay) produce identical bytes.
 
+use std::time::{Duration, Instant};
+
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
 use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::json::stats_json;
@@ -148,6 +150,18 @@ impl JobResult {
     }
 }
 
+/// Wall-clock timing of one execution. Deliberately *not* part of
+/// [`JobResult`]: the result must stay a deterministic function of the
+/// job (its `PartialEq` underpins the determinism and cache tests), so
+/// anything measured off the clock travels in this side channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobTiming {
+    /// When the simulation section started and how long it ran
+    /// (`None` when the job never reached the simulator — assemble
+    /// jobs, parse errors, lint rejections).
+    pub sim: Option<(Instant, Duration)>,
+}
+
 fn error_doc(kind: &str, extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     let mut doc = Json::obj([
         ("schema", Json::Str(SCHEMA.to_string())),
@@ -242,16 +256,26 @@ fn profile_json(events: &[TraceEvent]) -> Json {
 /// independent of whatever ran before (`tests/machine_reuse.rs` proves
 /// the recycling bit-identical).
 pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
+    execute_timed(job, machine).0
+}
+
+/// [`execute`] plus wall-clock timing of the simulation section, for
+/// the server's request spans and stage latency histograms.
+pub fn execute_timed(job: &JobRequest, machine: &mut Machine) -> (JobResult, JobTiming) {
+    let mut timing = JobTiming::default();
     let (program, map) = match parse_with_source_map(&job.source, job.options.base) {
         Ok(pair) => pair,
         Err(e) => {
             let diag = PlainDiagnostic::from_asm_error(&e, SOURCE_NAME);
-            return JobResult::new(
-                400,
-                error_doc(
-                    "assemble",
-                    [("diagnostics", Json::Arr(vec![diag.to_json()]))],
+            return (
+                JobResult::new(
+                    400,
+                    error_doc(
+                        "assemble",
+                        [("diagnostics", Json::Arr(vec![diag.to_json()]))],
+                    ),
                 ),
+                timing,
             );
         }
     };
@@ -259,7 +283,10 @@ pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
     let lint = if job.options.lint {
         let (diags, has_errors) = lint_diagnostics(&program, &map);
         if has_errors {
-            return JobResult::new(422, error_doc("lint", [("diagnostics", diags)]));
+            return (
+                JobResult::new(422, error_doc("lint", [("diagnostics", diags)])),
+                timing,
+            );
         }
         Some(diags)
     } else {
@@ -286,9 +313,10 @@ pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
         if let Some(diags) = lint {
             doc.push("lint", diags);
         }
-        return JobResult::new(200, doc);
+        return (JobResult::new(200, doc), timing);
     }
 
+    let sim_start = Instant::now();
     machine.reset_for_new_job(job.options.sim_config());
     machine.load_program(&program);
     if !job.options.cold {
@@ -301,9 +329,10 @@ pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
     } else {
         machine.run()
     };
+    timing.sim = Some((sim_start, sim_start.elapsed()));
     let stats = match outcome {
         Ok(stats) => stats,
-        Err(e) => return JobResult::new(422, run_error_doc(&e)),
+        Err(e) => return (JobResult::new(422, run_error_doc(&e)), timing),
     };
 
     doc.push("stats", stats_json(&stats));
@@ -323,11 +352,14 @@ pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
         doc.push("trace_truncated", Json::Bool(log.len() > TRACE_MAX_LINES));
         doc.push("trace", Json::Arr(lines));
     }
-    JobResult {
-        status: 200,
-        body: doc.pretty(),
-        cycles: Some(stats.cycles),
-    }
+    (
+        JobResult {
+            status: 200,
+            body: doc.pretty(),
+            cycles: Some(stats.cycles),
+        },
+        timing,
+    )
 }
 
 #[cfg(test)]

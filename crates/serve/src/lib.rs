@@ -19,21 +19,30 @@
 //!   hash of `(source, options)` with LRU eviction; legal because a run
 //!   is a pure function of its job;
 //! * [`metrics::ServeMetrics`] — queue depth, worker utilization, cache
-//!   hit ratio, and p50/p99 service cycles behind `GET /metrics`.
+//!   hit ratio, bounded HDR histograms (service cycles and per-stage
+//!   wall-clock latency — O(1) memory in the request count), and
+//!   sliding-window rates, behind `GET /metrics` in JSON or Prometheus
+//!   text exposition (`?format=prometheus`);
+//! * request spans ([`mt_obs::SpanSet`]) — every request is timed
+//!   through `read-request` → `parse` → `cache-lookup` → `queue-wait` →
+//!   `worker-service` ⊃ `sim-run` → `respond`; `?span-trace=1` embeds
+//!   the request's Chrome trace (Perfetto-loadable) in the response.
 //!
 //! # Endpoints
 //!
 //! ```text
 //! POST /assemble            body: assembly source → {words: [hex]}
-//! POST /run?profile=1&lint=1&trace=1&cold=1&base=<hex>&cycles=<n>&watchdog=<n>
-//!                           body: assembly source → {stats, profile?, lint?, trace?}
-//! GET  /metrics             service metrics document
+//! POST /run?profile=1&lint=1&trace=1&cold=1&base=<hex>&cycles=<n>&watchdog=<n>&span-trace=1
+//!                           body: assembly source → {stats, profile?, lint?, trace?, span_trace?}
+//! GET  /metrics             service metrics document (JSON)
+//! GET  /metrics?format=prometheus   Prometheus text exposition 0.0.4
 //! GET  /healthz             liveness probe
 //! ```
 //!
 //! Responses carry `X-Cache: hit|miss`; bodies are byte-identical either
-//! way. Drive it with `mtasm client` (see the README's Serving section)
-//! or plain `curl`.
+//! way (`span_trace` is attached after the cache, never stored in it).
+//! Drive it with `mtasm client` (see the README's Serving section) or
+//! plain `curl`.
 
 pub mod cache;
 pub mod http;
@@ -44,6 +53,6 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use job::{Endpoint, JobRequest, JobResult, RunOptions};
-pub use metrics::ServeMetrics;
+pub use metrics::{Gauges, ServeMetrics};
 pub use queue::JobQueue;
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -99,6 +99,11 @@ impl<T> JobQueue<T> {
         self.inner.lock().unwrap().len
     }
 
+    /// The total bound `push` enforces.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
+    }
+
     /// True when no jobs are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

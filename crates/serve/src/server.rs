@@ -16,20 +16,33 @@
 //! Backpressure: the queue bound is the only admission control. When it
 //! is full the handler answers `429 Too Many Requests` with
 //! `Retry-After: 1` immediately — no blocking, no buffering.
+//!
+//! Every request gets a process-unique id and a [`SpanSet`] tracking its
+//! journey (`read-request` → `parse` → `cache-lookup` → `queue-wait` →
+//! `worker-service` ⊃ `sim-run` → `respond`). Workers run on other
+//! threads but measure against the request's own `t0`, shipping spans
+//! back as microsecond offsets in the reply; the handler folds every
+//! stage into the per-stage latency histograms after responding, and
+//! `?span-trace=1` on a job endpoint embeds the request's Chrome trace
+//! (loadable in Perfetto, same envelope as the simulator exporter) in
+//! the response. The `respond` span is measured *around* the write, so
+//! it reaches the histograms but — by construction — not the embedded
+//! trace of its own request.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use mt_obs::SpanSet;
 use mt_sim::{Machine, SimConfig};
 
 use crate::cache::ResultCache;
 use crate::http::{read_request, Request, Response};
-use crate::job::{execute, Endpoint, JobRequest, RunOptions, SCHEMA};
-use crate::metrics::ServeMetrics;
+use crate::job::{execute_timed, Endpoint, JobRequest, RunOptions, SCHEMA};
+use crate::metrics::{Gauges, ServeMetrics};
 use crate::queue::JobQueue;
 
 /// Server tunables.
@@ -45,6 +58,8 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Write one structured line per request to stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,15 +70,30 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_entries: 256,
             io_timeout: Duration::from_secs(10),
+            access_log: false,
         }
     }
 }
 
+/// Spans measured on the worker thread, shipped back to the handler as
+/// microsecond offsets from the request's `t0`.
+#[derive(Debug, Clone, Copy)]
+struct WorkerSpans {
+    /// When the worker picked the job (ends `queue-wait`).
+    start_us: u64,
+    /// When the worker finished executing.
+    end_us: u64,
+    /// The simulation section as `(start_us, dur_us)`, when it ran.
+    sim: Option<(u64, u64)>,
+}
+
 /// A job traveling through the queue: the request plus the rendezvous
-/// channel its handler waits on.
+/// channel its handler waits on and the span anchor workers measure
+/// against.
 struct QueuedJob {
     request: JobRequest,
-    reply: mpsc::SyncSender<(u16, String)>,
+    reply: mpsc::SyncSender<(u16, String, WorkerSpans)>,
+    t0: Instant,
 }
 
 /// State shared by the accept thread, handlers, and workers.
@@ -74,6 +104,19 @@ struct Shared {
     shutdown: AtomicBool,
     busy_workers: AtomicUsize,
     workers: usize,
+    next_request_id: AtomicU64,
+    access_log: bool,
+}
+
+impl Shared {
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            busy_workers: self.busy_workers.load(Ordering::SeqCst),
+        }
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -123,14 +166,17 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         busy_workers: AtomicUsize::new(0),
         workers,
+        next_request_id: AtomicU64::new(0),
+        access_log: config.access_log,
     });
+    shared.metrics.set_workers(workers);
 
     let worker_threads = (0..workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("mt-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
                 .expect("spawn worker")
         })
         .collect();
@@ -168,14 +214,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duratio
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Microseconds from `t0` to `t` (0 if `t` precedes it).
+fn offset_us(t0: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(t0).as_micros() as u64
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
     // One machine per worker, recycled across jobs (`reset_for_new_job`
-    // inside `execute`); allocations for memory, caches, and decode
-    // tables are paid once.
+    // inside `execute_timed`); allocations for memory, caches, and
+    // decode tables are paid once.
     let mut machine = Machine::new(SimConfig::default());
     while let Some(job) = shared.queue.pop() {
         shared.busy_workers.fetch_add(1, Ordering::SeqCst);
-        let result = execute(&job.request, &mut machine);
+        let picked = Instant::now();
+        let (result, timing) = execute_timed(&job.request, &mut machine);
         if let Some(cycles) = result.cycles {
             shared.metrics.record_service_cycles(cycles);
         }
@@ -185,9 +237,21 @@ fn worker_loop(shared: &Shared) {
             result.status,
             result.body.clone(),
         );
+        let done = Instant::now();
+        let spans = WorkerSpans {
+            start_us: offset_us(job.t0, picked),
+            end_us: offset_us(job.t0, done),
+            sim: timing
+                .sim
+                .map(|(start, dur)| (offset_us(job.t0, start), dur.as_micros() as u64)),
+        };
         // A vanished handler (client hung up) is fine; the result is
         // already cached for the retry.
-        let _ = job.reply.send((result.status, result.body));
+        let _ = job.reply.send((result.status, result.body, spans));
+        shared.metrics.record_worker_job(
+            index,
+            done.saturating_duration_since(picked).as_micros() as u64,
+        );
         shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -208,6 +272,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "unknown".to_string());
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let mut spans = SpanSet::begin(request_id);
     let mut reader = BufReader::new(stream);
     let request = match read_request(&mut reader) {
         Ok(r) => r,
@@ -221,32 +287,88 @@ fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
             return;
         }
     };
-    let response = route(&request, &peer, shared);
+    spans.record("read-request", spans.t0(), Instant::now());
+    let response = route(&request, &peer, shared, &mut spans);
+    let status = response.status;
+    let bytes = response.body.len();
+    let cache_state = response
+        .headers
+        .iter()
+        .find(|(k, _)| k == "X-Cache")
+        .map(|(_, v)| v.clone());
+    let respond_start = Instant::now();
     respond(reader.into_inner(), response);
+    let respond_end = Instant::now();
+    spans.record("respond", respond_start, respond_end);
+    spans.record("total", spans.t0(), respond_end);
+    // One recording point for the whole request: every measured stage
+    // lands in the latency histograms exactly once.
+    for s in spans.spans() {
+        shared.metrics.record_stage_us(s.name, s.dur_us);
+    }
+    if shared.access_log {
+        eprintln!(
+            "{}",
+            access_log_line(
+                &spans,
+                &peer,
+                &request,
+                status,
+                bytes,
+                cache_state.as_deref()
+            )
+        );
+    }
 }
 
-fn respond(mut stream: TcpStream, response: Response) {
-    let _ = response.write_to(&mut stream);
-    let _ = stream.flush();
+/// One structured `key=value` line per request — machine-parseable,
+/// stable field order, no wall-clock timestamps (offsets only).
+fn access_log_line(
+    spans: &SpanSet,
+    peer: &str,
+    request: &Request,
+    status: u16,
+    bytes: usize,
+    cache_state: Option<&str>,
+) -> String {
+    format!(
+        "access id={} peer={} method={} path={} status={} bytes={} cache={} total_us={} queue_us={} sim_us={}",
+        spans.id,
+        peer,
+        request.method,
+        request.path,
+        status,
+        bytes,
+        cache_state.unwrap_or("-"),
+        spans.dur_us("total").unwrap_or(0),
+        spans.dur_us("queue-wait").unwrap_or(0),
+        spans.dur_us("sim-run").unwrap_or(0),
+    )
 }
 
-fn route(request: &Request, peer: &str, shared: &Shared) -> Response {
+fn route(request: &Request, peer: &str, shared: &Shared, spans: &mut SpanSet) -> Response {
     shared.metrics.add("requests_total", 1);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => {
-            let body = shared
-                .metrics
-                .to_json(
-                    shared.queue.len(),
-                    shared.workers,
-                    shared.busy_workers.load(Ordering::SeqCst),
-                )
-                .pretty();
-            Response::json(200, body)
-        }
-        ("POST", "/assemble") => job_response(request, peer, shared, Endpoint::Assemble),
-        ("POST", "/run") => job_response(request, peer, shared, Endpoint::Run),
+        ("GET", "/metrics") => match request.query_get("format") {
+            None | Some("json") => {
+                Response::json(200, shared.metrics.to_json(shared.gauges()).pretty())
+            }
+            Some("prometheus") => Response::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.metrics.to_prometheus(shared.gauges()),
+            ),
+            Some(other) => Response::json(
+                400,
+                format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-query\", \"message\": {}}}\n",
+                    mt_trace::Json::Str(format!("unknown format `{other}`")).pretty()
+                ),
+            ),
+        },
+        ("POST", "/assemble") => job_response(request, peer, shared, Endpoint::Assemble, spans),
+        ("POST", "/run") => job_response(request, peer, shared, Endpoint::Run, spans),
         ("GET", "/assemble" | "/run") | ("POST", "/healthz" | "/metrics") => Response::json(
             405,
             format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"method-not-allowed\"}}\n"),
@@ -258,9 +380,42 @@ fn route(request: &Request, peer: &str, shared: &Shared) -> Response {
     }
 }
 
+/// Embeds the request's Chrome span trace in a JSON response body
+/// (`?span-trace=1`). Purely additive and applied *after* the cache:
+/// cached bodies stay byte-identical functions of the job, and the
+/// query knob never reaches the cache key.
+fn attach_span_trace(response: Response, spans: &SpanSet) -> Response {
+    let Ok(text) = std::str::from_utf8(&response.body) else {
+        return response;
+    };
+    let Ok(mut doc) = mt_trace::json::parse(text) else {
+        return response;
+    };
+    doc.push("span_trace", spans.to_chrome_json());
+    Response {
+        body: doc.pretty().into_bytes(),
+        ..response
+    }
+}
+
 /// Builds the job from the request, replays the cache, or queues and
 /// waits.
-fn job_response(request: &Request, peer: &str, shared: &Shared, endpoint: Endpoint) -> Response {
+fn job_response(
+    request: &Request,
+    peer: &str,
+    shared: &Shared,
+    endpoint: Endpoint,
+    spans: &mut SpanSet,
+) -> Response {
+    let want_trace = request.query_flag("span-trace");
+    let finish = |response: Response, spans: &SpanSet| {
+        if want_trace {
+            attach_span_trace(response, spans)
+        } else {
+            response
+        }
+    };
+    let parse_start = Instant::now();
     let options = match parse_options(request) {
         Ok(o) => o,
         Err(message) => {
@@ -288,32 +443,60 @@ fn job_response(request: &Request, peer: &str, shared: &Shared, endpoint: Endpoi
         options,
     };
     let key = job.key_material();
+    spans.record("parse", parse_start, Instant::now());
 
-    if let Some((status, body)) = shared.cache.lock().unwrap().get(&key) {
+    let lookup_start = Instant::now();
+    let cached = shared.cache.lock().unwrap().get(&key);
+    spans.record("cache-lookup", lookup_start, Instant::now());
+    if let Some((status, body)) = cached {
         shared.metrics.add("cache_hits", 1);
-        return Response::json(status, body).with_header("X-Cache", "hit");
+        return finish(
+            Response::json(status, body).with_header("X-Cache", "hit"),
+            spans,
+        );
     }
     shared.metrics.add("cache_misses", 1);
 
     // Fairness lane: the client's declared identity, or its peer IP.
     let client = request.header("x-client-id").unwrap_or(peer).to_string();
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let enqueued = Instant::now();
     let queued = QueuedJob {
         request: job,
         reply: reply_tx,
+        t0: spans.t0(),
     };
     if shared.queue.push(&client, queued).is_err() {
         shared.metrics.add("rejected_429", 1);
-        return Response::json(
-            429,
-            format!(
-                "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"queue-full\"}}\n"
-            ),
-        )
-        .with_header("Retry-After", "1");
+        return finish(
+            Response::json(
+                429,
+                format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"queue-full\"}}\n"
+                ),
+            )
+            .with_header("Retry-After", "1"),
+            spans,
+        );
     }
     match reply_rx.recv() {
-        Ok((status, body)) => Response::json(status, body).with_header("X-Cache", "miss"),
+        Ok((status, body, w)) => {
+            let enqueued_us = spans.offset_us(enqueued);
+            spans.record_offsets(
+                "queue-wait",
+                enqueued_us,
+                w.start_us.saturating_sub(enqueued_us),
+            );
+            spans.record_offsets(
+                "worker-service",
+                w.start_us,
+                w.end_us.saturating_sub(w.start_us),
+            );
+            if let Some((sim_start_us, sim_dur_us)) = w.sim {
+                spans.record_offsets("sim-run", sim_start_us, sim_dur_us);
+            }
+            finish(Response::json(status, body).with_header("X-Cache", "miss"), spans)
+        }
         // The queue was closed (shutdown) before a worker took the job.
         Err(_) => Response::json(
             503,
@@ -339,4 +522,57 @@ fn parse_options(request: &Request) -> Result<RunOptions, String> {
         options.watchdog = v.parse().map_err(|e| format!("bad watchdog `{v}`: {e}"))?;
     }
     Ok(options)
+}
+
+fn respond(mut stream: TcpStream, response: Response) {
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_log_line_is_structured_and_stable() {
+        let mut spans = SpanSet::begin(7);
+        spans.record_offsets("queue-wait", 10, 40);
+        spans.record_offsets("sim-run", 60, 500);
+        spans.record_offsets("total", 0, 700);
+        let request = Request {
+            method: "POST".to_string(),
+            path: "/run".to_string(),
+            query: vec![],
+            headers: vec![],
+            body: b"halt\n".to_vec(),
+        };
+        let line = access_log_line(&spans, "127.0.0.1", &request, 200, 512, Some("miss"));
+        assert_eq!(
+            line,
+            "access id=7 peer=127.0.0.1 method=POST path=/run status=200 \
+             bytes=512 cache=miss total_us=700 queue_us=40 sim_us=500"
+        );
+        // Every field is key=value — trivially machine-parseable.
+        for field in line.split(' ').skip(1) {
+            assert!(field.contains('='), "field `{field}` not key=value");
+        }
+        let no_cache = access_log_line(&spans, "h", &request, 429, 64, None);
+        assert!(no_cache.contains("cache=- "));
+    }
+
+    #[test]
+    fn span_trace_attaches_to_json_bodies_only() {
+        let mut spans = SpanSet::begin(3);
+        spans.record_offsets("total", 0, 100);
+        let json = Response::json(200, "{\n  \"schema\": \"mt-serve-v1\"\n}\n");
+        let with = attach_span_trace(json, &spans);
+        let doc = mt_trace::json::parse(std::str::from_utf8(&with.body).unwrap()).unwrap();
+        assert!(doc.get("span_trace").is_some());
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("mt-serve-v1"));
+
+        // Non-JSON bodies pass through untouched.
+        let text = Response::text(200, "ok\n");
+        let body_before = text.body.clone();
+        assert_eq!(attach_span_trace(text, &spans).body, body_before);
+    }
 }

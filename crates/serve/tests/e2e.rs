@@ -299,6 +299,167 @@ fn cache_is_sensitive_to_options_and_source() {
 }
 
 #[test]
+fn metrics_expose_stage_latency_and_windows() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let r = post(&addr, "/run", "lat", DAXPY);
+    assert_eq!(r.status, 200);
+
+    // The handler folds spans into the histograms *after* writing the
+    // response, so poll until the request's stages have landed.
+    wait_for("stage histograms to fill", || {
+        let body = get(&addr, "/metrics").body;
+        let doc = mt_trace::json::parse(&body).expect("metrics parse");
+        doc.get("latency_us")
+            .and_then(|l| l.get("sim-run"))
+            .and_then(|s| s.get("count"))
+            .and_then(|c| c.as_f64())
+            .is_some_and(|n| n >= 1.0)
+    });
+
+    let body = get(&addr, "/metrics").body;
+    let doc = mt_trace::json::parse(&body).unwrap();
+    let latency = doc.get("latency_us").unwrap();
+    // Every pipeline stage is present with a full quantile summary.
+    for stage in [
+        "total",
+        "read-request",
+        "parse",
+        "cache-lookup",
+        "queue-wait",
+        "worker-service",
+        "sim-run",
+        "respond",
+    ] {
+        let s = latency
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}: {body}"));
+        for key in ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"] {
+            assert!(s.get(key).is_some(), "stage {stage} missing {key}");
+        }
+    }
+    let total = latency.get("total").unwrap();
+    assert!(total.get("count").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(total.get("p50").unwrap().as_f64().unwrap() > 0.0);
+
+    // The sliding window saw the traffic.
+    let window = doc.get("window").unwrap();
+    assert_eq!(window.get("window_secs").unwrap().as_f64(), Some(60.0));
+    assert!(window.get("requests_per_second").unwrap().as_f64().unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_is_valid_and_covers_the_service() {
+    let handle = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let r = post(&addr, "/run", "prom", DAXPY);
+    assert_eq!(r.status, 200);
+
+    let prom = get(&addr, "/metrics?format=prometheus");
+    assert_eq!(prom.status, 200);
+    let families = mt_obs::prom::validate(&prom.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{}", prom.body));
+    for family in [
+        "mtserve_requests_total",
+        "mtserve_responses_total",
+        "mtserve_queue_depth",
+        "mtserve_workers",
+        "mtserve_service_cycles",
+        "mtserve_request_stage_microseconds",
+    ] {
+        assert!(
+            families.iter().any(|f| f == family),
+            "missing family {family}\n{}",
+            prom.body
+        );
+    }
+    assert!(prom
+        .body
+        .contains("mtserve_responses_total{status=\"200\"}"));
+
+    // An unknown format is a structured 400, and JSON stays the default.
+    assert_eq!(get(&addr, "/metrics?format=xml").status, 400);
+    assert!(mt_trace::json::parse(&get(&addr, "/metrics").body).is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn span_trace_exports_the_request_journey() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // A computed (uncached) request: worker spans included.
+    let miss = post(&addr, "/run?span-trace=1", "tr", DAXPY);
+    assert_eq!((miss.status, miss.cache.as_deref()), (200, Some("miss")));
+    let doc = mt_trace::json::parse(&miss.body).unwrap();
+    let trace = doc.get("span_trace").expect("span_trace embedded");
+    let rendered = trace.pretty();
+    assert!(mt_trace::json::validate(&rendered).is_ok());
+    let events = trace.get("traceEvents").unwrap().items();
+    for span in [
+        "read-request",
+        "parse",
+        "cache-lookup",
+        "queue-wait",
+        "worker-service",
+        "sim-run",
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(span)),
+            "missing span {span}: {rendered}"
+        );
+    }
+    // The simulation happened inside the worker's service interval.
+    let span_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+            .map(|e| {
+                (
+                    e.get("ts").unwrap().as_f64().unwrap(),
+                    e.get("dur").unwrap().as_f64().unwrap(),
+                )
+            })
+            .unwrap()
+    };
+    let (w_ts, w_dur) = span_of("worker-service");
+    let (s_ts, s_dur) = span_of("sim-run");
+    assert!(s_ts >= w_ts && s_ts + s_dur <= w_ts + w_dur + 1.0);
+
+    // A cache hit still gets its own trace — but the stored body stays
+    // trace-free: the same job without the flag replays cached bytes
+    // with no span_trace field.
+    let hit = post(&addr, "/run?span-trace=1", "tr", DAXPY);
+    assert_eq!(hit.cache.as_deref(), Some("hit"));
+    let hit_doc = mt_trace::json::parse(&hit.body).unwrap();
+    assert!(hit_doc.get("span_trace").is_some());
+    let plain = post(&addr, "/run", "tr", DAXPY);
+    assert_eq!(plain.cache.as_deref(), Some("hit"));
+    assert!(
+        !plain.body.contains("span_trace"),
+        "cache must never store span traces"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn committed_golden_matches_the_computation() {
     // The fixture CI byte-diffs against a live server (`ci` serve smoke):
     // regenerating it must be a no-op as long as the simulator and the

@@ -36,8 +36,10 @@ fn op_name(op: FpOp) -> &'static str {
     }
 }
 
-/// One trace-event object.
-fn entry(name: String, ph: &str, ts: u64, tid: u64, args: Vec<(String, Json)>) -> Json {
+/// One trace-event object. Public building block: `mt-obs` reuses this
+/// exporter for request spans, so both trace flavors stay loadable by
+/// the same tools.
+pub fn entry(name: String, ph: &str, ts: u64, tid: u64, args: Vec<(String, Json)>) -> Json {
     let mut ev = Json::obj([
         ("name", Json::Str(name)),
         ("ph", Json::Str(ph.to_string())),
@@ -55,7 +57,8 @@ fn entry(name: String, ph: &str, ts: u64, tid: u64, args: Vec<(String, Json)>) -
     ev
 }
 
-fn complete(name: String, ts: u64, dur: u64, tid: u64, args: Vec<(String, Json)>) -> Json {
+/// A duration ("complete") event of at least one time unit.
+pub fn complete(name: String, ts: u64, dur: u64, tid: u64, args: Vec<(String, Json)>) -> Json {
     let mut ev = entry(name, "X", ts, tid, args);
     ev.push("dur", Json::U64(dur.max(1)));
     ev
@@ -68,7 +71,8 @@ fn pc_args(pc: u32, instr_index: u32) -> Vec<(String, Json)> {
     ]
 }
 
-fn thread_name(tid: u64, name: &str) -> Json {
+/// A `thread_name` metadata event labeling track `tid`.
+pub fn thread_name(tid: u64, name: &str) -> Json {
     entry(
         "thread_name".to_string(),
         "M",
@@ -240,19 +244,24 @@ pub fn trace_json(events: &[TraceEvent]) -> Json {
         _ => 0,
     });
     out.extend(body);
+    document(
+        out,
+        Json::obj([
+            ("cycle_ns", Json::U64(40)),
+            (
+                "note",
+                Json::Str("1 trace µs = 1 machine cycle (40 ns real time)".to_string()),
+            ),
+        ]),
+    )
+}
+
+/// Wraps trace events in the top-level trace-event document envelope.
+pub fn document(events: Vec<Json>, other_data: Json) -> Json {
     Json::obj([
-        ("traceEvents", Json::Arr(out)),
+        ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::Str("ms".to_string())),
-        (
-            "otherData",
-            Json::obj([
-                ("cycle_ns", Json::U64(40)),
-                (
-                    "note",
-                    Json::Str("1 trace µs = 1 machine cycle (40 ns real time)".to_string()),
-                ),
-            ]),
-        ),
+        ("otherData", other_data),
     ])
 }
 
