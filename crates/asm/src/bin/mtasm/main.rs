@@ -7,6 +7,7 @@
 //! mtasm lint <file.s> [--base <hex>]           static analysis only
 //! mtasm run  <file.s> [--base <hex>] [--lint] [--trace] [--timeline]
 //!            [--cold] [--profile] [--top <n>] [--trace-out <file.json>]
+//!            [--backend tick|xlate]
 //!                                              assemble and simulate to halt
 //! mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]
 //!            [--trace-out <file.json>]         simulate; hot-spot report
@@ -72,12 +73,12 @@ use mt_isa::cost::IssueTiming;
 use mt_isa::Instr;
 use mt_lint::cfg::ProgramView;
 use mt_lint::{lint_program_with, LintOptions, Severity};
-use mt_sim::{Machine, Program, SimConfig, Timeline};
+use mt_sim::{Backend, Machine, Program, SimConfig, Timeline};
 use mt_trace::{chrome, Json, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n                 [--backend tick|xlate]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +98,7 @@ struct Options {
     injections: usize,
     json: bool,
     mca: bool,
+    backend: Backend,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -114,6 +116,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut injections = 200;
     let mut json = false;
     let mut mca = false;
+    let mut backend = Backend::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -150,6 +153,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--json" => json = true,
             "--mca" => mca = true,
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs tick|xlate")?;
+                backend = v.parse()?;
+            }
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -171,6 +178,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         injections,
         json,
         mca,
+        backend,
     })
 }
 
@@ -180,6 +188,7 @@ fn fault_campaign(src: &str, opts: &Options) -> Result<(), String> {
     let cfg = CampaignConfig {
         seed: opts.seed,
         injections: opts.injections,
+        backend: opts.backend,
         ..CampaignConfig::default()
     };
     let result = run_program_campaign(&program, &opts.path, &cfg)?;
@@ -297,6 +306,7 @@ fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), Str
     let recording = opts.trace || opts.timeline || profile || opts.mca || opts.trace_out.is_some();
     let mut m = Machine::new(SimConfig {
         trace: opts.trace,
+        backend: opts.backend,
         ..SimConfig::default()
     });
     m.load_program(&program);

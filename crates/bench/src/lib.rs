@@ -13,7 +13,7 @@ pub mod json;
 pub mod sweep;
 
 use mt_kernels::{harness, livermore, Kernel, KernelReport};
-use mt_sim::SimConfig;
+use mt_sim::{Backend, SimConfig};
 
 /// Runs one kernel under the default configuration, panicking with context
 /// on any failure (benches want loud failures).
@@ -29,9 +29,20 @@ pub fn run_with(kernel: &Kernel, config: SimConfig) -> KernelReport {
 /// Measured cold/warm MFLOPS for all 24 Livermore loops, in order
 /// (simulated in parallel across cores; results are deterministic).
 pub fn livermore_mflops() -> Vec<(u8, f64, f64)> {
+    livermore_mflops_with(Backend::default())
+}
+
+/// [`livermore_mflops`] under an explicit execution backend. Both backends
+/// produce bit-identical reports; the choice only affects how fast the
+/// simulation itself runs.
+pub fn livermore_mflops_with(backend: Backend) -> Vec<(u8, f64, f64)> {
     let loops: Vec<u8> = (1..=24).collect();
+    let config = SimConfig {
+        backend,
+        ..SimConfig::default()
+    };
     sweep::sweep(&loops, |&n| {
-        let report = run(&livermore::by_number(n));
+        let report = run_with(&livermore::by_number(n), config.clone());
         (n, report.mflops_cold(), report.mflops_warm())
     })
 }
@@ -40,8 +51,22 @@ pub fn livermore_mflops() -> Vec<(u8, f64, f64)> {
 /// simulated in parallel (deterministic input order, as [`sweep::sweep`]
 /// guarantees — `BENCH_sim.json` is built from this).
 pub fn livermore_reports() -> Vec<KernelReport> {
+    livermore_reports_with(Backend::default())
+}
+
+/// [`livermore_reports`] under an explicit execution backend. The reports
+/// are bit-identical across backends (the equivalence tests prove it);
+/// `BENCH_sim.json`'s `sim_throughput` section is measured over the
+/// translated backend because that is the speed that matters in practice.
+pub fn livermore_reports_with(backend: Backend) -> Vec<KernelReport> {
     let loops: Vec<u8> = (1..=24).collect();
-    sweep::sweep(&loops, |&n| run(&livermore::by_number(n)))
+    let config = SimConfig {
+        backend,
+        ..SimConfig::default()
+    };
+    sweep::sweep(&loops, |&n| {
+        run_with(&livermore::by_number(n), config.clone())
+    })
 }
 
 /// Formats one row of a fixed-width table.

@@ -127,6 +127,7 @@ impl Fpu {
 
     /// Phase 1: retires every write that becomes visible at `cycle`,
     /// accumulating PSW flags and applying the overflow-abort rule.
+    #[inline]
     pub fn begin_cycle(&mut self, cycle: u64) {
         self.begin_cycle_with(cycle, &mut NullSink);
     }
@@ -135,6 +136,7 @@ impl Fpu {
     /// an [`EventKind::ElementRetire`] or [`EventKind::LoadRetire`], and
     /// an overflow abort emits [`EventKind::OverflowAbort`] carrying the
     /// number of squashed elements.
+    #[inline]
     pub fn begin_cycle_with<S: EventSink>(&mut self, cycle: u64, sink: &mut S) {
         while let Some(retired) = self.pipeline.pop_ready(cycle) {
             self.regs.write(retired.dest, retired.value);
@@ -215,6 +217,7 @@ impl Fpu {
     /// Phase 3: the IR attempts to issue its current element through the
     /// scalar issue path. Operands are read and the operation executed at
     /// issue; the result becomes visible `OP_LATENCY_CYCLES` later.
+    #[inline]
     pub fn issue(&mut self, cycle: u64) -> IssueOutcome {
         let Some(active) = self.ir.active() else {
             return IssueOutcome::Idle;

@@ -43,14 +43,52 @@ pub struct InFlight {
 /// A retirement delivered by [`Pipeline::take_ready`].
 pub type Retired = InFlight;
 
-/// The in-flight write queue, kept sorted by `(ready_at, issue order)`:
-/// pushes insert in place (almost always at the back — a newly issued
-/// operation usually completes last), so the per-cycle retire check is a
-/// single compare against the front and retirement is a pop.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Ring capacity. Every in-flight write holds a scoreboard reservation on
+/// a distinct register (issue and the load port both stall on a reserved
+/// destination), so at most [`mt_isa::NUM_FPU_REGS`] operations can be in
+/// flight; the next power of two keeps index wrap a mask.
+const CAP: usize = 64;
+
+/// The in-flight write queue, kept sorted by `(ready_at, issue order)` in
+/// a fixed ring (this sits on the simulator's per-cycle hot path — no
+/// allocator, wrap by mask): pushes insert in place (almost always at the
+/// back — a newly issued operation usually completes last), so the
+/// per-cycle retire check is a single compare against the front and
+/// retirement is a head bump.
+#[derive(Debug, Clone)]
 pub struct Pipeline {
-    in_flight: std::collections::VecDeque<InFlight>,
+    buf: [InFlight; CAP],
+    head: u32,
+    len: u32,
 }
+
+/// A never-read placeholder filling unused ring slots.
+const EMPTY_SLOT: InFlight = InFlight {
+    ready_at: 0,
+    dest: FReg::new(0),
+    value: 0,
+    flags: Exceptions::empty(),
+    source: WriteSource::Load,
+};
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline {
+            buf: [EMPTY_SLOT; CAP],
+            head: 0,
+            len: 0,
+        }
+    }
+}
+
+/// Equality is over the logical in-flight sequence, not ring layout.
+impl PartialEq for Pipeline {
+    fn eq(&self, other: &Pipeline) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Pipeline {}
 
 impl Pipeline {
     /// Creates an empty pipeline.
@@ -58,21 +96,31 @@ impl Pipeline {
         Pipeline::default()
     }
 
+    #[inline]
+    fn slot(&self, logical: u32) -> usize {
+        (self.head.wrapping_add(logical) as usize) & (CAP - 1)
+    }
+
+    /// The in-flight operations in retirement order.
+    fn iter(&self) -> impl Iterator<Item = &InFlight> + '_ {
+        (0..self.len).map(|i| &self.buf[self.slot(i)])
+    }
+
     /// Inserts a newly issued operation, keeping the queue sorted by
     /// `ready_at` with ties in issue order (insertion after every earlier
     /// operation with the same `ready_at`).
     #[inline]
     pub fn push(&mut self, op: InFlight) {
-        let pos = self
-            .in_flight
-            .iter()
-            .rposition(|q| q.ready_at <= op.ready_at)
-            .map_or(0, |i| i + 1);
-        if pos == self.in_flight.len() {
-            self.in_flight.push_back(op);
-        } else {
-            self.in_flight.insert(pos, op);
+        assert!((self.len as usize) < CAP, "pipeline ring overflow");
+        // Walk back over operations completing strictly later, shifting
+        // each up one slot; almost always zero iterations.
+        let mut i = self.len;
+        while i > 0 && self.buf[self.slot(i - 1)].ready_at > op.ready_at {
+            self.buf[self.slot(i)] = self.buf[self.slot(i - 1)];
+            i -= 1;
         }
+        self.buf[self.slot(i)] = op;
+        self.len += 1;
     }
 
     /// Removes and returns every operation whose result is visible at
@@ -92,10 +140,13 @@ impl Pipeline {
     /// cost one compare and never touch the allocator.
     #[inline]
     pub fn pop_ready(&mut self, cycle: u64) -> Option<Retired> {
-        if self.in_flight.front()?.ready_at > cycle {
+        if self.len == 0 || self.buf[self.head as usize & (CAP - 1)].ready_at > cycle {
             return None;
         }
-        self.in_flight.pop_front()
+        let op = self.buf[self.head as usize & (CAP - 1)];
+        self.head = self.head.wrapping_add(1);
+        self.len -= 1;
+        Some(op)
     }
 
     /// Squashes in-flight ALU elements of instruction `instr_id` with
@@ -106,16 +157,21 @@ impl Pipeline {
     /// clear their reservations.
     pub fn squash_after(&mut self, instr_id: u64, after_element: u8) -> Vec<FReg> {
         let mut squashed = Vec::new();
-        self.in_flight.retain(|op| match op.source {
-            WriteSource::AluElement {
-                instr_id: id,
-                element,
-            } if id == instr_id && element > after_element => {
-                squashed.push(op.dest);
-                false
+        let mut kept = 0u32;
+        for i in 0..self.len {
+            let op = self.buf[self.slot(i)];
+            match op.source {
+                WriteSource::AluElement {
+                    instr_id: id,
+                    element,
+                } if id == instr_id && element > after_element => squashed.push(op.dest),
+                _ => {
+                    self.buf[self.slot(kept)] = op;
+                    kept += 1;
+                }
             }
-            _ => true,
-        });
+        }
+        self.len = kept;
         squashed
     }
 
@@ -125,29 +181,33 @@ impl Pipeline {
     /// corrupted — destination and timing stay intact, modelling a particle
     /// strike on a pipeline data latch rather than on control state.
     pub fn flip_value_bit(&mut self, slot: usize, bit: u32) -> bool {
-        if self.in_flight.is_empty() {
+        if self.len == 0 {
             return false;
         }
-        let index = slot % self.in_flight.len();
-        self.in_flight[index].value ^= 1 << (bit % 64);
+        let index = self.slot((slot % self.len as usize) as u32);
+        self.buf[index].value ^= 1 << (bit % 64);
         true
     }
 
     /// Number of operations in flight.
     pub fn len(&self) -> usize {
-        self.in_flight.len()
+        self.len as usize
     }
 
     /// Returns `true` when nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.in_flight.is_empty()
+        self.len == 0
     }
 
     /// The earliest cycle at which something will retire, if anything is in
     /// flight (used by the simulator to fast-forward drain periods).
     #[inline]
     pub fn next_ready_at(&self) -> Option<u64> {
-        self.in_flight.front().map(|op| op.ready_at)
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.buf[self.head as usize & (CAP - 1)].ready_at)
+        }
     }
 }
 

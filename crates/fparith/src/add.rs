@@ -19,12 +19,18 @@
 
 use crate::bits::{self, Class};
 use crate::exception::Exceptions;
-use crate::round::{round_pack, GRS_BITS};
+use crate::round::{round_pack, round_pack64, GRS_BITS};
 
 /// Maximum alignment distance carried exactly; beyond this the smaller
 /// operand only contributes sticky information, so clamping preserves the
 /// rounded result.
 const MAX_ALIGN: i32 = 61;
+
+/// Fraction bits carried by the fast effective-subtract datapath. Wide
+/// enough that the shift-right-jam (round-to-odd) alignment keeps ≥ 2 known
+/// bits below the final rounding position even after the ≤ 1-bit
+/// post-subtract normalization, which is what makes jamming round-correct.
+const SUB_FRAC: u32 = 11;
 
 /// IEEE-754 binary64 addition with round-to-nearest-even.
 ///
@@ -37,6 +43,7 @@ const MAX_ALIGN: i32 = 61;
 /// let (r, _) = fp_add(0.1f64.to_bits(), 0.2f64.to_bits());
 /// assert_eq!(f64::from_bits(r), 0.1 + 0.2);
 /// ```
+#[inline]
 pub fn fp_add(a: u64, b: u64) -> (u64, Exceptions) {
     add_impl(a, b, false)
 }
@@ -45,12 +52,87 @@ pub fn fp_add(a: u64, b: u64) -> (u64, Exceptions) {
 ///
 /// Identical to [`fp_add`] with the sign of `b` flipped (which is exactly how
 /// the hardware implements it).
+#[inline]
 pub fn fp_sub(a: u64, b: u64) -> (u64, Exceptions) {
     add_impl(a, b, true)
 }
 
+#[inline]
 fn add_impl(a: u64, b: u64, negate_b: bool) -> (u64, Exceptions) {
     let b = if negate_b { b ^ bits::SIGN_MASK } else { b };
+    let ea = (a >> bits::MANT_BITS) & bits::EXP_MASK;
+    let eb = (b >> bits::MANT_BITS) & bits::EXP_MASK;
+    // Both operands normal (biased exponent in 1..=2046): take the u64 fast
+    // datapath. Zeros, subnormals, infinities, and NaNs go to the general
+    // path, which also serves as the differential oracle in tests.
+    if ea.wrapping_sub(1) < 2046 && eb.wrapping_sub(1) < 2046 {
+        add_normals(a, b)
+    } else {
+        add_general(a, b)
+    }
+}
+
+/// Fast path for two normal operands: the entire alignment/add/normalize
+/// datapath fits one `u64`. Alignment distances too large to carry exactly
+/// use shift-right-jam (round-to-odd), which [`round_pack64`]'s
+/// nearest-even rounding then resolves identically to the exact result.
+#[inline]
+fn add_normals(a: u64, b: u64) -> (u64, Exceptions) {
+    // Magnitude order: for normals, |x| compares as the bit pattern with the
+    // sign stripped. Ties keep `a` as `hi`, matching the general path.
+    let (hi, lo) = if (a & !bits::SIGN_MASK) >= (b & !bits::SIGN_MASK) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let eh = ((hi >> bits::MANT_BITS) & bits::EXP_MASK) as i32 - bits::EXP_BIAS;
+    let el = ((lo >> bits::MANT_BITS) & bits::EXP_MASK) as i32 - bits::EXP_BIAS;
+    let sh = (hi & bits::MANT_MASK) | bits::HIDDEN_BIT;
+    let sl = (lo & bits::MANT_MASK) | bits::HIDDEN_BIT;
+    let d = (eh - el) as u32;
+    let sign = bits::sign_of(hi);
+
+    if (hi ^ lo) & bits::SIGN_MASK != 0 {
+        // Effective subtraction at SUB_FRAC fraction bits: exact while the
+        // low operand's shift stays in-word, jammed beyond that.
+        let x = sh << SUB_FRAC;
+        let sig = if d <= SUB_FRAC {
+            let diff = x - (sl << (SUB_FRAC - d));
+            if diff == 0 {
+                // Exact cancellation yields +0 under round-to-nearest.
+                return (bits::POS_ZERO, Exceptions::empty());
+            }
+            diff
+        } else {
+            let y_full = sl << SUB_FRAC;
+            let y_jam = if d >= 64 {
+                1
+            } else {
+                (y_full >> d) | u64::from(y_full & ((1u64 << d) - 1) != 0)
+            };
+            // x is even and a jammed subtrahend odd, so the difference is
+            // the round-to-odd image of the exact one.
+            x - y_jam
+        };
+        round_pack64(sign, eh - (SUB_FRAC - GRS_BITS) as i32, sig)
+    } else {
+        // Effective addition at GRS fraction bits, leaving carry headroom.
+        let x = sh << GRS_BITS;
+        let y_full = sl << GRS_BITS;
+        let y = if d >= 56 {
+            1
+        } else {
+            let lost = y_full & ((1u64 << d) - 1);
+            (y_full >> d) | u64::from(lost != 0)
+        };
+        round_pack64(sign, eh, x + y)
+    }
+}
+
+/// General path: full operand-class decision tree and exact `u128`
+/// datapath. Handles every operand class; the fast path defers to it for
+/// anything non-normal.
+fn add_general(a: u64, b: u64) -> (u64, Exceptions) {
     let (ca, cb) = (bits::classify(a), bits::classify(b));
 
     // Special-case decision tree (resolved before the datapath in hardware).
@@ -272,6 +354,118 @@ mod tests {
                 let (got, _) = fp_sub(x.to_bits(), y.to_bits());
                 let want = (x - y).to_bits();
                 assert_eq!(got, want, "sub({x:e}, {y:e})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    /// Builds a normal f64 bit pattern from raw randomness with the biased
+    /// exponent forced into a band, so alignment distances cluster where
+    /// the fast path switches datapaths.
+    fn normal_with_exp(raw: u64, biased_exp: u64) -> u64 {
+        debug_assert!((1..=2046).contains(&biased_exp));
+        (raw & bits::SIGN_MASK) | (biased_exp << bits::MANT_BITS) | (raw & bits::MANT_MASK)
+    }
+
+    /// The u64 fast path must agree with the exact u128 general path — bit
+    /// pattern AND exception flags — on normal operands at every alignment
+    /// distance, and with the host FPU on the value.
+    #[test]
+    fn fast_path_matches_general_and_host() {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..300_000u64 {
+            let ra = lcg(&mut s);
+            let rb = lcg(&mut s);
+            let ea = 1 + lcg(&mut s) % 2046;
+            // Alternate between clustered exponents (near/exact-subtract
+            // paths), mid distances, and free exponents (jammed paths).
+            let eb = match i % 3 {
+                0 => (ea as i64 + (lcg(&mut s) % 5) as i64 - 2).clamp(1, 2046) as u64,
+                1 => (ea as i64 + (lcg(&mut s) % 31) as i64 - 15).clamp(1, 2046) as u64,
+                _ => 1 + lcg(&mut s) % 2046,
+            };
+            let a = normal_with_exp(ra, ea);
+            let b = normal_with_exp(rb, eb);
+            for (x, y) in [(a, b), (b, a)] {
+                let fast = add_normals(x, y);
+                let general = add_general(x, y);
+                assert_eq!(
+                    fast, general,
+                    "fast vs general mismatch: add({:#018x}, {:#018x})",
+                    x, y
+                );
+                let host = (f64::from_bits(x) + f64::from_bits(y)).to_bits();
+                assert_eq!(
+                    fast.0, host,
+                    "fast vs host mismatch: add({:#018x}, {:#018x})",
+                    x, y
+                );
+            }
+        }
+    }
+
+    /// Mantissa corner patterns at every alignment distance, both effective
+    /// operations — the sticky/jam boundaries the random sweep may miss.
+    #[test]
+    fn fast_path_jam_boundaries_match_general() {
+        let mants = [
+            0u64,
+            1,
+            0xF_FFFF_FFFF_FFFF,
+            0x8_0000_0000_0000,
+            0x8_0000_0000_0001,
+            0x7_FFFF_FFFF_FFFF,
+        ];
+        for d in 0..=70u64 {
+            let ea = 1000 + d;
+            for &ma in &mants {
+                for &mb in &mants {
+                    let a = (ea << bits::MANT_BITS) | ma;
+                    let b = (1000u64 << bits::MANT_BITS) | mb;
+                    for (x, y) in [(a, b), (a, b | bits::SIGN_MASK), (a | bits::SIGN_MASK, b)] {
+                        assert_eq!(
+                            add_normals(x, y),
+                            add_general(x, y),
+                            "add({x:#018x}, {y:#018x}) at distance {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Results that denormalize or overflow still agree between the paths.
+    #[test]
+    fn fast_path_edge_ranges_match_general() {
+        let edges = [
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE * 1.5,
+            f64::MIN_POSITIVE * 2.0,
+            f64::MAX,
+            f64::MAX / 2.0,
+            f64::from_bits((2046u64 << 52) | 0xF_FFFF_FFFF_FFFF),
+        ];
+        for &x in &edges {
+            for &y in &edges {
+                for (p, q) in [(x, y), (x, -y), (-x, y), (-x, -y)] {
+                    let (pb, qb) = (p.to_bits(), q.to_bits());
+                    assert_eq!(
+                        add_normals(pb, qb),
+                        add_general(pb, qb),
+                        "add({p:e}, {q:e})"
+                    );
+                }
             }
         }
     }

@@ -14,7 +14,7 @@
 
 use crate::bits::{self, Class};
 use crate::exception::Exceptions;
-use crate::round::round_pack;
+use crate::round::{round_pack, round_pack64};
 
 /// Multiplies two 53-bit significands through an explicit partial-product
 /// carry-save tree, modelling the hardware reduction structure.
@@ -70,7 +70,34 @@ fn carry_save_add(x: u128, y: u128, z: u128) -> (u128, u128) {
 /// let (r, _) = fp_mul(1.5f64.to_bits(), (-2.0f64).to_bits());
 /// assert_eq!(f64::from_bits(r), -3.0);
 /// ```
+#[inline]
 pub fn fp_mul(a: u64, b: u64) -> (u64, Exceptions) {
+    let ea = (a >> 52) & bits::EXP_MASK;
+    let eb = (b >> 52) & bits::EXP_MASK;
+    // Both operands normal (biased exponent in 1..=2046): the whole
+    // datapath is a 53×53 product folded to a u64 with sticky. Zeros,
+    // subnormals, infinities, and NaNs take the general path below, which
+    // also serves as the differential oracle in tests.
+    if ea.wrapping_sub(1) < 2046 && eb.wrapping_sub(1) < 2046 {
+        let sign = ((a ^ b) & bits::SIGN_MASK) != 0;
+        let sa = (a & bits::MANT_MASK) | bits::HIDDEN_BIT;
+        let sb = (b & bits::MANT_MASK) | bits::HIDDEN_BIT;
+        let prod = (sa as u128) * (sb as u128);
+        // prod ∈ [2^104, 2^106): drop 42 bits into the sticky position —
+        // they all sit below the rounding window after round_pack64's
+        // final ≥ 7-bit right shift. value = folded × 2^(ea'+eb'−104+42)
+        // with ea' = ea − bias, so the round_pack64 scale (2^(exp−55)) is
+        // met at exp = ea + eb − 2·bias − 7.
+        let lost = (prod as u64) & ((1u64 << 42) - 1);
+        let folded = ((prod >> 42) as u64) | u64::from(lost != 0);
+        return round_pack64(sign, ea as i32 + eb as i32 - 2 * bits::EXP_BIAS - 7, folded);
+    }
+    fp_mul_general(a, b)
+}
+
+/// General path of [`fp_mul`]: full operand-class decision tree and exact
+/// `u128` datapath, handling every operand class.
+fn fp_mul_general(a: u64, b: u64) -> (u64, Exceptions) {
     let (ca, cb) = (bits::classify(a), bits::classify(b));
     let sign = bits::sign_of(a) ^ bits::sign_of(b);
 
@@ -205,6 +232,34 @@ mod tests {
                 let (got, _) = fp_mul(x.to_bits(), y.to_bits());
                 assert_eq!(got, (x * y).to_bits(), "mul({x:e}, {y:e})");
             }
+        }
+    }
+
+    /// The u64 fast path must agree with the general `u128` path — bit
+    /// pattern AND exception flags — on normal operands across the full
+    /// exponent range (including results that overflow or denormalize),
+    /// and with the host FPU on the value.
+    #[test]
+    fn fast_path_matches_general_and_host() {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut lcg = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        for _ in 0..300_000u64 {
+            let ra = lcg();
+            let rb = lcg();
+            let ea = 1 + lcg() % 2046;
+            let eb = 1 + lcg() % 2046;
+            let a = (ra & (bits::SIGN_MASK | bits::MANT_MASK)) | (ea << 52);
+            let b = (rb & (bits::SIGN_MASK | bits::MANT_MASK)) | (eb << 52);
+            let fast = fp_mul(a, b);
+            let general = fp_mul_general(a, b);
+            assert_eq!(fast, general, "mul({a:#018x}, {b:#018x})");
+            let host = (f64::from_bits(a) * f64::from_bits(b)).to_bits();
+            assert_eq!(fast.0, host, "host mismatch: mul({a:#018x}, {b:#018x})");
         }
     }
 

@@ -158,6 +158,7 @@ impl fmt::Display for FpOp {
 ///
 /// This is the combinational function of one functional-unit pipeline; the
 /// 3-cycle timing lives in the pipeline model (`mt-core`), not here.
+#[inline]
 pub fn execute(op: FpOp, a: u64, b: u64) -> (u64, Exceptions) {
     match op {
         FpOp::Add => crate::add::fp_add(a, b),

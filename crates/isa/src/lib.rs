@@ -35,10 +35,12 @@ pub mod cop;
 pub mod cost;
 pub mod cpu;
 pub mod fpu;
+pub mod program;
 pub mod reg;
 
 pub use cop::CopOp;
 pub use cost::{InstrCost, IssueTiming};
 pub use cpu::{DecodeError, Instr};
 pub use fpu::FpuAluInstr;
+pub use program::{DataSegment, Program, DEFAULT_TEXT_BASE};
 pub use reg::{FReg, IReg, NUM_CPU_REGS, NUM_FPU_REGS};

@@ -1,6 +1,6 @@
 //! Encoded programs and where they live in memory.
 
-use mt_isa::{DecodeError, Instr};
+use crate::{DecodeError, Instr};
 
 /// Default load address for program text (data conventionally lives below
 /// or far above; kernels pick their own layouts).
@@ -100,7 +100,7 @@ impl Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mt_isa::IReg;
+    use crate::IReg;
 
     #[test]
     fn assemble_and_disassemble() {

@@ -49,7 +49,12 @@ use std::collections::HashSet;
 
 use mt_sim::{IssueTiming, Program};
 
-pub mod cfg;
+/// Re-export of [`mt_xlate::cfg`]: the decoded program view, CFG
+/// successors, and basic-block partition moved to `mt-xlate` (the
+/// simulator's block translator is built on the same partition), but the
+/// analyses here and every `mt_lint::cfg::` consumer keep their paths.
+pub use mt_xlate::cfg;
+
 pub mod dataflow;
 pub mod diag;
 pub mod ordering;

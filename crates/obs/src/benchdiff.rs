@@ -178,11 +178,21 @@ fn compare_leaf(path: &str, old: &Json, new: &Json, tolerance: Tolerance) -> Opt
                     pct,
                     higher_is_better,
                 } => {
-                    let slack = o.abs() * pct / 100.0;
-                    match higher_is_better {
-                        Some(true) => n < o - slack,
-                        Some(false) => n > o + slack,
-                        None => (n - o).abs() > slack,
+                    if o == 0.0 {
+                        // A zero baseline gives a relative band no
+                        // scale: the slack collapses to zero one way
+                        // and to everything-passes the other (any
+                        // growth of `failed_requests: 0` would sail
+                        // through a `higher_is_better` band). Zero
+                        // baseline ⇒ exact match required.
+                        n != o
+                    } else {
+                        let slack = o.abs() * pct / 100.0;
+                        match higher_is_better {
+                            Some(true) => n < o - slack,
+                            Some(false) => n > o + slack,
+                            None => (n - o).abs() > slack,
+                        }
                     }
                 }
             };
@@ -283,6 +293,39 @@ mod tests {
             diff(&a, &doc(r#"{"rps": 1.0, "p99": 120}"#), &latency).len(),
             1
         );
+    }
+
+    /// Zero baseline ⇒ exact match required, whichever way the band
+    /// points: a relative tolerance of a zero value has no scale, and
+    /// the directional forms would otherwise wave through any change
+    /// on their "good" side (`failed_requests: 0` growing unbounded
+    /// under a `higher`-is-better rule, say).
+    #[test]
+    fn zero_baseline_requires_exact_match_in_both_directions() {
+        let a = doc(r#"{"failed": 0}"#);
+        for dir in [Some(true), Some(false), None] {
+            let rules = [Rule::new(
+                "failed",
+                Tolerance::Rel {
+                    pct: 30.0,
+                    higher_is_better: dir,
+                },
+            )];
+            assert!(
+                diff(&a, &doc(r#"{"failed": 0}"#), &rules).is_empty(),
+                "0 -> 0 passes ({dir:?})"
+            );
+            assert_eq!(
+                diff(&a, &doc(r#"{"failed": 5}"#), &rules).len(),
+                1,
+                "0 -> 5 fails ({dir:?})"
+            );
+            assert_eq!(
+                diff(&a, &doc(r#"{"failed": -5}"#), &rules).len(),
+                1,
+                "0 -> -5 fails ({dir:?})"
+            );
+        }
     }
 
     #[test]

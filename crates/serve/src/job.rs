@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
 use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::json::stats_json;
-use mt_sim::{Machine, Program, RunError, SimConfig};
+use mt_sim::{Backend, Machine, Program, RunError, SimConfig};
 use mt_trace::{Json, Profiler, TraceEvent};
 
 /// Virtual file name diagnostics carry (request bodies never live on
@@ -62,6 +62,11 @@ pub struct RunOptions {
     pub max_cycles: u64,
     /// Per-job no-progress watchdog (0 = off).
     pub watchdog: u64,
+    /// Execution backend. The service defaults to the block-translated
+    /// backend (throughput); `?backend=tick` forces the reference
+    /// interpreter. Both produce bit-identical responses, so this knob
+    /// is deliberately *not* cache-key material.
+    pub backend: Backend,
 }
 
 impl Default for RunOptions {
@@ -74,6 +79,7 @@ impl Default for RunOptions {
             trace: false,
             max_cycles: 0,
             watchdog: 0,
+            backend: Backend::Xlate,
         }
     }
 }
@@ -90,6 +96,7 @@ impl RunOptions {
                 self.max_cycles
             },
             watchdog_cycles: self.watchdog,
+            backend: self.backend,
             ..default
         }
     }
@@ -110,7 +117,10 @@ impl JobRequest {
     /// Canonical cache-key material: every response-relevant input,
     /// nothing else. Any field that can change the body must appear here
     /// (`tests` assert sensitivity), and nothing request-incidental
-    /// (client id, connection) may.
+    /// (client id, connection) may. [`RunOptions::backend`] is excluded
+    /// on purpose: the backends are bit-identical (the equivalence suite
+    /// proves it), so a result computed under either one may be replayed
+    /// for both.
     pub fn key_material(&self) -> String {
         let o = &self.options;
         format!(
@@ -524,5 +534,44 @@ halt
         keys.push(base.key_material());
         let distinct: std::collections::HashSet<&String> = keys.iter().collect();
         assert_eq!(distinct.len(), keys.len(), "every knob must change the key");
+    }
+
+    /// The backend knob must NOT reach the cache key: both backends
+    /// produce bit-identical bodies, so a cached result serves either.
+    #[test]
+    fn key_material_ignores_backend() {
+        let base = JobRequest {
+            endpoint: Endpoint::Run,
+            source: FIB.to_string(),
+            options: RunOptions::default(),
+        };
+        let mut tick = base.clone();
+        tick.options.backend = Backend::Tick;
+        let mut xlate = base.clone();
+        xlate.options.backend = Backend::Xlate;
+        assert_eq!(tick.key_material(), xlate.key_material());
+    }
+
+    /// Same job, both backends: byte-identical response documents (the
+    /// service-level face of the equivalence suite, and what makes
+    /// excluding the backend from the cache key sound).
+    #[test]
+    fn backends_produce_identical_responses() {
+        for options in [
+            RunOptions::default(),
+            RunOptions {
+                cold: true,
+                ..RunOptions::default()
+            },
+        ] {
+            let mut tick_opts = options.clone();
+            tick_opts.backend = Backend::Tick;
+            let mut xlate_opts = options;
+            xlate_opts.backend = Backend::Xlate;
+            let tick = run_job(FIB, tick_opts.clone());
+            let xlate = run_job(FIB, xlate_opts);
+            assert_eq!(tick.status, xlate.status);
+            assert_eq!(tick.body, xlate.body, "backend leaked into the body");
+        }
     }
 }

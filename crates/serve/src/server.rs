@@ -117,6 +117,24 @@ impl Shared {
             busy_workers: self.busy_workers.load(Ordering::SeqCst),
         }
     }
+
+    /// Locks the result cache, recovering from poison. A thread that
+    /// panics while holding the guard (a worker dying mid-insert, say)
+    /// poisons the mutex, and `lock().unwrap()` here used to propagate
+    /// that panic into every later handler — one bad job took the whole
+    /// cache path down for the life of the process. The cache's own
+    /// operations never leave it structurally half-updated (inserts
+    /// replace map entries whole), so the guard is safe to take back;
+    /// each recovery bumps the `cache_poisoned` counter in `/metrics`.
+    fn cache(&self) -> std::sync::MutexGuard<'_, ResultCache> {
+        self.cache.lock().unwrap_or_else(|poisoned| {
+            // Clearing the flag makes the counter count poisoning
+            // events, not every lock taken afterwards.
+            self.cache.clear_poison();
+            self.metrics.add("cache_poisoned", 1);
+            poisoned.into_inner()
+        })
+    }
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -132,6 +150,24 @@ impl ServerHandle {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Test hook: poisons the result-cache mutex exactly the way a job
+    /// panicking on a worker thread mid-insert would — a throwaway
+    /// thread panics while holding the guard. Only the regression test
+    /// proving the service survives a poisoned cache should call this.
+    #[doc(hidden)]
+    pub fn poison_result_cache(&self) {
+        let shared = Arc::clone(&self.shared);
+        let panicker = std::thread::Builder::new()
+            .name("mt-serve-poison".to_string())
+            .spawn(move || {
+                let _guard = shared.cache.lock().unwrap();
+                panic!("deliberate panic while holding the result-cache lock");
+            })
+            .expect("spawn poison thread");
+        // The Err from join *is* the success condition here.
+        assert!(panicker.join().is_err());
     }
 
     /// Stops accepting, drains queued jobs, and joins all threads.
@@ -232,7 +268,7 @@ fn worker_loop(shared: &Shared, index: usize) {
             shared.metrics.record_service_cycles(cycles);
         }
         shared.metrics.add(status_counter(result.status), 1);
-        shared.cache.lock().unwrap().insert(
+        shared.cache().insert(
             job.request.key_material(),
             result.status,
             result.body.clone(),
@@ -446,7 +482,7 @@ fn job_response(
     spans.record("parse", parse_start, Instant::now());
 
     let lookup_start = Instant::now();
-    let cached = shared.cache.lock().unwrap().get(&key);
+    let cached = shared.cache().get(&key);
     spans.record("cache-lookup", lookup_start, Instant::now());
     if let Some((status, body)) = cached {
         shared.metrics.add("cache_hits", 1);
@@ -520,6 +556,9 @@ fn parse_options(request: &Request) -> Result<RunOptions, String> {
     }
     if let Some(v) = request.query_get("watchdog") {
         options.watchdog = v.parse().map_err(|e| format!("bad watchdog `{v}`: {e}"))?;
+    }
+    if let Some(v) = request.query_get("backend") {
+        options.backend = v.parse().map_err(|e| format!("bad backend: {e}"))?;
     }
     Ok(options)
 }

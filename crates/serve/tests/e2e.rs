@@ -502,3 +502,72 @@ fn structured_errors_for_bad_requests() {
     assert_eq!(post(&addr, "/run?base=zzz", "e", "halt\n").status, 400);
     handle.shutdown();
 }
+
+/// Satellite regression: a thread that panics while holding the
+/// result-cache lock used to poison the mutex, after which every later
+/// request's cache lookup re-raised the panic in its handler thread —
+/// one bad job took the cache path down for the life of the process.
+/// The server now recovers the guard, counts the event, and keeps
+/// serving (and caching).
+#[test]
+fn worker_panic_does_not_poison_the_result_cache() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let before = post(&addr, "/run", "p", DAXPY);
+    assert_eq!(
+        (before.status, before.cache.as_deref()),
+        (200, Some("miss"))
+    );
+
+    handle.poison_result_cache();
+
+    // The poisoned lock is recovered, and the cached entry replays.
+    let hit = post(&addr, "/run", "p", DAXPY);
+    assert_eq!((hit.status, hit.cache.as_deref()), (200, Some("hit")));
+    assert_eq!(hit.body, before.body);
+
+    // Recovery keeps the cache fully functional: new entries still
+    // insert and replay after a second poisoning.
+    handle.poison_result_cache();
+    let cold = post(&addr, "/run?cold=1", "p", DAXPY);
+    assert_eq!((cold.status, cold.cache.as_deref()), (200, Some("miss")));
+    let cold_hit = post(&addr, "/run?cold=1", "p", DAXPY);
+    assert_eq!(
+        (cold_hit.status, cold_hit.cache.as_deref()),
+        (200, Some("hit"))
+    );
+
+    let doc = mt_trace::json::parse(&get(&addr, "/metrics").body).unwrap();
+    let counters = doc.get("registry").unwrap().get("counters").unwrap();
+    assert_eq!(counters.get("cache_poisoned").unwrap().as_f64(), Some(2.0));
+    handle.shutdown();
+}
+
+/// `?backend=` picks the execution backend; both backends produce
+/// byte-identical bodies, so they deliberately share cache entries.
+#[test]
+fn backend_knob_is_parsed_and_shares_the_cache() {
+    let handle = serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let xlate = post(&addr, "/run?backend=xlate", "b", DAXPY);
+    assert_eq!((xlate.status, xlate.cache.as_deref()), (200, Some("miss")));
+    let tick = post(&addr, "/run?backend=tick", "b", DAXPY);
+    assert_eq!(
+        (tick.status, tick.cache.as_deref()),
+        (200, Some("hit")),
+        "bit-identical backends share the result cache"
+    );
+    assert_eq!(tick.body, xlate.body);
+    assert_eq!(post(&addr, "/run?backend=bogus", "b", DAXPY).status, 400);
+    handle.shutdown();
+}

@@ -50,13 +50,12 @@
 
 pub mod json;
 pub mod machine;
-pub mod program;
 pub mod stats;
 pub mod timeline;
 pub mod timing;
 
-pub use machine::{ArchState, Machine, RunError, SimConfig, Snapshot};
-pub use program::{DataSegment, Program, DEFAULT_TEXT_BASE};
+pub use machine::{ArchState, Backend, Machine, RunError, SimConfig, Snapshot};
+pub use mt_isa::{DataSegment, Program, DEFAULT_TEXT_BASE};
 pub use stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 pub use timeline::Timeline;
 pub use timing::IssueTiming;

@@ -1,5 +1,7 @@
 //! The machine: CPU substrate + FPU + memory hierarchy, stepped by cycle.
 
+use std::sync::Arc;
+
 use mt_core::{Fpu, Psw};
 use mt_fparith::OP_LATENCY_CYCLES;
 use mt_isa::cost::InstrCost;
@@ -7,11 +9,58 @@ use mt_isa::cpu::AluOp;
 use mt_isa::{FReg, IReg, Instr};
 use mt_mem::{MemConfig, MemError, MemorySystem};
 use mt_trace::{EventKind, EventSink, NullSink, StallCause, TraceEvent};
+use mt_xlate::{TranslatedProgram, Uop};
 
-use crate::program::Program;
 use crate::stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 use crate::timeline::Timeline;
 use crate::timing::IssueTiming;
+use mt_isa::Program;
+
+/// Which execution backend [`Machine::run`] drives.
+///
+/// Both backends produce bit-identical results — architectural outcome,
+/// [`RunStats`] including the per-cause stall breakdown, cache statistics,
+/// and [`RunError`] behavior (`tests/hot_loop_equivalence.rs` proves it
+/// over generated programs and the kernel corpus). The translated backend
+/// is simply faster: it runs pre-resolved micro-ops instead of
+/// re-deriving decode and cost metadata every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The reference cycle interpreter: fetch, decode (through the
+    /// predecoded side table), and guard evaluation per cycle. Always
+    /// used while a trace sink is attached, in checked-ordering mode,
+    /// under the serialized-issue ablation, and for any PC outside the
+    /// translated text (including self-modified text).
+    #[default]
+    Tick,
+    /// Block-translated execution: [`Machine::load_program`] compiles the
+    /// text section's basic blocks into flat micro-ops
+    /// ([`mt_xlate::TranslatedProgram`]) and the run loop executes whole
+    /// spans through them, falling back to the tick interpreter in the
+    /// cases listed above.
+    Xlate,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "tick" => Ok(Backend::Tick),
+            "xlate" => Ok(Backend::Xlate),
+            other => Err(format!("unknown backend {other:?} (expected tick|xlate)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Tick => "tick",
+            Backend::Xlate => "xlate",
+        })
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +110,9 @@ pub struct SimConfig {
     /// fast-forward path clamps its jumps so tick-by-tick and jumped runs
     /// report the watchdog at the identical cycle.
     pub watchdog_cycles: u64,
+    /// Execution backend (see [`Backend`]). Results are bit-identical
+    /// either way; `Backend::Xlate` is the fast path.
+    pub backend: Backend,
 }
 
 impl Default for SimConfig {
@@ -76,6 +128,7 @@ impl Default for SimConfig {
             trace: false,
             fast_forward: true,
             watchdog_cycles: 0,
+            backend: Backend::default(),
         }
     }
 }
@@ -194,6 +247,21 @@ enum Exec {
     Halted,
 }
 
+/// Why [`Machine::xlate_span`] returned control to the outer run loop.
+enum SpanExit {
+    /// The span stopped at a boundary cycle (stop point, interrupt,
+    /// cycle-limit, watchdog deadline) or the program halted: the outer
+    /// loop's checks decide what happens, exactly as after a tick.
+    Boundary,
+    /// The current PC has no micro-op (outside the translated text,
+    /// misaligned, or an undecodable word): the interpreter must take
+    /// over for at least this cycle — it executes or faults identically.
+    Tick,
+    /// A write landed in the watched text range: the translation is
+    /// stale, interpretation takes over for the rest of the run.
+    Disabled,
+}
+
 /// Which CPU stall counter a fast-forwarded span charges per skipped
 /// cycle — the same counter the tick loop would have bumped.
 #[derive(Clone, Copy)]
@@ -253,6 +321,13 @@ pub struct Machine {
     decoded: Vec<Option<(u32, Instr)>>,
     text_base: u32,
     predecode_enabled: bool,
+    /// The loaded program's text compiled to pre-resolved micro-ops
+    /// (built by [`Machine::load_program`] when
+    /// [`SimConfig::backend`] is [`Backend::Xlate`]) — the PC-indexed
+    /// block cache of the translated backend. `Arc` keeps
+    /// [`Machine::snapshot`]/clone cheap: the table is immutable, so
+    /// every checkpoint shares it.
+    xlate: Option<Arc<TranslatedProgram>>,
     /// `true` while the CPU made no progress last cycle — the only state
     /// in which a fast-forwardable span can be underway, so the run loop
     /// probes [`Machine::fast_forward`] only then. Purely a probe gate:
@@ -307,6 +382,7 @@ impl Machine {
             decoded: Vec::new(),
             text_base: 0,
             predecode_enabled: true,
+            xlate: None,
             cpu_waiting: true,
             last_progress: 0,
         }
@@ -341,6 +417,11 @@ impl Machine {
             program.predecode()
         } else {
             Vec::new()
+        };
+        self.xlate = if self.config.backend == Backend::Xlate {
+            Some(Arc::new(TranslatedProgram::translate(program)))
+        } else {
+            None
         };
         // Watch the installed text: while no write has landed on it (by
         // any path, including direct workload pokes at `mem.memory`), a
@@ -492,6 +573,7 @@ impl Machine {
         self.trace_events.clear();
         self.decoded.clear();
         self.text_base = 0;
+        self.xlate = None;
         // `predecode_enabled` survives deliberately: it is a measurement
         // switch of the machine, not state of any job.
         self.cpu_waiting = true;
@@ -613,6 +695,18 @@ impl Machine {
         // only on untraced, unchecked runs.
         let fast_forward =
             self.config.fast_forward && !sink.enabled() && !self.config.checked_ordering;
+        // The translated backend has the same observability constraints as
+        // fast-forward (it emits no per-cycle events), plus two of its
+        // own: checked-ordering diagnostics and the serialized-issue
+        // ablation stay on the reference interpreter, whose code paths
+        // they instrument. Ineligible runs execute tick-by-tick and are
+        // bit-identical by construction.
+        let mut use_xlate = self.config.backend == Backend::Xlate
+            && self.xlate.is_some()
+            && !sink.enabled()
+            && !self.config.trace
+            && !self.config.checked_ordering
+            && !self.config.serialized_issue;
         // First cycle at which the tick loop would report CycleLimit; a
         // jump may land there but never beyond.
         let limit_cycle = start_cycle + self.config.max_cycles + 1;
@@ -621,6 +715,7 @@ impl Machine {
         while !self.halted {
             if let Some(stop) = stop_at {
                 if self.cycle >= stop {
+                    self.catch_up_retires();
                     return Ok(None);
                 }
             }
@@ -632,13 +727,32 @@ impl Machine {
                 }
             }
             if self.cycle - start_cycle > self.config.max_cycles {
+                self.catch_up_retires();
                 return Err(RunError::CycleLimit(self.config.max_cycles));
             }
             if watchdog > 0 && self.cycle - self.last_progress > watchdog {
+                self.catch_up_retires();
                 return Err(RunError::Watchdog {
                     pc: self.pc,
                     idle_cycles: self.cycle - self.last_progress,
                 });
+            }
+            if use_xlate {
+                match self.xlate_span(limit_cycle, stop_at)? {
+                    // The span paused at a boundary cycle (stop point,
+                    // interrupt, cycle limit, watchdog deadline) or
+                    // halted: re-run the checks above at the new cycle,
+                    // exactly as the tick loop would.
+                    SpanExit::Boundary => continue,
+                    // The span met a PC it cannot run (untranslated,
+                    // misaligned, undecodable): let the interpreter take
+                    // this cycle — it executes or faults identically —
+                    // then re-enter the span.
+                    SpanExit::Tick => {}
+                    // Text was written: the translation is stale for the
+                    // rest of the run (mirrors the predecode fallback).
+                    SpanExit::Disabled => use_xlate = false,
+                }
             }
             // Probe for a jump only while frozen or after a cycle the CPU
             // made no progress — the only states a skippable span can be
@@ -763,6 +877,23 @@ impl Machine {
     /// retirement. Waits that are indifferent to retirements skip across
     /// them: `begin_cycle` at the target retires the whole span's writes
     /// in the same readiness order the tick loop would have.
+    /// Applies FPU retirements a skipping engine has deferred, at a point
+    /// where the run leaves the loop without a drain (a `run_until` pause,
+    /// a cycle-limit or watchdog abort). Both fast-forward and the
+    /// translated backend hop over cycles and let `begin_cycle` at the
+    /// next processed cycle retire the span's writes — invisible while
+    /// the run continues, but at an exit the deferred writes would leak
+    /// into the observed architectural state. The tick loop ran phase 1
+    /// on every cycle up to `C-1`, so retire exactly that much; a write
+    /// due at `C` itself stays in flight there too (the loop exits before
+    /// `C`'s phase 1). No-op under pure tick-by-tick, where nothing is
+    /// ever deferred.
+    fn catch_up_retires(&mut self) {
+        if self.fpu.next_retire_at().is_some_and(|r| r < self.cycle) {
+            self.fpu.begin_cycle(self.cycle - 1);
+        }
+    }
+
     fn fast_forward(&mut self, limit_cycle: u64, stop_at: Option<u64>) -> bool {
         let mut cpu_stall = FfStall::None;
         let mut ir_stalled = false;
@@ -834,14 +965,7 @@ impl Machine {
         let skipped = target - self.cycle;
         // The tick loop charges one stall cycle per elapsed wait cycle;
         // the skipped span accrues identically.
-        match cpu_stall {
-            FfStall::None => {}
-            FfStall::Fetch => self.stalls.fetch += skipped,
-            FfStall::IrBusy => self.stalls.ir_busy += skipped,
-            FfStall::LsPortBusy => self.stalls.ls_port_busy += skipped,
-            FfStall::IntLoadHazard => self.stalls.int_load_hazard += skipped,
-            FfStall::FpuRegHazard => self.stalls.fpu_reg_hazard += skipped,
-        }
+        self.charge_ff_stall(cpu_stall, skipped);
         if ir_stalled {
             self.fpu.add_scoreboard_stalls(skipped);
         }
@@ -869,7 +993,16 @@ impl Machine {
         if self.config.serialized_issue && self.fpu.ir_busy() {
             return Some((FfStall::IrBusy, u64::MAX));
         }
-        let cost = InstrCost::of(&instr);
+        self.cost_stall_horizon(&InstrCost::of(&instr))
+    }
+
+    /// The instruction-independent core of
+    /// [`Machine::pending_stall_horizon`]: evaluates the guards of a
+    /// precomputed cost row. The translated backend calls this directly
+    /// with the micro-op's stored row (the serialized-issue gate is
+    /// excluded there by backend eligibility).
+    #[inline]
+    fn cost_stall_horizon(&self, cost: &InstrCost) -> Option<(FfStall, u64)> {
         if cost.int_guard_regs().any(|r| self.int_blocked(r)) {
             // Blocked until the last checked register is ready (free ones
             // are ready already).
@@ -892,6 +1025,386 @@ impl Machine {
             return Some((FfStall::IrBusy, u64::MAX));
         }
         None
+    }
+
+    /// Bumps the stall counter `stall` names by `cycles` — the shared
+    /// bulk-accounting primitive of [`Machine::fast_forward`] and the
+    /// translated backend.
+    #[inline]
+    fn charge_ff_stall(&mut self, stall: FfStall, cycles: u64) {
+        match stall {
+            FfStall::None => {}
+            FfStall::Fetch => self.stalls.fetch += cycles,
+            FfStall::IrBusy => self.stalls.ir_busy += cycles,
+            FfStall::LsPortBusy => self.stalls.ls_port_busy += cycles,
+            FfStall::IntLoadHazard => self.stalls.int_load_hazard += cycles,
+            FfStall::FpuRegHazard => self.stalls.fpu_reg_hazard += cycles,
+        }
+    }
+
+    /// The translated backend: runs micro-ops from the block cache until
+    /// a boundary cycle, a PC it cannot translate, or a text write —
+    /// the per-cycle semantics of [`Machine::step`] with every static
+    /// re-derivation (decode, cost-table dispatch, target arithmetic)
+    /// already resolved, the no-op FPU phases skipped (a `begin_cycle`
+    /// with no retirement due and an `issue` with an empty IR do
+    /// nothing), and every multi-cycle wait — freeze, branch bubble,
+    /// fetch penalty, interlock — taken in one hop with its per-cycle
+    /// stall accounting synthesized, exactly as
+    /// [`Machine::fast_forward`] does for the tick loop.
+    ///
+    /// Equivalence argument, per cycle phase (DESIGN.md §13 spells out
+    /// the full case analysis):
+    ///
+    /// * the outer loop's stop/interrupt/limit/watchdog checks are
+    ///   hoisted to a `boundary` cycle — below it they all pass
+    ///   trivially, and the span returns at it so the outer loop re-runs
+    ///   them in the tick loop's order;
+    /// * retirements are processed by `begin_cycle` only on cycles where
+    ///   one is due; on any other cycle it is a pure no-op (the pipeline
+    ///   front is not ready);
+    /// * fetches go through the micro-op table exactly when the tick
+    ///   loop's fetch would go through the predecoded table (text
+    ///   unmodified — checked against the write watch before *every*
+    ///   fetch — aligned, in range, decodable), and charge the same
+    ///   `fetch_timing`; every other PC exits to the interpreter;
+    /// * guard evaluation reads the micro-op's precomputed cost row —
+    ///   the same [`mt_isa::cost::InstrCost`] values `execute` would
+    ///   recompute — in the same order, and bulk-skips identically to
+    ///   `fast_forward` (same horizons, same retire/boundary clamps,
+    ///   same synthesized stall counters);
+    /// * execution mirrors [`Machine::execute`]'s arms with the
+    ///   pre-resolved target substituted for the target arithmetic;
+    /// * the issue stage runs whenever the IR is occupied; with an empty
+    ///   IR `issue` returns `Idle` without side effects.
+    fn xlate_span(&mut self, limit_cycle: u64, stop_at: Option<u64>) -> Result<SpanExit, RunError> {
+        let Some(xp) = self.xlate.clone() else {
+            return Ok(SpanExit::Disabled);
+        };
+        // A stale translation can also meet a *pending* instruction on
+        // resume (fetched by the interpreter from modified text), so the
+        // staleness check guards span entry as well as every fetch.
+        if self.mem.memory.watch_writes() != 0 {
+            return Ok(SpanExit::Disabled);
+        }
+        let watchdog = self.config.watchdog_cycles;
+        // First cycle the outer loop's checks could fire at; the span
+        // never crosses it. Only the watchdog term varies (with
+        // `last_progress`, which only advances), so the static part is
+        // hoisted out of the per-cycle loop.
+        let mut static_boundary = limit_cycle;
+        if let Some(stop) = stop_at {
+            static_boundary = static_boundary.min(stop);
+        }
+        if let Some(at) = self.interrupt_at {
+            static_boundary = static_boundary.min(at);
+        }
+        loop {
+            let mut boundary = static_boundary;
+            if watchdog > 0 {
+                boundary = boundary.min(self.last_progress + watchdog + 1);
+            }
+            if self.cycle >= boundary {
+                return Ok(SpanExit::Boundary);
+            }
+
+            // Phase 1: retirements — only on cycles one is due.
+            if let Some(retire) = self.fpu.next_retire_at() {
+                if retire <= self.cycle {
+                    self.fpu.begin_cycle(self.cycle);
+                }
+            }
+
+            // Data-miss freeze: CPU and issue both gated; hop to the
+            // horizon (retirements mid-span are processed at the target,
+            // in the same readiness order — `fast_forward`'s freeze
+            // case).
+            if self.cycle < self.freeze_until {
+                self.cycle = self.freeze_until.min(boundary);
+                continue;
+            }
+
+            // Phase 2: the CPU's slice, from the micro-op table.
+            self.cpu_waiting = true;
+            let uop: Uop = match self.pending {
+                None if self.cycle < self.fetch_ready_at => {
+                    // Branch bubble (charged at the branch): only the
+                    // issue stage runs until the fetch window opens.
+                    match self.fpu.issue_blocked() {
+                        Some(false) => {
+                            // An issue writes the scoreboard: single-step.
+                            self.issue_and_record(&mut NullSink);
+                            self.cycle += 1;
+                        }
+                        blocked => {
+                            let mut t = self.fetch_ready_at;
+                            if blocked.is_some() {
+                                if let Some(retire) = self.fpu.next_retire_at() {
+                                    t = t.min(retire);
+                                }
+                            }
+                            t = t.min(boundary);
+                            debug_assert!(t > self.cycle);
+                            if blocked.is_some() {
+                                self.fpu.add_scoreboard_stalls(t - self.cycle);
+                            }
+                            self.cycle = t;
+                        }
+                    }
+                    continue;
+                }
+                None => {
+                    // Fetch. A write into the watched text range (self-
+                    // modifying code, by any path) invalidates the whole
+                    // translation *before this fetch* — not at the next
+                    // block boundary — and interpretation takes over.
+                    if self.mem.memory.watch_writes() != 0 {
+                        return Ok(SpanExit::Disabled);
+                    }
+                    let Some(&uop) = xp.uop(self.pc) else {
+                        return Ok(SpanExit::Tick);
+                    };
+                    let penalty = self.mem.fetch_timing(self.pc);
+                    self.pending = Some(uop.instr);
+                    self.pending_ready_at = self.cycle + penalty;
+                    if penalty > 0 {
+                        // First elapsed cycle of the fetch penalty.
+                        self.stalls.fetch += 1;
+                        if self.fpu.ir_busy() {
+                            self.issue_and_record(&mut NullSink);
+                        }
+                        self.cycle += 1;
+                        continue;
+                    }
+                    uop
+                }
+                Some(_) if self.cycle < self.pending_ready_at => {
+                    // Fetch penalty elapsing: one fetch-stall cycle each,
+                    // issue stage running alongside.
+                    match self.fpu.issue_blocked() {
+                        Some(false) => {
+                            self.stalls.fetch += 1;
+                            self.issue_and_record(&mut NullSink);
+                            self.cycle += 1;
+                        }
+                        blocked => {
+                            let mut t = self.pending_ready_at;
+                            if blocked.is_some() {
+                                if let Some(retire) = self.fpu.next_retire_at() {
+                                    t = t.min(retire);
+                                }
+                            }
+                            t = t.min(boundary);
+                            debug_assert!(t > self.cycle);
+                            let skipped = t - self.cycle;
+                            self.stalls.fetch += skipped;
+                            if blocked.is_some() {
+                                self.fpu.add_scoreboard_stalls(skipped);
+                            }
+                            self.cycle = t;
+                        }
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    // Pending and ready: re-derive the micro-op from the
+                    // PC (unchanged while an instruction is pending; the
+                    // table is immutable and the text unwritten, so it
+                    // still matches what was latched).
+                    let Some(&uop) = xp.uop(self.pc) else {
+                        return Ok(SpanExit::Tick);
+                    };
+                    uop
+                }
+            };
+
+            // Guards, in the hardware's order, from the precomputed cost
+            // row; a stalled wait is skipped in one hop with identical
+            // accounting (`fast_forward`'s interlocked case — here the
+            // retire clamp can only bind above `cycle`, because phase 1
+            // already processed every retirement due).
+            if let Some((stall, horizon)) = self.cost_stall_horizon(&uop.cost) {
+                match self.fpu.issue_blocked() {
+                    Some(false) => {
+                        self.charge_ff_stall(stall, 1);
+                        self.issue_and_record(&mut NullSink);
+                        self.cycle += 1;
+                    }
+                    blocked => {
+                        let ir_stalled = blocked.is_some();
+                        let mut t = horizon;
+                        if ir_stalled || horizon == u64::MAX {
+                            if let Some(retire) = self.fpu.next_retire_at() {
+                                t = t.min(retire);
+                            }
+                        }
+                        t = t.min(boundary);
+                        debug_assert!(t > self.cycle, "guards imply a future horizon");
+                        debug_assert!(t < u64::MAX, "unbounded wait must clamp to a retire");
+                        let skipped = t - self.cycle;
+                        self.charge_ff_stall(stall, skipped);
+                        if ir_stalled {
+                            self.fpu.add_scoreboard_stalls(skipped);
+                        }
+                        self.cycle = t;
+                    }
+                }
+                continue;
+            }
+
+            // Execute — [`Machine::execute`]'s arms, pre-resolved.
+            let next_pc = match uop.instr {
+                Instr::Nop => uop.target,
+                Instr::Halt => {
+                    self.instructions += 1;
+                    self.last_progress = self.cycle;
+                    self.pending = None;
+                    self.halted = true;
+                    if self.fpu.ir_busy() {
+                        self.issue_and_record(&mut NullSink);
+                    }
+                    self.cycle += 1;
+                    return Ok(SpanExit::Boundary);
+                }
+                Instr::Mfpsw { rd } => {
+                    let psw = self.fpu.psw();
+                    let mut v = psw.flags.bits() as i32;
+                    if let Some(dest) = psw.overflow_dest {
+                        v |= (dest.index() as i32) << 8 | 1 << 15;
+                    }
+                    self.set_ireg(rd, v);
+                    uop.target
+                }
+                Instr::ClrPsw => {
+                    self.fpu.clear_psw();
+                    uop.target
+                }
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let a = self.ireg(rs1);
+                    let b = self.ireg(rs2);
+                    let v = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+                        AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+                        AluOp::Sra => a >> (b as u32 & 31),
+                        AluOp::Slt => (a < b) as i32,
+                        AluOp::Mul => a.wrapping_mul(b),
+                    };
+                    self.set_ireg(rd, v);
+                    uop.target
+                }
+                Instr::Addi { rd, rs1, imm } => {
+                    self.set_ireg(rd, self.ireg(rs1).wrapping_add(imm));
+                    uop.target
+                }
+                Instr::Lui { rd, imm } => {
+                    self.set_ireg(rd, ((imm << 14) & 0xFFFF_C000) as i32);
+                    uop.target
+                }
+                Instr::Lw { rd, base, offset } => {
+                    let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                    let (value, penalty) = self
+                        .mem
+                        .try_load_u32(addr)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
+                    self.set_ireg(rd, value as i32);
+                    self.int_ready[rd.index() as usize] =
+                        self.cycle + penalty + self.timing.int_load_delay_cycles;
+                    self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
+                    self.apply_miss(penalty, &mut NullSink);
+                    uop.target
+                }
+                Instr::Sw { rs, base, offset } => {
+                    let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                    let penalty = self
+                        .mem
+                        .try_store_u32(addr, self.ireg(rs) as u32)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
+                    self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
+                    self.apply_miss(penalty, &mut NullSink);
+                    uop.target
+                }
+                Instr::Fld { fr, base, offset } => {
+                    let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                    let (bits, penalty) = self
+                        .mem
+                        .try_load_f64(addr)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
+                    self.fpu.load_write(fr, bits, self.cycle + penalty);
+                    self.ls_free_at = self.cycle + penalty + self.timing.load_port_cycles;
+                    self.apply_miss(penalty, &mut NullSink);
+                    uop.target
+                }
+                Instr::Fst { fr, base, offset } => {
+                    let addr = (self.ireg(base) as u32).wrapping_add(offset as u32);
+                    self.mem
+                        .memory
+                        .try_check(addr, 8)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
+                    let bits = self.fpu.read_reg_for_store(fr);
+                    let penalty = self
+                        .mem
+                        .try_store_f64(addr, bits)
+                        .map_err(|fault| RunError::MemoryFault { pc: self.pc, fault })?;
+                    self.ls_free_at = self.cycle + penalty + self.timing.store_port_cycles;
+                    self.apply_miss(penalty, &mut NullSink);
+                    uop.target
+                }
+                Instr::Branch { cond, rs1, rs2, .. } => {
+                    if cond.eval(self.ireg(rs1), self.ireg(rs2)) {
+                        self.take_branch_bubble(&mut NullSink);
+                        uop.target
+                    } else {
+                        self.pc.wrapping_add(4)
+                    }
+                }
+                Instr::Jump { .. } => {
+                    self.take_branch_bubble(&mut NullSink);
+                    uop.target
+                }
+                Instr::Jal { .. } => {
+                    self.set_ireg(IReg::new(31), self.pc.wrapping_add(4) as i32);
+                    self.take_branch_bubble(&mut NullSink);
+                    uop.target
+                }
+                Instr::Jr { rs } => {
+                    self.take_branch_bubble(&mut NullSink);
+                    self.ireg(rs) as u32
+                }
+                Instr::Falu(f) => {
+                    if self.fpu.try_transfer(f) {
+                        self.ir_pc = self.pc;
+                        self.ir_index = self.instr_index();
+                        uop.target
+                    } else {
+                        // Unreachable — the `fpu_transfer` guard above
+                        // already held — but mirror the interpreter's
+                        // stall handling rather than assume it.
+                        self.stalls.ir_busy += 1;
+                        self.issue_and_record(&mut NullSink);
+                        self.cycle += 1;
+                        continue;
+                    }
+                }
+            };
+
+            // Completion bookkeeping ([`Machine::cpu_step`]'s `Done`
+            // path), then phase 3: the issue stage, skipped when the IR
+            // is empty (`issue` would return `Idle` without effects).
+            self.cpu_waiting = false;
+            self.instructions += 1;
+            self.last_progress = self.cycle;
+            self.pending = None;
+            self.pc = next_pc;
+            if self.fpu.ir_busy() {
+                self.issue_and_record(&mut NullSink);
+            }
+            self.cycle += 1;
+        }
     }
 
     /// Advances the machine by one cycle.

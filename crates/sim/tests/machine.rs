@@ -384,7 +384,7 @@ fn checked_mode_is_quiet_for_in_order_stores() {
 #[test]
 fn cycle_limit_error() {
     let prog = Program::assemble(&[Instr::Jump {
-        target: mt_sim::program::DEFAULT_TEXT_BASE / 4,
+        target: mt_sim::DEFAULT_TEXT_BASE / 4,
     }])
     .unwrap();
     let mut m = Machine::new(SimConfig {
@@ -437,7 +437,7 @@ fn trace_records_completed_instructions() {
 
 #[test]
 fn jal_and_jr_implement_calls() {
-    let base = mt_sim::program::DEFAULT_TEXT_BASE;
+    let base = mt_sim::DEFAULT_TEXT_BASE;
     let m = &mut machine_with(&[
         Instr::Jal {
             target: base / 4 + 3,

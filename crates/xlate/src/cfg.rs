@@ -2,8 +2,7 @@
 //! partition the flow-sensitive analyses (and `mt-mca`'s loop timing)
 //! are built on.
 
-use mt_isa::{IReg, Instr};
-use mt_sim::Program;
+use mt_isa::{IReg, Instr, Program};
 
 /// One text word: raw encoding plus its decoding, when valid.
 #[derive(Debug, Clone, Copy)]
@@ -342,7 +341,7 @@ mod tests {
     fn jal_return_points_resolve_when_r31_is_call_only() {
         // 0: jal 3 (sub)   1: nop (return point)   2: halt
         // 3: nop (sub)     4: jr r31
-        let base = mt_sim::DEFAULT_TEXT_BASE / 4;
+        let base = mt_isa::DEFAULT_TEXT_BASE / 4;
         let v = assemble(&[
             Instr::Jal { target: base + 3 },
             Instr::Nop,
@@ -357,7 +356,7 @@ mod tests {
 
     #[test]
     fn any_other_r31_write_voids_the_return_proof() {
-        let base = mt_sim::DEFAULT_TEXT_BASE / 4;
+        let base = mt_isa::DEFAULT_TEXT_BASE / 4;
         let v = assemble(&[
             Instr::Jal { target: base + 3 },
             Instr::Nop,

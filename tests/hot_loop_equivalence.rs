@@ -3,16 +3,21 @@
 //! PR 3 added two fast paths to `Machine::run`: a predecoded-text side
 //! table (skip `Instr::decode` on warm fetches) and quiescent fast-forward
 //! (jump `self.cycle` over provably idle spans, synthesizing the same
-//! per-cycle stall accounting the tick loop would have produced). Both are
-//! pure optimizations — this file proves it over random programs that
-//! exercise every wait class the fast-forward handles: cold-fetch
-//! penalties, data-cache freezes, load/store port conflicts, FPU register
-//! interlocks, IR-busy vector transfers, and branch bubbles.
+//! per-cycle stall accounting the tick loop would have produced). This PR
+//! adds a third: the block-translated backend (`Backend::Xlate`), which
+//! executes whole basic blocks of pre-resolved micro-ops. All three are
+//! pure optimizations — this file proves it as a **three-way
+//! differential** (tick vs fast-forward vs xlate) over random programs
+//! that exercise every wait class: cold-fetch penalties, data-cache
+//! freezes, load/store port conflicts, FPU register interlocks, IR-busy
+//! vector transfers, branch bubbles, §2.3.1 overflow aborts, and
+//! self-modifying text. Abnormal exits landing mid-block — watchdog,
+//! cycle limit, external interrupt — must also agree, error for error.
 
 use multititan::fparith::op::ALL_OPS;
 use multititan::isa::cpu::{AluOp, BranchCond};
 use multititan::isa::{FReg, FpuAluInstr, IReg, Instr};
-use multititan::sim::{Machine, Program, RunStats, SimConfig};
+use multititan::sim::{Backend, Machine, Program, RunError, RunStats, SimConfig};
 use multititan::trace::TraceEvent;
 use proptest::prelude::*;
 
@@ -21,7 +26,7 @@ use proptest::prelude::*;
 const DATA_BASE: i32 = 0x2000;
 
 /// Everything architecturally observable after a run.
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct Observed {
     stats: RunStats,
     fregs: Vec<u64>,
@@ -35,12 +40,14 @@ struct Observed {
 fn run_one(
     instrs: &[Instr],
     regs: &[u64],
+    backend: Backend,
     fast_forward: bool,
     predecode: bool,
     record: bool,
 ) -> (Observed, Vec<TraceEvent>) {
     let prog = Program::assemble(instrs).unwrap();
     let mut m = Machine::new(SimConfig {
+        backend,
         fast_forward,
         max_cycles: 1_000_000,
         ..SimConfig::default()
@@ -62,14 +69,17 @@ fn run_one(
     } else {
         m.run().unwrap()
     };
-    let observed = Observed {
+    (observe(&m, stats), events)
+}
+
+fn observe(m: &Machine, stats: RunStats) -> Observed {
+    Observed {
         stats,
         fregs: (0..52).map(|i| m.fpu.read_reg(FReg::new(i))).collect(),
         iregs: (0..32).map(|i| m.ireg(IReg::new(i))).collect(),
         psw: format!("{:?}", m.fpu.psw()),
         fpu_stats: format!("{:?}", m.fpu.stats()),
-    };
-    (observed, events)
+    }
 }
 
 /// One random body instruction. Loads/stores use `r1` (preloaded with
@@ -164,6 +174,142 @@ fn arb_regs() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec((-1.0e3f64..1.0e3).prop_map(|v| v.to_bits()), 52)
 }
 
+/// Register images that drive the datapath into its corners: huge
+/// magnitudes (multiply overflow → the §2.3.1 abort squash, which the
+/// translated executor must replay element-for-element), tiny ones
+/// (underflow/denormals), infinities, and NaN.
+fn arb_regs_extreme() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (-1.0e3f64..1.0e3).prop_map(f64::to_bits),
+            1 => Just(1.0e308f64.to_bits()),
+            1 => Just((-1.0e308f64).to_bits()),
+            1 => Just(1.0e-308f64.to_bits()),
+            1 => Just(f64::INFINITY.to_bits()),
+            1 => Just(f64::NAN.to_bits()),
+        ],
+        52,
+    )
+}
+
+/// How a run that may abort ended: the outcome (stats or the typed
+/// error), the final cycle, and the architectural state at that point.
+#[derive(Debug, PartialEq)]
+struct Ended {
+    outcome: Result<RunStats, RunError>,
+    cycle: u64,
+    fregs: Vec<u64>,
+    iregs: Vec<i32>,
+    psw: String,
+}
+
+/// Runs to completion or abnormal exit under `backend` with the given
+/// limits; abnormal exits land mid-program (and, under xlate,
+/// mid-block).
+fn run_to_end(
+    instrs: &[Instr],
+    regs: &[u64],
+    backend: Backend,
+    fast_forward: bool,
+    max_cycles: u64,
+    watchdog: u64,
+    interrupt_after: Option<u64>,
+) -> Ended {
+    let prog = Program::assemble(instrs).unwrap();
+    let mut m = Machine::new(SimConfig {
+        backend,
+        fast_forward,
+        max_cycles,
+        watchdog_cycles: watchdog,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    for (i, &bits) in regs.iter().enumerate() {
+        m.fpu.write_reg_direct(FReg::new(i as u8), bits);
+    }
+    m.set_ireg(IReg::new(1), DATA_BASE);
+    if let Some(cycles) = interrupt_after {
+        m.interrupt_after(cycles);
+    }
+    let outcome = m.run();
+    Ended {
+        outcome,
+        cycle: m.snapshot().cycle(),
+        fregs: (0..52).map(|i| m.fpu.read_reg(FReg::new(i))).collect(),
+        iregs: (0..32).map(|i| m.ireg(IReg::new(i))).collect(),
+        psw: format!("{:?}", m.fpu.psw()),
+    }
+}
+
+/// A self-modifying straight-line program: `pre` body, a store that
+/// patches the text word at `target` (an instruction between the store
+/// and the halt — the same basic block, so under xlate the write lands
+/// *inside the currently-executing translated span*), `post` body, halt.
+/// Returns `(instrs, target_word_index, patch_word)`; the runner parks
+/// the patch word in `r10` and the text base in `r9`.
+fn arb_smc_case() -> impl Strategy<Value = (Vec<Instr>, usize, u32)> {
+    let patch = prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (3u8..8, -64i32..64).prop_map(|(rd, imm)| Instr::Addi {
+            rd: IReg::new(rd),
+            rs1: IReg::new(rd),
+            imm,
+        }),
+        (0usize..ALL_OPS.len(), 0u8..52, 0u8..52, 0u8..52).prop_map(|(op, rr, ra, rb)| {
+            Instr::Falu(FpuAluInstr::scalar(
+                ALL_OPS[op],
+                FReg::new(rr),
+                FReg::new(ra),
+                FReg::new(rb),
+            ))
+        }),
+        (0u8..52, 0i32..32).prop_map(|(fr, k)| Instr::Fld {
+            fr: FReg::new(fr),
+            base: IReg::new(1),
+            offset: 8 * k,
+        }),
+    ];
+    (
+        prop::collection::vec(arb_instr(), 0..6),
+        prop::collection::vec(arb_instr(), 1..8),
+        patch,
+        0usize..64,
+    )
+        .prop_map(|(pre, post, patch, pick)| {
+            let target = pre.len() + 1 + pick % post.len();
+            let mut instrs = pre;
+            instrs.push(Instr::Sw {
+                rs: IReg::new(10),
+                base: IReg::new(9),
+                offset: 4 * target as i32,
+            });
+            instrs.extend(post);
+            instrs.push(Instr::Halt);
+            (instrs, target, patch.encode().unwrap())
+        })
+}
+
+/// Runs one self-modifying-text case under `backend`.
+fn run_smc(instrs: &[Instr], regs: &[u64], patch_word: u32, backend: Backend) -> Observed {
+    use multititan::sim::DEFAULT_TEXT_BASE;
+    let prog = Program::assemble(instrs).unwrap();
+    let mut m = Machine::new(SimConfig {
+        backend,
+        max_cycles: 1_000_000,
+        ..SimConfig::default()
+    });
+    m.load_program(&prog);
+    for (i, &bits) in regs.iter().enumerate() {
+        m.fpu.write_reg_direct(FReg::new(i as u8), bits);
+    }
+    m.set_ireg(IReg::new(1), DATA_BASE);
+    m.set_ireg(IReg::new(9), DEFAULT_TEXT_BASE as i32);
+    m.set_ireg(IReg::new(10), patch_word as i32);
+    let stats = m.run().expect("straight-line SMC program must halt");
+    observe(&m, stats)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -171,8 +317,8 @@ proptest! {
     /// both register files, and the PSW match the tick-by-tick loop.
     #[test]
     fn fast_forward_equals_tick_by_tick(instrs in arb_program(), regs in arb_regs()) {
-        let (fast, _) = run_one(&instrs, &regs, true, true, false);
-        let (slow, _) = run_one(&instrs, &regs, false, true, false);
+        let (fast, _) = run_one(&instrs, &regs, Backend::Tick, true, true, false);
+        let (slow, _) = run_one(&instrs, &regs, Backend::Tick, false, true, false);
         prop_assert_eq!(&fast, &slow);
         prop_assert_eq!(
             fast.stats.accounted_cycles(), fast.stats.cycles,
@@ -185,18 +331,175 @@ proptest! {
     /// per-cycle events must match the decode-every-fetch path exactly).
     #[test]
     fn predecode_equals_decode_per_fetch(instrs in arb_program(), regs in arb_regs()) {
-        let (pre, pre_events) = run_one(&instrs, &regs, true, true, true);
-        let (slow, slow_events) = run_one(&instrs, &regs, true, false, true);
+        let (pre, pre_events) = run_one(&instrs, &regs, Backend::Tick, true, true, true);
+        let (slow, slow_events) = run_one(&instrs, &regs, Backend::Tick, true, false, true);
         prop_assert_eq!(pre, slow);
         prop_assert_eq!(pre_events, slow_events);
     }
 
-    /// All four paths (predecode × fast-forward) agree on statistics.
+    /// The three-way differential: tick-by-tick, fast-forward, and the
+    /// block-translated backend agree bit for bit — statistics,
+    /// per-cause stall accounting, registers, PSW — and every cycle is
+    /// attributed to a cause.
+    #[test]
+    fn xlate_equals_fast_forward_equals_tick(instrs in arb_program(), regs in arb_regs()) {
+        let (tick, _) = run_one(&instrs, &regs, Backend::Tick, false, false, false);
+        let (ff, _)   = run_one(&instrs, &regs, Backend::Tick, true, true, false);
+        let (xl, _)   = run_one(&instrs, &regs, Backend::Xlate, true, true, false);
+        prop_assert_eq!(&tick, &ff);
+        prop_assert_eq!(&tick, &xl);
+        prop_assert_eq!(
+            xl.stats.accounted_cycles(), xl.stats.cycles,
+            "xlate must attribute every cycle to a stall cause"
+        );
+    }
+
+    /// The same three-way agreement when the datapath hits its corners:
+    /// overflow (the §2.3.1 abort squashes the rest of the vector, and
+    /// the abort may land mid-block), underflow, infinities, NaN.
+    #[test]
+    fn overflow_abort_mid_block_agrees(instrs in arb_program(), regs in arb_regs_extreme()) {
+        let (tick, _) = run_one(&instrs, &regs, Backend::Tick, false, false, false);
+        let (xl, _)   = run_one(&instrs, &regs, Backend::Xlate, true, true, false);
+        prop_assert_eq!(&tick, &xl);
+        prop_assert_eq!(xl.stats.accounted_cycles(), xl.stats.cycles);
+    }
+
+    /// Abnormal exits land identically: watchdog trips, cycle limits,
+    /// and external interrupts cut a translated span mid-block, and the
+    /// error (or the interrupt's clean halt), the final cycle, and the
+    /// architectural state must match the interpreter's exactly.
+    #[test]
+    fn mid_block_exits_agree(
+        instrs in arb_program(),
+        regs in arb_regs(),
+        max_cycles in 10u64..400,
+        watchdog in 1u64..40,
+        interrupt in prop_oneof![1 => Just(None), 3 => (3u64..300).prop_map(Some)],
+    ) {
+        let tick = run_to_end(&instrs, &regs, Backend::Tick, false, max_cycles, watchdog, interrupt);
+        let ff = run_to_end(&instrs, &regs, Backend::Tick, true, max_cycles, watchdog, interrupt);
+        let xl = run_to_end(&instrs, &regs, Backend::Xlate, true, max_cycles, watchdog, interrupt);
+        prop_assert_eq!(&tick, &ff, "fast-forward diverged from tick at an abnormal exit");
+        prop_assert_eq!(&tick, &xl, "xlate diverged from tick at an abnormal exit");
+    }
+
+    /// Self-modifying text: a store that patches an instruction *later
+    /// in the same basic block* must take effect before that word's
+    /// next fetch — the translated span drops to the interpreter at the
+    /// write, never finishing the stale block image (satellite: the
+    /// write-watch is checked before every fetch, not at block
+    /// boundaries).
+    #[test]
+    fn self_modifying_text_agrees((instrs, _target, patch) in arb_smc_case(), regs in arb_regs()) {
+        let tick = run_smc(&instrs, &regs, patch, Backend::Tick);
+        let xl = run_smc(&instrs, &regs, patch, Backend::Xlate);
+        prop_assert_eq!(&tick, &xl);
+        prop_assert_eq!(xl.stats.accounted_cycles(), xl.stats.cycles);
+    }
+
+    /// All four interpreter paths (predecode × fast-forward) agree on
+    /// statistics.
     #[test]
     fn all_paths_agree(instrs in arb_program(), regs in arb_regs()) {
-        let (a, _) = run_one(&instrs, &regs, true, true, false);
-        let (b, _) = run_one(&instrs, &regs, false, false, false);
+        let (a, _) = run_one(&instrs, &regs, Backend::Tick, true, true, false);
+        let (b, _) = run_one(&instrs, &regs, Backend::Tick, false, false, false);
         prop_assert_eq!(a, b);
+    }
+}
+
+/// Mutation check on the differential's assertions: `Observed`'s
+/// equality must actually have the power to catch a single-field
+/// divergence — a one-cycle drift, one mis-attributed stall, one
+/// flipped result bit, a PSW flag — otherwise every proptest above is
+/// vacuous.
+#[test]
+fn differential_assertions_detect_single_field_mutations() {
+    let instrs = [
+        Instr::Falu(FpuAluInstr::scalar(
+            multititan::fparith::FpOp::Add,
+            FReg::new(4),
+            FReg::new(1),
+            FReg::new(2),
+        )),
+        Instr::Halt,
+    ];
+    let regs: Vec<u64> = (0..52).map(|i| (i as f64).to_bits()).collect();
+    let (base, _) = run_one(&instrs, &regs, Backend::Xlate, true, true, false);
+
+    let mut cycles = base.clone();
+    cycles.stats.cycles += 1;
+    assert_ne!(base, cycles, "a one-cycle drift must be caught");
+
+    let mut stall = base.clone();
+    stall.stats.stalls.branch += 1;
+    assert_ne!(base, stall, "a mis-attributed stall must be caught");
+
+    let mut freg = base.clone();
+    freg.fregs[4] ^= 1;
+    assert_ne!(base, freg, "a flipped result bit must be caught");
+
+    let mut ireg = base.clone();
+    ireg.iregs[5] ^= 1;
+    assert_ne!(base, ireg, "an integer register bit must be caught");
+
+    let mut psw = base.clone();
+    psw.psw.push('!');
+    assert_ne!(base, psw, "a PSW difference must be caught");
+
+    let mut instret = base.clone();
+    instret.stats.instructions += 1;
+    assert_ne!(base, instret, "an instruction-count drift must be caught");
+}
+
+/// The fixed corpus: every Livermore loop and every shipped example runs
+/// bit-identically under both backends, cold and warm.
+#[test]
+fn corpus_is_bit_identical_across_backends() {
+    use multititan::kernels::{harness, livermore};
+    for n in 1..=24u8 {
+        let kernel = livermore::by_number(n);
+        let tick = harness::run_kernel_with(
+            &kernel,
+            SimConfig {
+                backend: Backend::Tick,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let xl = harness::run_kernel_with(
+            &kernel,
+            SimConfig {
+                backend: Backend::Xlate,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tick.cold, xl.cold, "loop {n} cold");
+        assert_eq!(tick.warm, xl.warm, "loop {n} warm");
+    }
+
+    for entry in std::fs::read_dir("examples/asm").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("s") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program = multititan::asm::parse(&src, 0x1_0000).unwrap();
+        let mut ended = Vec::new();
+        for backend in [Backend::Tick, Backend::Xlate] {
+            let mut m = Machine::new(SimConfig {
+                backend,
+                ..SimConfig::default()
+            });
+            m.load_program(&program);
+            m.warm_instructions(&program);
+            let stats = m
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            ended.push(observe(&m, stats));
+        }
+        assert_eq!(ended[0], ended[1], "{} diverged", path.display());
     }
 }
 
@@ -225,12 +528,15 @@ fn self_modifying_text_falls_back_to_slow_decode() {
         },
     ])
     .unwrap();
-    let mut m = Machine::new(SimConfig {
-        max_cycles: 100_000,
-        ..SimConfig::default()
-    });
-    m.load_program(&prog);
-    m.set_ireg(IReg::new(1), DEFAULT_TEXT_BASE as i32);
-    let stats = m.run().expect("patched text must halt");
-    assert!(stats.instructions >= 3);
+    for backend in [Backend::Tick, Backend::Xlate] {
+        let mut m = Machine::new(SimConfig {
+            backend,
+            max_cycles: 100_000,
+            ..SimConfig::default()
+        });
+        m.load_program(&prog);
+        m.set_ireg(IReg::new(1), DEFAULT_TEXT_BASE as i32);
+        let stats = m.run().expect("patched text must halt");
+        assert!(stats.instructions >= 3);
+    }
 }
