@@ -7,11 +7,15 @@
 //! including client-observed wall-clock latency percentiles from
 //! per-thread bounded HDR histograms merged losslessly at the end.
 //!
-//! Failure accounting is deliberately three-way: `retries_429` counts
+//! Failure accounting is deliberately bucketed: `retries_429` counts
 //! retry *attempts* absorbed by backoff, `rejected_429_final` counts
-//! requests that exhausted their retries and ended as `429`, and
-//! `failed_requests` counts transport-level failures (connect/read
-//! errors). `errors` remains the umbrella (any non-2xx outcome).
+//! requests that exhausted their retries and ended as `429`,
+//! `shed_503` counts structured server sheds (deadline expired,
+//! draining, overloaded — distinct from 429 queue-full pushback),
+//! `disconnects` counts requests whose connection died or short-read
+//! after the request was sent, and `failed_requests` counts the
+//! remaining transport failures (connect/setup errors). `errors`
+//! remains the umbrella (any non-2xx outcome).
 //!
 //! The summary is flat on purpose: every key renders on its own line.
 //! CI diffs it with `repro-benchdiff --profile serve`, which enforces
@@ -55,6 +59,25 @@ struct ClientOptions {
     print_body: bool,
 }
 
+/// Transport failure classification: a connection that died (or
+/// short-read) *after* the request went out is a different signal —
+/// usually a server-side drop defense or a crash — than never reaching
+/// the server at all.
+enum TransportError {
+    /// Connect/setup failed; the request was never sent.
+    Connect(String),
+    /// The request was sent but the reply never fully arrived.
+    Disconnect(String),
+}
+
+impl TransportError {
+    fn message(&self) -> &str {
+        match self {
+            TransportError::Connect(m) | TransportError::Disconnect(m) => m,
+        }
+    }
+}
+
 fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
     let mut url = "http://127.0.0.1:8315".to_string();
     let mut path = None;
@@ -91,6 +114,10 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
             "--base" => query.push(("base".to_string(), value("--base")?.to_string())),
             "--cycles" => query.push(("cycles".to_string(), value("--cycles")?.to_string())),
             "--watchdog" => query.push(("watchdog".to_string(), value("--watchdog")?.to_string())),
+            "--deadline-ms" => query.push((
+                "deadline-ms".to_string(),
+                value("--deadline-ms")?.to_string(),
+            )),
             "--cold" => query.push(("cold".to_string(), "1".to_string())),
             "--lint" => query.push(("lint".to_string(), "1".to_string())),
             "--profile" => query.push(("profile".to_string(), "1".to_string())),
@@ -131,37 +158,57 @@ struct HttpReply {
 }
 
 /// Sends one POST over a fresh connection and reads the full reply.
-fn post(addr: &str, target: &str, client_id: &str, body: &[u8]) -> Result<HttpReply, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+///
+/// Write errors are tolerated: an overloaded or draining server may
+/// answer and close before reading the request, leaving a perfectly
+/// valid response on the wire behind a failed `write`. Only the *read*
+/// side classifies the outcome.
+fn post(
+    addr: &str,
+    target: &str,
+    client_id: &str,
+    body: &[u8],
+) -> Result<HttpReply, TransportError> {
+    let connect = |m: String| TransportError::Connect(m);
+    let stream = TcpStream::connect(addr).map_err(|e| connect(format!("connect {addr}: {e}")))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    write!(
+        .map_err(|e| connect(e.to_string()))?;
+    let mut writer = stream.try_clone().map_err(|e| connect(e.to_string()))?;
+    let _ = write!(
         writer,
         "POST {target} HTTP/1.1\r\nHost: {addr}\r\nX-Client-Id: {client_id}\r\n\
          Content-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    )
-    .map_err(|e| e.to_string())?;
-    writer.write_all(body).map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
+    );
+    let _ = writer.write_all(body);
+    let _ = writer.flush();
 
+    // From here the request is on the wire (or the server dropped us):
+    // every failure is a disconnect/short-read.
+    let gone = |m: String| TransportError::Disconnect(m);
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| gone(e.to_string()))?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line `{}`", status_line.trim_end()))?;
+        .ok_or_else(|| {
+            gone(format!(
+                "short read: status line `{}`",
+                status_line.trim_end()
+            ))
+        })?;
     let mut cache = None;
     let mut content_length = None;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| gone(e.to_string()))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -174,7 +221,7 @@ fn post(addr: &str, target: &str, client_id: &str, body: &[u8]) -> Result<HttpRe
                         value
                             .trim()
                             .parse::<usize>()
-                            .map_err(|e| format!("bad content-length: {e}"))?,
+                            .map_err(|e| gone(format!("bad content-length: {e}")))?,
                     );
                 }
                 _ => {}
@@ -185,10 +232,14 @@ fn post(addr: &str, target: &str, client_id: &str, body: &[u8]) -> Result<HttpRe
     match content_length {
         Some(n) => {
             body.resize(n, 0);
-            reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| gone(format!("short read: body: {e}")))?;
         }
         None => {
-            reader.read_to_end(&mut body).map_err(|e| e.to_string())?;
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| gone(e.to_string()))?;
         }
     }
     Ok(HttpReply {
@@ -204,6 +255,8 @@ struct Tally {
     errors: usize,
     retries_429: usize,
     rejected_429_final: usize,
+    shed_503: usize,
+    disconnects: usize,
     failed_requests: usize,
     cache_hits: usize,
     cache_misses: usize,
@@ -274,16 +327,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
                                 t.ok += 1;
                             } else {
                                 t.errors += 1;
-                                if r.status == 429 {
-                                    t.rejected_429_final += 1;
+                                match r.status {
+                                    429 => t.rejected_429_final += 1,
+                                    // The server's structured sheds:
+                                    // deadline expired, draining, or
+                                    // over the connection cap.
+                                    503 => t.shed_503 += 1,
+                                    _ => {}
                                 }
                             }
                         }
                         Err(e) => {
                             t.errors += 1;
-                            t.failed_requests += 1;
+                            match e {
+                                TransportError::Disconnect(_) => t.disconnects += 1,
+                                TransportError::Connect(_) => t.failed_requests += 1,
+                            }
                             if t.failures.len() < 8 {
-                                t.failures.push(e);
+                                t.failures.push(e.message().to_string());
                             }
                         }
                     }
@@ -298,7 +359,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if opts.print_body {
         // Replay one request for the body (a cache hit on any healthy
         // server) so scripts can capture the canonical response.
-        let reply = post(&addr, &target, "client-body", source.as_bytes())?;
+        let reply = post(&addr, &target, "client-body", source.as_bytes())
+            .map_err(|e| e.message().to_string())?;
         print!("{}", reply.body);
         if !reply.body.ends_with('\n') {
             println!();
@@ -326,6 +388,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("cache_misses", Json::U64(t.cache_misses as u64)),
         ("retries_429", Json::U64(t.retries_429 as u64)),
         ("rejected_429_final", Json::U64(t.rejected_429_final as u64)),
+        ("shed_503", Json::U64(t.shed_503 as u64)),
+        ("disconnects", Json::U64(t.disconnects as u64)),
         ("failed_requests", Json::U64(t.failed_requests as u64)),
         ("latency_us", t.latency.to_json()),
         ("elapsed_ms", Json::U64(elapsed.as_millis() as u64)),

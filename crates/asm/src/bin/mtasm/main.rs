@@ -58,11 +58,27 @@
 //! mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]
 //!              [--concurrency <n>] [--requests <m>] [--lint] [--profile]
 //!              [--trace] [--cold] [--base <hex>] [--cycles <n>]
-//!              [--watchdog <n>] [--print-body]
+//!              [--watchdog <n>] [--deadline-ms <n>] [--print-body]
 //! ```
 //!
 //! and prints a stable `mt-serve-bench-v1` JSON summary.
+//!
+//! `chaos` runs the seeded `mt-chaos` campaign against a running
+//! `mt-serve` instance:
+//!
+//! ```text
+//! mtasm chaos [--url http://host:port] [--seed <n>] [--scenarios <n>]
+//!             [--hooks] [--slow-wait-ms <n>] [--json]
+//! ```
+//!
+//! Without `--hooks` the campaign only misbehaves as a client (torn
+//! requests, half-closes, slow-loris stalls, burned deadlines) and is
+//! safe against any server; `--hooks` additionally draws the
+//! worker-panic/worker-kill scenarios and requires the target to run
+//! with `--chaos-hooks`. Exits nonzero if any scenario or final check
+//! (healthz, pool strength, accounting invariant) fails.
 
+mod chaos;
 mod client;
 
 use std::process::ExitCode;
@@ -78,7 +94,7 @@ use mt_trace::{chrome, Json, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n                 [--backend tick|xlate]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--print-body]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n                 [--backend tick|xlate]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--deadline-ms <n>]\n                 [--print-body]\n       mtasm chaos [--url http://host:port] [--seed <n>] [--scenarios <n>] [--hooks]\n                 [--slow-wait-ms <n>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -381,8 +397,13 @@ fn main() -> ExitCode {
     };
     // `client` has its own flag set (URL, concurrency, …), parsed by the
     // module itself.
-    if cmd == "client" {
-        return match client::run(rest) {
+    if cmd == "client" || cmd == "chaos" {
+        let run = if cmd == "client" {
+            client::run(rest)
+        } else {
+            chaos::run(rest)
+        };
+        return match run {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("mtasm: {e}");

@@ -3,7 +3,7 @@
 //! tolerances, and exits nonzero on any regression or schema break.
 //!
 //! ```text
-//! repro-benchdiff <old.json> <new.json> [--profile serve]
+//! repro-benchdiff <old.json> <new.json> [--profile serve|chaos]
 //!                 [--rule <pattern>=<tolerance>]...
 //!
 //! tolerances:  exact            values must be equal (the default)
@@ -17,15 +17,18 @@
 //! profile's rules. `--profile serve` loads the `mt-serve-bench-v1`
 //! rule set (wall-clock and cache-luck fields ignored, everything else
 //! exact) — this is what `./ci` runs against `BENCH_serve.json`, in
-//! place of the old `grep -v` field filtering.
+//! place of the old `grep -v` field filtering. `--profile chaos` loads
+//! the `mt-chaos-v1` rule set (verdicts and scenario plan exact;
+//! wall-clock, raw accounting counts, and notes ignored) for
+//! `BENCH_chaos.json`.
 
 use std::process::ExitCode;
 
-use mt_obs::benchdiff::{diff, serve_profile, Rule, Tolerance};
+use mt_obs::benchdiff::{chaos_profile, diff, serve_profile, Rule, Tolerance};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro-benchdiff <old.json> <new.json> [--profile serve] \
+        "usage: repro-benchdiff <old.json> <new.json> [--profile serve|chaos] \
          [--rule <pattern>=<tolerance>]...\n\
          tolerances: exact | ignore | rel:<pct> | rel:<pct>:higher | rel:<pct>:lower"
     );
@@ -74,8 +77,9 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--profile" => match it.next().map(String::as_str) {
                 Some("serve") => profile_rules = serve_profile(),
+                Some("chaos") => profile_rules = chaos_profile(),
                 Some(other) => {
-                    eprintln!("repro-benchdiff: unknown profile `{other}` (serve)");
+                    eprintln!("repro-benchdiff: unknown profile `{other}` (serve|chaos)");
                     return usage();
                 }
                 None => {

@@ -1,0 +1,133 @@
+//! A minimal raw-TCP HTTP/1.1 client for the chaos harness.
+//!
+//! Hand-rolled like the server and `mtasm client`: the workspace takes
+//! no dependencies, and chaos scenarios *need* byte-level control of
+//! the socket (torn heads, half-closes, mid-body disconnects) that a
+//! real client library would hide. Writes are deliberately tolerant —
+//! an overloaded or draining server may answer and close before it
+//! reads the request, so a failed `write` with a valid response already
+//! on the wire is a success, not an error.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mt_trace::json::{self, Json};
+
+/// Socket-level timeout for every read and write. Generous: this is a
+/// hang backstop, not a latency assertion.
+const IO_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct Reply {
+    pub status: u16,
+    pub body: String,
+}
+
+/// Connects with both timeouts armed.
+pub fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// Reads a status line, headers, and `Content-Length` body from a
+/// stream the request has already been written to.
+pub fn read_reply(stream: TcpStream) -> Result<Reply, String> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", status_line.trim_end()))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+    }
+    Ok(Reply {
+        status,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// One `GET` over a fresh connection.
+pub fn get(addr: &str, target: &str) -> Result<Reply, String> {
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    write!(
+        writer,
+        "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    read_reply(stream)
+}
+
+/// One `POST` over a fresh connection. Write errors are tolerated (see
+/// the module doc); only a missing/unreadable *response* is an error.
+pub fn post(addr: &str, target: &str, body: &[u8]) -> Result<Reply, String> {
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let _ = write!(
+        writer,
+        "POST {target} HTTP/1.1\r\nHost: {addr}\r\nX-Client-Id: chaos\r\n\
+         Content-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = writer.write_all(body);
+    let _ = writer.flush();
+    read_reply(stream)
+}
+
+/// Fetches and parses the `/metrics` JSON document.
+pub fn metrics(addr: &str) -> Result<Json, String> {
+    let reply = get(addr, "/metrics")?;
+    if reply.status != 200 {
+        return Err(format!("/metrics answered {}", reply.status));
+    }
+    json::parse(&reply.body).map_err(|e| format!("/metrics parse: {e}"))
+}
+
+/// Looks up a numeric field by dot-path in a JSON document.
+pub fn field_u64(doc: &Json, path: &[&str]) -> Option<u64> {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64().map(|f| f as u64)
+}

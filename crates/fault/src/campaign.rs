@@ -319,6 +319,11 @@ impl<'a> Workload<'a> {
                 Ok(Outcome::Crash)
             }
             Err(RunError::Watchdog { .. } | RunError::CycleLimit(_)) => Ok(Outcome::Hang),
+            // The campaign never installs a cancellation checkpoint, so a
+            // cancelled replay is a driver bug, not an injection outcome.
+            Err(RunError::Cancelled { cycle }) => Err(format!(
+                "replay cancelled at cycle {cycle} with no checkpoint installed"
+            )),
             Ok(_) => {
                 let psw = m.fpu.psw();
                 let aborted = m.fpu.stats().overflow_aborts > golden.overflow_aborts

@@ -228,6 +228,19 @@ pub fn serve_profile() -> Vec<Rule> {
     .collect()
 }
 
+/// The built-in rule set for `mt-chaos-v1` campaign reports. The
+/// *structural* fields — seed, scenario kinds, per-scenario and final
+/// verdicts, injected fault counts — are a pure function of the seed
+/// and stay exact. Wall-clock (`elapsed_ms`), raw accounting counts
+/// (load races shift how many burst jobs land 200 vs 429), and the
+/// human notes are ignored; their presence is still required.
+pub fn chaos_profile() -> Vec<Rule> {
+    ["elapsed_ms", "accounting.*", "scenarios.*.note"]
+        .iter()
+        .map(|p| Rule::new(p, Tolerance::Ignore))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +371,40 @@ mod tests {
         assert_eq!(diff(&a, &broken, &serve_profile())[0].path, "ok");
         let schema_break = doc(r#"{"ok": 64, "elapsed_ms": 15}"#);
         assert!(!diff(&a, &schema_break, &serve_profile()).is_empty());
+    }
+
+    #[test]
+    fn chaos_profile_pins_verdicts_but_not_raw_counts() {
+        let a = doc(
+            r#"{"scenarios": [{"kind": "burst", "ok": true, "note": "9 jobs"}],
+                "checks": {"all_ok": true}, "accounting": {"accepted": 40},
+                "elapsed_ms": 120}"#,
+        );
+        let b = doc(
+            r#"{"scenarios": [{"kind": "burst", "ok": true, "note": "changed"}],
+                "checks": {"all_ok": true}, "accounting": {"accepted": 51},
+                "elapsed_ms": 999}"#,
+        );
+        assert!(diff(&a, &b, &chaos_profile()).is_empty());
+        // A flipped verdict or a reordered plan is a regression.
+        let flipped = doc(
+            r#"{"scenarios": [{"kind": "burst", "ok": false, "note": "9 jobs"}],
+                "checks": {"all_ok": true}, "accounting": {"accepted": 40},
+                "elapsed_ms": 120}"#,
+        );
+        assert_eq!(
+            diff(&a, &flipped, &chaos_profile())[0].path,
+            "scenarios.0.ok"
+        );
+        let reordered = doc(
+            r#"{"scenarios": [{"kind": "torn-head", "ok": true, "note": "9 jobs"}],
+                "checks": {"all_ok": true}, "accounting": {"accepted": 40},
+                "elapsed_ms": 120}"#,
+        );
+        assert_eq!(
+            diff(&a, &reordered, &chaos_profile())[0].path,
+            "scenarios.0.kind"
+        );
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! The `mt-serve` binary: bind, print the address, serve until killed.
 //!
 //! ```text
-//! mt-serve [--addr 127.0.0.1:0] [--workers <n>] [--queue <n>] [--cache <n>] [--access-log]
+//! mt-serve [--addr 127.0.0.1:0] [--workers <n>] [--queue <n>] [--cache <n>]
+//!          [--io-timeout-ms <n>] [--header-timeout-ms <n>] [--max-connections <n>]
+//!          [--drain-budget-ms <n>] [--chaos-hooks] [--access-log]
 //! ```
 //!
 //! The first stdout line is `mt-serve listening on http://<addr>` —
 //! scripts bind port 0 and scrape the real port from it.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use mt_serve::{serve, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mt-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>] [--access-log]"
+        "usage: mt-serve [--addr <host:port>] [--workers <n>] [--queue <n>] [--cache <n>] \
+         [--io-timeout-ms <n>] [--header-timeout-ms <n>] [--max-connections <n>] \
+         [--drain-budget-ms <n>] [--chaos-hooks] [--access-log]"
     );
     ExitCode::from(2)
 }
@@ -48,6 +53,30 @@ fn main() -> ExitCode {
                     .map(|n| config.cache_entries = n)
                     .map_err(|e| format!("bad --cache: {e}"))
             }),
+            "--io-timeout-ms" => take("--io-timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.io_timeout = Duration::from_millis(n))
+                    .map_err(|e| format!("bad --io-timeout-ms: {e}"))
+            }),
+            "--header-timeout-ms" => take("--header-timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.header_timeout = Duration::from_millis(n))
+                    .map_err(|e| format!("bad --header-timeout-ms: {e}"))
+            }),
+            "--max-connections" => take("--max-connections").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_connections = n)
+                    .map_err(|e| format!("bad --max-connections: {e}"))
+            }),
+            "--drain-budget-ms" => take("--drain-budget-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.drain_budget = Duration::from_millis(n))
+                    .map_err(|e| format!("bad --drain-budget-ms: {e}"))
+            }),
+            "--chaos-hooks" => {
+                config.chaos_hooks = true;
+                Ok(())
+            }
             "--access-log" => {
                 config.access_log = true;
                 Ok(())

@@ -6,8 +6,18 @@
 //! request per connection (`Connection: close` on every response).
 //! No chunked encoding, no keep-alive, no percent-decoding beyond `%xx`
 //! in query values. That is all `mtasm client` and `curl` need.
+//!
+//! Reading is split in two ([`read_head`] / [`read_body`]) so the server
+//! can run them under *different* deadlines: a client gets a short budget
+//! to produce the request head (a slow-loris dribbling one header byte
+//! per second cannot pin a connection slot for long) and a separate
+//! budget for the body. Deadlines are absolute, enforced per-syscall by
+//! [`DeadlineStream`] — partial progress never extends them.
 
-use std::io::{BufRead, Read, Write};
+use std::cell::Cell;
+use std::io::{BufRead, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -62,7 +72,9 @@ pub enum HttpError {
     Malformed(String),
     /// Head or body over the hard limits (413).
     TooLarge,
-    /// I/O failure (includes read timeouts).
+    /// A read or write deadline expired mid-request (408).
+    Timeout,
+    /// I/O failure other than a timeout.
     Io(String),
 }
 
@@ -73,12 +85,41 @@ impl HttpError {
             HttpError::Closed | HttpError::Io(_) => 0,
             HttpError::Malformed(_) => 400,
             HttpError::TooLarge => 413,
+            HttpError::Timeout => 408,
         }
     }
 }
 
-/// Reads one request from `reader`.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+/// Maps an I/O failure to the matching [`HttpError`]. `TimedOut` and
+/// `WouldBlock` both mean an armed socket timeout fired (Unix reports
+/// `SO_RCVTIMEO` expiry as `EAGAIN`, i.e. `WouldBlock`).
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// A parsed request head: everything before the body. The server admits
+/// or rejects on this alone (and switches from the header deadline to the
+/// body deadline) before committing to the body read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Parsed `Content-Length` (0 when absent), already checked against
+    /// [`MAX_BODY_BYTES`].
+    pub content_length: usize,
+}
+
+/// Reads and parses the request head (request line + headers) only.
+pub fn read_head(reader: &mut impl BufRead) -> Result<Head, HttpError> {
     let mut head = Vec::new();
     // Read until the blank line, byte-limited.
     loop {
@@ -87,7 +128,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
             .by_ref()
             .take((MAX_HEAD_BYTES - head.len() + 1) as u64)
             .read_until(b'\n', &mut line)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+            .map_err(io_error)?;
         if n == 0 {
             return Err(if head.is_empty() {
                 HttpError::Closed
@@ -139,10 +180,6 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -157,13 +194,33 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         })
         .collect();
 
-    Ok(Request {
+    Ok(Head {
         method: method.to_string(),
         path: path.to_string(),
         query,
         headers,
+        content_length,
+    })
+}
+
+/// Reads the body promised by `head` and assembles the full [`Request`].
+pub fn read_body(reader: &mut impl BufRead, head: Head) -> Result<Request, HttpError> {
+    let mut body = vec![0u8; head.content_length];
+    reader.read_exact(&mut body).map_err(io_error)?;
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        headers: head.headers,
         body,
     })
+}
+
+/// Reads one request from `reader` ([`read_head`] + [`read_body`] under
+/// whatever single deadline the reader already carries).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let head = read_head(reader)?;
+    read_body(reader, head)
 }
 
 /// Decodes `%xx` escapes and `+` (space); invalid escapes pass through.
@@ -190,6 +247,119 @@ fn percent_decode(s: &str) -> String {
         i += 1;
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A [`TcpStream`] with *absolute* read and write deadlines.
+///
+/// [`TcpStream::set_read_timeout`] alone is a per-syscall budget: a peer
+/// that delivers one byte per timeout period resets the clock on every
+/// read and holds the connection open indefinitely (the slow-loris
+/// pattern, and its mirror image on the write side — a reader that
+/// drains one window per timeout pins the responding worker). This
+/// wrapper re-arms the socket timeout before every syscall with the time
+/// *remaining* until a fixed deadline, so partial progress never buys
+/// the peer more time: total connection occupancy is bounded by the
+/// deadline no matter how the bytes trickle.
+///
+/// Deadlines are interior-mutable (`Cell`) so the stream can sit behind
+/// a shared reference — a `BufReader<&DeadlineStream>` and a later
+/// `write_to(&mut &stream)` coexist, mirroring `TcpStream`'s own
+/// `impl Read for &TcpStream`. `None` disables the deadline on that
+/// direction (reverting to an unbounded blocking socket).
+#[derive(Debug)]
+pub struct DeadlineStream {
+    stream: TcpStream,
+    read_deadline: Cell<Option<Instant>>,
+    write_deadline: Cell<Option<Instant>>,
+}
+
+impl DeadlineStream {
+    /// Wraps `stream` with no deadlines armed.
+    pub fn new(stream: TcpStream) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            read_deadline: Cell::new(None),
+            write_deadline: Cell::new(None),
+        }
+    }
+
+    /// Sets (or clears) the absolute read deadline.
+    pub fn set_read_deadline(&self, deadline: Option<Instant>) {
+        self.read_deadline.set(deadline);
+    }
+
+    /// Sets (or clears) the absolute write deadline.
+    pub fn set_write_deadline(&self, deadline: Option<Instant>) {
+        self.write_deadline.set(deadline);
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Arms the one-syscall socket timeout for the time remaining until
+    /// `deadline`; an already-expired deadline fails without touching the
+    /// socket. The minimum armed timeout is 1 ms — `set_read_timeout(0)`
+    /// means "no timeout" to the OS, the opposite of "no time left".
+    fn arm(&self, deadline: Option<Instant>, write: bool) -> std::io::Result<()> {
+        let timeout = match deadline {
+            None => None,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        if write {
+                            "write deadline expired"
+                        } else {
+                            "read deadline expired"
+                        },
+                    ));
+                }
+                Some(remaining.max(Duration::from_millis(1)))
+            }
+        };
+        if write {
+            self.stream.set_write_timeout(timeout)
+        } else {
+            self.stream.set_read_timeout(timeout)
+        }
+    }
+}
+
+impl Read for &DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.arm(self.read_deadline.get(), false)?;
+        (&self.stream).read(buf)
+    }
+}
+
+impl Write for &DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.arm(self.write_deadline.get(), true)?;
+        (&self.stream).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        (&self.stream).flush()
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        (&mut &*self).read(buf)
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        (&mut &*self).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        (&mut &*self).flush()
+    }
 }
 
 /// A response under construction.
@@ -236,6 +406,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
@@ -316,6 +487,124 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         assert_eq!(parse(&huge_body).unwrap_err(), HttpError::TooLarge);
+    }
+
+    #[test]
+    fn head_body_split_matches_read_request() {
+        let raw = "POST /run?trace=1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhalt\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let head = read_head(&mut r).unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.content_length, 5);
+        let req = read_body(&mut r, head).unwrap();
+        assert_eq!(req, parse(raw).unwrap());
+    }
+
+    /// An I/O-level timeout surfaces as the typed `Timeout` error (408),
+    /// not a generic `Io`.
+    #[test]
+    fn socket_timeouts_map_to_http_timeout() {
+        struct TimesOut;
+        impl std::io::Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "slow"))
+            }
+        }
+        let err = read_request(&mut BufReader::new(TimesOut)).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+    }
+
+    /// Slow-loris regression: a peer dripping one header byte at a time
+    /// makes continuous progress, but the *absolute* read deadline still
+    /// bounds the total time the connection is held.
+    #[test]
+    fn dripped_header_bytes_cannot_outlive_the_read_deadline() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dripper = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Never finishes the head; one byte every 20 ms would reset a
+            // plain per-read socket timeout forever.
+            for b in b"GET / HTTP/1.1\r\nX-Slow: aaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let stream = DeadlineStream::new(conn);
+        stream.set_read_deadline(Some(Instant::now() + Duration::from_millis(200)));
+        let start = Instant::now();
+        let err = read_request(&mut BufReader::new(&stream)).unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline did not bound the drip: {:?}",
+            start.elapsed()
+        );
+        drop(stream);
+        dripper.join().unwrap();
+    }
+
+    /// Stalled-reader regression: a client that stops reading
+    /// mid-response cannot pin the writer — the absolute write deadline
+    /// bounds the total write time even if the kernel accepts a few more
+    /// buffered chunks along the way.
+    #[test]
+    fn stalled_reader_hits_the_write_deadline() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The "client": connects and never reads a byte.
+        let stalled = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let stream = DeadlineStream::new(conn);
+        stream.set_write_deadline(Some(Instant::now() + Duration::from_millis(300)));
+        let start = Instant::now();
+        let chunk = vec![0u8; 64 * 1024];
+        let mut buffered = 0usize;
+        let err = loop {
+            match (&stream).write(&chunk) {
+                // Kernel buffers soak up the first few MB; track how
+                // much they took so a hung test has a useful message.
+                Ok(n) => {
+                    buffered += n;
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "write never blocked after {buffered} buffered bytes"
+                    );
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock),
+            "unexpected write error: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "write deadline did not bound a stalled reader: {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
+    }
+
+    /// An already-expired deadline fails immediately, without a syscall
+    /// that might block.
+    #[test]
+    fn expired_deadline_fails_fast() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        let stream = DeadlineStream::new(conn);
+        stream.set_read_deadline(Some(Instant::now() - Duration::from_secs(1)));
+        let start = Instant::now();
+        let mut buf = [0u8; 1];
+        let err = (&stream).read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

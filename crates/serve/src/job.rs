@@ -7,6 +7,7 @@
 //! timestamps, no worker identity, no wall-clock — so two workers (or a
 //! cache replay) produce identical bytes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
@@ -24,6 +25,14 @@ pub const SCHEMA: &str = "mt-serve-v1";
 
 /// Trace lines included in a response before truncation.
 const TRACE_MAX_LINES: usize = 2000;
+
+/// Cycles between cooperative cancellation checkpoints during a
+/// controlled run ([`execute_controlled`]). At the simulator's release
+/// throughput (tens of millions of cycles per second) this is a few
+/// milliseconds of wall clock — fine-grained enough for request
+/// deadlines, coarse enough that the `Instant::now()` per checkpoint is
+/// unmeasurable.
+pub const CANCEL_CHECK_CYCLES: u64 = 250_000;
 
 /// Which service operation a job performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +181,58 @@ pub struct JobTiming {
     pub sim: Option<(Instant, Duration)>,
 }
 
+/// External control over one execution: the request's wall-clock
+/// deadline and the server's drain flag. Both are observed at
+/// [`CANCEL_CHECK_CYCLES`] checkpoints inside the simulator
+/// ([`mt_sim::Machine::run_cancellable`]); a job with neither runs on
+/// the plain uncheckpointed path and is bit-identical to [`execute`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobControl<'a> {
+    /// Absolute deadline from `?deadline-ms=`; expiry abandons the run
+    /// with a structured 503 `deadline-exceeded`.
+    pub deadline: Option<Instant>,
+    /// Server drain flag; a `true` load abandons the run with a
+    /// structured 503 `draining`.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl JobControl<'_> {
+    fn is_active(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+}
+
+/// Why a controlled run was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CancelKind {
+    Deadline,
+    Draining,
+}
+
+/// Renders the structured 503 body for a shed or drain-cancelled
+/// request. Shared by the mid-run cancel path here and the server's
+/// queue-age shed / drain paths, so every 503 has the same shape.
+/// Deliberately free of wall-clock detail: shed bodies stay
+/// deterministic even though they are never cached.
+pub fn shed_body(kind: &str, message: &str) -> String {
+    error_doc(kind, [("message", Json::Str(message.to_string()))]).pretty()
+}
+
+fn cancel_result(kind: CancelKind) -> JobResult {
+    let (kind, message) = match kind {
+        CancelKind::Deadline => (
+            "deadline-exceeded",
+            "request deadline expired during simulation",
+        ),
+        CancelKind::Draining => ("draining", "server draining; run abandoned"),
+    };
+    JobResult {
+        status: 503,
+        body: shed_body(kind, message),
+        cycles: None,
+    }
+}
+
 fn error_doc(kind: &str, extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     let mut doc = Json::obj([
         ("schema", Json::Str(SCHEMA.to_string())),
@@ -214,6 +275,17 @@ fn run_error_doc(err: &RunError) -> Json {
             [
                 ("pc", Json::U64(*pc as u64)),
                 ("idle_cycles", Json::U64(*idle_cycles)),
+                ("message", Json::Str(err.to_string())),
+            ],
+        ),
+        // Cancellation is intercepted by `execute_controlled` (it knows
+        // whether the deadline or the drain flag fired); reaching this
+        // arm means an uncontrolled run was cancelled, which cannot
+        // happen — render it anyway rather than panic a worker.
+        RunError::Cancelled { cycle } => error_doc(
+            "cancelled",
+            [
+                ("cycle", Json::U64(*cycle)),
                 ("message", Json::Str(err.to_string())),
             ],
         ),
@@ -272,7 +344,30 @@ pub fn execute(job: &JobRequest, machine: &mut Machine) -> JobResult {
 /// [`execute`] plus wall-clock timing of the simulation section, for
 /// the server's request spans and stage latency histograms.
 pub fn execute_timed(job: &JobRequest, machine: &mut Machine) -> (JobResult, JobTiming) {
+    execute_controlled(job, machine, &JobControl::default())
+}
+
+/// [`execute_timed`] under external control: the request deadline and
+/// the server drain flag are checked cooperatively inside the simulator
+/// every [`CANCEL_CHECK_CYCLES`] cycles; either firing abandons the run
+/// and returns a structured 503 (`deadline-exceeded` / `draining`).
+/// With an empty [`JobControl`] this is exactly [`execute_timed`] —
+/// checkpoint clamps are the proven `run_until` pause path, so an
+/// uncancelled controlled run stays bit-identical to an uncontrolled
+/// one (the `controlled_run_is_bit_identical` test holds it to that).
+pub fn execute_controlled(
+    job: &JobRequest,
+    machine: &mut Machine,
+    control: &JobControl,
+) -> (JobResult, JobTiming) {
     let mut timing = JobTiming::default();
+    // A deadline that already expired (burned in the queue, or between
+    // pop and dispatch) sheds before touching the machine.
+    if let Some(d) = control.deadline {
+        if Instant::now() >= d {
+            return (cancel_result(CancelKind::Deadline), timing);
+        }
+    }
     let (program, map) = match parse_with_source_map(&job.source, job.options.base) {
         Ok(pair) => pair,
         Err(e) => {
@@ -334,14 +429,37 @@ pub fn execute_timed(job: &JobRequest, machine: &mut Machine) -> (JobResult, Job
     }
     let recording = job.options.profile || job.options.trace;
     let mut events: Vec<TraceEvent> = Vec::new();
-    let outcome = if recording {
-        machine.run_with_sink(&mut events)
-    } else {
-        machine.run()
+    let mut why: Option<CancelKind> = None;
+    let mut check = || {
+        if let Some(flag) = control.cancel {
+            if flag.load(Ordering::Relaxed) {
+                why = Some(CancelKind::Draining);
+                return true;
+            }
+        }
+        if let Some(d) = control.deadline {
+            if Instant::now() >= d {
+                why = Some(CancelKind::Deadline);
+                return true;
+            }
+        }
+        false
+    };
+    let outcome = match (control.is_active(), recording) {
+        (false, false) => machine.run(),
+        (false, true) => machine.run_with_sink(&mut events),
+        (true, false) => machine.run_cancellable(CANCEL_CHECK_CYCLES, &mut check),
+        (true, true) => {
+            machine.run_cancellable_with_sink(&mut events, CANCEL_CHECK_CYCLES, &mut check)
+        }
     };
     timing.sim = Some((sim_start, sim_start.elapsed()));
     let stats = match outcome {
         Ok(stats) => stats,
+        Err(RunError::Cancelled { .. }) => {
+            let kind = why.expect("a cancelled run always records why");
+            return (cancel_result(kind), timing);
+        }
         Err(e) => return (JobResult::new(422, run_error_doc(&e)), timing),
     };
 
@@ -534,6 +652,103 @@ halt
         keys.push(base.key_material());
         let distinct: std::collections::HashSet<&String> = keys.iter().collect();
         assert_eq!(distinct.len(), keys.len(), "every knob must change the key");
+    }
+
+    /// A controlled run that is never cancelled must be bit-identical to
+    /// the plain path — deadlines may not perturb results (the cache
+    /// stores only uncancelled bodies, replayed for requests with any
+    /// deadline).
+    #[test]
+    fn controlled_run_is_bit_identical() {
+        for options in [
+            RunOptions::default(),
+            RunOptions {
+                profile: true,
+                trace: true,
+                ..RunOptions::default()
+            },
+        ] {
+            let job = JobRequest {
+                endpoint: Endpoint::Run,
+                source: FIB.to_string(),
+                options,
+            };
+            let mut m = Machine::new(SimConfig::default());
+            let plain = execute_timed(&job, &mut m).0;
+            let cancel = AtomicBool::new(false);
+            let control = JobControl {
+                deadline: Some(Instant::now() + Duration::from_secs(600)),
+                cancel: Some(&cancel),
+            };
+            let controlled = execute_controlled(&job, &mut m, &control).0;
+            assert_eq!(plain, controlled, "checkpoints leaked into the body");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_run_with_503() {
+        let job = JobRequest {
+            endpoint: Endpoint::Run,
+            source: "loop:\nbeq r0, r0, loop\nhalt\n".to_string(),
+            options: RunOptions {
+                max_cycles: 4_000_000_000,
+                ..RunOptions::default()
+            },
+        };
+        let mut m = Machine::new(SimConfig::default());
+        let control = JobControl {
+            deadline: Some(Instant::now() + Duration::from_millis(50)),
+            cancel: None,
+        };
+        let start = Instant::now();
+        let (r, _) = execute_controlled(&job, &mut m, &control);
+        assert_eq!(r.status, 503);
+        assert!(start.elapsed() < Duration::from_secs(30), "never cancelled");
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("deadline-exceeded"));
+    }
+
+    #[test]
+    fn drain_flag_cancels_mid_run_with_503() {
+        let job = JobRequest {
+            endpoint: Endpoint::Run,
+            source: "loop:\nbeq r0, r0, loop\nhalt\n".to_string(),
+            options: RunOptions {
+                max_cycles: 4_000_000_000,
+                ..RunOptions::default()
+            },
+        };
+        let mut m = Machine::new(SimConfig::default());
+        let cancel = AtomicBool::new(true);
+        let control = JobControl {
+            deadline: None,
+            cancel: Some(&cancel),
+        };
+        let (r, _) = execute_controlled(&job, &mut m, &control);
+        assert_eq!(r.status, 503);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("draining"));
+    }
+
+    /// An already-expired deadline sheds before the machine is touched.
+    #[test]
+    fn pre_expired_deadline_sheds_without_simulating() {
+        let job = JobRequest {
+            endpoint: Endpoint::Run,
+            source: FIB.to_string(),
+            options: RunOptions::default(),
+        };
+        let mut m = Machine::new(SimConfig::default());
+        let control = JobControl {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            cancel: None,
+        };
+        let (r, timing) = execute_controlled(&job, &mut m, &control);
+        assert_eq!(r.status, 503);
+        assert!(
+            timing.sim.is_none(),
+            "shed jobs must not reach the simulator"
+        );
     }
 
     /// The backend knob must NOT reach the cache key: both backends

@@ -43,6 +43,31 @@
 //! way (`span_trace` is attached after the cache, never stored in it).
 //! Drive it with `mtasm client` (see the README's Serving section) or
 //! plain `curl`.
+//!
+//! # Robustness (the mt-chaos work)
+//!
+//! * **Deadlines** — `?deadline-ms=` on a job endpoint sets an absolute
+//!   wall-clock budget anchored at request arrival. A deadline burned
+//!   in the queue sheds the job at dequeue with a structured
+//!   `503 deadline-exceeded` *without occupying a worker*; a running
+//!   job observes it at cooperative checkpoints inside the simulator
+//!   ([`job::JobControl`], [`mt_sim::Machine::run_cancellable`]).
+//! * **Supervision** — worker panics are caught; the machine is
+//!   quarantined and rebuilt, `worker_panics` counts the event, and a
+//!   worker thread that dies outright is respawned by a supervisor
+//!   (`worker_respawns`). The pool never shrinks.
+//! * **Slow-client defenses** — request head, body, and response write
+//!   each run under absolute deadlines ([`http::DeadlineStream`]); a
+//!   max-in-flight connection cap answers `503 overloaded`.
+//! * **Bounded drain** — shutdown stops admission (`draining: true` in
+//!   `/metrics`, job POSTs get `503 draining`), waits out a budget,
+//!   cancels stragglers at their next checkpoint, and answers orphaned
+//!   jobs with structured `503`s.
+//! * **Accounting invariant** — every admitted job lands in exactly one
+//!   terminal bucket: at quiescence `jobs_accepted == jobs_completed +
+//!   jobs_rejected + jobs_shed + jobs_failed` (the `accounting` block
+//!   in `/metrics`). The seeded chaos harness (`mt-chaos`, driven by
+//!   `repro-chaos` or `mtasm chaos`) asserts it after every scenario.
 
 pub mod cache;
 pub mod http;
@@ -52,7 +77,8 @@ pub mod queue;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use job::{Endpoint, JobRequest, JobResult, RunOptions};
+pub use http::DeadlineStream;
+pub use job::{Endpoint, JobControl, JobRequest, JobResult, RunOptions};
 pub use metrics::{Gauges, ServeMetrics};
 pub use queue::JobQueue;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, KILL_MARKER, PANIC_MARKER};

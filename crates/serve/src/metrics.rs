@@ -50,6 +50,11 @@ pub struct Gauges {
     pub workers: usize,
     /// Workers executing a job right now.
     pub busy_workers: usize,
+    /// Connections currently open (handler threads alive).
+    pub open_connections: usize,
+    /// True while the server is draining: job POSTs get `503`, GETs
+    /// still work so probes can watch the drain instead of a dead port.
+    pub draining: bool,
 }
 
 #[derive(Debug)]
@@ -142,7 +147,8 @@ impl ServeMetrics {
             "rejected_429" => s.rejected_win.add(now, delta),
             "cache_hits" => s.hits_win.add(now, delta),
             "cache_misses" => s.misses_win.add(now, delta),
-            "responses_400" | "responses_422" | "responses_other" => s.errors_win.add(now, delta),
+            "responses_400" | "responses_422" | "responses_500" | "responses_503"
+            | "responses_other" => s.errors_win.add(now, delta),
             _ => {}
         }
     }
@@ -238,13 +244,27 @@ impl ServeMetrics {
                 })
                 .collect(),
         );
+        // The accounting partition: every job that reaches admission
+        // (parsed, cache-missed) counts `accepted` and lands in exactly
+        // one terminal bucket, so at quiescence
+        // `accepted == completed + rejected + shed + failed`.
+        let accounting = Json::obj([
+            ("accepted", Json::U64(s.registry.counter("jobs_accepted"))),
+            ("completed", Json::U64(s.registry.counter("jobs_completed"))),
+            ("rejected", Json::U64(s.registry.counter("jobs_rejected"))),
+            ("shed", Json::U64(s.registry.counter("jobs_shed"))),
+            ("failed", Json::U64(s.registry.counter("jobs_failed"))),
+        ]);
         Json::obj([
             ("schema", Json::Str("mt-serve-metrics-v1".to_string())),
             ("queue_depth", Json::U64(g.queue_depth as u64)),
             ("queue_capacity", Json::U64(g.queue_capacity as u64)),
             ("workers", Json::U64(g.workers as u64)),
             ("busy_workers", Json::U64(g.busy_workers as u64)),
+            ("open_connections", Json::U64(g.open_connections as u64)),
+            ("draining", Json::Bool(g.draining)),
             ("worker_utilization", utilization),
+            ("accounting", accounting),
             ("cache_hit_ratio", hit_ratio),
             ("service_cycles", s.service_cycles.to_json()),
             ("latency_us", latency),
@@ -278,7 +298,7 @@ impl ServeMetrics {
             "Requests routed (all methods and paths).",
             s.registry.counter("requests_total"),
         );
-        let statuses: Vec<(String, u64)> = ["200", "400", "422", "other"]
+        let statuses: Vec<(String, u64)> = ["200", "400", "422", "500", "503", "other"]
             .iter()
             .map(|&code| {
                 (
@@ -328,6 +348,31 @@ impl ServeMetrics {
             "mtserve_busy_workers",
             "Workers executing a job right now.",
             g.busy_workers as f64,
+        );
+        p.gauge(
+            "mtserve_open_connections",
+            "Connections currently open.",
+            g.open_connections as f64,
+        );
+        p.gauge(
+            "mtserve_draining",
+            "1 while the server is draining, else 0.",
+            if g.draining { 1.0 } else { 0.0 },
+        );
+        p.counter(
+            "mtserve_worker_panics_total",
+            "Jobs that panicked on a worker (caught; machine rebuilt).",
+            s.registry.counter("worker_panics"),
+        );
+        p.counter(
+            "mtserve_worker_respawns_total",
+            "Worker threads respawned by the supervisor after dying.",
+            s.registry.counter("worker_respawns"),
+        );
+        p.counter(
+            "mtserve_jobs_shed_total",
+            "Jobs shed: deadline expired in queue or mid-run, or drain-orphaned.",
+            s.registry.counter("jobs_shed"),
         );
         p.gauge(
             "mtserve_uptime_seconds",
@@ -445,11 +490,15 @@ mod tests {
         m.record_service_cycles(300);
         m.record_stage_us("sim-run", 250);
         m.record_worker_job(1, 777);
+        m.add("jobs_accepted", 2);
+        m.add("jobs_completed", 1);
+        m.add("jobs_shed", 1);
         let doc = m.to_json(Gauges {
             queue_depth: 2,
             queue_capacity: 64,
             workers: 4,
             busy_workers: 1,
+            ..Gauges::default()
         });
         let parsed = mt_trace::json::parse(&doc.pretty()).unwrap();
         assert_eq!(parsed.get("queue_depth").unwrap().as_f64(), Some(2.0));
@@ -459,6 +508,11 @@ mod tests {
             Some(0.25)
         );
         assert_eq!(parsed.get("cache_hit_ratio").unwrap().as_f64(), Some(0.5));
+        assert_eq!(get_f64(&parsed, &["accounting", "accepted"]), Some(2.0));
+        assert_eq!(get_f64(&parsed, &["accounting", "completed"]), Some(1.0));
+        assert_eq!(get_f64(&parsed, &["accounting", "shed"]), Some(1.0));
+        assert_eq!(get_f64(&parsed, &["accounting", "failed"]), Some(0.0));
+        assert!(matches!(parsed.get("draining"), Some(Json::Bool(false))));
 
         // Quantiles come from the bounded histogram now: within its
         // documented bound of the exact oracle.
@@ -558,11 +612,15 @@ mod tests {
         m.record_service_cycles(1234);
         m.record_stage_us("total", 800);
         m.record_worker_job(0, 500);
+        m.add("worker_panics", 1);
+        m.add("jobs_shed", 2);
         let text = m.to_prometheus(Gauges {
             queue_depth: 1,
             queue_capacity: 64,
             workers: 2,
             busy_workers: 1,
+            open_connections: 3,
+            draining: true,
         });
         let families = mt_obs::prom::validate(&text).expect("valid exposition format");
         for required in [
@@ -574,6 +632,11 @@ mod tests {
             "mtserve_queue_capacity",
             "mtserve_workers",
             "mtserve_busy_workers",
+            "mtserve_open_connections",
+            "mtserve_draining",
+            "mtserve_worker_panics_total",
+            "mtserve_worker_respawns_total",
+            "mtserve_jobs_shed_total",
             "mtserve_uptime_seconds",
             "mtserve_requests_per_second",
             "mtserve_errors_per_second",
@@ -590,6 +653,9 @@ mod tests {
             );
         }
         assert!(text.contains("mtserve_responses_total{status=\"429\"} 1\n"));
+        assert!(text.contains("mtserve_draining 1\n"));
+        assert!(text.contains("mtserve_worker_panics_total 1\n"));
+        assert!(text.contains("mtserve_jobs_shed_total 2\n"));
         assert!(text.contains("mtserve_request_stage_microseconds_count{stage=\"total\"} 1\n"));
         assert!(text.contains("mtserve_service_cycles{quantile=\"0.5\"}"));
     }

@@ -94,6 +94,33 @@ impl<T> JobQueue<T> {
         self.available.notify_all();
     }
 
+    /// Closes the queue *and* takes every pending job, in the same
+    /// round-robin order `pop` would have delivered them. This is the
+    /// hard-drain path: after the shutdown budget expires, the server
+    /// owes each orphaned job a structured 503 instead of silently
+    /// dropping it (the accounting invariant counts them as shed).
+    /// Blocked `pop`s wake with `None`; subsequent pushes fail.
+    pub fn close_and_take(&self) -> Vec<T> {
+        let mut q = self.inner.lock().unwrap();
+        q.closed = true;
+        let mut orphans = Vec::with_capacity(q.len);
+        while let Some(client) = q.rotation.pop_front() {
+            let lane = q.lanes.get_mut(&client).expect("rotation tracks lanes");
+            let job = lane.pop_front().expect("lanes in rotation are non-empty");
+            if lane.is_empty() {
+                q.lanes.remove(&client);
+            } else {
+                q.rotation.push_back(client);
+            }
+            q.len -= 1;
+            orphans.push(job);
+        }
+        debug_assert_eq!(q.len, 0);
+        drop(q);
+        self.available.notify_all();
+        orphans
+    }
+
     /// Jobs currently queued (not counting those being executed).
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().len
@@ -162,5 +189,92 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_and_take_returns_orphans_in_pop_order() {
+        let q = JobQueue::new(8);
+        for i in 0..3 {
+            q.push("a", format!("a{i}")).unwrap();
+        }
+        q.push("b", "b0".to_string()).unwrap();
+        let orphans = q.close_and_take();
+        assert_eq!(orphans, ["a0", "b0", "a1", "a2"]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None, "closed and drained");
+        assert_eq!(q.push("a", "late".to_string()), Err("late".to_string()));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Close racing concurrent pushers and a draining popper: every
+        /// job is either delivered exactly once (via `pop` or the
+        /// `close_and_take` orphan list) or its push failed — no job is
+        /// lost, none is duplicated. This is the conservation law the
+        /// server's accounting invariant (`accepted == completed +
+        /// rejected + shed + failed`) rests on during shutdown.
+        fn close_under_concurrent_pushers_conserves_jobs(
+            pushers in 1usize..5,
+            per_pusher in 1usize..24,
+            hard_drain in any::<bool>(),
+            close_after_micros in 0u64..400,
+        ) {
+            // Capacity covers every job, so the only push failure mode
+            // in this test is the close race itself.
+            let q = Arc::new(JobQueue::new(pushers * per_pusher));
+            let accepted = Arc::new(Mutex::new(Vec::new()));
+            let failed = Arc::new(Mutex::new(Vec::new()));
+            let delivered = Arc::new(Mutex::new(Vec::new()));
+
+            let popper = {
+                let (q, delivered) = (Arc::clone(&q), Arc::clone(&delivered));
+                std::thread::spawn(move || {
+                    while let Some(job) = q.pop() {
+                        delivered.lock().unwrap().push(job);
+                    }
+                })
+            };
+            let threads: Vec<_> = (0..pushers)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    let accepted = Arc::clone(&accepted);
+                    let failed = Arc::clone(&failed);
+                    std::thread::spawn(move || {
+                        for i in 0..per_pusher {
+                            let job = (p, i);
+                            match q.push(&format!("client-{p}"), job) {
+                                Ok(()) => accepted.lock().unwrap().push(job),
+                                Err(job) => failed.lock().unwrap().push(job),
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            std::thread::sleep(std::time::Duration::from_micros(close_after_micros));
+            let orphans = if hard_drain { q.close_and_take() } else { q.close(); Vec::new() };
+            for t in threads {
+                t.join().unwrap();
+            }
+            popper.join().unwrap();
+            let mut seen: Vec<(usize, usize)> = delivered.lock().unwrap().clone();
+            seen.extend(orphans);
+            let mut accepted = Arc::try_unwrap(accepted).unwrap().into_inner().unwrap();
+            let failed = Arc::try_unwrap(failed).unwrap().into_inner().unwrap();
+
+            prop_assert_eq!(
+                seen.len() + failed.len(),
+                pushers * per_pusher,
+                "every job accounted for exactly once"
+            );
+            seen.sort_unstable();
+            accepted.sort_unstable();
+            prop_assert_eq!(&seen, &accepted, "delivered set == accepted set");
+            for job in &failed {
+                prop_assert!(!seen.contains(job), "failed push also delivered: {:?}", job);
+            }
+        }
     }
 }

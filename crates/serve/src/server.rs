@@ -1,21 +1,55 @@
-//! The TCP server: accept loop, connection handlers, and the worker
-//! pool.
+//! The TCP server: accept loop, connection handlers, the worker pool,
+//! and its supervisor.
 //!
 //! Threading model (std only — no async runtime):
 //!
 //! * one **accept thread** that only accepts and spawns; it never
 //!   parses, queues, or waits on a simulation, so a full queue or a
-//!   slow job cannot stall new connections;
+//!   slow job cannot stall new connections. An optional max-in-flight
+//!   connection cap answers `503 overloaded` straight from this path;
 //! * one detached **handler thread** per connection: reads the request,
 //!   serves `GET`s directly, and for jobs either replays the cache or
 //!   enqueues and blocks on a rendezvous channel for the result;
 //! * `workers` long-lived **worker threads**, each owning one reusable
 //!   [`Machine`] recycled per job (`Machine::reset_for_new_job`), pulling
-//!   from the fair bounded [`JobQueue`].
+//!   from the fair bounded [`JobQueue`];
+//! * one **supervisor thread** that owns the worker join handles. Every
+//!   worker carries an exit notice fired on *any* exit — clean or
+//!   unwinding — and the supervisor respawns dead workers (and rebuilds
+//!   their machines) so one poisoned job can never shrink the pool.
 //!
-//! Backpressure: the queue bound is the only admission control. When it
-//! is full the handler answers `429 Too Many Requests` with
-//! `Retry-After: 1` immediately — no blocking, no buffering.
+//! Admission control and overload behavior: every job that reaches
+//! admission (parsed, cache-missed) counts `jobs_accepted` and lands in
+//! exactly one terminal bucket, so at quiescence
+//! `jobs_accepted == jobs_completed + jobs_rejected + jobs_shed +
+//! jobs_failed` — the accounting invariant the chaos harness asserts:
+//!
+//! * **queue full** → immediate `429 Retry-After: 1` (*rejected*) — no
+//!   blocking, no buffering;
+//! * **draining** → immediate `503 draining` (*rejected*); `GET`s keep
+//!   working so probes see `draining: true` instead of a dead port;
+//! * **deadline burned** (`?deadline-ms=` spent in the queue, or the
+//!   run overrunning it) → structured `503 deadline-exceeded` (*shed*).
+//!   Queue-age shedding happens at dequeue, CoDel-style: an expired job
+//!   is answered without ever occupying a worker (the per-worker job
+//!   counters prove it), and a running job checks the deadline at
+//!   cooperative checkpoints inside the simulator;
+//! * **worker panic** → the panic is caught, the worker's `Machine` is
+//!   quarantined and rebuilt, and the client gets a structured `500`
+//!   (*failed*); a worker thread that dies outright is respawned by the
+//!   supervisor and its in-flight job answers `500 worker-lost`
+//!   (*failed*). Either way the pool never shrinks.
+//!
+//! Slow-client defenses: the request head, request body, and response
+//! write each run under an *absolute* deadline
+//! ([`crate::http::DeadlineStream`]) — the head gets its own, shorter
+//! budget, so a slow-loris dribbling header bytes cannot pin a
+//! connection slot for the full I/O timeout.
+//!
+//! Shutdown is a bounded drain: stop admitting, let in-flight jobs
+//! finish within the budget, then cancel stragglers at their next
+//! checkpoint and answer orphans with `503 draining` — every accepted
+//! job still gets its terminal response.
 //!
 //! Every request gets a process-unique id and a [`SpanSet`] tracking its
 //! journey (`read-request` → `parse` → `cache-lookup` → `queue-wait` →
@@ -29,7 +63,7 @@
 //! it reaches the histograms but — by construction — not the embedded
 //! trace of its own request.
 
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -40,10 +74,23 @@ use mt_obs::SpanSet;
 use mt_sim::{Machine, SimConfig};
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, Request, Response};
-use crate::job::{execute_timed, Endpoint, JobRequest, RunOptions, SCHEMA};
+use crate::http::{read_body, read_head, DeadlineStream, Request, Response};
+use crate::job::{
+    execute_controlled, shed_body, Endpoint, JobControl, JobRequest, RunOptions, SCHEMA,
+};
 use crate::metrics::{Gauges, ServeMetrics};
 use crate::queue::JobQueue;
+
+/// Chaos hook: a job whose source contains this marker (and a server
+/// started with `chaos_hooks`) panics *inside* the worker's
+/// `catch_unwind` — exercising the caught-panic path: machine rebuilt,
+/// `worker_panics` bumped, structured `500`, pool intact.
+pub const PANIC_MARKER: &str = "CHAOS-PANIC-WORKER";
+
+/// Chaos hook: like [`PANIC_MARKER`] but the panic fires *outside*
+/// `catch_unwind`, killing the worker thread outright — exercising the
+/// supervisor respawn path and the handler's `500 worker-lost` reply.
+pub const KILL_MARKER: &str = "CHAOS-KILL-WORKER";
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -56,8 +103,21 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Result-cache capacity in responses (0 disables caching).
     pub cache_entries: usize,
-    /// Per-connection socket read/write timeout.
+    /// Absolute deadline for the request body read and the response
+    /// write (each armed separately).
     pub io_timeout: Duration,
+    /// Absolute deadline for producing the request head — the
+    /// slow-loris budget, deliberately shorter than `io_timeout`.
+    pub header_timeout: Duration,
+    /// Max in-flight connections (0 = unlimited); excess connections
+    /// get an immediate `503 overloaded`.
+    pub max_connections: usize,
+    /// How long [`ServerHandle::shutdown`] lets in-flight jobs finish
+    /// before cancelling them at their next checkpoint.
+    pub drain_budget: Duration,
+    /// Enable the [`PANIC_MARKER`]/[`KILL_MARKER`] fault-injection
+    /// hooks. Off by default; only the chaos harness turns this on.
+    pub chaos_hooks: bool,
     /// Write one structured line per request to stderr.
     pub access_log: bool,
 }
@@ -70,6 +130,10 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_entries: 256,
             io_timeout: Duration::from_secs(10),
+            header_timeout: Duration::from_secs(5),
+            max_connections: 256,
+            drain_budget: Duration::from_secs(5),
+            chaos_hooks: false,
             access_log: false,
         }
     }
@@ -88,23 +152,50 @@ struct WorkerSpans {
 }
 
 /// A job traveling through the queue: the request plus the rendezvous
-/// channel its handler waits on and the span anchor workers measure
-/// against.
+/// channel its handler waits on, the span anchor workers measure
+/// against, and the absolute deadline (if the client set one).
 struct QueuedJob {
     request: JobRequest,
     reply: mpsc::SyncSender<(u16, String, WorkerSpans)>,
     t0: Instant,
+    deadline: Option<Instant>,
 }
 
-/// State shared by the accept thread, handlers, and workers.
+impl QueuedJob {
+    /// Answers this job without a worker: used by the dequeue-side
+    /// queue-age shed and by shutdown for drain orphans. The reply
+    /// carries zero-width worker spans (the job never ran).
+    fn answer(&self, status: u16, body: String) {
+        let now_us = self.t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let spans = WorkerSpans {
+            start_us: now_us,
+            end_us: now_us,
+            sim: None,
+        };
+        let _ = self.reply.send((status, body, spans));
+    }
+}
+
+/// State shared by the accept thread, handlers, workers, and the
+/// supervisor.
 struct Shared {
     queue: JobQueue<QueuedJob>,
     cache: Mutex<ResultCache>,
     metrics: ServeMetrics,
+    /// Final flag: the accept loop exits when it observes this.
     shutdown: AtomicBool,
+    /// Drain phase 1: stop admitting jobs; GETs still served.
+    draining: AtomicBool,
+    /// Drain phase 2: cancel in-flight runs at their next checkpoint.
+    drain_hard: AtomicBool,
     busy_workers: AtomicUsize,
+    open_connections: AtomicUsize,
     workers: usize,
     next_request_id: AtomicU64,
+    io_timeout: Duration,
+    header_timeout: Duration,
+    max_connections: usize,
+    chaos_hooks: bool,
     access_log: bool,
 }
 
@@ -115,6 +206,8 @@ impl Shared {
             queue_capacity: self.queue.capacity(),
             workers: self.workers,
             busy_workers: self.busy_workers.load(Ordering::SeqCst),
+            open_connections: self.open_connections.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
         }
     }
 
@@ -137,13 +230,55 @@ impl Shared {
     }
 }
 
+/// Decrements `busy_workers` on drop — including a panicking worker's
+/// unwind, so the gauge cannot leak upward when a job dies.
+struct BusyGuard<'a>(&'a Shared);
+
+impl<'a> BusyGuard<'a> {
+    fn enter(shared: &'a Shared) -> BusyGuard<'a> {
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        BusyGuard(shared)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Decrements `open_connections` on drop, however the handler exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Fires the worker's exit notice on drop — a clean queue-closed exit
+/// and a panic unwind both reach the supervisor, which is what lets it
+/// tell "respawn" from "done".
+struct ExitNotice {
+    tx: mpsc::Sender<(usize, bool)>,
+    index: usize,
+    clean: bool,
+}
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let _ = self.tx.send((self.index, self.clean));
+    }
+}
+
 /// A running server. Dropping the handle does *not* stop it; call
 /// [`ServerHandle::shutdown`].
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    drain_budget: Duration,
     accept_thread: Option<JoinHandle<()>>,
-    worker_threads: Vec<JoinHandle<()>>,
+    supervisor_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -170,23 +305,52 @@ impl ServerHandle {
         assert!(panicker.join().is_err());
     }
 
-    /// Stops accepting, drains queued jobs, and joins all threads.
+    /// Graceful bounded drain, then stop:
+    ///
+    /// 1. set `draining` — job admission answers `503`, `GET`s keep
+    ///    working so probes can watch the drain;
+    /// 2. wait up to the drain budget for the queue and workers to
+    ///    quiesce;
+    /// 3. set `drain_hard` — in-flight runs abandon at their next
+    ///    cooperative checkpoint with `503 draining`;
+    /// 4. close the queue and answer every orphaned job with a
+    ///    structured `503` (counted as *shed* — the accounting
+    ///    invariant survives shutdown);
+    /// 5. stop the accept loop and join all threads.
     pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let quiesce_by = Instant::now() + self.drain_budget;
+        while Instant::now() < quiesce_by
+            && (!self.shared.queue.is_empty()
+                || self.shared.busy_workers.load(Ordering::SeqCst) > 0)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.drain_hard.store(true, Ordering::SeqCst);
+        let orphans = self.shared.queue.close_and_take();
+        for job in orphans {
+            self.shared.metrics.add("jobs_shed", 1);
+            self.shared.metrics.add(status_counter(503), 1);
+            job.answer(
+                503,
+                shed_body("draining", "server draining; job abandoned in queue"),
+            );
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
         // The accept loop is parked in `accept()`; a throwaway connection
         // wakes it to observe the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for t in self.worker_threads.drain(..) {
+        if let Some(t) = self.supervisor_thread.take() {
             let _ = t.join();
         }
     }
 }
 
-/// Binds, spawns the worker pool and accept thread, and returns.
+/// Binds, spawns the worker pool, supervisor, and accept thread, and
+/// returns.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -200,53 +364,134 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         cache: Mutex::new(ResultCache::new(config.cache_entries)),
         metrics: ServeMetrics::new(),
         shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        drain_hard: AtomicBool::new(false),
         busy_workers: AtomicUsize::new(0),
+        open_connections: AtomicUsize::new(0),
         workers,
         next_request_id: AtomicU64::new(0),
+        io_timeout: config.io_timeout,
+        header_timeout: config.header_timeout,
+        max_connections: config.max_connections,
+        chaos_hooks: config.chaos_hooks,
         access_log: config.access_log,
     });
     shared.metrics.set_workers(workers);
 
-    let worker_threads = (0..workers)
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("mt-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared, i))
-                .expect("spawn worker")
-        })
+    let (notice_tx, notice_rx) = mpsc::channel();
+    let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+        .map(|i| Some(spawn_worker(&shared, i, notice_tx.clone())))
         .collect();
+    let supervisor_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("mt-serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(&shared, handles, notice_rx, notice_tx))
+            .expect("spawn supervisor")
+    };
 
     let accept_thread = {
         let shared = Arc::clone(&shared);
-        let io_timeout = config.io_timeout;
         std::thread::Builder::new()
             .name("mt-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared, io_timeout))
+            .spawn(move || accept_loop(&listener, &shared))
             .expect("spawn accept thread")
     };
 
     Ok(ServerHandle {
         addr,
         shared,
+        drain_budget: config.drain_budget,
         accept_thread: Some(accept_thread),
-        worker_threads,
+        supervisor_thread: Some(supervisor_thread),
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duration) {
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    index: usize,
+    tx: mpsc::Sender<(usize, bool)>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("mt-serve-worker-{index}"))
+        .spawn(move || {
+            let mut notice = ExitNotice {
+                tx,
+                index,
+                clean: false,
+            };
+            worker_loop(&shared, index);
+            notice.clean = true;
+        })
+        .expect("spawn worker")
+}
+
+/// Owns the worker join handles. Each exit notice is either a clean
+/// queue-closed exit (count it down) or a death (join the corpse and
+/// respawn, unless the server is draining). The loop ends when every
+/// slot has exited cleanly — which only happens at shutdown.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    rx: mpsc::Receiver<(usize, bool)>,
+    tx: mpsc::Sender<(usize, bool)>,
+) {
+    let mut live = handles.len();
+    while live > 0 {
+        let Ok((index, clean)) = rx.recv() else { break };
+        if let Some(h) = handles[index].take() {
+            let _ = h.join();
+        }
+        if clean || shared.draining.load(Ordering::SeqCst) {
+            live -= 1;
+        } else {
+            shared.metrics.add("worker_respawns", 1);
+            handles[index] = Some(spawn_worker(shared, index, tx.clone()));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = conn else { continue };
+        // Connection cap: answer 503 from a throwaway thread (the write
+        // can block on a slow peer; the accept loop must not).
+        if shared.max_connections != 0
+            && shared.open_connections.load(Ordering::SeqCst) >= shared.max_connections
+        {
+            shared.metrics.add("rejected_overloaded", 1);
+            let io_timeout = shared.io_timeout;
+            let _ = std::thread::Builder::new()
+                .name("mt-serve-overload".to_string())
+                .spawn(move || {
+                    let stream = DeadlineStream::new(stream);
+                    stream.set_write_deadline(Some(Instant::now() + io_timeout));
+                    let body = shed_body("overloaded", "connection limit reached");
+                    let _ = Response::json(503, body)
+                        .with_header("Retry-After", "1")
+                        .write_to(&mut &stream);
+                });
+            continue;
+        }
+        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(shared));
         let shared = Arc::clone(shared);
         // Handlers are detached: each one either answers quickly (GETs,
         // cache hits, 429s) or blocks on its own job's rendezvous — never
         // on another connection.
-        let _ = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("mt-serve-conn".to_string())
-            .spawn(move || handle_connection(stream, &shared, io_timeout));
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(stream, &shared);
+            });
+        // On spawn failure the closure (and the guard inside it) is
+        // dropped, which decrements the gauge — no leak either way.
+        drop(spawned);
     }
 }
 
@@ -257,22 +502,91 @@ fn offset_us(t0: Instant, t: Instant) -> u64 {
 
 fn worker_loop(shared: &Shared, index: usize) {
     // One machine per worker, recycled across jobs (`reset_for_new_job`
-    // inside `execute_timed`); allocations for memory, caches, and
-    // decode tables are paid once.
+    // inside `execute_controlled`); allocations for memory, caches, and
+    // decode tables are paid once. A caught panic quarantines the
+    // machine (its internal state is suspect) and rebuilds it fresh.
     let mut machine = Machine::new(SimConfig::default());
     while let Some(job) = shared.queue.pop() {
-        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        // Queue-age shed, CoDel-style: a deadline burned entirely in
+        // the queue answers here, before the busy gauge or the
+        // per-worker job counters — the job never occupies this worker.
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                shared.metrics.add("jobs_shed", 1);
+                shared.metrics.add(status_counter(503), 1);
+                job.answer(
+                    503,
+                    shed_body("deadline-exceeded", "request deadline expired while queued"),
+                );
+                continue;
+            }
+        }
+        let busy = BusyGuard::enter(shared);
         let picked = Instant::now();
-        let (result, timing) = execute_timed(&job.request, &mut machine);
+        if shared.chaos_hooks && job.request.source.contains(KILL_MARKER) {
+            // Deliberately *outside* catch_unwind: the thread dies, the
+            // exit notice fires, and the supervisor must respawn. The
+            // dropped reply sender becomes the handler's `worker-lost`.
+            panic!("chaos hook: killing worker {index}");
+        }
+        let control = JobControl {
+            deadline: job.deadline,
+            cancel: Some(&shared.drain_hard),
+        };
+        let hooks = shared.chaos_hooks;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if hooks && job.request.source.contains(PANIC_MARKER) {
+                panic!("chaos hook: panicking in worker {index}");
+            }
+            execute_controlled(&job.request, &mut machine, &control)
+        }));
+        let (result, timing) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => {
+                // The machine may be mid-run with arbitrary internal
+                // state; quarantine it and start over.
+                machine = Machine::new(SimConfig::default());
+                shared.metrics.add("worker_panics", 1);
+                shared.metrics.add("jobs_failed", 1);
+                shared.metrics.add(status_counter(500), 1);
+                let done = Instant::now();
+                let spans = WorkerSpans {
+                    start_us: offset_us(job.t0, picked),
+                    end_us: offset_us(job.t0, done),
+                    sim: None,
+                };
+                let body = shed_body("worker-panic", "job panicked; worker recovered");
+                let _ = job.reply.send((500, body, spans));
+                shared.metrics.record_worker_job(
+                    index,
+                    done.saturating_duration_since(picked).as_micros() as u64,
+                );
+                drop(busy);
+                continue;
+            }
+        };
         if let Some(cycles) = result.cycles {
             shared.metrics.record_service_cycles(cycles);
         }
         shared.metrics.add(status_counter(result.status), 1);
-        shared.cache().insert(
-            job.request.key_material(),
-            result.status,
-            result.body.clone(),
-        );
+        // Terminal bucket: a 503 from a controlled run is a shed
+        // (deadline mid-run, or drain-cancelled); anything else is a
+        // normal completion (200/400/422).
+        if result.status == 503 {
+            shared.metrics.add("jobs_shed", 1);
+        } else {
+            shared.metrics.add("jobs_completed", 1);
+        }
+        // Only deterministic results are cacheable: shed/cancel bodies
+        // (503) depend on wall-clock timing and must never be replayed
+        // for a different request.
+        if result.status < 500 {
+            shared.cache().insert(
+                job.request.key_material(),
+                result.status,
+                result.body.clone(),
+            );
+        }
         let done = Instant::now();
         let spans = WorkerSpans {
             start_us: offset_us(job.t0, picked),
@@ -288,7 +602,7 @@ fn worker_loop(shared: &Shared, index: usize) {
             index,
             done.saturating_duration_since(picked).as_micros() as u64,
         );
-        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        drop(busy);
     }
 }
 
@@ -297,32 +611,41 @@ fn status_counter(status: u16) -> &'static str {
         200 => "responses_200",
         400 => "responses_400",
         422 => "responses_422",
+        500 => "responses_500",
+        503 => "responses_503",
         _ => "responses_other",
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let stream = DeadlineStream::new(stream);
     let peer = stream
+        .get_ref()
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "unknown".to_string());
     let request_id = shared.next_request_id.fetch_add(1, Ordering::SeqCst) + 1;
     let mut spans = SpanSet::begin(request_id);
-    let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(r) => r,
+    // The head gets its own, shorter budget (slow-loris defense); the
+    // body runs under the general I/O deadline.
+    stream.set_read_deadline(Some(Instant::now() + shared.header_timeout));
+    let mut reader = BufReader::new(&stream);
+    let head = match read_head(&mut reader) {
+        Ok(h) => h,
         Err(e) => {
-            if e.status() != 0 {
-                let body = format!(
-                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"http\"}}\n"
-                );
-                respond(reader.into_inner(), Response::json(e.status(), body));
-            }
+            respond_http_error(&stream, shared, e.status());
             return;
         }
     };
+    stream.set_read_deadline(Some(Instant::now() + shared.io_timeout));
+    let request = match read_body(&mut reader, head) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_http_error(&stream, shared, e.status());
+            return;
+        }
+    };
+    drop(reader);
     spans.record("read-request", spans.t0(), Instant::now());
     let response = route(&request, &peer, shared, &mut spans);
     let status = response.status;
@@ -333,7 +656,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
         .find(|(k, _)| k == "X-Cache")
         .map(|(_, v)| v.clone());
     let respond_start = Instant::now();
-    respond(reader.into_inner(), response);
+    respond(&stream, shared, response);
     let respond_end = Instant::now();
     spans.record("respond", respond_start, respond_end);
     spans.record("total", spans.t0(), respond_end);
@@ -355,6 +678,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared, io_timeout: Duration) {
             )
         );
     }
+}
+
+/// Answers a request that never parsed (status 0 = the connection is
+/// beyond responding to).
+fn respond_http_error(stream: &DeadlineStream, shared: &Shared, status: u16) {
+    if status == 0 {
+        return;
+    }
+    let body = format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"http\"}}\n");
+    respond(stream, shared, Response::json(status, body));
 }
 
 /// One structured `key=value` line per request — machine-parseable,
@@ -434,6 +767,18 @@ fn attach_span_trace(response: Response, spans: &SpanSet) -> Response {
     }
 }
 
+/// The `503 draining` admission refusal (terminal bucket: *rejected*).
+fn draining_response(shared: &Shared) -> Response {
+    shared.metrics.add("rejected_draining", 1);
+    shared.metrics.add("jobs_rejected", 1);
+    shared.metrics.add(status_counter(503), 1);
+    Response::json(
+        503,
+        shed_body("draining", "server draining; not accepting new jobs"),
+    )
+    .with_header("Retry-After", "1")
+}
+
 /// Builds the job from the request, replays the cache, or queues and
 /// waits.
 fn job_response(
@@ -461,6 +806,23 @@ fn job_response(
             );
             return Response::json(400, doc);
         }
+    };
+    // `?deadline-ms=` anchors at the request's own t0, so queue wait
+    // counts against it. Deliberately *not* part of RunOptions: the
+    // deadline must never reach the cache key (a cached body is valid
+    // for any deadline).
+    let deadline = match request.query_get("deadline-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(spans.t0() + Duration::from_millis(ms)),
+            Err(e) => {
+                let doc = format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-query\", \"message\": {}}}\n",
+                    mt_trace::Json::Str(format!("bad deadline-ms `{v}`: {e}")).pretty()
+                );
+                return Response::json(400, doc);
+            }
+        },
+        None => None,
     };
     let source = match String::from_utf8(request.body.clone()) {
         Ok(s) => s,
@@ -493,6 +855,30 @@ fn job_response(
     }
     shared.metrics.add("cache_misses", 1);
 
+    // The job now enters accounting: exactly one of the terminal
+    // buckets below (rejected / shed / failed / completed) must claim
+    // it, or the chaos harness's invariant check will catch the leak.
+    shared.metrics.add("jobs_accepted", 1);
+    if shared.draining.load(Ordering::SeqCst) {
+        return finish(draining_response(shared), spans);
+    }
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            shared.metrics.add("jobs_shed", 1);
+            shared.metrics.add(status_counter(503), 1);
+            return finish(
+                Response::json(
+                    503,
+                    shed_body(
+                        "deadline-exceeded",
+                        "request deadline expired before admission",
+                    ),
+                ),
+                spans,
+            );
+        }
+    }
+
     // Fairness lane: the client's declared identity, or its peer IP.
     let client = request.header("x-client-id").unwrap_or(peer).to_string();
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
@@ -501,9 +887,17 @@ fn job_response(
         request: job,
         reply: reply_tx,
         t0: spans.t0(),
+        deadline,
     };
     if shared.queue.push(&client, queued).is_err() {
+        // A closed queue means the drain started between the check
+        // above and the push — that's a draining rejection, not a
+        // queue-full one.
+        if shared.draining.load(Ordering::SeqCst) {
+            return finish(draining_response(shared), spans);
+        }
         shared.metrics.add("rejected_429", 1);
+        shared.metrics.add("jobs_rejected", 1);
         return finish(
             Response::json(
                 429,
@@ -531,13 +925,22 @@ fn job_response(
             if let Some((sim_start_us, sim_dur_us)) = w.sim {
                 spans.record_offsets("sim-run", sim_start_us, sim_dur_us);
             }
-            finish(Response::json(status, body).with_header("X-Cache", "miss"), spans)
+            finish(
+                Response::json(status, body).with_header("X-Cache", "miss"),
+                spans,
+            )
         }
-        // The queue was closed (shutdown) before a worker took the job.
-        Err(_) => Response::json(
-            503,
-            format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"shutting-down\"}}\n"),
-        ),
+        // The reply sender dropped without sending: the worker thread
+        // died mid-job (shutdown orphans are answered explicitly, so
+        // this is unambiguous). The supervisor is already respawning.
+        Err(_) => {
+            shared.metrics.add("jobs_failed", 1);
+            shared.metrics.add(status_counter(500), 1);
+            Response::json(
+                500,
+                shed_body("worker-lost", "worker died while executing this job"),
+            )
+        }
     }
 }
 
@@ -563,9 +966,15 @@ fn parse_options(request: &Request) -> Result<RunOptions, String> {
     Ok(options)
 }
 
-fn respond(mut stream: TcpStream, response: Response) {
-    let _ = response.write_to(&mut stream);
-    let _ = stream.flush();
+/// Writes the response under the I/O write deadline. A peer that stops
+/// reading cannot pin this thread past the deadline; failures bump
+/// `respond_errors` (the job itself already reached its terminal
+/// bucket — the response write is best-effort).
+fn respond(stream: &DeadlineStream, shared: &Shared, response: Response) {
+    stream.set_write_deadline(Some(Instant::now() + shared.io_timeout));
+    if response.write_to(&mut &*stream).is_err() {
+        shared.metrics.add("respond_errors", 1);
+    }
 }
 
 #[cfg(test)]

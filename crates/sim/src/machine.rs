@@ -177,6 +177,15 @@ pub enum RunError {
         /// Consecutive cycles without progress.
         idle_cycles: u64,
     },
+    /// A cooperative cancellation checkpoint
+    /// ([`Machine::run_cancellable`]) asked the run to stop — the service
+    /// layer's request deadline expired or the server began draining. The
+    /// machine state is exactly the paused state a [`Machine::run_until`]
+    /// stop at the same cycle would leave.
+    Cancelled {
+        /// Machine cycle at which the run was abandoned.
+        cycle: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -193,6 +202,12 @@ impl std::fmt::Display for RunError {
                 write!(
                     f,
                     "watchdog: no progress for {idle_cycles} cycles at pc {pc:#x}"
+                )
+            }
+            RunError::Cancelled { cycle } => {
+                write!(
+                    f,
+                    "run cancelled at a cooperative checkpoint (cycle {cycle})"
                 )
             }
         }
@@ -607,6 +622,53 @@ impl Machine {
         }
     }
 
+    /// [`Machine::run`] with a cooperative cancellation checkpoint: every
+    /// `check_every` cycles the run pauses (skipping engines clamp their
+    /// jumps to the checkpoint, exactly as they clamp to a
+    /// [`Machine::run_until`] stop point) and asks `cancelled`; a `true`
+    /// answer abandons the run with [`RunError::Cancelled`], leaving the
+    /// machine in the same state a `run_until` pause at that cycle would.
+    /// A run that is never cancelled is bit-identical to [`Machine::run`]
+    /// — same statistics, same trace, same architectural results — because
+    /// the checkpoint is a clamp inside one `run_inner` call, not a
+    /// re-entry (re-entry would reset the cycle-limit budget and report
+    /// per-slice statistics deltas).
+    ///
+    /// This is the service layer's request-deadline and drain-cancel hook:
+    /// the closure typically compares `Instant::now()` against a deadline
+    /// or loads an [`std::sync::atomic::AtomicBool`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Machine::run`] returns, plus [`RunError::Cancelled`].
+    pub fn run_cancellable(
+        &mut self,
+        check_every: u64,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> Result<RunStats, RunError> {
+        if self.config.trace {
+            let mut buf = std::mem::take(&mut self.trace_events);
+            buf.clear();
+            let result = self.run_inner_cancellable(&mut buf, None, Some((check_every, cancelled)));
+            self.trace_events = buf;
+            result
+        } else {
+            self.run_inner_cancellable(&mut NullSink, None, Some((check_every, cancelled)))
+        }
+        .map(|stats| stats.expect("a run without a stop point always completes"))
+    }
+
+    /// [`Machine::run_cancellable`] with a caller-supplied event sink.
+    pub fn run_cancellable_with_sink<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        check_every: u64,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> Result<RunStats, RunError> {
+        self.run_inner_cancellable(sink, None, Some((check_every, cancelled)))
+            .map(|stats| stats.expect("a run without a stop point always completes"))
+    }
+
     /// [`Machine::run`] with a caller-supplied event sink. The run loop is
     /// generic over the sink, so a no-op sink compiles to the untraced
     /// loop while a recording or folding sink sees every typed event
@@ -679,6 +741,15 @@ impl Machine {
         sink: &mut S,
         stop_at: Option<u64>,
     ) -> Result<Option<RunStats>, RunError> {
+        self.run_inner_cancellable(sink, stop_at, None)
+    }
+
+    fn run_inner_cancellable<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        stop_at: Option<u64>,
+        mut checkpoint: Option<(u64, &mut dyn FnMut() -> bool)>,
+    ) -> Result<Option<RunStats>, RunError> {
         let start_cycle = self.cycle;
         let start_instructions = self.instructions;
         let start_stalls = self.stalls;
@@ -711,6 +782,14 @@ impl Machine {
         // jump may land there but never beyond.
         let limit_cycle = start_cycle + self.config.max_cycles + 1;
         let watchdog = self.config.watchdog_cycles;
+        // First cycle at which the cancellation closure runs; advanced by
+        // `check_every` after each (negative) answer. Skipping engines
+        // clamp their jumps here the same way they clamp to `stop_at`, so
+        // a checkpoint is reached within one engine dispatch of falling
+        // due no matter how the span executes.
+        let mut next_check = checkpoint
+            .as_ref()
+            .map(|(every, _)| start_cycle + (*every).max(1));
 
         while !self.halted {
             if let Some(stop) = stop_at {
@@ -719,6 +798,25 @@ impl Machine {
                     return Ok(None);
                 }
             }
+            if let Some((every, cancelled)) = checkpoint.as_mut() {
+                let due = next_check.expect("checkpoint always has a due cycle");
+                if self.cycle >= due {
+                    if cancelled() {
+                        self.catch_up_retires();
+                        return Err(RunError::Cancelled { cycle: self.cycle });
+                    }
+                    next_check = Some(self.cycle + (*every).max(1));
+                }
+            }
+            // The clamp handed to the skipping engines: the real stop
+            // point or the next cancellation checkpoint, whichever is
+            // sooner. Pausing at the checkpoint and re-entering the loop
+            // is exactly the proven run_until pause path, so a run that is
+            // never cancelled stays bit-identical to an unclamped one.
+            let bound = match (stop_at, next_check) {
+                (Some(s), Some(c)) => Some(s.min(c)),
+                (s, c) => s.or(c),
+            };
             if let Some(at) = self.interrupt_at {
                 if self.cycle >= at {
                     self.halted = true;
@@ -738,7 +836,7 @@ impl Machine {
                 });
             }
             if use_xlate {
-                match self.xlate_span(limit_cycle, stop_at)? {
+                match self.xlate_span(limit_cycle, bound)? {
                     // The span paused at a boundary cycle (stop point,
                     // interrupt, cycle limit, watchdog deadline) or
                     // halted: re-run the checks above at the new cycle,
@@ -759,7 +857,7 @@ impl Machine {
             // underway — so executing cycles never pay for the probe.
             if fast_forward
                 && (self.cpu_waiting || self.cycle < self.freeze_until)
-                && self.fast_forward(limit_cycle, stop_at)
+                && self.fast_forward(limit_cycle, bound)
             {
                 // Jumped: re-run the stop, interrupt, cycle-limit, and
                 // watchdog checks at the new cycle, exactly as the tick
