@@ -56,6 +56,11 @@ struct ClientOptions {
     concurrency: usize,
     requests: usize,
     query: Vec<(String, String)>,
+    /// `--config-axis knob=v1,v2` axes: request *i* takes
+    /// `values[i % len]` from each axis, so a request stream replays a
+    /// configuration sweep (and exercises one cache entry per distinct
+    /// configuration).
+    config_axes: Vec<(String, Vec<u64>)>,
     print_body: bool,
 }
 
@@ -85,6 +90,7 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
     let mut concurrency = 4;
     let mut requests = 16;
     let mut query = Vec::new();
+    let mut config_axes: Vec<(String, Vec<u64>)> = Vec::new();
     let mut print_body = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -118,6 +124,34 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
                 "deadline-ms".to_string(),
                 value("--deadline-ms")?.to_string(),
             )),
+            "--config" => {
+                let v = value("--config")?;
+                // Validate locally so typos fail before any request.
+                mt_sim::MachineConfig::parse(v).map_err(|e| format!("bad --config: {e}"))?;
+                query.push(("config".to_string(), v.to_string()));
+            }
+            "--config-axis" => {
+                let v = value("--config-axis")?;
+                let (knob, list) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --config-axis `{v}` (need knob=v1,v2)"))?;
+                let mut values = Vec::new();
+                for item in list.split(',') {
+                    let n: u64 = item
+                        .parse()
+                        .map_err(|e| format!("bad --config-axis value `{item}`: {e}"))?;
+                    let mut probe = mt_sim::MachineConfig::default();
+                    probe
+                        .set_knob(knob, n)
+                        .and_then(|()| probe.validate())
+                        .map_err(|e| format!("bad --config-axis: {e}"))?;
+                    values.push(n);
+                }
+                if values.is_empty() {
+                    return Err(format!("--config-axis `{v}` has no values"));
+                }
+                config_axes.push((knob.to_string(), values));
+            }
             "--cold" => query.push(("cold".to_string(), "1".to_string())),
             "--lint" => query.push(("lint".to_string(), "1".to_string())),
             "--profile" => query.push(("profile".to_string(), "1".to_string())),
@@ -132,6 +166,9 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
     if concurrency == 0 || requests == 0 {
         return Err("--concurrency and --requests must be at least 1".to_string());
     }
+    if !config_axes.is_empty() && query.iter().any(|(k, _)| k == "config") {
+        return Err("--config and --config-axis are mutually exclusive".to_string());
+    }
     Ok(ClientOptions {
         url,
         path: path.ok_or("missing input file")?,
@@ -139,6 +176,7 @@ fn parse_client_options(args: &[String]) -> Result<ClientOptions, String> {
         concurrency,
         requests,
         query,
+        config_axes,
         print_body,
     })
 }
@@ -283,27 +321,47 @@ pub fn run(args: &[String]) -> Result<(), String> {
     } else {
         format!("/{}?{query}", opts.endpoint)
     };
+    // With `--config-axis` each request carries its own `config=` query
+    // parameter, chosen by global request index so the replayed sweep is
+    // independent of thread scheduling.
+    let target_for = |i: usize| -> String {
+        if opts.config_axes.is_empty() {
+            return target.clone();
+        }
+        let cfg = opts
+            .config_axes
+            .iter()
+            .map(|(knob, values)| format!("{knob}={}", values[i % values.len()]))
+            .collect::<Vec<_>>()
+            .join(",");
+        let sep = if target.contains('?') { '&' } else { '?' };
+        format!("{target}{sep}config={cfg}")
+    };
 
     let tally = Mutex::new(Tally::default());
     let started = Instant::now();
     std::thread::scope(|scope| {
+        let quota = opts.requests / opts.concurrency;
+        let remainder = opts.requests % opts.concurrency;
         for worker in 0..opts.concurrency {
             // Spread the request count across threads (first threads take
-            // the remainder).
-            let share = opts.requests / opts.concurrency
-                + usize::from(worker < opts.requests % opts.concurrency);
-            let (addr, target, source, tally) = (&addr, &target, &source, &tally);
+            // the remainder); each thread owns a contiguous block of
+            // global request indices so config axes replay determinately.
+            let share = quota + usize::from(worker < remainder);
+            let start = worker * quota + worker.min(remainder);
+            let (addr, source, tally, target_for) = (&addr, &source, &tally, &target_for);
             scope.spawn(move || {
                 let client_id = format!("client-{worker}");
                 // Latency is recorded thread-locally and merged once at
                 // the end — mergeable histograms make the aggregate
                 // independent of thread interleaving.
                 let mut latency = HdrHistogram::default();
-                for _ in 0..share {
+                for j in 0..share {
+                    let target = target_for(start + j);
                     let request_start = Instant::now();
                     let mut retries = 0;
                     let reply = loop {
-                        match post(addr, target, &client_id, source.as_bytes()) {
+                        match post(addr, &target, &client_id, source.as_bytes()) {
                             Ok(r) if r.status == 429 && retries < 200 => {
                                 retries += 1;
                                 std::thread::sleep(Duration::from_millis(25));

@@ -7,7 +7,7 @@
 //! mtasm lint <file.s> [--base <hex>]           static analysis only
 //! mtasm run  <file.s> [--base <hex>] [--lint] [--trace] [--timeline]
 //!            [--cold] [--profile] [--top <n>] [--trace-out <file.json>]
-//!            [--backend tick|xlate]
+//!            [--backend tick|xlate] [--config knob=value,...]
 //!                                              assemble and simulate to halt
 //! mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>]
 //!            [--trace-out <file.json>]         simulate; hot-spot report
@@ -17,6 +17,10 @@
 //!
 //! `run` starts with warm instruction fetch unless `--cold` is given, and
 //! prints the run statistics (cycles, MFLOPS, stall breakdown) on exit.
+//! `--config knob=value,...` overrides microarchitectural parameters
+//! (`fpu_latency`, `fpu_lanes`, `dcache_bytes`, `num_fpu_regs`, … — the
+//! `mt_sim::KNOB_NAMES` set); the default is the paper machine, and `mca`
+//! honours the same flag for its static timing model.
 //! Initialize memory with `.data <addr>` / `.double` / `.word` directives
 //! in the source (see `examples/asm/*.s`); everything else starts zeroed.
 //!
@@ -59,9 +63,14 @@
 //!              [--concurrency <n>] [--requests <m>] [--lint] [--profile]
 //!              [--trace] [--cold] [--base <hex>] [--cycles <n>]
 //!              [--watchdog <n>] [--deadline-ms <n>] [--print-body]
+//!              [--config knob=value,...] [--config-axis knob=v1,v2]...
 //! ```
 //!
-//! and prints a stable `mt-serve-bench-v1` JSON summary.
+//! and prints a stable `mt-serve-bench-v1` JSON summary. `--config`
+//! pins one machine configuration for every request; a repeatable
+//! `--config-axis knob=v1,v2` instead sweeps the axis across requests —
+//! request *i* takes `values[i % len]` from each axis, replaying a
+//! configuration sweep through the server's cache.
 //!
 //! `chaos` runs the seeded `mt-chaos` campaign against a running
 //! `mt-serve` instance:
@@ -85,16 +94,15 @@ use std::process::ExitCode;
 
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
 use mt_fault::{run_program_campaign, CampaignConfig};
-use mt_isa::cost::IssueTiming;
 use mt_isa::Instr;
 use mt_lint::cfg::ProgramView;
 use mt_lint::{lint_program_with, LintOptions, Severity};
-use mt_sim::{Backend, Machine, Program, SimConfig, Timeline};
+use mt_sim::{Backend, Machine, MachineConfig, Program, SimConfig, Timeline};
 use mt_trace::{chrome, Json, Profiler, TraceEvent};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n                 [--backend tick|xlate]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--deadline-ms <n>]\n                 [--print-body]\n       mtasm chaos [--url http://host:port] [--seed <n>] [--scenarios <n>] [--hooks]\n                 [--slow-wait-ms <n>] [--json]"
+        "usage: mtasm asm <file.s> [--base <hex>] [--lint] [--plain]\n       mtasm dis <file.hex> [--base <hex>]\n       mtasm lint <file.s> [--base <hex>] [--plain]\n       mtasm mca <file.s> [--base <hex>] [--lint] [--json] [--config knob=value,...]\n       mtasm run <file.s> [--base <hex>] [--lint] [--trace] [--timeline] [--cold]\n                 [--profile] [--mca] [--top <n>] [--trace-out <file.json>]\n                 [--backend tick|xlate] [--config knob=value,...]\n       mtasm profile <file.s> [--base <hex>] [--lint] [--cold] [--top <n>] [--mca]\n                 [--trace-out <file.json>]\n       mtasm fault <file.s> [--base <hex>] [--seed <n>] [--injections <n>] [--json]\n       mtasm client <file.s> [--url http://host:port] [--endpoint run|assemble]\n                 [--concurrency <n>] [--requests <m>] [--lint] [--profile] [--trace]\n                 [--cold] [--base <hex>] [--cycles <n>] [--watchdog <n>] [--deadline-ms <n>]\n                 [--print-body] [--config knob=value,...] [--config-axis knob=v1,v2]...\n       mtasm chaos [--url http://host:port] [--seed <n>] [--scenarios <n>] [--hooks]\n                 [--slow-wait-ms <n>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +123,7 @@ struct Options {
     json: bool,
     mca: bool,
     backend: Backend,
+    config: MachineConfig,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -133,6 +142,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut json = false;
     let mut mca = false;
     let mut backend = Backend::default();
+    let mut config = MachineConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -173,6 +183,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--backend needs tick|xlate")?;
                 backend = v.parse()?;
             }
+            "--config" => {
+                let v = it.next().ok_or("--config needs `knob=value,...`")?;
+                config = MachineConfig::parse(v).map_err(|e| format!("bad --config: {e}"))?;
+            }
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_string());
             }
@@ -195,6 +209,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json,
         mca,
         backend,
+        config,
     })
 }
 
@@ -275,7 +290,7 @@ fn mca_analyze(src: &str, opts: &Options) -> Result<(), String> {
         lint(&program, &map, &opts.path, opts.plain)?;
     }
     let view = ProgramView::decode(&program);
-    let timing = IssueTiming::multititan();
+    let timing = opts.config.timing;
     let loops = mt_mca::loops(&view, timing);
     if opts.json {
         let mut doc = Json::obj([("schema", Json::Str(mt_mca::json::SCHEMA.to_string()))]);
@@ -318,11 +333,13 @@ fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), Str
     if opts.lint {
         lint(&program, &map, &opts.path, opts.plain)?;
     }
+    opts.config.validate_program(&program)?;
     let profile = force_profile || opts.profile;
     let recording = opts.trace || opts.timeline || profile || opts.mca || opts.trace_out.is_some();
     let mut m = Machine::new(SimConfig {
         trace: opts.trace,
         backend: opts.backend,
+        machine: opts.config,
         ..SimConfig::default()
     });
     m.load_program(&program);
@@ -361,7 +378,7 @@ fn run_program(src: &str, opts: &Options, force_profile: bool) -> Result<(), Str
     }
     if opts.mca {
         let view = ProgramView::decode(&program);
-        let loops = mt_mca::loops(&view, IssueTiming::multititan());
+        let loops = mt_mca::loops(&view, opts.config.timing);
         let p = Profiler::from_events(&events);
         let resolve = |pc: u32| {
             let idx = pc.checked_sub(program.base)? / 4;

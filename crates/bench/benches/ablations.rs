@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mt_kernels::livermore;
-use mt_sim::SimConfig;
+use mt_sim::{MachineConfig, SimConfig};
 use std::hint::black_box;
 
 fn bench_ablations(c: &mut Criterion) {
@@ -12,8 +12,10 @@ fn bench_ablations(c: &mut Criterion) {
     for latency in [1u64, 3, 8] {
         group.bench_function(format!("ll07_latency{latency}"), |b| {
             b.iter(|| {
+                let mut machine = MachineConfig::default();
+                machine.timing.fpu_latency = latency;
                 let cfg = SimConfig {
-                    fpu_latency: latency,
+                    machine,
                     ..SimConfig::default()
                 };
                 black_box(mt_bench::run_with(&livermore::by_number(7), cfg))

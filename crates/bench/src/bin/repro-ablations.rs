@@ -14,8 +14,8 @@ use mt_baseline::published::harmonic_mean;
 use mt_baseline::{ClassicalVectorMachine, CrayConfig, VectorOp};
 use mt_isa::{FReg, IReg};
 use mt_kernels::livermore;
-use mt_mem::{CacheConfig, MemConfig};
-use mt_sim::{Machine, SimConfig};
+use mt_mem::CacheConfig;
+use mt_sim::{Machine, MachineConfig, SimConfig};
 
 /// A representative subset keeps each sweep fast while spanning the
 /// vectorized (1, 7, 12), reduction (3), recurrence (5, 11), and scalar
@@ -43,8 +43,10 @@ fn json_report() {
     let sweep: Vec<Json> = [1u64, 2, 3, 4, 6, 8]
         .iter()
         .map(|&latency| {
+            let mut machine = MachineConfig::default();
+            machine.timing.fpu_latency = latency;
             let cfg = SimConfig {
-                fpu_latency: latency,
+                machine,
                 ..SimConfig::default()
             };
             Json::obj([
@@ -74,8 +76,10 @@ fn main() {
 
     println!("FPU latency sweep (the machine is 3; §2.2 argues low latency):");
     for latency in [1u64, 2, 3, 4, 6, 8] {
+        let mut machine = MachineConfig::default();
+        machine.timing.fpu_latency = latency;
         let cfg = SimConfig {
-            fpu_latency: latency,
+            machine,
             ..SimConfig::default()
         };
         println!(
@@ -86,13 +90,13 @@ fn main() {
 
     println!("\nData-cache miss penalty sweep (the machine is 14):");
     for penalty in [0u64, 7, 14, 21, 28] {
-        let mut mem = MemConfig::multititan();
-        mem.data_cache = CacheConfig {
+        let mut machine = MachineConfig::default();
+        machine.mem.data_cache = CacheConfig {
             miss_penalty: penalty,
-            ..mem.data_cache
+            ..machine.mem.data_cache
         };
         let cfg = SimConfig {
-            mem,
+            machine,
             ..SimConfig::default()
         };
         println!(

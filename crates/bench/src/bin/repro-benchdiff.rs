@@ -3,7 +3,7 @@
 //! tolerances, and exits nonzero on any regression or schema break.
 //!
 //! ```text
-//! repro-benchdiff <old.json> <new.json> [--profile serve|chaos]
+//! repro-benchdiff <old.json> <new.json> [--profile serve|chaos|dse]
 //!                 [--rule <pattern>=<tolerance>]...
 //!
 //! tolerances:  exact            values must be equal (the default)
@@ -20,15 +20,17 @@
 //! place of the old `grep -v` field filtering. `--profile chaos` loads
 //! the `mt-chaos-v1` rule set (verdicts and scenario plan exact;
 //! wall-clock, raw accounting counts, and notes ignored) for
-//! `BENCH_chaos.json`.
+//! `BENCH_chaos.json`. `--profile dse` loads the `mt-dse-v1` rule set
+//! (everything exact but the top-level `elapsed_ms`) for
+//! `BENCH_dse.json`.
 
 use std::process::ExitCode;
 
-use mt_obs::benchdiff::{chaos_profile, diff, serve_profile, Rule, Tolerance};
+use mt_obs::benchdiff::{chaos_profile, diff, dse_profile, serve_profile, Rule, Tolerance};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro-benchdiff <old.json> <new.json> [--profile serve|chaos] \
+        "usage: repro-benchdiff <old.json> <new.json> [--profile serve|chaos|dse] \
          [--rule <pattern>=<tolerance>]...\n\
          tolerances: exact | ignore | rel:<pct> | rel:<pct>:higher | rel:<pct>:lower"
     );
@@ -78,8 +80,9 @@ fn main() -> ExitCode {
             "--profile" => match it.next().map(String::as_str) {
                 Some("serve") => profile_rules = serve_profile(),
                 Some("chaos") => profile_rules = chaos_profile(),
+                Some("dse") => profile_rules = dse_profile(),
                 Some(other) => {
-                    eprintln!("repro-benchdiff: unknown profile `{other}` (serve|chaos)");
+                    eprintln!("repro-benchdiff: unknown profile `{other}` (serve|chaos|dse)");
                     return usage();
                 }
                 None => {

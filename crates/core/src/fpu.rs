@@ -219,6 +219,21 @@ impl Fpu {
     /// issue; the result becomes visible `OP_LATENCY_CYCLES` later.
     #[inline]
     pub fn issue(&mut self, cycle: u64) -> IssueOutcome {
+        self.issue_lane(cycle, true)
+    }
+
+    /// One lane's issue attempt of a (possibly multi-lane) issue cycle.
+    ///
+    /// Identical to [`Fpu::issue`] except that a scoreboard-blocked
+    /// element only charges a stall cycle when `charge_stall` is set: on a
+    /// machine with `fpu_lanes > 1` the simulator retries the IR up to
+    /// `fpu_lanes` times per cycle, and only the *first* blocked attempt
+    /// represents a cycle the hardware spent stalled — later lanes going
+    /// unused after an earlier element issued is ordinary issue-width
+    /// under-utilization, not a stall. With `charge_stall = true` this is
+    /// exactly the single-lane machine's accounting.
+    #[inline]
+    pub fn issue_lane(&mut self, cycle: u64, charge_stall: bool) -> IssueOutcome {
         let Some(active) = self.ir.active() else {
             return IssueOutcome::Idle;
         };
@@ -231,7 +246,9 @@ impl Fpu {
             || (!op.is_unary() && self.scoreboard.is_reserved(refs.rb))
             || self.scoreboard.is_reserved(refs.rr);
         if blocked {
-            self.stats.scoreboard_stall_cycles += 1;
+            if charge_stall {
+                self.stats.scoreboard_stall_cycles += 1;
+            }
             return IssueOutcome::Stalled;
         }
 

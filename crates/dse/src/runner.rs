@@ -1,0 +1,265 @@
+//! The sweep runner: grid cells × kernels → per-cell results with a
+//! Pareto summary.
+//!
+//! Every (cell, kernel) pair is an independent simulation, so the runner
+//! flattens the full grid into one work list and fans it across cores
+//! with [`crate::sweep::sweep`] — a slow cell does not serialize the
+//! cheap ones behind it, and results come back in deterministic order.
+
+use mt_kernels::{harness, livermore, KernelReport};
+use mt_sim::{MachineConfig, SimConfig};
+
+/// One concrete machine to measure: a point in the design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Self-describing name — the swept `knob=value` list, or a label
+    /// like `"unified-52"` for hand-built comparison cells.
+    pub name: String,
+    /// The machine at this point.
+    pub machine: MachineConfig,
+    /// Run with the Load/Store and ALU instruction registers serialized
+    /// (the split-register-file proxy: no vector/scalar overlap).
+    pub serialized_issue: bool,
+    /// Register-file bits charged to this design on the Pareto cost axis.
+    /// Defaults to [`MachineConfig::reg_file_bits`]; comparison cells that
+    /// model a *different* register organization at the same simulated
+    /// timing (the classical 8×64-element split file) override it.
+    pub reg_file_bits: u64,
+}
+
+impl CellSpec {
+    /// A cell charged its machine's own register-file bits.
+    pub fn new(name: String, machine: MachineConfig, serialized_issue: bool) -> CellSpec {
+        CellSpec {
+            name,
+            reg_file_bits: machine.reg_file_bits(),
+            machine,
+            serialized_issue,
+        }
+    }
+
+    /// The `SimConfig` this cell runs under: default everything except the
+    /// machine and the issue-policy ablation. `POST /sweep` and `repro-dse`
+    /// both build cell configs here, which is why they agree bit-for-bit.
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            machine: self.machine,
+            serialized_issue: self.serialized_issue,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// One cell's measurements over every kernel in the sweep.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The design point that was measured.
+    pub spec: CellSpec,
+    /// Per-kernel cold/warm reports, in kernel order. Empty iff `error`.
+    pub reports: Vec<KernelReport>,
+    /// The failure, if any kernel failed to run or verify under this
+    /// machine (a sweep does not abort because one corner is broken).
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// Harmonic-mean warm MFLOPS over the kernels — the paper's summary
+    /// statistic (a harmonic mean weights the slow kernels, as total
+    /// runtime does).
+    pub fn warm_hm_mflops(&self) -> f64 {
+        harmonic_mean(self.reports.iter().map(|r| r.mflops_warm()))
+    }
+
+    /// Warm cycles per issued FPU element, summed over the kernels — the
+    /// CPI-style axis for lane sweeps.
+    pub fn warm_cycles_per_element(&self) -> f64 {
+        let cycles: u64 = self.reports.iter().map(|r| r.warm.cycles).sum();
+        let elements: u64 = self
+            .reports
+            .iter()
+            .map(|r| r.warm.fpu.elements_issued)
+            .sum();
+        if elements == 0 {
+            0.0
+        } else {
+            cycles as f64 / elements as f64
+        }
+    }
+}
+
+fn harmonic_mean(rates: impl Iterator<Item = f64>) -> f64 {
+    let (mut n, mut sum) = (0u32, 0.0f64);
+    for r in rates {
+        n += 1;
+        sum += 1.0 / r;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 / sum
+    }
+}
+
+/// Runs every cell over the given Livermore loops (by number), fanning
+/// all (cell × kernel) pairs across cores at once. Results are in cell
+/// order, each with reports in kernel order; per-cell failures are
+/// recorded, not propagated.
+pub fn run_grid(cells: &[CellSpec], loops: &[u8]) -> Vec<CellResult> {
+    let work: Vec<(usize, u8)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| loops.iter().map(move |&n| (c, n)))
+        .collect();
+    let runs = crate::sweep::sweep(&work, |&(c, n)| {
+        let cell = &cells[c];
+        let kernel = livermore::by_number(n);
+        cell.machine
+            .validate_program(&kernel.routine.program)
+            .and_then(|()| harness::run_kernel_with(&kernel, cell.config()))
+    });
+
+    let mut out: Vec<CellResult> = cells
+        .iter()
+        .map(|spec| CellResult {
+            spec: spec.clone(),
+            reports: Vec::new(),
+            error: None,
+        })
+        .collect();
+    for ((c, _), run) in work.into_iter().zip(runs) {
+        let cell = &mut out[c];
+        match run {
+            Ok(report) if cell.error.is_none() => cell.reports.push(report),
+            Ok(_) => {}
+            Err(e) => {
+                // First failure wins; a failed cell reports no numbers
+                // (partial means would silently skew the summary).
+                if cell.error.is_none() {
+                    cell.error = Some(e);
+                    cell.reports.clear();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Indices of the Pareto-optimal cells: no other successful cell is at
+/// least as fast (harmonic-mean warm MFLOPS) with at most as many
+/// register-file bits *and* at most as many element lanes, strictly
+/// better somewhere. Failed cells never qualify.
+pub fn pareto_front(results: &[CellResult]) -> Vec<usize> {
+    let points: Vec<Option<(f64, u64, u64)>> = results
+        .iter()
+        .map(|r| {
+            r.error.is_none().then(|| {
+                (
+                    r.warm_hm_mflops(),
+                    r.spec.reg_file_bits,
+                    r.spec.machine.timing.fpu_lanes,
+                )
+            })
+        })
+        .collect();
+    pareto_of_points(&points)
+}
+
+/// [`pareto_front`] over raw `(warm MFLOPS, register bits, lanes)`
+/// points (`None` = failed cell, never on the front). `POST /sweep`
+/// computes its front here from parsed per-cell numbers, so the service
+/// and `repro-dse` agree by construction.
+pub fn pareto_of_points(points: &[Option<(f64, u64, u64)>]) -> Vec<usize> {
+    let dominates = |a: (f64, u64, u64), b: (f64, u64, u64)| {
+        a.0 >= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 > b.0 || a.1 < b.1 || a.2 < b.2)
+    };
+    (0..points.len())
+        .filter(|&i| {
+            points[i].is_some_and(|p| {
+                !points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != i && other.is_some_and(|o| dominates(o, p)))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+
+    #[test]
+    fn default_cell_matches_the_plain_harness() {
+        let cell = CellSpec::new("default".into(), MachineConfig::default(), false);
+        let results = run_grid(std::slice::from_ref(&cell), &[7]);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].error.is_none());
+        let direct = harness::run_kernel(&livermore::by_number(7)).unwrap();
+        assert_eq!(results[0].reports[0].warm.cycles, direct.warm.cycles);
+        assert_eq!(results[0].reports[0].cold.cycles, direct.cold.cycles);
+        assert!(results[0].warm_hm_mflops() > 0.0);
+        assert!(results[0].warm_cycles_per_element() > 0.0);
+        assert_eq!(results[0].spec.reg_file_bits, 52 * 64);
+    }
+
+    #[test]
+    fn grid_results_line_up_cell_by_cell() {
+        let cells = GridSpec::parse("fpu_latency=1,6")
+            .unwrap()
+            .enumerate()
+            .unwrap();
+        let results = run_grid(&cells, &[3, 7]);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.reports.len(), 2, "{}", r.spec.name);
+            assert!(r.error.is_none());
+        }
+        // Longer FPU latency can never speed a kernel up.
+        assert!(
+            results[1].reports[1].warm.cycles >= results[0].reports[1].warm.cycles,
+            "latency 6 at least as slow as latency 1"
+        );
+    }
+
+    #[test]
+    fn a_cell_too_small_for_the_kernel_reports_an_error() {
+        let tiny = MachineConfig {
+            num_fpu_regs: 2,
+            ..MachineConfig::default()
+        };
+        let cells = [
+            CellSpec::new("tiny".into(), tiny, false),
+            CellSpec::new("default".into(), MachineConfig::default(), false),
+        ];
+        let results = run_grid(&cells, &[7]);
+        assert!(results[0].error.is_some(), "2 registers cannot hold LL7");
+        assert!(results[0].reports.is_empty());
+        assert!(results[1].error.is_none(), "other cells unaffected");
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_cells() {
+        let mk = |name: &str, mflops: f64, bits: u64| {
+            let mut r = CellResult {
+                spec: CellSpec::new(name.into(), MachineConfig::default(), false),
+                reports: Vec::new(),
+                error: None,
+            };
+            r.spec.reg_file_bits = bits;
+            // Fake a single-report cell with the desired rate: mflops()
+            // is flops-per-cycle scaled, so craft stats directly.
+            let mut report = harness::run_kernel(&livermore::by_number(12)).unwrap();
+            report.warm.fpu.flops = (mflops * report.warm.cycles as f64 / 25.0) as u64;
+            r.reports.push(report);
+            r
+        };
+        let results = vec![
+            mk("fast-cheap", 20.0, 1000),  // dominates everything
+            mk("fast-costly", 20.0, 2000), // dominated: same speed, more bits
+            mk("slow-cheap", 5.0, 1000),   // dominated: slower, same bits
+        ];
+        let front = pareto_front(&results);
+        assert_eq!(front, vec![0]);
+    }
+}

@@ -1,18 +1,21 @@
 //! Parallel sweep driver for independent simulation points.
 //!
-//! Every repro binary's sweep — the 24 Livermore loops, the ablation
-//! configurations, the serialized-issue Amdahl runs — is embarrassingly
-//! parallel: each point builds its own [`mt_sim::Machine`] and shares
-//! nothing. This module fans the points out over `std::thread::scope`
-//! workers and collects the results **in deterministic input order**, so
-//! documents built from them (`BENCH_sim.json` in particular) are
-//! byte-stable no matter how many workers ran or how the OS scheduled
-//! them.
+//! Every sweep in the workspace — the 24 Livermore loops, the ablation
+//! configurations, the serialized-issue Amdahl runs, and every mt-dse
+//! grid cell — is embarrassingly parallel: each point builds its own
+//! [`mt_sim::Machine`] and shares nothing. This module fans the points
+//! out over `std::thread::scope` workers and collects the results **in
+//! deterministic input order**, so documents built from them
+//! (`BENCH_sim.json` and `BENCH_dse.json` in particular) are byte-stable
+//! no matter how many workers ran or how the OS scheduled them.
 //!
 //! Workers pull indices from a shared atomic counter (work stealing), so
 //! an expensive point (say, a cold Linpack) does not serialize the cheap
 //! ones behind it. With one available core, or one input, the driver runs
 //! inline with zero threading overhead.
+//!
+//! (This module lived in `mt_bench::sweep` until the dse engine needed it
+//! below the bench layer; `mt_bench::sweep` re-exports it unchanged.)
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -85,14 +88,15 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_on_a_real_kernel() {
+        let run = |n: u8| {
+            mt_kernels::harness::run_kernel(&mt_kernels::livermore::by_number(n))
+                .unwrap()
+                .warm
+                .cycles
+        };
         let nums = [3u8, 11];
-        let parallel = sweep(&nums, |&n| {
-            crate::run(&mt_kernels::livermore::by_number(n)).warm.cycles
-        });
-        let sequential: Vec<u64> = nums
-            .iter()
-            .map(|&n| crate::run(&mt_kernels::livermore::by_number(n)).warm.cycles)
-            .collect();
+        let parallel = sweep(&nums, |&n| run(n));
+        let sequential: Vec<u64> = nums.iter().map(|&n| run(n)).collect();
         assert_eq!(parallel, sequential);
     }
 }

@@ -155,33 +155,41 @@ impl AbstractMachine {
         }
     }
 
-    /// The FPU's issue phase, run once per cycle after the CPU phase.
+    /// The FPU's issue phase, run once per cycle after the CPU phase:
+    /// up to `fpu_lanes` consecutive elements issue in order, stopping at
+    /// the first scoreboard-blocked one; only the first lane's blocked
+    /// attempt charges a stall — the same per-cycle schedule and
+    /// accounting as the simulator's `issue_and_record`.
     fn issue_phase(&mut self) {
-        let Some(ir) = self.ir else { return };
-        let refs = ir.instr.element(ir.next_element);
-        let blocked = self.reserved(refs.ra)
-            || (!ir.instr.op.is_unary() && self.reserved(refs.rb))
-            || self.reserved(refs.rr);
-        if blocked {
-            self.counters.scoreboard_stalls += 1;
-            self.per_pc.entry(ir.src).or_default().scoreboard_stalls += 1;
-            return;
+        for lane in 0..self.timing.fpu_lanes.max(1) {
+            let Some(ir) = self.ir else { return };
+            let refs = ir.instr.element(ir.next_element);
+            let blocked = self.reserved(refs.ra)
+                || (!ir.instr.op.is_unary() && self.reserved(refs.rb))
+                || self.reserved(refs.rr);
+            if blocked {
+                if lane == 0 {
+                    self.counters.scoreboard_stalls += 1;
+                    self.per_pc.entry(ir.src).or_default().scoreboard_stalls += 1;
+                }
+                return;
+            }
+            self.freg_ready[refs.rr.index() as usize] = self.cycle + self.timing.fpu_latency;
+            self.counters.elements += 1;
+            if ir.instr.op.is_flop() {
+                self.counters.flops += 1;
+            }
+            let at = self.per_pc.entry(ir.src).or_default();
+            at.elements += 1;
+            self.ir = if ir.next_element + 1 == ir.instr.vl {
+                None
+            } else {
+                Some(IrState {
+                    next_element: ir.next_element + 1,
+                    ..ir
+                })
+            };
         }
-        self.freg_ready[refs.rr.index() as usize] = self.cycle + self.timing.fpu_latency;
-        self.counters.elements += 1;
-        if ir.instr.op.is_flop() {
-            self.counters.flops += 1;
-        }
-        let at = self.per_pc.entry(ir.src).or_default();
-        at.elements += 1;
-        self.ir = if ir.next_element + 1 == ir.instr.vl {
-            None
-        } else {
-            Some(IrState {
-                next_element: ir.next_element + 1,
-                ..ir
-            })
-        };
     }
 
     fn charge(&mut self, idx: usize, cause: StallCause) {

@@ -25,16 +25,22 @@ pub struct CacheConfig {
     pub size_bytes: u32,
     /// Line size in bytes (power of two).
     pub line_bytes: u32,
+    /// Associativity: lines per set. `1` is direct-mapped (the paper's
+    /// machine); higher values use LRU replacement within a set. Timing is
+    /// unchanged — associativity only affects which accesses miss.
+    pub ways: u32,
     /// Cycles added to an access that misses.
     pub miss_penalty: u64,
 }
 
 impl CacheConfig {
-    /// The MultiTitan 64 KB data cache: 16-byte lines, 14-cycle misses.
+    /// The MultiTitan 64 KB data cache: 16-byte lines, direct-mapped,
+    /// 14-cycle misses.
     pub const fn multititan_data() -> CacheConfig {
         CacheConfig {
             size_bytes: 64 * 1024,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 14,
         }
     }
@@ -45,6 +51,7 @@ impl CacheConfig {
         CacheConfig {
             size_bytes: 64 * 1024,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 14,
         }
     }
@@ -57,6 +64,7 @@ impl CacheConfig {
         CacheConfig {
             size_bytes: 2 * 1024,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 2,
         }
     }
@@ -64,6 +72,11 @@ impl CacheConfig {
     /// Number of lines.
     pub const fn lines(&self) -> u32 {
         self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets (lines ÷ ways).
+    pub const fn sets(&self) -> u32 {
+        self.lines() / self.ways
     }
 }
 
@@ -115,9 +128,12 @@ struct Line {
     valid: bool,
     dirty: bool,
     tag: u32,
+    /// Access-order stamp for LRU victim selection (unused at `ways = 1`).
+    last_used: u64,
 }
 
-/// A direct-mapped write-back cache (timing/residency model).
+/// A set-associative write-back cache (timing/residency model); `ways = 1`
+/// is the paper's direct-mapped geometry.
 ///
 /// ```
 /// use mt_mem::{Cache, CacheConfig, AccessKind};
@@ -128,13 +144,17 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Lines stored set-major: set `s`'s ways occupy
+    /// `lines[s * ways .. (s + 1) * ways]`.
     lines: Vec<Line>,
     stats: CacheStats,
+    /// Monotone access counter driving the LRU stamps.
+    tick: u64,
     /// `log2(line_bytes)` — the model is on the simulator's per-access hot
     /// path, so index/tag extraction uses shifts and masks, not divisions.
     line_shift: u32,
-    /// `log2(lines)` when the line count is a power of two (always, for
-    /// the paper's geometries); odd line counts fall back to div/mod.
+    /// `log2(sets)` when the set count is a power of two (always, for
+    /// the paper's geometries); odd set counts fall back to div/mod.
     index_shift: Option<u32>,
 }
 
@@ -143,7 +163,9 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is not a power-of-two line count.
+    /// Panics if the geometry is inconsistent (line size not a power of
+    /// two, capacity not a whole number of lines, or a way count that does
+    /// not divide the line count).
     pub fn new(config: CacheConfig) -> Cache {
         assert!(
             config.line_bytes.is_power_of_two(),
@@ -153,27 +175,33 @@ impl Cache {
             config.size_bytes.is_multiple_of(config.line_bytes),
             "size multiple of line size"
         );
+        assert!(config.ways >= 1, "at least one way");
+        assert!(
+            config.lines().is_multiple_of(config.ways),
+            "ways must divide the line count"
+        );
         Cache {
             config,
             lines: vec![Line::default(); config.lines() as usize],
             stats: CacheStats::default(),
+            tick: 0,
             line_shift: config.line_bytes.trailing_zeros(),
             index_shift: config
-                .lines()
+                .sets()
                 .is_power_of_two()
-                .then(|| config.lines().trailing_zeros()),
+                .then(|| config.sets().trailing_zeros()),
         }
     }
 
-    /// Splits an address into (line index, tag).
+    /// Splits an address into (set index, tag).
     #[inline]
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
         let line_addr = addr >> self.line_shift;
         match self.index_shift {
             Some(s) => ((line_addr & ((1 << s) - 1)) as usize, line_addr >> s),
             None => (
-                (line_addr % self.config.lines()) as usize,
-                line_addr / self.config.lines(),
+                (line_addr % self.config.sets()) as usize,
+                line_addr / self.config.sets(),
             ),
         }
     }
@@ -192,18 +220,38 @@ impl Cache {
     /// (0 on hit, `miss_penalty` on miss).
     #[inline]
     pub fn access(&mut self, addr: u32, kind: AccessKind) -> u64 {
-        let (index, tag) = self.index_and_tag(addr);
-        let line = &mut self.lines[index];
+        let (set, tag) = self.index_and_tag(addr);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        self.tick += 1;
+        let tick = self.tick;
 
-        if line.valid && line.tag == tag {
-            self.stats.hits += 1;
-            if kind == AccessKind::Write {
-                line.dirty = true;
+        // Hit in any way of the set?
+        for line in &mut self.lines[base..base + ways] {
+            if line.valid && line.tag == tag {
+                self.stats.hits += 1;
+                line.last_used = tick;
+                if kind == AccessKind::Write {
+                    line.dirty = true;
+                }
+                return 0;
             }
-            return 0;
         }
 
+        // Miss: fill an invalid way if one exists, else evict the LRU way.
         self.stats.misses += 1;
+        let victim = self.lines[base..base + ways]
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                self.lines[base..base + ways]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_used)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            });
+        let line = &mut self.lines[base + victim];
         if line.valid && line.dirty {
             self.stats.writebacks += 1;
         }
@@ -211,14 +259,19 @@ impl Cache {
             valid: true,
             dirty: kind == AccessKind::Write,
             tag,
+            last_used: tick,
         };
         self.config.miss_penalty
     }
 
     /// Returns `true` if the line containing `addr` is resident.
     pub fn probe(&self, addr: u32) -> bool {
-        let (index, tag) = self.index_and_tag(addr);
-        self.lines[index].valid && self.lines[index].tag == tag
+        let (set, tag) = self.index_and_tag(addr);
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Number of lines (for fault-injection plans).
@@ -263,6 +316,7 @@ mod tests {
         Cache::new(CacheConfig {
             size_bytes: 64,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 14,
         })
     }
@@ -332,9 +386,61 @@ mod tests {
     fn multititan_geometry() {
         let c = CacheConfig::multititan_data();
         assert_eq!(c.lines(), 4096);
+        assert_eq!(c.sets(), 4096, "direct-mapped: one line per set");
+        assert_eq!(c.ways, 1);
         assert_eq!(c.miss_penalty, 14);
         let b = CacheConfig::multititan_ibuffer();
         assert_eq!(b.lines(), 128);
+    }
+
+    #[test]
+    fn two_way_set_holds_conflicting_lines() {
+        // Same 64-byte capacity as `small()`, but 2 sets × 2 ways: the
+        // direct-mapped conflict pair (0, 64) now coexists in one set.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+            miss_penalty: 14,
+        });
+        assert_eq!(c.access(0, AccessKind::Read), 14);
+        assert_eq!(c.access(64, AccessKind::Read), 14);
+        assert_eq!(c.access(0, AccessKind::Read), 0, "both resident");
+        assert_eq!(c.access(64, AccessKind::Read), 0);
+        assert!(c.probe(0) && c.probe(64));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_way() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+            miss_penalty: 14,
+        });
+        // Three tags mapping to set 0 (2 sets of 32 bytes: stride 64).
+        c.access(0, AccessKind::Read);
+        c.access(64, AccessKind::Read);
+        c.access(0, AccessKind::Read); // 64 is now LRU
+        c.access(128, AccessKind::Read); // evicts 64
+        assert!(c.probe(0), "recently used way survives");
+        assert!(!c.probe(64), "LRU way evicted");
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn fully_associative_dirty_eviction_writes_back() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 32,
+            line_bytes: 16,
+            ways: 2,
+            miss_penalty: 14,
+        });
+        c.access(0, AccessKind::Write);
+        c.access(16, AccessKind::Read);
+        c.access(32, AccessKind::Read); // evicts dirty line 0
+        assert_eq!(c.stats().writebacks, 1);
+        assert!(!c.probe(0));
     }
 
     #[test]

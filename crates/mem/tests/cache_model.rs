@@ -1,4 +1,6 @@
-//! Property tests: the direct-mapped cache against a naive reference model.
+//! Property tests: the cache against naive reference models — a map-based
+//! model for the direct-mapped geometry, and a per-set recency list for
+//! set-associative LRU.
 
 use mt_mem::{AccessKind, Cache, CacheConfig};
 use proptest::prelude::*;
@@ -39,6 +41,43 @@ impl RefModel {
     }
 }
 
+/// Naive set-associative LRU reference: each set is a recency-ordered list
+/// of (tag, dirty), most recent last.
+struct LruRefModel {
+    sets: Vec<Vec<(u32, bool)>>,
+    config: CacheConfig,
+}
+
+impl LruRefModel {
+    fn new(config: CacheConfig) -> LruRefModel {
+        LruRefModel {
+            sets: (0..config.sets()).map(|_| Vec::new()).collect(),
+            config,
+        }
+    }
+
+    /// Returns (hit, wrote_back).
+    fn access(&mut self, addr: u32, kind: AccessKind) -> (bool, bool) {
+        let line_addr = addr / self.config.line_bytes;
+        let index = (line_addr % self.config.sets()) as usize;
+        let tag = line_addr / self.config.sets();
+        let dirty = kind == AccessKind::Write;
+        let set = &mut self.sets[index];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, was_dirty) = set.remove(pos);
+            set.push((t, was_dirty || dirty));
+            return (true, false);
+        }
+        let mut wb = false;
+        if set.len() == self.config.ways as usize {
+            let (_, victim_dirty) = set.remove(0);
+            wb = victim_dirty;
+        }
+        set.push((tag, dirty));
+        (false, wb)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -52,6 +91,7 @@ proptest! {
         let config = CacheConfig {
             size_bytes: 1 << size_pow,
             line_bytes: 1 << line_pow,
+            ways: 1,
             miss_penalty: 14,
         };
         let mut cache = Cache::new(config);
@@ -75,12 +115,46 @@ proptest! {
     }
 
     #[test]
+    fn set_associative_cache_matches_lru_reference(
+        accesses in prop::collection::vec((0u32..65536, any::<bool>()), 1..400),
+        size_pow in 6u32..12,
+        line_pow in 2u32..6,
+        way_pow in 0u32..4,
+    ) {
+        prop_assume!(size_pow > line_pow + way_pow);
+        let config = CacheConfig {
+            size_bytes: 1 << size_pow,
+            line_bytes: 1 << line_pow,
+            ways: 1 << way_pow,
+            miss_penalty: 14,
+        };
+        let mut cache = Cache::new(config);
+        let mut model = LruRefModel::new(config);
+        let mut model_hits = 0u64;
+        let mut model_wbs = 0u64;
+
+        for &(addr, write) in &accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let penalty = cache.access(addr, kind);
+            let (hit, wb) = model.access(addr, kind);
+            prop_assert_eq!(penalty == 0, hit, "addr {:#x}", addr);
+            prop_assert_eq!(cache.probe(addr), true, "just-accessed line resident");
+            if hit { model_hits += 1 }
+            if wb { model_wbs += 1 }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, model_hits);
+        prop_assert_eq!(stats.writebacks, model_wbs);
+    }
+
+    #[test]
     fn probe_agrees_with_next_access(
         accesses in prop::collection::vec(0u32..4096, 1..100),
     ) {
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 256,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 14,
         });
         for &addr in &accesses {
@@ -97,6 +171,7 @@ proptest! {
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 512,
             line_bytes: 16,
+            ways: 1,
             miss_penalty: 14,
         });
         for &(addr, write) in &accesses {

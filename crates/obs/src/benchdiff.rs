@@ -228,6 +228,14 @@ pub fn serve_profile() -> Vec<Rule> {
     .collect()
 }
 
+/// The built-in rule set for `mt-dse-v1` sweep documents
+/// (`BENCH_dse.json`): the simulator is deterministic, so every cell's
+/// statistics, the Pareto front, and the unified-vs-split comparison are
+/// exact; only the top-level wall clock (`elapsed_ms`) is ignored.
+pub fn dse_profile() -> Vec<Rule> {
+    vec![Rule::new("elapsed_ms", Tolerance::Ignore)]
+}
+
 /// The built-in rule set for `mt-chaos-v1` campaign reports. The
 /// *structural* fields — seed, scenario kinds, per-scenario and final
 /// verdicts, injected fault counts — are a pure function of the seed
@@ -371,6 +379,27 @@ mod tests {
         assert_eq!(diff(&a, &broken, &serve_profile())[0].path, "ok");
         let schema_break = doc(r#"{"ok": 64, "elapsed_ms": 15}"#);
         assert!(!diff(&a, &schema_break, &serve_profile()).is_empty());
+    }
+
+    #[test]
+    fn dse_profile_ignores_only_the_wall_clock() {
+        let a = doc(
+            r#"{"schema": "mt-dse-v1", "cells": [{"warm_hm_mflops": 3.5}],
+                "pareto": [{"name": "fpu_lanes=2"}], "elapsed_ms": 10}"#,
+        );
+        let b = doc(
+            r#"{"schema": "mt-dse-v1", "cells": [{"warm_hm_mflops": 3.5}],
+                "pareto": [{"name": "fpu_lanes=2"}], "elapsed_ms": 999}"#,
+        );
+        assert!(diff(&a, &b, &dse_profile()).is_empty());
+        let drift = doc(
+            r#"{"schema": "mt-dse-v1", "cells": [{"warm_hm_mflops": 3.6}],
+                "pareto": [{"name": "fpu_lanes=2"}], "elapsed_ms": 10}"#,
+        );
+        assert_eq!(
+            diff(&a, &drift, &dse_profile())[0].path,
+            "cells.0.warm_hm_mflops"
+        );
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use mt_asm::{parse_with_source_map, PlainDiagnostic, SourceMap};
+use mt_dse::runner::{CellResult, CellSpec};
 use mt_lint::{lint_program_with, LintOptions, Severity};
 use mt_sim::json::stats_json;
-use mt_sim::{Backend, Machine, Program, RunError, SimConfig};
+use mt_sim::{Backend, Machine, MachineConfig, Program, RunError, SimConfig};
 use mt_trace::{Json, Profiler, TraceEvent};
 
 /// Virtual file name diagnostics carry (request bodies never live on
@@ -41,6 +42,10 @@ pub enum Endpoint {
     Assemble,
     /// `POST /run` — assemble and simulate to halt.
     Run,
+    /// One `POST /sweep` grid cell: the source is a comma-separated
+    /// Livermore loop list (`"1,3,7"`), run under the job's
+    /// [`RunOptions::machine`] through the ordinary kernel harness.
+    Kernel,
 }
 
 impl Endpoint {
@@ -49,6 +54,7 @@ impl Endpoint {
         match self {
             Endpoint::Assemble => "assemble",
             Endpoint::Run => "run",
+            Endpoint::Kernel => "kernel",
         }
     }
 }
@@ -76,6 +82,14 @@ pub struct RunOptions {
     /// interpreter. Both produce bit-identical responses, so this knob
     /// is deliberately *not* cache-key material.
     pub backend: Backend,
+    /// The simulated microarchitecture (`?config=knob=v,...` and the
+    /// `?lanes=` shorthand). Changes the response body, so its full
+    /// canonical serialization IS cache-key material — a `lanes=2` run
+    /// can never replay a `lanes=1` entry.
+    pub machine: MachineConfig,
+    /// Serialize the Load/Store and ALU instruction registers
+    /// (`?serialized=1`) — the split-register-file ablation proxy.
+    pub serialized: bool,
 }
 
 impl Default for RunOptions {
@@ -89,6 +103,8 @@ impl Default for RunOptions {
             max_cycles: 0,
             watchdog: 0,
             backend: Backend::Xlate,
+            machine: MachineConfig::default(),
+            serialized: false,
         }
     }
 }
@@ -106,6 +122,8 @@ impl RunOptions {
             },
             watchdog_cycles: self.watchdog,
             backend: self.backend,
+            machine: self.machine,
+            serialized_issue: self.serialized,
             ..default
         }
     }
@@ -133,7 +151,7 @@ impl JobRequest {
     pub fn key_material(&self) -> String {
         let o = &self.options;
         format!(
-            "{SCHEMA}|{}|base={:#x}|cold={}|lint={}|profile={}|trace={}|max_cycles={}|watchdog={}\n{}",
+            "{SCHEMA}|{}|base={:#x}|cold={}|lint={}|profile={}|trace={}|max_cycles={}|watchdog={}|serialized={}|machine={}\n{}",
             self.endpoint.name(),
             o.base,
             o.cold as u8,
@@ -142,6 +160,8 @@ impl JobRequest {
             o.trace as u8,
             o.max_cycles,
             o.watchdog,
+            o.serialized as u8,
+            o.machine.key_material(),
             self.source
         )
     }
@@ -368,6 +388,9 @@ pub fn execute_controlled(
             return (cancel_result(CancelKind::Deadline), timing);
         }
     }
+    if job.endpoint == Endpoint::Kernel {
+        return execute_kernel_cell(job, control);
+    }
     let (program, map) = match parse_with_source_map(&job.source, job.options.base) {
         Ok(pair) => pair,
         Err(e) => {
@@ -384,6 +407,21 @@ pub fn execute_controlled(
             );
         }
     };
+
+    // A run on a bounds-restricted machine (`?config=num_fpu_regs=8`,
+    // say) rejects programs that reach beyond the configured register
+    // file or vector length — a property of the program, so a 422.
+    if job.endpoint == Endpoint::Run {
+        if let Err(m) = job.options.machine.validate_program(&program) {
+            return (
+                JobResult::new(
+                    422,
+                    error_doc("machine-bounds", [("message", Json::Str(m))]),
+                ),
+                timing,
+            );
+        }
+    }
 
     let lint = if job.options.lint {
         let (diags, has_errors) = lint_diagnostics(&program, &map);
@@ -485,6 +523,128 @@ pub fn execute_controlled(
             status: 200,
             body: doc.pretty(),
             cycles: Some(stats.cycles),
+        },
+        timing,
+    )
+}
+
+/// Executes one sweep cell ([`Endpoint::Kernel`]): every Livermore loop
+/// in the job's source list, under the job's machine, through the
+/// ordinary kernel harness — the same [`CellSpec::config`] path
+/// `repro-dse` takes, which is why `POST /sweep` returns the same
+/// numbers. The deadline and drain flag are observed between kernels
+/// (each is milliseconds of simulation, the same granularity as the
+/// in-run checkpoints of `/run`).
+fn execute_kernel_cell(job: &JobRequest, control: &JobControl) -> (JobResult, JobTiming) {
+    let mut timing = JobTiming::default();
+    let bad_list = |m: String| {
+        (
+            JobResult::new(400, error_doc("kernel-list", [("message", Json::Str(m))])),
+            JobTiming::default(),
+        )
+    };
+    let loops: Vec<u8> = match job
+        .source
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            t.parse::<u8>()
+                .map_err(|_| format!("bad Livermore loop number {t:?}"))
+        })
+        .collect()
+    {
+        Ok(l) => l,
+        Err(m) => return bad_list(m),
+    };
+    if loops.is_empty() || !loops.iter().all(|n| (1..=24).contains(n)) {
+        return bad_list("loop numbers must be 1..=24".to_string());
+    }
+    if let Err(m) = job.options.machine.validate() {
+        return (
+            JobResult::new(
+                422,
+                error_doc("machine-config", [("message", Json::Str(m))]),
+            ),
+            timing,
+        );
+    }
+
+    let cell = CellSpec::new(String::new(), job.options.machine, job.options.serialized);
+    let config = SimConfig {
+        backend: job.options.backend,
+        ..cell.config()
+    };
+    let sim_start = Instant::now();
+    let mut reports = Vec::with_capacity(loops.len());
+    for &n in &loops {
+        if let Some(flag) = control.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return (cancel_result(CancelKind::Draining), timing);
+            }
+        }
+        if let Some(d) = control.deadline {
+            if Instant::now() >= d {
+                timing.sim = Some((sim_start, sim_start.elapsed()));
+                return (cancel_result(CancelKind::Deadline), timing);
+            }
+        }
+        let kernel = mt_kernels::livermore::by_number(n);
+        let run = cell
+            .machine
+            .validate_program(&kernel.routine.program)
+            .and_then(|()| mt_kernels::harness::run_kernel_with(&kernel, config.clone()));
+        match run {
+            Ok(r) => reports.push(r),
+            Err(m) => {
+                timing.sim = Some((sim_start, sim_start.elapsed()));
+                return (
+                    JobResult::new(422, error_doc("kernel-failed", [("message", Json::Str(m))])),
+                    timing,
+                );
+            }
+        }
+    }
+    timing.sim = Some((sim_start, sim_start.elapsed()));
+    let total_cycles: u64 = reports.iter().map(|r| r.cold.cycles + r.warm.cycles).sum();
+    let result = CellResult {
+        spec: cell,
+        reports,
+        error: None,
+    };
+    let doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("status", Json::Str("ok".to_string())),
+        ("endpoint", Json::Str(job.endpoint.name().to_string())),
+        ("machine", Json::Str(result.spec.machine.key_material())),
+        ("serialized_issue", Json::Bool(result.spec.serialized_issue)),
+        ("reg_file_bits", Json::U64(result.spec.reg_file_bits)),
+        ("warm_hm_mflops", Json::F64(result.warm_hm_mflops())),
+        (
+            "warm_cycles_per_element",
+            Json::F64(result.warm_cycles_per_element()),
+        ),
+        (
+            "kernels",
+            Json::Arr(
+                result
+                    .reports
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::Str(r.name.clone())),
+                            ("cold", stats_json(&r.cold)),
+                            ("warm", stats_json(&r.warm)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    (
+        JobResult {
+            status: 200,
+            body: doc.pretty(),
+            cycles: Some(total_cycles),
         },
         timing,
     )
@@ -643,6 +803,7 @@ halt
             |o: &mut RunOptions| o.trace = true,
             |o: &mut RunOptions| o.max_cycles = 77,
             |o: &mut RunOptions| o.watchdog = 9,
+            |o: &mut RunOptions| o.serialized = true,
         ] {
             let mut v = base.clone();
             f(&mut v.options);
@@ -652,6 +813,144 @@ halt
         keys.push(base.key_material());
         let distinct: std::collections::HashSet<&String> = keys.iter().collect();
         assert_eq!(distinct.len(), keys.len(), "every knob must change the key");
+    }
+
+    /// Every machine knob must reach the cache key individually — a run
+    /// under any non-default microarchitecture can never replay a result
+    /// computed under a different one.
+    #[test]
+    fn key_material_is_sensitive_to_every_machine_knob() {
+        let base = JobRequest {
+            endpoint: Endpoint::Run,
+            source: FIB.to_string(),
+            options: RunOptions::default(),
+        };
+        let base_key = base.key_material();
+        for &knob in mt_sim::KNOB_NAMES {
+            let mut v = base.clone();
+            let old = v.options.machine.get_knob(knob).unwrap();
+            let fresh = if knob.ends_with("_bytes") || knob.ends_with("_line") {
+                old * 2
+            } else {
+                old + 1
+            };
+            v.options.machine.set_knob(knob, fresh).unwrap();
+            assert_ne!(
+                v.key_material(),
+                base_key,
+                "machine knob {knob} must change the cache key"
+            );
+        }
+    }
+
+    /// The satellite regression spelled out: a `?lanes=2` run must never
+    /// hit a `lanes=1` cache entry.
+    #[test]
+    fn lanes_2_never_hits_a_lanes_1_cache_entry() {
+        let mut cache = crate::cache::ResultCache::new(16);
+        let lanes1 = JobRequest {
+            endpoint: Endpoint::Run,
+            source: FIB.to_string(),
+            options: RunOptions::default(),
+        };
+        let mut lanes2 = lanes1.clone();
+        lanes2.options.machine.set_knob("fpu_lanes", 2).unwrap();
+
+        let mut m = Machine::new(SimConfig::default());
+        let r1 = execute(&lanes1, &mut m);
+        cache.insert(lanes1.key_material(), r1.status, r1.body.clone());
+        assert!(
+            cache.get(&lanes2.key_material()).is_none(),
+            "a lanes=2 request replayed a lanes=1 body"
+        );
+        assert_eq!(
+            cache.get(&lanes1.key_material()),
+            Some((r1.status, r1.body)),
+            "the lanes=1 entry still serves lanes=1"
+        );
+    }
+
+    /// Kernel-cell jobs run the same numbers `repro-dse` computes (both
+    /// go through `CellSpec::config` and the kernel harness).
+    #[test]
+    fn kernel_cell_matches_the_dse_runner() {
+        let mut m = Machine::new(SimConfig::default());
+        let job = JobRequest {
+            endpoint: Endpoint::Kernel,
+            source: "7,12".to_string(),
+            options: RunOptions::default(),
+        };
+        let r = execute(&job, &mut m);
+        assert_eq!(r.status, 200);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("endpoint").unwrap().as_str(), Some("kernel"));
+
+        let cell = CellSpec::new(String::new(), MachineConfig::default(), false);
+        let direct = mt_dse::run_grid(std::slice::from_ref(&cell), &[7, 12]);
+        assert_eq!(
+            doc.get("warm_hm_mflops").unwrap().as_f64().unwrap(),
+            direct[0].warm_hm_mflops(),
+            "service and repro-dse disagree on the same cell"
+        );
+        let kernels = doc.get("kernels").unwrap().items();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(
+            kernels[0]
+                .get("warm")
+                .unwrap()
+                .get("cycles")
+                .unwrap()
+                .as_f64(),
+            Some(direct[0].reports[0].warm.cycles as f64)
+        );
+    }
+
+    #[test]
+    fn kernel_cell_rejects_bad_lists_and_tiny_machines() {
+        let mut m = Machine::new(SimConfig::default());
+        for (source, status, kind) in [
+            ("0", 400, "kernel-list"),
+            ("25", 400, "kernel-list"),
+            ("seven", 400, "kernel-list"),
+            ("", 400, "kernel-list"),
+        ] {
+            let r = execute(
+                &JobRequest {
+                    endpoint: Endpoint::Kernel,
+                    source: source.to_string(),
+                    options: RunOptions::default(),
+                },
+                &mut m,
+            );
+            assert_eq!(r.status, status, "{source:?}");
+            let doc = mt_trace::json::parse(&r.body).unwrap();
+            assert_eq!(doc.get("kind").unwrap().as_str(), Some(kind));
+        }
+        // A machine too small for the kernels is a 422 cell failure.
+        let mut options = RunOptions::default();
+        options.machine.num_fpu_regs = 2;
+        let r = execute(
+            &JobRequest {
+                endpoint: Endpoint::Kernel,
+                source: "7".to_string(),
+                options,
+            },
+            &mut m,
+        );
+        assert_eq!(r.status, 422);
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("kernel-failed"));
+    }
+
+    /// A bounds-restricted machine rejects over-limit assembly on `/run`.
+    #[test]
+    fn run_rejects_programs_beyond_the_configured_register_file() {
+        let mut options = RunOptions::default();
+        options.machine.num_fpu_regs = 8;
+        let r = run_job(FIB, options);
+        assert_eq!(r.status, 422, "R10 is beyond an 8-register file");
+        let doc = mt_trace::json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("machine-bounds"));
     }
 
     /// A controlled run that is never cancelled must be bit-identical to

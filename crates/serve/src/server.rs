@@ -70,8 +70,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mt_dse::grid::GridSpec;
 use mt_obs::SpanSet;
 use mt_sim::{Machine, SimConfig};
+use mt_trace::Json;
 
 use crate::cache::ResultCache;
 use crate::http::{read_body, read_head, DeadlineStream, Request, Response};
@@ -738,7 +740,8 @@ fn route(request: &Request, peer: &str, shared: &Shared, spans: &mut SpanSet) ->
         },
         ("POST", "/assemble") => job_response(request, peer, shared, Endpoint::Assemble, spans),
         ("POST", "/run") => job_response(request, peer, shared, Endpoint::Run, spans),
-        ("GET", "/assemble" | "/run") | ("POST", "/healthz" | "/metrics") => Response::json(
+        ("POST", "/sweep") => sweep_response(request, peer, shared, spans),
+        ("GET", "/assemble" | "/run" | "/sweep") | ("POST", "/healthz" | "/metrics") => Response::json(
             405,
             format!("{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"method-not-allowed\"}}\n"),
         ),
@@ -963,7 +966,295 @@ fn parse_options(request: &Request) -> Result<RunOptions, String> {
     if let Some(v) = request.query_get("backend") {
         options.backend = v.parse().map_err(|e| format!("bad backend: {e}"))?;
     }
+    // `?config=knob=v,knob=v` replaces the whole machine (validated as a
+    // unit); `?lanes=` is a shorthand for the most-swept knob and may
+    // refine a `?config=`. Both land in the cache key via the machine's
+    // canonical serialization.
+    if let Some(v) = request.query_get("config") {
+        options.machine =
+            mt_sim::MachineConfig::parse(v).map_err(|e| format!("bad config: {e}"))?;
+    }
+    if let Some(v) = request.query_get("lanes") {
+        let lanes: u64 = v.parse().map_err(|e| format!("bad lanes `{v}`: {e}"))?;
+        options
+            .machine
+            .set_knob("fpu_lanes", lanes)
+            .and_then(|()| options.machine.validate())
+            .map_err(|e| format!("bad lanes: {e}"))?;
+    }
+    options.serialized = request.query_flag("serialized");
     Ok(options)
+}
+
+/// Upper bound on cells one `POST /sweep` may expand to: each cell is a
+/// full multi-kernel simulation job, so an unbounded grid is a trivial
+/// resource-exhaustion vector. Oversized grids get a structured 422
+/// before any cell runs.
+pub const MAX_SWEEP_CELLS: usize = 64;
+
+/// Livermore loops a sweep measures when `?loops=` is absent — the same
+/// representative subset `repro-dse` commits, so the default service
+/// sweep is directly comparable to `BENCH_dse.json`.
+const DEFAULT_SWEEP_LOOPS: [u8; 8] = [1, 3, 5, 7, 11, 12, 21, 23];
+
+fn bad_query(message: String) -> Response {
+    let doc = format!(
+        "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-query\", \"message\": {}}}\n",
+        Json::Str(message).pretty()
+    );
+    Response::json(400, doc)
+}
+
+/// `POST /sweep`: parse the grid spec body, bound it, and run every cell
+/// as an ordinary [`Endpoint::Kernel`] job through the queue — each cell
+/// gets the normal cache / deadline / accounting treatment — then
+/// aggregate the per-cell bodies into one `mt-dse-v1` document with the
+/// Pareto front. Cell configs and the front come from `mt-dse` itself,
+/// so the response carries the same numbers `repro-dse` prints for the
+/// same grid.
+fn sweep_response(request: &Request, peer: &str, shared: &Shared, spans: &mut SpanSet) -> Response {
+    let parse_start = Instant::now();
+    let Ok(text) = String::from_utf8(request.body.clone()) else {
+        return Response::json(
+            400,
+            format!(
+                "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-body\"}}\n"
+            ),
+        );
+    };
+    let grid = match GridSpec::parse(&text) {
+        Ok(g) => g,
+        Err(m) => {
+            return Response::json(
+                400,
+                format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"bad-grid\", \"message\": {}}}\n",
+                    Json::Str(m).pretty()
+                ),
+            )
+        }
+    };
+    if grid.cell_count() > MAX_SWEEP_CELLS {
+        let doc = Json::obj([
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("status", Json::Str("error".to_string())),
+            ("kind", Json::Str("grid-too-large".to_string())),
+            ("cells", Json::U64(grid.cell_count() as u64)),
+            ("max_cells", Json::U64(MAX_SWEEP_CELLS as u64)),
+        ]);
+        return Response::json(422, format!("{}\n", doc.pretty()));
+    }
+    let cells = match grid.enumerate() {
+        Ok(c) => c,
+        Err(m) => {
+            let doc = Json::obj([
+                ("schema", Json::Str(SCHEMA.to_string())),
+                ("status", Json::Str("error".to_string())),
+                ("kind", Json::Str("bad-grid".to_string())),
+                ("message", Json::Str(m)),
+            ]);
+            return Response::json(422, format!("{}\n", doc.pretty()));
+        }
+    };
+    let loops: Vec<u8> = match request.query_get("loops") {
+        None => DEFAULT_SWEEP_LOOPS.to_vec(),
+        Some(v) => {
+            let parsed: Result<Vec<u8>, String> = v
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u8>()
+                        .map_err(|_| format!("bad loop number {t:?}"))
+                })
+                .collect();
+            match parsed {
+                Ok(l) if !l.is_empty() && l.iter().all(|n| (1..=24).contains(n)) => l,
+                Ok(_) => return bad_query("loop numbers must be 1..=24".to_string()),
+                Err(m) => return bad_query(m),
+            }
+        }
+    };
+    let deadline = match request.query_get("deadline-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(spans.t0() + Duration::from_millis(ms)),
+            Err(e) => return bad_query(format!("bad deadline-ms `{v}`: {e}")),
+        },
+        None => None,
+    };
+    spans.record("parse", parse_start, Instant::now());
+
+    let client = request.header("x-client-id").unwrap_or(peer).to_string();
+    let source: String = loops
+        .iter()
+        .map(u8::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut cell_docs: Vec<Json> = Vec::with_capacity(cells.len());
+    let mut points: Vec<Option<(f64, u64, u64)>> = Vec::with_capacity(cells.len());
+    let mut summaries: Vec<Option<(f64, f64)>> = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let job = JobRequest {
+            endpoint: Endpoint::Kernel,
+            source: source.clone(),
+            options: RunOptions {
+                machine: cell.machine,
+                serialized: cell.serialized_issue,
+                ..RunOptions::default()
+            },
+        };
+        let (status, body) = match dispatch_cell(shared, &client, spans.t0(), deadline, job) {
+            Ok(pair) => pair,
+            Err(response) => return response,
+        };
+        let mut doc = Json::obj([
+            ("name", Json::Str(cell.name.clone())),
+            ("machine", Json::Str(cell.machine.key_material())),
+            ("serialized_issue", Json::Bool(cell.serialized_issue)),
+            ("reg_file_bits", Json::U64(cell.reg_file_bits)),
+        ]);
+        match (status, mt_trace::json::parse(&body)) {
+            (200, Ok(parsed)) => {
+                let hm = parsed
+                    .get("warm_hm_mflops")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let cpe = parsed
+                    .get("warm_cycles_per_element")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                points.push(Some((
+                    hm,
+                    cell.reg_file_bits,
+                    cell.machine.timing.fpu_lanes,
+                )));
+                summaries.push(Some((hm, cpe)));
+                doc.push("warm_hm_mflops", Json::F64(hm));
+                doc.push("warm_cycles_per_element", Json::F64(cpe));
+                doc.push(
+                    "kernels",
+                    parsed.get("kernels").cloned().unwrap_or(Json::Arr(vec![])),
+                );
+            }
+            (422, Ok(parsed)) => {
+                // A cell whose machine rejects the kernels (register-file
+                // bounds, say) is an error *cell*, not an error sweep —
+                // same policy as `repro-dse`.
+                let message = parsed
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("cell failed")
+                    .to_string();
+                points.push(None);
+                summaries.push(None);
+                doc.push("error", Json::Str(message));
+            }
+            // Shed, drained, failed, or unparseable: the sweep cannot
+            // produce a faithful aggregate — propagate the cell's answer.
+            _ => return Response::json(status, body),
+        }
+        cell_docs.push(doc);
+    }
+
+    let front = mt_dse::pareto_of_points(&points);
+    let doc = Json::obj([
+        ("schema", Json::Str(mt_dse::SCHEMA.to_string())),
+        ("grid", mt_dse::json::grid_json(&grid)),
+        (
+            "loops",
+            Json::Arr(loops.iter().map(|&n| Json::U64(n as u64)).collect()),
+        ),
+        ("cells", Json::Arr(cell_docs)),
+        (
+            "pareto",
+            Json::Arr(
+                front
+                    .into_iter()
+                    .map(|i| {
+                        let (hm, cpe) = summaries[i].expect("front cells succeeded");
+                        Json::obj([
+                            ("name", Json::Str(cells[i].name.clone())),
+                            ("reg_file_bits", Json::U64(cells[i].reg_file_bits)),
+                            ("fpu_lanes", Json::U64(cells[i].machine.timing.fpu_lanes)),
+                            ("warm_hm_mflops", Json::F64(hm)),
+                            ("warm_cycles_per_element", Json::F64(cpe)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, format!("{}\n", doc.pretty()))
+}
+
+/// Queues one sweep cell and waits for its result, mirroring
+/// `job_response`'s admission path: cache replay, drain refusal,
+/// pre-admission deadline shed, queue-full rejection, and the
+/// worker-lost fallback all behave identically (and land in the same
+/// accounting buckets). Returns `Err(response)` when the whole sweep
+/// should answer with that response instead of aggregating.
+fn dispatch_cell(
+    shared: &Shared,
+    client: &str,
+    t0: Instant,
+    deadline: Option<Instant>,
+    job: JobRequest,
+) -> Result<(u16, String), Response> {
+    let key = job.key_material();
+    let cached = shared.cache().get(&key);
+    if let Some((status, body)) = cached {
+        shared.metrics.add("cache_hits", 1);
+        return Ok((status, body));
+    }
+    shared.metrics.add("cache_misses", 1);
+    shared.metrics.add("jobs_accepted", 1);
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(draining_response(shared));
+    }
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            shared.metrics.add("jobs_shed", 1);
+            shared.metrics.add(status_counter(503), 1);
+            return Err(Response::json(
+                503,
+                shed_body(
+                    "deadline-exceeded",
+                    "request deadline expired before admission",
+                ),
+            ));
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let queued = QueuedJob {
+        request: job,
+        reply: reply_tx,
+        t0,
+        deadline,
+    };
+    if shared.queue.push(client, queued).is_err() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return Err(draining_response(shared));
+        }
+        shared.metrics.add("rejected_429", 1);
+        shared.metrics.add("jobs_rejected", 1);
+        return Err(Response::json(
+            429,
+            format!(
+                "{{\"schema\": \"{SCHEMA}\", \"status\": \"error\", \"kind\": \"queue-full\"}}\n"
+            ),
+        )
+        .with_header("Retry-After", "1"));
+    }
+    match reply_rx.recv() {
+        Ok((status, body, _spans)) => Ok((status, body)),
+        Err(_) => {
+            shared.metrics.add("jobs_failed", 1);
+            shared.metrics.add(status_counter(500), 1);
+            Err(Response::json(
+                500,
+                shed_body("worker-lost", "worker died while executing this job"),
+            ))
+        }
+    }
 }
 
 /// Writes the response under the I/O write deadline. A peer that stops

@@ -3,14 +3,14 @@
 use std::sync::Arc;
 
 use mt_core::{Fpu, Psw};
-use mt_fparith::OP_LATENCY_CYCLES;
 use mt_isa::cost::InstrCost;
 use mt_isa::cpu::AluOp;
 use mt_isa::{FReg, IReg, Instr};
-use mt_mem::{MemConfig, MemError, MemorySystem};
+use mt_mem::{MemError, MemorySystem};
 use mt_trace::{EventKind, EventSink, NullSink, StallCause, TraceEvent};
 use mt_xlate::{TranslatedProgram, Uop};
 
+use crate::config::MachineConfig;
 use crate::stats::{OrderingViolation, RunStats, StallBreakdown, ViolationKind};
 use crate::timeline::Timeline;
 use crate::timing::IssueTiming;
@@ -65,14 +65,11 @@ impl std::fmt::Display for Backend {
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Memory hierarchy parameters.
-    pub mem: MemConfig,
-    /// FPU functional-unit latency (3 on the real machine; ablations sweep
-    /// it).
-    pub fpu_latency: u64,
-    /// Cycles a taken branch costs beyond the branch itself (substrate
-    /// assumption; 1 by default).
-    pub branch_penalty: u64,
+    /// The simulated microarchitecture: issue timing (FPU latency, port
+    /// occupancy, load delay, branch bubble, element lanes), memory
+    /// hierarchy geometry, and register-file bounds. Defaults to the
+    /// paper's machine; `mt-dse` sweeps it.
+    pub machine: MachineConfig,
     /// Abort with [`RunError::CycleLimit`] after this many cycles.
     pub max_cycles: u64,
     /// Detect and record §2.3.2 ordering-rule violations.
@@ -118,9 +115,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
-            mem: MemConfig::multititan(),
-            fpu_latency: OP_LATENCY_CYCLES,
-            branch_penalty: 1,
+            machine: MachineConfig::default(),
             max_cycles: 200_000_000,
             checked_ordering: false,
             serialized_issue: false,
@@ -137,11 +132,7 @@ impl SimConfig {
     /// The issue-timing parameters this configuration implies — the same
     /// model `mt-lint` replays to prove §2.3.2 violations statically.
     pub fn issue_timing(&self) -> IssueTiming {
-        IssueTiming {
-            fpu_latency: self.fpu_latency,
-            branch_penalty: self.branch_penalty,
-            ..IssueTiming::multititan()
-        }
+        self.machine.timing
     }
 }
 
@@ -370,8 +361,8 @@ impl Machine {
     pub fn new(config: SimConfig) -> Machine {
         let timing = config.issue_timing();
         Machine {
-            fpu: Fpu::with_latency(config.fpu_latency),
-            mem: MemorySystem::new(config.mem),
+            fpu: Fpu::with_latency(timing.fpu_latency),
+            mem: MemorySystem::new(config.machine.mem),
             timing,
             config,
             iregs: [0; 32],
@@ -560,11 +551,11 @@ impl Machine {
     /// `tests/machine_reuse.rs` proves across random job pairs.
     pub fn reset_for_new_job(&mut self, config: SimConfig) {
         self.mem.reset();
-        if config.mem != self.config.mem {
-            self.mem = MemorySystem::new(config.mem);
+        if config.machine.mem != self.config.machine.mem {
+            self.mem = MemorySystem::new(config.machine.mem);
         }
-        self.fpu = Fpu::with_latency(config.fpu_latency);
         self.timing = config.issue_timing();
+        self.fpu = Fpu::with_latency(self.timing.fpu_latency);
         self.config = config;
         self.iregs = [0; 32];
         self.int_ready = [0; 32];
@@ -1547,36 +1538,56 @@ impl Machine {
         Ok(instr)
     }
 
-    /// Lets the ALU IR issue its current element, emitting the issue (or
-    /// scoreboard stall) attributed to the transferring instruction.
+    /// Lets the ALU IR issue through this cycle's element lanes, emitting
+    /// each issue (or the scoreboard stall) attributed to the transferring
+    /// instruction. The paper's machine has one lane; with
+    /// `fpu_lanes > 1` up to that many consecutive elements issue per
+    /// cycle, strictly in order — a blocked element blocks the lanes
+    /// behind it, and an intra-cycle dependence blocks naturally because
+    /// the earlier lane's issue reserves its destination before the later
+    /// lane checks the scoreboard. Only the *first* lane's blocked
+    /// attempt charges a scoreboard stall (later lanes going unused is
+    /// issue-width under-utilization, not a stall), so at `fpu_lanes = 1`
+    /// this is exactly the single-`issue` call it replaces. The
+    /// fast-forward and translated backends compose unchanged: their
+    /// [`Fpu::issue_blocked`] probe asks about the first element, and a
+    /// cycle whose first element would issue is always single-stepped
+    /// through this function.
     fn issue_and_record<S: EventSink>(&mut self, sink: &mut S) {
-        match self.fpu.issue(self.cycle) {
-            mt_core::IssueOutcome::Issued {
-                op, refs, element, ..
-            } => {
-                self.last_progress = self.cycle;
-                emit(
-                    sink,
-                    self.cycle,
-                    EventKind::ElementIssue {
-                        pc: self.ir_pc,
-                        instr_index: self.ir_index,
-                        op,
-                        element,
-                        refs,
-                        latency: self.fpu.latency(),
-                    },
-                )
+        for lane in 0..self.timing.fpu_lanes.max(1) {
+            match self.fpu.issue_lane(self.cycle, lane == 0) {
+                mt_core::IssueOutcome::Issued {
+                    op, refs, element, ..
+                } => {
+                    self.last_progress = self.cycle;
+                    emit(
+                        sink,
+                        self.cycle,
+                        EventKind::ElementIssue {
+                            pc: self.ir_pc,
+                            instr_index: self.ir_index,
+                            op,
+                            element,
+                            refs,
+                            latency: self.fpu.latency(),
+                        },
+                    )
+                }
+                mt_core::IssueOutcome::Stalled => {
+                    if lane == 0 {
+                        emit(
+                            sink,
+                            self.cycle,
+                            EventKind::ScoreboardStall {
+                                pc: self.ir_pc,
+                                instr_index: self.ir_index,
+                            },
+                        );
+                    }
+                    break;
+                }
+                mt_core::IssueOutcome::Idle => break,
             }
-            mt_core::IssueOutcome::Stalled => emit(
-                sink,
-                self.cycle,
-                EventKind::ScoreboardStall {
-                    pc: self.ir_pc,
-                    instr_index: self.ir_index,
-                },
-            ),
-            mt_core::IssueOutcome::Idle => {}
         }
     }
 
@@ -1906,9 +1917,9 @@ impl Machine {
     }
 
     fn take_branch_bubble<S: EventSink>(&mut self, sink: &mut S) {
-        self.stalls.branch += self.config.branch_penalty;
-        self.fetch_ready_at = self.cycle + 1 + self.config.branch_penalty;
-        if self.config.branch_penalty > 0 {
+        self.stalls.branch += self.timing.branch_penalty;
+        self.fetch_ready_at = self.cycle + 1 + self.timing.branch_penalty;
+        if self.timing.branch_penalty > 0 {
             emit(
                 sink,
                 self.cycle,
@@ -1916,7 +1927,7 @@ impl Machine {
                     pc: self.pc,
                     instr_index: self.instr_index(),
                     cause: StallCause::Branch,
-                    cycles: self.config.branch_penalty,
+                    cycles: self.timing.branch_penalty,
                 },
             );
         }
